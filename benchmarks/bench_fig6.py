@@ -1,0 +1,31 @@
+"""Benchmark + shape checks for Figure 6 (prefetch effect)."""
+
+import pytest
+
+from repro.experiments import fig6_prefetch
+
+
+@pytest.fixture(scope="module")
+def table(quick_mode):
+    return fig6_prefetch.run(quick=quick_mode)
+
+
+def test_fig6_benchmark(benchmark):
+    result = benchmark(fig6_prefetch.run, quick=True)
+    assert len(result.rows) == 2
+
+
+class TestFig6Shape:
+    def test_cg_gains_substantially(self, table):
+        """Long vectors: up to 100% improvement (paper ≈ 2x)."""
+        gain = table.cell("CG", "measured gain")
+        assert 1.5 <= gain <= 3.5
+
+    def test_trfd_gains_little(self, table):
+        """Short vectors + privatized references: ~15% in the paper."""
+        gain = table.cell("TRFD", "measured gain")
+        assert 0.95 <= gain <= 1.3
+
+    def test_cg_gains_more_than_trfd(self, table):
+        assert table.cell("CG", "measured gain") \
+            > table.cell("TRFD", "measured gain")

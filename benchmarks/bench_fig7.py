@@ -1,0 +1,26 @@
+"""Benchmark + shape checks for Figure 7 (privatization vs expansion)."""
+
+import pytest
+
+from repro.experiments import fig7_privatization
+
+
+@pytest.fixture(scope="module")
+def table(quick_mode):
+    return fig7_privatization.run(quick=quick_mode)
+
+
+def test_fig7_benchmark(benchmark):
+    result = benchmark(fig7_privatization.run, quick=True)
+    assert len(result.rows) == 2
+
+
+class TestFig7Shape:
+    def test_expansion_roughly_half_speed(self, table):
+        """Paper: the globally-expanded variant runs ~50% slower."""
+        speed = table.cell("expansion", "measured speed")
+        assert 0.3 <= speed <= 0.75
+
+    def test_privatization_wins(self, table):
+        assert table.cell("privatization", "measured speed") \
+            > table.cell("expansion", "measured speed")

@@ -1,0 +1,45 @@
+"""Benchmark + shape checks for Figure 8 (data partitioning in CG)."""
+
+import pytest
+
+from repro.experiments import fig8_partitioning
+
+
+@pytest.fixture(scope="module")
+def table(quick_mode):
+    return fig8_partitioning.run(quick=quick_mode)
+
+
+def test_fig8_benchmark(benchmark):
+    result = benchmark(fig8_partitioning.run, quick=True)
+    assert len(result.rows) == 4
+
+
+class TestFig8Shape:
+    def test_global_faster_on_one_cluster(self, table):
+        """High global transfer rate + prefetch beat cluster memory on a
+        single cluster (paper: 1.6 vs 1.35-ish baseline)."""
+        assert table.cell(1, "global (measured)") \
+            >= table.cell(1, "partitioned (measured)")
+
+    def test_global_saturates(self, table):
+        """The global curve's growth collapses past ~2 clusters."""
+        g = {c: table.cell(c, "global (measured)") for c in (1, 2, 3, 4)}
+        early_growth = g[2] / g[1]
+        late_growth = g[4] / g[3]
+        assert early_growth > 1.5
+        assert late_growth < 1.25
+
+    def test_partitioned_near_linear(self, table):
+        p = {c: table.cell(c, "partitioned (measured)") for c in (1, 2, 3, 4)}
+        assert p[4] / p[1] > 3.0
+
+    def test_crossover_by_four_clusters(self, table):
+        """Partitioned overtakes global at the top of the curve."""
+        assert table.cell(4, "partitioned (measured)") \
+            >= table.cell(4, "global (measured)") * 0.98
+
+    def test_both_curves_monotonic(self, table):
+        for col in ("global (measured)", "partitioned (measured)"):
+            vals = [table.cell(c, col) for c in (1, 2, 3, 4)]
+            assert all(b >= a * 0.98 for a, b in zip(vals, vals[1:])), col

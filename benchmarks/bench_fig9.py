@@ -1,0 +1,43 @@
+"""Benchmark + shape checks for Figure 9 (loop fusion in FLO52)."""
+
+import pytest
+
+from repro.experiments import fig9_fusion
+
+
+@pytest.fixture(scope="module")
+def table(quick_mode):
+    return fig9_fusion.run(quick=quick_mode)
+
+
+def _series(table, machine):
+    return {r[1]: r[3] for r in table.rows if r[0] == machine}
+
+
+def test_fig9_benchmark(benchmark):
+    result = benchmark(fig9_fusion.run, quick=True)
+    assert len(result.rows) == 6
+
+
+class TestFig9Shape:
+    def test_outer_parallel_beats_inner(self, table):
+        """Variant b (outer loops parallel) beats a on both machines."""
+        for m in ("fx80", "cedar"):
+            s = _series(table, m)
+            assert s["b"] >= s["a"], m
+
+    def test_fusion_helps_or_holds(self, table):
+        for m in ("fx80", "cedar"):
+            s = _series(table, m)
+            assert s["c"] >= s["b"] * 0.9, m
+
+    def test_cedar_gains_exceed_fx80(self, table):
+        """The paper's point: SDOALL startup dominates on Cedar, so
+        combining loops helps Cedar (~2x) more than the FX/80 (~1.5x)."""
+        fx = _series(table, "fx80")
+        cedar = _series(table, "cedar")
+        assert cedar["c"] / cedar["a"] > fx["c"] / fx["a"]
+
+    def test_fx80_gain_moderate(self, table):
+        fx = _series(table, "fx80")
+        assert 1.1 <= fx["c"] <= 2.5

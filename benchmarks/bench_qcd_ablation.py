@@ -1,0 +1,36 @@
+"""Benchmark + shape checks for the QCD footnote ablation."""
+
+import pytest
+
+from repro.experiments import qcd_ablation
+
+
+@pytest.fixture(scope="module")
+def table(quick_mode):
+    return qcd_ablation.run(quick=quick_mode)
+
+
+def test_qcd_ablation_benchmark(benchmark):
+    result = benchmark(qcd_ablation.run, quick=True)
+    assert len(result.rows) == 3
+
+
+class TestAblationShape:
+    def test_footnote_ordering(self, table):
+        """serialized < critical < parallel-rng, as in the footnote."""
+        s = table.cell("serialized", "measured speedup")
+        c = table.cell("critical", "measured speedup")
+        p = table.cell("parallel-rng", "measured speedup")
+        assert s < c < p
+
+    def test_serialized_near_two(self, table):
+        s = table.cell("serialized", "measured speedup")
+        assert 1.0 <= s <= 4.0
+
+    def test_parallel_rng_near_twenty(self, table):
+        p = table.cell("parallel-rng", "measured speedup")
+        assert 10.0 <= p <= 40.0
+
+    def test_only_serialized_validates(self, table):
+        assert table.cell("serialized", "passes validation") == "yes"
+        assert table.cell("critical", "passes validation") == "no"

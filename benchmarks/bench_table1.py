@@ -1,0 +1,54 @@
+"""Benchmark + shape checks for Table 1 (linear-algebra speedups)."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+@pytest.fixture(scope="module")
+def table(quick_mode):
+    return table1.run(quick=quick_mode)
+
+
+def test_table1_benchmark(benchmark, quick_mode):
+    result = benchmark(table1.run, quick=True)
+    assert len(result.rows) == 10
+
+
+class TestTable1Shape:
+    def test_all_routines_present(self, table):
+        assert set(table.column("routine")) == set(table1.PAPER)
+
+    def test_mprove_is_the_outlier(self, table):
+        """The serial-thrashing routine dwarfs everything (paper: 1079)."""
+        speeds = dict(zip(table.column("routine"),
+                          table.column("measured speedup")))
+        assert speeds["mprove"] == max(speeds.values())
+        assert speeds["mprove"] > 5 * speeds["gaussj"]
+
+    def test_cg_among_top(self, table):
+        speeds = dict(zip(table.column("routine"),
+                          table.column("measured speedup")))
+        ranked = sorted(speeds, key=speeds.get, reverse=True)
+        assert "cg" in ranked[:4]
+
+    def test_recurrence_bound_routines_near_serial(self, table):
+        """toeplz and tridag barely speed up (paper: 1.3 and 2.1)."""
+        speeds = dict(zip(table.column("routine"),
+                          table.column("measured speedup")))
+        assert speeds["toeplz"] < 3.0
+        assert speeds["tridag"] < 3.0
+
+    def test_parallel_routines_beat_serial(self, table):
+        speeds = dict(zip(table.column("routine"),
+                          table.column("measured speedup")))
+        for name in ("cg", "ludcmp", "sparse", "gaussj", "svbksb", "mprove"):
+            assert speeds[name] > 2.0, name
+
+    def test_grain_ordering(self, table):
+        """Dot-product-only routines (lubksb, svdcmp) sit well below the
+        fully parallel ones, as in the paper."""
+        speeds = dict(zip(table.column("routine"),
+                          table.column("measured speedup")))
+        assert speeds["lubksb"] < speeds["svbksb"]
+        assert speeds["svdcmp"] < speeds["gaussj"]

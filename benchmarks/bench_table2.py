@@ -1,0 +1,67 @@
+"""Benchmark + shape checks for Table 2 (Perfect Benchmarks proxies)."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+@pytest.fixture(scope="module")
+def table(quick_mode):
+    return table2.run(quick=quick_mode)
+
+
+def _col(table, name):
+    return dict(zip(table.column("program"), table.column(name)))
+
+
+def test_table2_benchmark(benchmark):
+    result = benchmark(table2.run, quick=True)
+    assert len(result.rows) == 12
+
+
+class TestTable2Shape:
+    def test_all_programs_present(self, table):
+        assert len(table.rows) == 12
+
+    def test_manual_beats_auto_everywhere(self, table):
+        fa, ca = _col(table, "fx80 auto"), _col(table, "cedar auto")
+        fm, cm = _col(table, "fx80 manual"), _col(table, "cedar manual")
+        for prog in fa:
+            assert fm[prog] >= fa[prog] * 0.95, prog
+            assert cm[prog] >= ca[prog] * 0.95, prog
+
+    def test_average_improvement_ratios(self, table):
+        """Headline result: manual/auto ≈ 4.5x on FX/80, ≈ 17x on Cedar —
+        and crucially the Cedar ratio far exceeds the FX/80 ratio."""
+        fa, ca = _col(table, "fx80 auto"), _col(table, "cedar auto")
+        fm, cm = _col(table, "fx80 manual"), _col(table, "cedar manual")
+        rf = sum(fm[p] / fa[p] for p in fa) / len(fa)
+        rc = sum(cm[p] / ca[p] for p in ca) / len(ca)
+        assert rc > rf, "Cedar gains must exceed FX/80 gains"
+        assert 2.0 < rf < 10.0
+        assert 8.0 < rc < 40.0
+
+    def test_cedar_auto_often_below_serial(self, table):
+        """The paper's Cedar auto column has several values < 1 (the
+        cross-cluster overheads defeat naive parallelization)."""
+        ca = _col(table, "cedar auto")
+        below = [p for p, v in ca.items() if v < 1.0]
+        assert len(below) >= 3
+
+    def test_failing_programs_match_paper(self, table):
+        """MDG, TRACK, QCD, OCEAN: near-nothing automatically."""
+        fa = _col(table, "fx80 auto")
+        for prog in ("MDG", "QCD", "OCEAN"):
+            assert fa[prog] < 3.0, prog
+
+    def test_arc2d_best_auto(self, table):
+        """ARC2D was the best automatic result in the paper."""
+        fa = _col(table, "fx80 auto")
+        assert fa["ARC2D"] >= max(fa[p] for p in
+                                  ("MDG", "QCD", "OCEAN", "TRACK", "BDNA"))
+
+    def test_qcd_stays_low_even_manually(self, table):
+        """The RNG dependence cycle bounds QCD near 2x (paper footnote)."""
+        fm, cm = _col(table, "fx80 manual"), _col(table, "cedar manual")
+        assert fm["QCD"] < 5.0
+        assert cm["QCD"] < 5.0

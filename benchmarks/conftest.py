@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper through the
+full pipeline (parse → restructure → machine-model estimate) under
+pytest-benchmark, and asserts the *shape* of the result against the paper
+(orderings, rough factors, crossovers) — not absolute numbers.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_mode(pytestconfig):
+    """Benchmarks default to the paper's full data sizes; set
+    ``REPRO_BENCH_QUICK=1`` to shrink them."""
+    import os
+
+    return bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))

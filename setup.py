@@ -1,0 +1,11 @@
+"""Setup shim enabling legacy editable installs (no network, no wheel).
+
+Offline environments without the ``wheel`` package cannot complete a
+PEP 660 editable install; ``pip install -e . --no-use-pep517`` (or plain
+``pip install -e .`` on older pips) falls back to ``setup.py develop``,
+which this shim supports.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,181 @@
+"""Control-flow graph construction and dominators.
+
+Most analyses in this package walk the structured AST directly; the CFG
+exists for the GOTO-bearing code the Perfect suite is full of — it lets
+the front of the pipeline ask "is this tangle reducible / single-exit?"
+before the structured analyses bail out conservatively.
+
+Basic blocks are maximal straight-line statement runs of a *flat*
+statement list (structured statements — DO, block IF — are treated as
+single super-node statements whose internals the structured analyses
+handle; GOTO targets and labels split blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fortran import ast_nodes as F
+
+
+@dataclass
+class BasicBlock:
+    """A maximal single-entry straight-line run of statements."""
+
+    index: int
+    stmts: list[F.Stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    @property
+    def label(self) -> Optional[int]:
+        for s in self.stmts:
+            if s.label is not None:
+                return s.label
+        return None
+
+
+ENTRY = 0
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one statement region."""
+
+    blocks: list[BasicBlock] = field(default_factory=list)
+    exit_index: int = -1
+
+    def block_of(self, stmt: F.Stmt) -> Optional[BasicBlock]:
+        for b in self.blocks:
+            if any(s is stmt for s in b.stmts):
+                return b
+        return None
+
+    # -- dominators ---------------------------------------------------------
+
+    def dominators(self) -> dict[int, set[int]]:
+        """Classic iterative dominator sets (entry = block 0)."""
+        if not self.blocks:
+            return {}
+        all_ids = {b.index for b in self.blocks}
+        dom: dict[int, set[int]] = {b.index: set(all_ids) for b in self.blocks}
+        dom[ENTRY] = {ENTRY}
+        changed = True
+        while changed:
+            changed = False
+            for b in self.blocks:
+                if b.index == ENTRY:
+                    continue
+                preds = [dom[p] for p in b.preds if p in dom]
+                new = set.intersection(*preds) if preds else set()
+                new |= {b.index}
+                if new != dom[b.index]:
+                    dom[b.index] = new
+                    changed = True
+        return dom
+
+    def back_edges(self) -> list[tuple[int, int]]:
+        """(tail, head) edges where head dominates tail — natural loops."""
+        dom = self.dominators()
+        out = []
+        for b in self.blocks:
+            for s in b.succs:
+                if s in dom.get(b.index, ()):
+                    out.append((b.index, s))
+        return out
+
+    def is_reducible(self) -> bool:
+        """Every cycle must be entered through its (dominating) header."""
+        dom = self.dominators()
+        back = set(self.back_edges())
+        # collapse natural loops; any remaining cycle → irreducible.
+        # For the modest graphs here, a simple check suffices: every
+        # retreating edge (by DFS numbering) must be a back edge.
+        order: dict[int, int] = {}
+        visited: set[int] = set()
+
+        def dfs(i: int) -> None:
+            visited.add(i)
+            order[i] = len(order)
+            for s in self.blocks[i].succs:
+                if s not in visited:
+                    dfs(s)
+
+        if self.blocks:
+            dfs(ENTRY)
+        for b in self.blocks:
+            if b.index not in visited:
+                continue
+            for s in b.succs:
+                if s in order and order[s] <= order[b.index]:
+                    if (b.index, s) not in back:
+                        return False
+        return True
+
+
+def _is_terminator(s: F.Stmt) -> bool:
+    return isinstance(s, (F.Goto, F.ComputedGoto, F.ReturnStmt, F.StopStmt))
+
+
+def build_cfg(stmts: list[F.Stmt]) -> CFG:
+    """Build the CFG of a flat statement list (labels + GOTOs resolved)."""
+    cfg = CFG()
+    if not stmts:
+        cfg.blocks = [BasicBlock(0)]
+        cfg.exit_index = 0
+        return cfg
+
+    # block leaders: first stmt, labeled stmts, stmts after terminators
+    leaders: set[int] = {0}
+    for i, s in enumerate(stmts):
+        if s.label is not None:
+            leaders.add(i)
+        if _is_terminator(s) or isinstance(s, (F.IfBlock, F.LogicalIf)):
+            if i + 1 < len(stmts):
+                leaders.add(i + 1)
+
+    starts = sorted(leaders)
+    block_of_stmt: dict[int, int] = {}
+    for bi, start in enumerate(starts):
+        end = starts[bi + 1] if bi + 1 < len(starts) else len(stmts)
+        blk = BasicBlock(bi, stmts[start:end])
+        cfg.blocks.append(blk)
+        for j in range(start, end):
+            block_of_stmt[j] = bi
+
+    exit_block = BasicBlock(len(cfg.blocks))
+    cfg.blocks.append(exit_block)
+    cfg.exit_index = exit_block.index
+
+    label_to_block: dict[int, int] = {}
+    for i, s in enumerate(stmts):
+        if s.label is not None:
+            label_to_block[s.label] = block_of_stmt[i]
+
+    def link(a: int, b: int) -> None:
+        if b not in cfg.blocks[a].succs:
+            cfg.blocks[a].succs.append(b)
+            cfg.blocks[b].preds.append(a)
+
+    for blk in cfg.blocks[:-1]:
+        last = blk.stmts[-1]
+        fall = blk.index + 1 if blk.index + 1 < exit_block.index \
+            else exit_block.index
+        if isinstance(last, F.Goto):
+            link(blk.index, label_to_block.get(last.target,
+                                               exit_block.index))
+        elif isinstance(last, F.ComputedGoto):
+            for t in last.targets:
+                link(blk.index, label_to_block.get(t, exit_block.index))
+            link(blk.index, fall)
+        elif isinstance(last, (F.ReturnStmt, F.StopStmt)):
+            link(blk.index, exit_block.index)
+        elif isinstance(last, F.LogicalIf):
+            if isinstance(last.stmt, F.Goto):
+                link(blk.index, label_to_block.get(last.stmt.target,
+                                                   exit_block.index))
+            link(blk.index, fall)
+        else:
+            link(blk.index, fall)
+    return cfg

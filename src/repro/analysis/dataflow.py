@@ -1,0 +1,256 @@
+"""Structured data-flow helpers: definite assignment and liveness.
+
+These walkers operate on the *structured* statement subset (assignments,
+block/logical IFs, DO loops, calls).  The presence of GOTO makes the result
+conservative (``unknown``), which in turn makes privatization and last-value
+analyses bail out safely — matching the restructurer's behaviour on
+spaghetti code.
+
+Lattice for definite assignment of one variable within one iteration::
+
+    NO < MAYBE < YES
+
+``YES`` = assigned on every path before this point, ``MAYBE`` = on some
+path, ``NO`` = on no path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+from repro.fortran import ast_nodes as F
+
+
+class Assigned(IntEnum):
+    NO = 0
+    MAYBE = 1
+    YES = 2
+
+
+def _join(a: Assigned, b: Assigned) -> Assigned:
+    """Merge of two control-flow paths."""
+    if a == b:
+        return a
+    return Assigned.MAYBE
+
+
+@dataclass
+class ScalarUsage:
+    """Definite-assignment summary of one scalar in a statement region."""
+
+    upward_exposed: bool = False   # read before any sure assignment
+    assigned: Assigned = Assigned.NO
+    read_anywhere: bool = False
+    written_anywhere: bool = False
+    in_call: bool = False          # passed to a CALL (unknown effect)
+    saw_goto: bool = False
+
+    @property
+    def conservative(self) -> bool:
+        return self.in_call or self.saw_goto
+
+
+def _trips_at_least_once(loop: F.DoLoop) -> bool:
+    """True when the loop provably executes ≥ 1 iteration.
+
+    Holds for constant bounds with start ≤ end (positive step), and for the
+    ubiquitous ``do i = 1, n`` only when n is a literal.
+    """
+    from repro.analysis.expr import const_value, linearize
+
+    step = 1 if loop.step is None else const_value(loop.step)
+    if step is None or step == 0:
+        return False
+    lo, hi = const_value(loop.start), const_value(loop.end)
+    if lo is not None and hi is not None:
+        return hi >= lo if step > 0 else hi <= lo
+    # symbolic: identical expressions trip exactly once
+    llo, lhi = linearize(loop.start), linearize(loop.end)
+    if llo is not None and lhi is not None:
+        diff = lhi - llo
+        if diff.is_constant:
+            return diff.const >= 0 if step > 0 else diff.const <= 0
+    return False
+
+
+def _expr_reads(e: F.Expr, name: str) -> bool:
+    for n in e.walk():
+        if isinstance(n, F.Var) and n.name == name:
+            return True
+    return False
+
+
+def scalar_usage(stmts: list[F.Stmt], name: str) -> ScalarUsage:
+    """Analyze reads/writes of scalar ``name`` through a statement region."""
+    u = ScalarUsage()
+    _walk_region(stmts, name, u)
+    return u
+
+
+def _walk_region(stmts: list[F.Stmt], name: str, u: ScalarUsage) -> None:
+    for s in stmts:
+        _walk_stmt(s, name, u)
+
+
+def _note_read(u: ScalarUsage) -> None:
+    u.read_anywhere = True
+    if u.assigned != Assigned.YES:
+        u.upward_exposed = True
+
+
+def _walk_stmt(s: F.Stmt, name: str, u: ScalarUsage) -> None:
+    if isinstance(s, F.Assign):
+        if _expr_reads(s.value, name):
+            _note_read(u)
+        t = s.target
+        if isinstance(t, (F.ArrayRef, F.Apply)):
+            subs = t.subscripts if isinstance(t, F.ArrayRef) else t.args
+            if any(_expr_reads(x, name) for x in subs):
+                _note_read(u)
+        if isinstance(t, F.Var) and t.name == name:
+            u.assigned = Assigned.YES
+            u.written_anywhere = True
+        return
+    if isinstance(s, F.DoLoop):
+        for e in (s.start, s.end, s.step):
+            if e is not None and _expr_reads(e, name):
+                _note_read(u)
+        if s.var == name:
+            u.assigned = Assigned.YES
+            u.written_anywhere = True
+            # loop variable reads inside refer to the (assigned) index
+        inner = ScalarUsage()
+        inner.assigned = u.assigned
+        _walk_region(s.body, name, inner)
+        if inner.upward_exposed and u.assigned != Assigned.YES:
+            u.upward_exposed = True
+        u.read_anywhere |= inner.read_anywhere
+        u.written_anywhere |= inner.written_anywhere
+        u.in_call |= inner.in_call
+        u.saw_goto |= inner.saw_goto
+        if _trips_at_least_once(s):
+            u.assigned = inner.assigned
+        elif inner.written_anywhere and u.assigned != Assigned.YES:
+            # body may execute zero times: sure defs degrade to MAYBE
+            u.assigned = Assigned.MAYBE
+        return
+    if isinstance(s, F.IfBlock):
+        if any(c is not None and _expr_reads(c, name) for c, _ in s.arms):
+            _note_read(u)
+        states = []
+        any_read_exposed = False
+        for cond, body in s.arms:
+            inner = ScalarUsage()
+            inner.assigned = u.assigned
+            _walk_region(body, name, inner)
+            states.append(inner.assigned)
+            any_read_exposed |= inner.upward_exposed
+            u.read_anywhere |= inner.read_anywhere
+            u.written_anywhere |= inner.written_anywhere
+            u.in_call |= inner.in_call
+            u.saw_goto |= inner.saw_goto
+        if not s.arms or s.arms[-1][0] is not None:
+            states.append(u.assigned)  # fall-through when no ELSE
+        merged = states[0]
+        for st in states[1:]:
+            merged = _join(merged, st)
+        u.assigned = merged
+        if any_read_exposed:
+            u.upward_exposed = True
+        return
+    if isinstance(s, F.LogicalIf):
+        if _expr_reads(s.cond, name):
+            _note_read(u)
+        inner = ScalarUsage()
+        inner.assigned = u.assigned
+        _walk_stmt(s.stmt, name, inner)
+        if inner.upward_exposed:
+            u.upward_exposed = True
+        u.read_anywhere |= inner.read_anywhere
+        u.written_anywhere |= inner.written_anywhere
+        u.in_call |= inner.in_call
+        u.saw_goto |= inner.saw_goto
+        if inner.assigned == Assigned.YES and u.assigned != Assigned.YES:
+            u.assigned = Assigned.MAYBE
+        return
+    if isinstance(s, F.CallStmt):
+        for a in s.args:
+            if isinstance(a, F.Var) and a.name == name:
+                u.in_call = True
+                u.read_anywhere = True
+                u.written_anywhere = True
+            elif _expr_reads(a, name):
+                _note_read(u)
+        return
+    if isinstance(s, (F.Goto, F.ComputedGoto)):
+        u.saw_goto = True
+        return
+    if isinstance(s, F.PrintStmt):
+        if any(_expr_reads(i, name) for i in s.items):
+            _note_read(u)
+        return
+    if isinstance(s, F.ReadStmt):
+        for i in s.items:
+            if isinstance(i, F.Var) and i.name == name:
+                u.assigned = Assigned.YES
+                u.written_anywhere = True
+        return
+    # Continue / Return / Stop / declarations: no effect
+
+
+def reads_after(stmts: list[F.Stmt], marker: F.Stmt, name: str) -> Optional[bool]:
+    """Does ``name`` get read in ``stmts`` strictly after statement ``marker``?
+
+    Searches the flat statement list containing ``marker`` and everything
+    nested below later statements.  Returns None if ``marker`` is not found
+    at this level (caller should descend).
+    """
+    def observes(region: list[F.Stmt]) -> bool:
+        """Would executing ``region`` next observe the current value?
+
+        True only for an *upward-exposed* read (a read reached before any
+        sure redefinition) or an opaque call — a region that redefines the
+        variable before every read does not keep it live.
+        """
+        usage = scalar_usage(region, name)
+        return usage.upward_exposed or usage.in_call or usage.saw_goto
+
+    for idx, s in enumerate(stmts):
+        if s is marker:
+            return observes(stmts[idx + 1:])
+        # descend into structured statements
+        if isinstance(s, F.DoLoop):
+            sub = reads_after(s.body, marker, name)
+            if sub is not None:
+                if sub:
+                    return True
+                # later iterations of this loop re-execute the whole body,
+                # then the statements after the loop run
+                if observes(s.body):
+                    return True
+                return observes(stmts[idx + 1:])
+        elif isinstance(s, F.IfBlock):
+            for _, body in s.arms:
+                sub = reads_after(body, marker, name)
+                if sub is not None:
+                    if sub:
+                        return True
+                    return observes(stmts[idx + 1:])
+    return None
+
+
+def live_after_loop(unit: F.ProgramUnit, loop: F.Stmt, name: str,
+                    escapes: bool) -> bool:
+    """Conservative liveness of ``name`` after ``loop`` within ``unit``.
+
+    ``escapes`` should be True for dummy arguments, COMMON and SAVE
+    variables (their value is observable by callers).
+    """
+    if escapes:
+        return True
+    result = reads_after(unit.body, loop, name)
+    if result is None:
+        return True  # loop not found where expected: stay safe
+    return result

@@ -1,0 +1,28 @@
+"""Data-dependence testing and the loop dependence graph.
+
+- :mod:`repro.analysis.depend.gcd` — the GCD test on linear diophantine
+  subscript equations.
+- :mod:`repro.analysis.depend.banerjee` — Banerjee inequalities with
+  direction-vector hierarchy refinement.
+- :mod:`repro.analysis.depend.tests` — the combined driver (ZIV / strong &
+  weak SIV exact tests, then GCD, then Banerjee per direction vector).
+- :mod:`repro.analysis.depend.graph` — builds the dependence graph of a
+  loop nest, classifying flow/anti/output dependences with direction (and
+  where possible distance) vectors.
+"""
+
+from repro.analysis.depend.tests import DependenceTester, SubscriptPair, TestResult
+from repro.analysis.depend.graph import (
+    Dependence,
+    DependenceGraph,
+    build_dependence_graph,
+)
+
+__all__ = [
+    "DependenceTester",
+    "SubscriptPair",
+    "TestResult",
+    "Dependence",
+    "DependenceGraph",
+    "build_dependence_graph",
+]

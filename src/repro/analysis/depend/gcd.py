@@ -1,0 +1,55 @@
+"""The GCD dependence test.
+
+For a subscript pair ``f(i1..ik)`` (source) and ``g(i1'..ik')`` (sink), a
+dependence requires an integer solution of::
+
+    a1*i1 + ... + ak*ik - b1*i1' - ... - bk*ik' = c_g - c_f
+
+A solution exists only if ``gcd(a1..ak, b1..bk)`` divides the constant
+difference.  The test ignores loop bounds (Banerjee adds those) and is
+*exact for independence*: "no solution" is definitive, "solution exists"
+is only a may-dependence.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Sequence
+
+from repro.analysis.expr import LinearExpr
+
+
+def gcd_test(src: LinearExpr, sink: LinearExpr,
+             index_vars: Sequence[str]) -> bool:
+    """True if a dependence is *possible* per the GCD criterion.
+
+    ``src``/``sink`` are affine subscripts; source index variables are
+    taken as-is and sink variables are implicitly primed (distinct
+    unknowns).  Symbolic terms that are not index variables must match on
+    both sides (they denote the same loop-invariant value); if they do not
+    cancel, the test conservatively reports "possible".
+    """
+    index_set = set(index_vars)
+    coeffs: list[int] = []
+    for n, c in src.coeffs:
+        if n in index_set:
+            coeffs.append(c)
+    for n, c in sink.coeffs:
+        if n in index_set:
+            coeffs.append(c)
+
+    # Loop-invariant symbolic parts: must cancel exactly, else unknown.
+    sym_src = {n: c for n, c in src.coeffs if n not in index_set}
+    sym_sink = {n: c for n, c in sink.coeffs if n not in index_set}
+    if sym_src != sym_sink:
+        return True  # cannot disprove
+
+    diff = sink.const - src.const
+    if not coeffs:
+        return diff == 0
+    g = 0
+    for c in coeffs:
+        g = gcd(g, abs(c))
+    if g == 0:
+        return diff == 0
+    return diff % g == 0

@@ -1,0 +1,23 @@
+"""Interprocedural analysis (paper §4.1.1).
+
+- :mod:`repro.analysis.interproc.callgraph` — the call graph of a source
+  file (direct calls; recursion detected and flagged).
+- :mod:`repro.analysis.interproc.summaries` — MOD/REF summary sets per
+  routine: which dummy arguments and COMMON variables each routine (and its
+  callees, transitively) may read or write.
+- :mod:`repro.analysis.interproc.constprop` — demand-driven propagation of
+  integer constants from call sites into callees (the paper propagated
+  "just the object needed" rather than running a whole-program pass).
+"""
+
+from repro.analysis.interproc.callgraph import CallGraph, build_call_graph
+from repro.analysis.interproc.summaries import RoutineSummary, summarize_source_file
+from repro.analysis.interproc.constprop import propagate_constants
+
+__all__ = [
+    "CallGraph",
+    "build_call_graph",
+    "RoutineSummary",
+    "summarize_source_file",
+    "propagate_constants",
+]

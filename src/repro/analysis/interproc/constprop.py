@@ -1,0 +1,131 @@
+"""Demand-driven interprocedural constant propagation (paper §4.1.1).
+
+The paper: *"Rather than attempt to propagate all constants ... we would
+proceed with a transformation technique until some constant or relation was
+needed, then do the propagation for just the object needed."*
+
+:func:`propagate_constants` answers exactly that query: given a routine and
+a variable name, find the integer constant it is guaranteed to hold on
+entry, by inspecting every call site in the file.  A value is returned only
+when **all** call sites agree and pass a compile-time constant (or a
+variable that itself resolves recursively).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.expr import const_value
+from repro.fortran import ast_nodes as F
+from repro.fortran.symtab import build_symbol_table
+
+
+def _entry_constant(sf: F.SourceFile, routine: str, var: str,
+                    seen: set[tuple[str, str]]) -> Optional[int]:
+    if (routine, var) in seen:
+        return None
+    seen.add((routine, var))
+
+    unit = None
+    for u in sf.units:
+        if u.name == routine:
+            unit = u
+            break
+    if unit is None:
+        return None
+
+    st = build_symbol_table(unit)
+    sym = st.lookup(var)
+    if sym is not None and sym.is_parameter:
+        v = const_value(sym.param_value)
+        return int(v) if isinstance(v, (int, bool)) else None
+
+    if var not in unit.args:
+        # local: constant only if assigned once at unit top level
+        return _local_constant(sf, unit, var, seen)
+
+    pos = unit.args.index(var)
+    values: set[int] = set()
+    for caller in sf.units:
+        build_symbol_table(caller)
+        for s in F.stmts_walk(caller.body):
+            if isinstance(s, F.CallStmt) and s.name == routine:
+                if pos >= len(s.args):
+                    return None
+                a = s.args[pos]
+                v = const_value(a)
+                if v is None and isinstance(a, F.Var):
+                    v = _entry_constant(sf, caller.name, a.name, seen)
+                if v is None or not isinstance(v, (int, bool)):
+                    return None
+                values.add(int(v))
+    if len(values) == 1:
+        return values.pop()
+    return None
+
+
+def _local_constant(sf: F.SourceFile, unit: F.ProgramUnit, var: str,
+                    seen: set[tuple[str, str]]) -> Optional[int]:
+    """Constant of a local assigned exactly once, at unit top level."""
+    value: Optional[int] = None
+    count = 0
+    for s in F.stmts_walk(unit.body):
+        if isinstance(s, F.Assign) and isinstance(s.target, F.Var) \
+                and s.target.name == var:
+            count += 1
+            v = const_value(s.value)
+            if v is None and isinstance(s.value, F.Var):
+                v = _entry_constant(sf, unit.name, s.value.name, seen)
+            if isinstance(v, (int, bool)):
+                value = int(v)
+            else:
+                return None
+        elif isinstance(s, F.CallStmt):
+            for pos, a in enumerate(s.args):
+                if isinstance(a, F.Var) and a.name == var:
+                    if _call_may_modify(sf, s.name, pos):
+                        return None
+        elif isinstance(s, F.ReadStmt):
+            for a in s.items:
+                if isinstance(a, F.Var) and a.name == var:
+                    return None
+        elif isinstance(s, F.DoLoop) and s.var == var:
+            return None
+    if count == 1:
+        # ensure the single assignment is at top level (not inside a loop/if)
+        for s in unit.body:
+            if isinstance(s, F.Assign) and isinstance(s.target, F.Var) \
+                    and s.target.name == var:
+                return value
+        return None
+    return None
+
+
+def _call_may_modify(sf: F.SourceFile, callee: str, pos: int) -> bool:
+    """May a call to ``callee`` modify its argument at ``pos``?
+
+    Uses the MOD/REF summaries (cached per source file); unknown callees
+    answer True.
+    """
+    cache = getattr(sf, "_modref_cache", None)
+    if cache is None:
+        from repro.analysis.interproc.summaries import summarize_source_file
+
+        cache = summarize_source_file(sf)
+        sf._modref_cache = cache  # type: ignore[attr-defined]
+    s = cache.get(callee)
+    if s is None:
+        return True
+    return s.unknown or pos in s.mod_args
+
+
+def propagate_constants(sf: F.SourceFile, routine: str,
+                        names: list[str]) -> dict[str, int]:
+    """Resolve each of ``names`` to an entry constant of ``routine`` if
+    every call site in the file agrees; unresolvable names are omitted."""
+    out: dict[str, int] = {}
+    for n in names:
+        v = _entry_constant(sf, routine, n, set())
+        if v is not None:
+            out[n] = v
+    return out

@@ -1,0 +1,171 @@
+"""MOD/REF interprocedural summaries (paper §4.1.1, "summary information").
+
+For every routine we compute, transitively through its callees:
+
+- ``ref_args`` / ``mod_args``: positions of dummy arguments that may be
+  read / written;
+- ``ref_common`` / ``mod_common``: COMMON variables (block, name) that may
+  be read / written.
+
+Unknown callees (externals) force the worst case on the arguments passed
+to them.  The summaries provide the *effects oracle* consumed by the
+reference collector, letting loops containing calls still be analyzed —
+"the dependences within a subroutine which prevented it from being called
+from a DOALL loop" (§4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.interproc.callgraph import CallGraph, build_call_graph
+from repro.analysis.refs import collect_refs
+from repro.fortran import ast_nodes as F
+from repro.fortran.symtab import SymbolTable, build_symbol_table
+
+
+@dataclass
+class RoutineSummary:
+    """Transitive MOD/REF effect summary of one routine."""
+
+    name: str
+    arg_names: list[str] = field(default_factory=list)
+    ref_args: set[int] = field(default_factory=set)
+    mod_args: set[int] = field(default_factory=set)
+    ref_common: set[tuple[str, str]] = field(default_factory=set)
+    mod_common: set[tuple[str, str]] = field(default_factory=set)
+    unknown: bool = False  # calls something we cannot see
+
+    def effects_on_call(self, args: list[F.Expr]
+                        ) -> tuple[set[str], set[str]]:
+        """(ref names, mod names) among the *actual* arguments of a call."""
+        refs: set[str] = set()
+        mods: set[str] = set()
+        for pos, a in enumerate(args):
+            name = None
+            if isinstance(a, F.Var):
+                name = a.name
+            elif isinstance(a, (F.ArrayRef, F.Apply)):
+                name = a.name
+            if name is None:
+                continue
+            if self.unknown or pos in self.ref_args:
+                refs.add(name)
+            if self.unknown or pos in self.mod_args:
+                mods.add(name)
+        return refs, mods
+
+
+def _unit_local_effects(unit: F.ProgramUnit, st: SymbolTable,
+                        summary: RoutineSummary) -> None:
+    """Effects of the unit's own statements (calls handled separately)."""
+    arg_pos = {a: i for i, a in enumerate(unit.args)}
+    # CALL statements are summarized by _propagate_call; suppress the
+    # collector's conservative both-read-and-write handling here.
+    no_call_effects = lambda call: (set(), set())
+    for r in collect_refs(unit.body, effects=no_call_effects):
+        sym = st.lookup(r.name)
+        if r.name in arg_pos:
+            if r.is_write:
+                summary.mod_args.add(arg_pos[r.name])
+            else:
+                summary.ref_args.add(arg_pos[r.name])
+        elif sym is not None and sym.common_block is not None:
+            key = (sym.common_block, r.name)
+            if r.is_write:
+                summary.mod_common.add(key)
+            else:
+                summary.ref_common.add(key)
+
+
+def _propagate_call(site: F.CallStmt, caller_unit: F.ProgramUnit,
+                    caller_st: SymbolTable, caller: RoutineSummary,
+                    callee: RoutineSummary | None) -> None:
+    arg_pos = {a: i for i, a in enumerate(caller_unit.args)}
+    for pos, a in enumerate(site.args):
+        name = None
+        if isinstance(a, F.Var):
+            name = a.name
+        elif isinstance(a, (F.ArrayRef, F.Apply)):
+            name = a.name
+        if name is None:
+            continue
+        is_ref = callee is None or callee.unknown or pos in callee.ref_args
+        is_mod = callee is None or callee.unknown or pos in callee.mod_args
+        sym = caller_st.lookup(name)
+        if name in arg_pos:
+            if is_ref:
+                caller.ref_args.add(arg_pos[name])
+            if is_mod:
+                caller.mod_args.add(arg_pos[name])
+        elif sym is not None and sym.common_block is not None:
+            key = (sym.common_block, name)
+            if is_ref:
+                caller.ref_common.add(key)
+            if is_mod:
+                caller.mod_common.add(key)
+    if callee is not None:
+        caller.ref_common |= callee.ref_common
+        caller.mod_common |= callee.mod_common
+        caller.unknown |= callee.unknown
+    else:
+        caller.unknown = True
+
+
+def summarize_source_file(sf: F.SourceFile,
+                          graph: CallGraph | None = None
+                          ) -> dict[str, RoutineSummary]:
+    """Compute transitive MOD/REF summaries for every unit of ``sf``.
+
+    Call cycles (recursion) are handled by iterating to a fixed point.
+    """
+    graph = graph or build_call_graph(sf)
+    units = {u.name: u for u in sf.units}
+    tables = {u.name: build_symbol_table(u) for u in sf.units}
+    summaries = {u.name: RoutineSummary(u.name, list(u.args))
+                 for u in sf.units}
+
+    for name, s in summaries.items():
+        _unit_local_effects(units[name], tables[name], s)
+
+    changed = True
+    rounds = 0
+    while changed and rounds < len(summaries) + 2:
+        changed = False
+        rounds += 1
+        for name in graph.topological():
+            s = summaries[name]
+            before = (frozenset(s.ref_args), frozenset(s.mod_args),
+                      frozenset(s.ref_common), frozenset(s.mod_common),
+                      s.unknown)
+            for node in F.stmts_walk(units[name].body):
+                if isinstance(node, F.CallStmt):
+                    callee = summaries.get(node.name)
+                    _propagate_call(node, units[name], tables[name], s, callee)
+                elif isinstance(node, F.FuncCall) and not node.intrinsic:
+                    callee = summaries.get(node.name)
+                    site = F.CallStmt(name=node.name, args=node.args)
+                    _propagate_call(site, units[name], tables[name], s, callee)
+            after = (frozenset(s.ref_args), frozenset(s.mod_args),
+                     frozenset(s.ref_common), frozenset(s.mod_common),
+                     s.unknown)
+            changed |= before != after
+    return summaries
+
+
+def effects_oracle(summaries: dict[str, RoutineSummary]):
+    """Build the callable consumed by :class:`RefCollector`.
+
+    Given a call-site *name*, returns a function of no use by itself: the
+    collector calls it with the routine name only, so the oracle answers in
+    terms of the callee's dummy positions translated by the caller at the
+    site.  Because the collector passes only the name, we return the pair
+    of *sets of argument positions* encoded as a closure per call.
+    """
+    def oracle_for_call(stmt: F.CallStmt) -> tuple[set[str], set[str]] | None:
+        s = summaries.get(stmt.name)
+        if s is None:
+            return None
+        return s.effects_on_call(stmt.args)
+
+    return oracle_for_call

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by repro code derives from :class:`ReproError` so callers
+can catch the whole family with one clause.  Front-end errors carry source
+coordinates (line, column) when available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all repro errors."""
+
+
+class SourceError(ReproError):
+    """An error tied to a position in Fortran source text."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        loc = ""
+        if line is not None:
+            loc = f" at line {line}"
+            if col is not None:
+                loc += f", column {col}"
+        super().__init__(message + loc)
+
+
+class LexError(SourceError):
+    """Raised by the fixed-form lexer on malformed input."""
+
+
+class ParseError(SourceError):
+    """Raised by the parser on a statement it cannot parse."""
+
+
+class SemanticError(SourceError):
+    """Raised for semantically invalid programs (bad types, shapes, labels)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an analysis is asked something it cannot answer."""
+
+
+class TransformError(ReproError):
+    """Raised when a restructuring pass is applied to an ineligible target."""
+
+
+class InterpreterError(ReproError):
+    """Raised by the functional interpreter on runtime errors."""
+
+
+class MachineModelError(ReproError):
+    """Raised for inconsistent machine configurations or timing queries."""

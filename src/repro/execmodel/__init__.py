@@ -1,0 +1,17 @@
+"""Execution of Fortran 77 / Cedar Fortran ASTs.
+
+Two engines:
+
+- :mod:`repro.execmodel.interp` — a functional interpreter (numpy-backed)
+  used to verify that restructured programs compute the same results as
+  the originals;
+- :mod:`repro.execmodel.perf` — a performance estimator that walks an AST
+  with concrete parameter bindings and a machine configuration, pricing
+  every operation, memory access, parallel loop and synchronization
+  through the :mod:`repro.machine` models.
+"""
+
+from repro.execmodel.interp import Interpreter
+from repro.execmodel.perf import PerfEstimator, PerfResult
+
+__all__ = ["Interpreter", "PerfEstimator", "PerfResult"]

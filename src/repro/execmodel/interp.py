@@ -1,0 +1,670 @@
+"""Functional interpreter for Fortran 77 and Cedar Fortran ASTs.
+
+The interpreter exists to *verify transformations*: running the original
+and the restructured program on the same inputs must give the same
+results.  Parallel loops are executed worker-by-worker — each simulated
+processor gets its own loop-local scope, runs the preamble, executes its
+share of the iterations (self-scheduling order: worker ``w`` takes
+iterations ``w, w+P, …``), then the postamble — so privatization,
+scalar expansion, reduction partials and last-value code are all checked
+for real.
+
+Limitations (documented, enforced): GOTO works only between statements of
+the same statement list; no I/O beyond ``print``/``read`` item queues;
+character data is not modelled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.cedar import nodes as C
+from repro.cedar.library import CEDAR_LIBRARY
+from repro.errors import InterpreterError
+from repro.fortran import ast_nodes as F
+from repro.fortran.intrinsics import INTRINSICS
+from repro.fortran.symtab import SymbolTable, build_symbol_table
+from repro.execmodel.values import DTYPES, FArray, Scope
+
+#: numpy equivalents for intrinsics applied to array sections
+_NP_FUNCS = {
+    "sqrt": np.sqrt, "dsqrt": np.sqrt, "abs": np.abs, "dabs": np.abs,
+    "exp": np.exp, "dexp": np.exp, "log": np.log, "alog": np.log,
+    "sin": np.sin, "cos": np.cos, "tan": np.tan, "atan": np.arctan,
+    "min": np.minimum, "max": np.maximum, "amin1": np.minimum,
+    "amax1": np.maximum, "mod": np.mod, "sign": np.copysign,
+    "int": lambda x: x.astype(np.int64), "float": lambda x: x.astype(float),
+    "real": lambda x: x.astype(float), "dble": lambda x: x.astype(float),
+    "tanh": np.tanh, "sinh": np.sinh, "cosh": np.cosh,
+}
+
+
+class _GotoSignal(Exception):
+    def __init__(self, label: int):
+        self.label = label
+
+
+class _ReturnSignal(Exception):
+    pass
+
+
+class _StopSignal(Exception):
+    def __init__(self, message: Optional[str]):
+        self.message = message
+
+
+class Interpreter:
+    """Executes program units of one source file."""
+
+    def __init__(self, sf: F.SourceFile, processors: int = 4,
+                 inputs: list[float] | None = None):
+        self.sf = sf
+        self.units = {u.name: u for u in sf.units}
+        self.tables: dict[str, SymbolTable] = {
+            u.name: build_symbol_table(u) for u in sf.units}
+        self.processors = processors
+        self.outputs: list[list[Any]] = []
+        self.inputs = list(inputs or [])
+        self.commons: dict[str, dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+
+    def call(self, name: str, *args: Any) -> dict[str, Any]:
+        """Call a subroutine/program with Python values.
+
+        Arrays pass as numpy arrays (modified in place); scalars by value
+        with their final values returned.  Returns the final values of all
+        dummy arguments (and, for functions, the key ``__result__``).
+        """
+        unit = self.units.get(name)
+        if unit is None:
+            raise InterpreterError(f"no unit named {name!r}")
+        if len(args) != len(unit.args):
+            raise InterpreterError(
+                f"{name} expects {len(unit.args)} args, got {len(args)}")
+        scope = self._unit_scope(unit)
+        for dummy, actual in zip(unit.args, args):
+            if isinstance(actual, np.ndarray):
+                sym = self.tables[name].lookup(dummy)
+                lowers = tuple(
+                    self._const_lower(b.lower) for b in sym.dims) \
+                    if sym and sym.is_array else (1,) * actual.ndim
+                scope.declare(dummy, FArray(actual, lowers))
+            else:
+                scope.declare(dummy, actual)
+        try:
+            self.exec_body(unit.body, scope, name)
+        except _ReturnSignal:
+            pass
+        except _StopSignal:
+            pass
+        out = {d: self._export(scope.vars.get(d)) for d in unit.args}
+        if isinstance(unit, F.Function):
+            out["__result__"] = self._export(scope.vars.get(name))
+        return out
+
+    @staticmethod
+    def _export(v: Any) -> Any:
+        if isinstance(v, FArray):
+            return v.data
+        return v
+
+    def _const_lower(self, e: F.Expr) -> int:
+        from repro.analysis.expr import const_value
+
+        v = const_value(e)
+        return int(v) if v is not None else 1
+
+    # ------------------------------------------------------------------
+
+    def _unit_scope(self, unit: F.ProgramUnit) -> Scope:
+        scope = Scope()
+        st = self.tables[unit.name]
+        # PARAMETER constants
+        params: dict[str, int | float] = {}
+        for sym in st.symbols.values():
+            if sym.is_parameter and sym.param_value is not None:
+                params[sym.name] = self._eval_const(sym.param_value, params)
+                scope.declare(sym.name, params[sym.name])
+        # declared arrays (locals): allocate when bounds are constant
+        for sym in st.symbols.values():
+            if sym.is_array and not sym.is_dummy:
+                bounds = []
+                ok = True
+                for b in sym.dims:
+                    lo = self._try_const(b.lower, params)
+                    hi = self._try_const(b.upper, params) \
+                        if b.upper is not None else None
+                    if lo is None or hi is None:
+                        ok = False
+                        break
+                    bounds.append((int(lo), int(hi)))
+                if ok:
+                    arr = FArray.zeros(sym.type, bounds)
+                    scope.declare(sym.name, arr)
+        # COMMON storage shared across units; scalars live in 0-d boxes so
+        # every unit mutates the same cell
+        for block, names in st.common_blocks.items():
+            store = self.commons.setdefault(block, {})
+            for n in names:
+                if n in store:
+                    scope.declare(n, store[n])
+                elif n in scope.vars:  # array allocated above
+                    store[n] = scope.vars[n]
+                else:
+                    sym = st.lookup(n)
+                    ftype = sym.type if sym else "real"
+                    box = FArray(np.zeros((), dtype=DTYPES.get(
+                        ftype, np.float64)), ())
+                    store[n] = box
+                    scope.declare(n, box)
+        # DATA statements
+        for spec in unit.specs:
+            if isinstance(spec, F.DataStmt):
+                for tgt, val in zip(spec.names, spec.values):
+                    v = self._eval_const(val, params)
+                    if isinstance(tgt, F.Var):
+                        scope.declare(tgt.name, v)
+        return scope
+
+    def _try_const(self, e: Optional[F.Expr], params) -> Optional[float]:
+        if e is None:
+            return None
+        from repro.analysis.expr import const_value
+
+        v = const_value(e)
+        if v is not None:
+            return v
+        if isinstance(e, F.Var) and e.name in params:
+            return params[e.name]
+        from repro.analysis.expr import linearize
+
+        le = linearize(e, {k: int(v) for k, v in params.items()
+                           if isinstance(v, (int,))})
+        if le is not None and le.is_constant:
+            return le.const
+        return None
+
+    def _eval_const(self, e: F.Expr, params) -> Any:
+        v = self._try_const(e, params)
+        if v is None:
+            raise InterpreterError("non-constant initializer")
+        return v
+
+    # ------------------------------------------------------------------
+    # statement execution
+
+    def exec_body(self, stmts: list[F.Stmt], scope: Scope,
+                  unit_name: str) -> None:
+        labels = {s.label: i for i, s in enumerate(stmts)
+                  if s.label is not None}
+        pc = 0
+        steps = 0
+        while pc < len(stmts):
+            steps += 1
+            if steps > 10_000_000:
+                raise InterpreterError("statement budget exceeded (livelock?)")
+            try:
+                self.exec_stmt(stmts[pc], scope, unit_name)
+            except _GotoSignal as g:
+                if g.label in labels:
+                    pc = labels[g.label]
+                    continue
+                raise
+            pc += 1
+
+    def exec_stmt(self, s: F.Stmt, scope: Scope, unit: str) -> None:
+        if isinstance(s, F.Assign):
+            self._assign(s.target, self.eval(s.value, scope, unit),
+                         scope, unit)
+            return
+        if isinstance(s, C.ParallelDo):
+            self._parallel_do(s, scope, unit)
+            return
+        if isinstance(s, F.DoLoop):
+            self._do_loop(s, scope, unit)
+            return
+        if isinstance(s, F.IfBlock):
+            for cond, body in s.arms:
+                if cond is None or self._truth(self.eval(cond, scope, unit)):
+                    self.exec_body(body, scope, unit)
+                    return
+            return
+        if isinstance(s, F.LogicalIf):
+            if self._truth(self.eval(s.cond, scope, unit)):
+                self.exec_stmt(s.stmt, scope, unit)
+            return
+        if isinstance(s, C.WhereStmt):
+            self._where(s, scope, unit)
+            return
+        if isinstance(s, F.Goto):
+            raise _GotoSignal(s.target)
+        if isinstance(s, F.ComputedGoto):
+            k = int(self.eval(s.index, scope, unit))
+            if 1 <= k <= len(s.targets):
+                raise _GotoSignal(s.targets[k - 1])
+            return
+        if isinstance(s, F.ContinueStmt):
+            return
+        if isinstance(s, F.CallStmt):
+            self._call_stmt(s, scope, unit)
+            return
+        if isinstance(s, F.ReturnStmt):
+            raise _ReturnSignal()
+        if isinstance(s, F.StopStmt):
+            raise _StopSignal(s.message)
+        if isinstance(s, F.PrintStmt):
+            self.outputs.append([self._scalarize(self.eval(i, scope, unit))
+                                 for i in s.items])
+            return
+        if isinstance(s, F.ReadStmt):
+            for item in s.items:
+                if not self.inputs:
+                    raise InterpreterError("input queue exhausted")
+                self._assign(item, self.inputs.pop(0), scope, unit)
+            return
+        if isinstance(s, (C.AwaitStmt, C.AdvanceStmt, C.LockStmt,
+                          C.UnlockStmt, C.PostWaitStmt)):
+            return  # synchronization: functional no-ops under simulation
+        if isinstance(s, (F.TypeDecl, F.DimensionStmt, F.CommonStmt,
+                          F.ParameterStmt, F.DataStmt, F.EquivalenceStmt,
+                          F.ImplicitStmt, F.ExternalStmt, F.IntrinsicStmt,
+                          F.SaveStmt, C.GlobalDecl, C.ClusterDecl,
+                          C.ProcessCommonStmt)):
+            return  # declarations in executable position: no-ops
+        raise InterpreterError(f"cannot execute {type(s).__name__}")
+
+    # -- loops -------------------------------------------------------------
+
+    def _loop_range(self, s, scope: Scope, unit: str) -> range:
+        lo = int(self.eval(s.start, scope, unit))
+        hi = int(self.eval(s.end, scope, unit))
+        step = int(self.eval(s.step, scope, unit)) if s.step is not None else 1
+        if step == 0:
+            raise InterpreterError("zero DO step")
+        return range(lo, hi + (1 if step > 0 else -1), step)
+
+    def _do_loop(self, s: F.DoLoop, scope: Scope, unit: str) -> None:
+        for v in self._loop_range(s, scope, unit):
+            scope.set(s.var, v)
+            self.exec_body(s.body, scope, unit)
+
+    def _parallel_do(self, s: C.ParallelDo, scope: Scope, unit: str) -> None:
+        iters = list(self._loop_range(s, scope, unit))
+        if s.order == "doacross":
+            # ordered loop: run iterations in order under one worker scope
+            # per iteration batch; cascade sync is a no-op sequentially
+            wscope = self._worker_scope(s, scope, unit)
+            self.exec_body(s.preamble, wscope, unit)
+            for v in iters:
+                wscope.set(s.var, v)
+                self.exec_body(s.body, wscope, unit)
+            self.exec_body(s.postamble, wscope, unit)
+            return
+        p = max(1, min(self.processors, len(iters) or 1))
+        for w in range(p):
+            mine = iters[w::p]
+            if not mine and not s.preamble and not s.postamble:
+                continue
+            wscope = self._worker_scope(s, scope, unit)
+            self.exec_body(s.preamble, wscope, unit)
+            for v in mine:
+                wscope.set(s.var, v)
+                self.exec_body(s.body, wscope, unit)
+            self.exec_body(s.postamble, wscope, unit)
+
+    def _worker_scope(self, s: C.ParallelDo, scope: Scope, unit: str) -> Scope:
+        w = Scope(parent=scope)
+        w.declare(s.var, 0)
+        for decl in s.locals_:
+            if isinstance(decl, F.TypeDecl):
+                for ent in decl.entities:
+                    if ent.dims:
+                        bounds = []
+                        for d in ent.dims:
+                            lo = (int(self.eval(d.lower, scope, unit))
+                                  if d.lower is not None else 1)
+                            if d.upper is None:
+                                raise InterpreterError(
+                                    f"assumed-size loop-local {ent.name!r}")
+                            hi = int(self.eval(d.upper, scope, unit))
+                            bounds.append((lo, hi))
+                        w.declare(ent.name,
+                                  FArray.zeros(decl.type.base, bounds))
+                    else:
+                        zero = 0 if decl.type.base == "integer" else 0.0
+                        w.declare(ent.name, zero)
+        return w
+
+    def _where(self, s: C.WhereStmt, scope: Scope, unit: str) -> None:
+        mask = np.asarray(self.eval(s.mask, scope, unit), dtype=bool)
+        for body, invert in ((s.body, False), (s.elsewhere, True)):
+            m = ~mask if invert else mask
+            for st in body:
+                if not isinstance(st, F.Assign):
+                    raise InterpreterError("WHERE bodies hold assignments only")
+                target_view = self._lvalue_view(st.target, scope, unit)
+                value = self.eval(st.value, scope, unit)
+                value = np.broadcast_to(np.asarray(value), target_view.shape)
+                target_view[m] = value[m]
+
+    # -- calls --------------------------------------------------------------
+
+    def _call_stmt(self, s: F.CallStmt, scope: Scope, unit: str) -> None:
+        if s.name in CEDAR_LIBRARY:
+            self._library_call(s, scope, unit)
+            return
+        if s.name in ("await", "advance", "lock", "unlock", "post", "wait"):
+            return
+        callee = self.units.get(s.name)
+        if callee is None:
+            raise InterpreterError(f"call to unknown routine {s.name!r}")
+        self._invoke(callee, s.args, scope, unit)
+
+    def _invoke(self, callee: F.ProgramUnit, actuals: list[F.Expr],
+                scope: Scope, unit: str) -> Any:
+        cscope = self._unit_scope(callee)
+        copy_back: list[tuple[str, F.Expr]] = []
+        for dummy, actual in zip(callee.args, actuals):
+            dsym = self.tables[callee.name].lookup(dummy)
+            if isinstance(actual, F.Var) and scope.has(actual.name):
+                v = scope.get(actual.name)
+                if isinstance(v, FArray):
+                    if dsym is not None and dsym.is_array:
+                        lowers = tuple(self._const_lower(b.lower)
+                                       for b in dsym.dims)
+                        reshaped = self._reshape_for_dummy(v, dsym, cscope)
+                        cscope.declare(dummy, reshaped)
+                    else:
+                        cscope.declare(dummy, v)
+                else:
+                    cscope.declare(dummy, v)
+                    copy_back.append((dummy, actual))
+            elif isinstance(actual, (F.ArrayRef, F.Apply)) and \
+                    not any(isinstance(x, F.RangeExpr) for x in
+                            (actual.subscripts if isinstance(actual, F.ArrayRef)
+                             else actual.args)):
+                v = self.eval(actual, scope, unit)
+                cscope.declare(dummy, v)
+                copy_back.append((dummy, actual))
+            else:
+                cscope.declare(dummy, self.eval(actual, scope, unit))
+        try:
+            self.exec_body(callee.body, cscope, callee.name)
+        except _ReturnSignal:
+            pass
+        for dummy, actual in copy_back:
+            self._assign(actual, cscope.get(dummy), scope, unit)
+        if isinstance(callee, F.Function):
+            return cscope.vars.get(callee.name)
+        return None
+
+    def _reshape_for_dummy(self, v: FArray, dsym, cscope: Scope) -> FArray:
+        """Handle rank/extent differences (sequence association)."""
+        dims = []
+        ok = True
+        for b in dsym.dims:
+            lo = self._const_lower(b.lower)
+            if b.upper is None:
+                ok = False
+                break
+            from repro.analysis.expr import const_value
+
+            hi = const_value(b.upper)
+            if hi is None:
+                hi_v = cscope.vars.get(getattr(b.upper, "name", None))
+                hi = int(hi_v) if hi_v is not None else None
+            if hi is None:
+                ok = False
+                break
+            dims.append((lo, int(hi)))
+        if not ok:
+            return v  # assumed-size or symbolic: share storage as-is
+        want_shape = tuple(hi - lo + 1 for lo, hi in dims)
+        if want_shape == v.data.shape:
+            return FArray(v.data, tuple(lo for lo, _ in dims))
+        if int(np.prod(want_shape)) <= v.data.size:
+            flat = v.data.reshape(-1, order="F")[: int(np.prod(want_shape))]
+            return FArray(flat.reshape(want_shape, order="F"),
+                          tuple(lo for lo, _ in dims))
+        raise InterpreterError("actual array smaller than dummy")
+
+    def _library_call(self, s: F.CallStmt, scope: Scope, unit: str) -> None:
+        if s.name == "ces_linrec":
+            x_view = self._lvalue_view(s.args[0], scope, unit)
+            b = np.asarray(self.eval(s.args[1], scope, unit), dtype=float)
+            c = np.asarray(self.eval(s.args[2], scope, unit), dtype=float)
+            # seed with the element before the section (x(lo-1)) when the
+            # recurrence starts past the array base; else 0
+            seed = 0.0
+            arr, lo = self._section_base(s.args[0], scope, unit)
+            if arr is not None and lo is not None and lo > arr.lowers[0]:
+                seed = float(arr.get((lo - 1,)))
+            acc = seed
+            out = np.empty_like(c)
+            for i in range(len(c)):
+                acc = acc * b[i] + c[i]
+                out[i] = acc
+            x_view[...] = out
+            return
+        raise InterpreterError(f"library routine {s.name!r} not callable "
+                               f"as a subroutine")
+
+    def _section_base(self, e: F.Expr, scope: Scope, unit: str):
+        if isinstance(e, F.ArrayRef) and len(e.subscripts) == 1 \
+                and isinstance(e.subscripts[0], F.RangeExpr):
+            arr = scope.get(e.name)
+            rng = e.subscripts[0]
+            lo = (int(self.eval(rng.lo, scope, unit))
+                  if rng.lo is not None else None)
+            if isinstance(arr, FArray):
+                return arr, lo
+        return None, None
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def eval(self, e: F.Expr, scope: Scope, unit: str) -> Any:
+        if isinstance(e, F.IntLit):
+            return e.value
+        if isinstance(e, F.RealLit):
+            return e.value
+        if isinstance(e, F.LogicalLit):
+            return e.value
+        if isinstance(e, F.StrLit):
+            return e.value
+        if isinstance(e, F.Var):
+            v = scope.get(e.name) if scope.has(e.name) else None
+            if v is None:
+                raise InterpreterError(f"undefined variable {e.name!r}")
+            if isinstance(v, FArray):
+                if v.data.ndim == 0:  # COMMON scalar box
+                    return v.data.item()
+                return v.data
+            return v
+        if isinstance(e, (F.ArrayRef, F.Apply)):
+            return self._ref_or_call(e, scope, unit)
+        if isinstance(e, F.FuncCall):
+            return self._func_call(e, scope, unit)
+        if isinstance(e, F.BinOp):
+            return self._binop(e, scope, unit)
+        if isinstance(e, F.UnOp):
+            v = self.eval(e.operand, scope, unit)
+            if e.op == "-":
+                return -v
+            if e.op == "+":
+                return v
+            if e.op == ".not.":
+                return ~np.asarray(v) if isinstance(v, np.ndarray) else not v
+        raise InterpreterError(f"cannot evaluate {type(e).__name__}")
+
+    def _ref_or_call(self, e, scope: Scope, unit: str):
+        subs = e.subscripts if isinstance(e, F.ArrayRef) else e.args
+        if scope.has(e.name):
+            v = scope.get(e.name)
+            if isinstance(v, FArray):
+                if any(isinstance(x, F.RangeExpr) for x in subs):
+                    return v.slice_of([self._spec(x, scope, unit)
+                                       for x in subs])
+                idx = tuple(int(self.eval(x, scope, unit)) for x in subs)
+                return v.get(idx)
+        # not an array: function call
+        return self._func_call(
+            F.FuncCall(e.name, list(subs),
+                       intrinsic=e.name in INTRINSICS), scope, unit)
+
+    def _spec(self, x: F.Expr, scope: Scope, unit: str):
+        if isinstance(x, F.RangeExpr):
+            lo = self.eval(x.lo, scope, unit) if x.lo is not None else None
+            hi = self.eval(x.hi, scope, unit) if x.hi is not None else None
+            st = (self.eval(x.stride, scope, unit)
+                  if x.stride is not None else None)
+            return (lo, hi, st)
+        return int(self.eval(x, scope, unit))
+
+    def _func_call(self, e: F.FuncCall, scope: Scope, unit: str):
+        if e.name in CEDAR_LIBRARY:
+            routine = CEDAR_LIBRARY[e.name]
+            args = [self.eval(a, scope, unit) for a in e.args]
+            return routine.fn(*args)
+        if e.name in self.units:
+            return self._invoke(self.units[e.name], e.args, scope, unit)
+        if e.name in INTRINSICS:
+            args = [self.eval(a, scope, unit) for a in e.args]
+            if any(isinstance(a, np.ndarray) for a in args):
+                fn = _NP_FUNCS.get(e.name)
+                if fn is None:
+                    raise InterpreterError(
+                        f"intrinsic {e.name!r} not vectorized")
+                return fn(*args)
+            return INTRINSICS[e.name].fn(*args)
+        raise InterpreterError(f"unknown function {e.name!r}")
+
+    def _binop(self, e: F.BinOp, scope: Scope, unit: str):
+        l = self.eval(e.left, scope, unit)
+        r = self.eval(e.right, scope, unit)
+        op = e.op
+        if op == "+":
+            return l + r
+        if op == "-":
+            return l - r
+        if op == "*":
+            return l * r
+        if op == "/":
+            if self._is_int(l) and self._is_int(r):
+                return np.trunc(np.divide(l, r)).astype(np.int64) \
+                    if isinstance(l, np.ndarray) or isinstance(r, np.ndarray) \
+                    else int(l / r)
+            return l / r
+        if op == "**":
+            return l ** r
+        if op == ".lt.":
+            return l < r
+        if op == ".le.":
+            return l <= r
+        if op == ".eq.":
+            return l == r
+        if op == ".ne.":
+            return l != r
+        if op == ".gt.":
+            return l > r
+        if op == ".ge.":
+            return l >= r
+        if op == ".and.":
+            return np.logical_and(l, r) if self._any_arr(l, r) else (l and r)
+        if op == ".or.":
+            return np.logical_or(l, r) if self._any_arr(l, r) else (l or r)
+        if op == ".eqv.":
+            return np.equal(l, r) if self._any_arr(l, r) else (bool(l) == bool(r))
+        if op == ".neqv.":
+            return np.not_equal(l, r) if self._any_arr(l, r) \
+                else (bool(l) != bool(r))
+        raise InterpreterError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _any_arr(*vs) -> bool:
+        return any(isinstance(v, np.ndarray) for v in vs)
+
+    @staticmethod
+    def _is_int(v) -> bool:
+        if isinstance(v, (bool, np.bool_)):
+            return False
+        if isinstance(v, (int, np.integer)):
+            return True
+        if isinstance(v, np.ndarray):
+            return np.issubdtype(v.dtype, np.integer)
+        return False
+
+    @staticmethod
+    def _truth(v) -> bool:
+        if isinstance(v, np.ndarray):
+            raise InterpreterError("array condition in scalar IF")
+        return bool(v)
+
+    @staticmethod
+    def _scalarize(v):
+        if isinstance(v, np.ndarray):
+            return v.copy()
+        return v
+
+    # ------------------------------------------------------------------
+    # assignment
+
+    def _lvalue_view(self, target: F.Expr, scope: Scope, unit: str):
+        if isinstance(target, F.Var):
+            v = scope.get(target.name)
+            if isinstance(v, FArray):
+                return v.data
+            raise InterpreterError("scalar has no view")
+        if isinstance(target, (F.ArrayRef, F.Apply)):
+            v = scope.get(target.name)
+            if not isinstance(v, FArray):
+                raise InterpreterError(f"{target.name!r} is not an array")
+            subs = (target.subscripts if isinstance(target, F.ArrayRef)
+                    else target.args)
+            return v.slice_of([self._spec(x, scope, unit) for x in subs])
+        raise InterpreterError("invalid assignment target")
+
+    def _assign(self, target: F.Expr, value: Any, scope: Scope,
+                unit: str) -> None:
+        if isinstance(target, F.Var):
+            cur = scope.get(target.name) if scope.has(target.name) else None
+            if isinstance(cur, FArray):
+                cur.data[...] = value
+                return
+            if isinstance(cur, (int, np.integer)) and not isinstance(
+                    cur, (bool, np.bool_)):
+                scope.set(target.name, int(np.trunc(value)))
+                return
+            if isinstance(value, np.ndarray):
+                raise InterpreterError(
+                    f"array value assigned to scalar {target.name!r}")
+            # type from implicit rules on first assignment
+            st = self.tables.get(unit)
+            sym = st.lookup(target.name) if st else None
+            if sym is not None and sym.type == "integer" and not isinstance(
+                    value, (bool, np.bool_)):
+                scope.set(target.name, int(np.trunc(value)))
+            elif sym is None and target.name[0] in "ijklmn" and not \
+                    isinstance(value, (bool, np.bool_)):
+                scope.set(target.name, int(np.trunc(value)))
+            else:
+                scope.set(target.name, value)
+            return
+        if isinstance(target, (F.ArrayRef, F.Apply)):
+            v = scope.get(target.name)
+            if not isinstance(v, FArray):
+                raise InterpreterError(f"{target.name!r} is not an array")
+            subs = (target.subscripts if isinstance(target, F.ArrayRef)
+                    else target.args)
+            if any(isinstance(x, F.RangeExpr) for x in subs):
+                view = v.slice_of([self._spec(x, scope, unit) for x in subs])
+                view[...] = value
+            else:
+                idx = tuple(int(self.eval(x, scope, unit)) for x in subs)
+                v.set(idx, value)
+            return
+        raise InterpreterError("invalid assignment target")

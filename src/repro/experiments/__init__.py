@@ -1,0 +1,42 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+- :mod:`repro.experiments.table1` — speedups of the automatically
+  restructured linear-algebra routines (Table 1);
+- :mod:`repro.experiments.table2` — Perfect Benchmarks proxies, automatic
+  vs manually-improved, on the Alliant FX/80 and Cedar (Table 2);
+- :mod:`repro.experiments.fig6_prefetch` — compiler-inserted prefetch in
+  CG and TRFD (Figure 6);
+- :mod:`repro.experiments.fig7_privatization` — privatization vs global
+  expansion in MDG's major loop (Figure 7);
+- :mod:`repro.experiments.fig8_partitioning` — global placement vs data
+  partitioning in CG across 1-4 clusters (Figure 8);
+- :mod:`repro.experiments.fig9_fusion` — inner-parallel vs outer-parallel
+  vs fused FLO52 (Figure 9).
+
+Every driver returns a :class:`repro.experiments.report.Table` carrying
+paper values next to measured values; ``python -m repro.experiments``
+prints them all.
+"""
+
+from repro.experiments.report import Table
+from repro.experiments import (
+    fig6_prefetch,
+    fig7_privatization,
+    fig8_partitioning,
+    fig9_fusion,
+    qcd_ablation,
+    table1,
+    table2,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig6": fig6_prefetch.run,
+    "fig7": fig7_privatization.run,
+    "fig8": fig8_partitioning.run,
+    "fig9": fig9_fusion.run,
+    "qcd": qcd_ablation.run,
+}
+
+__all__ = ["Table", "ALL_EXPERIMENTS"]

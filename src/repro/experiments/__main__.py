@@ -1,0 +1,37 @@
+"""Run every experiment and print the tables: ``python -m repro.experiments``.
+
+``--quick`` shrinks data sizes for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures")
+    ap.add_argument("names", nargs="*",
+                    help=f"experiments to run (default: all of "
+                         f"{', '.join(ALL_EXPERIMENTS)})")
+    ap.add_argument("--quick", action="store_true",
+                    help="small data sizes (smoke run)")
+    args = ap.parse_args(argv)
+
+    names = args.names or list(ALL_EXPERIMENTS)
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        table = ALL_EXPERIMENTS[name](quick=args.quick)
+        print(table.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Shared machinery for the experiment drivers.
+
+``estimate_pair`` runs one workload through the restructurer and the
+performance estimator twice — the serial/scalar original and the
+restructured parallel program — and reports the speedup, which is what
+every table and figure of the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.execmodel.perf import PerfEstimator, PerfResult
+from repro.fortran import ast_nodes as F
+from repro.fortran.parser import parse_program
+from repro.machine.config import MachineConfig
+from repro.restructurer.options import RestructurerOptions
+from repro.restructurer.pipeline import Restructurer
+
+
+@dataclass
+class SpeedupResult:
+    """Serial vs restructured timing of one workload on one machine."""
+
+    serial: PerfResult
+    parallel: PerfResult
+    report: object
+
+    @property
+    def speedup(self) -> float:
+        return self.serial.total / max(self.parallel.total, 1e-9)
+
+
+def serial_estimate(source: str, entry: str,
+                    bindings: Mapping[str, float],
+                    machine: MachineConfig,
+                    placements: Mapping[str, str] | None = None) -> PerfResult:
+    """Estimate the original serial/scalar program (data in cluster
+    memory — the paper's baseline)."""
+    sf = parse_program(source)
+    est = PerfEstimator(sf, machine, prefetch=False, placements=placements,
+                        serial_data_placement="cluster")
+    return est.estimate(entry, bindings)
+
+
+def restructured_estimate(source: str, entry: str,
+                          bindings: Mapping[str, float],
+                          machine: MachineConfig,
+                          options: RestructurerOptions | None = None,
+                          prefetch: bool = True,
+                          placements: Mapping[str, str] | None = None,
+                          ) -> tuple[PerfResult, F.SourceFile, object]:
+    """Restructure then estimate; returns (result, cedar AST, report)."""
+    sf = parse_program(source)
+    opts = options or RestructurerOptions()
+    cedar, report = Restructurer(opts).run(sf)
+    est = PerfEstimator(cedar, machine, prefetch=prefetch,
+                        placements=placements)
+    return est.estimate(entry, bindings), cedar, report
+
+
+def estimate_pair(source: str, entry: str,
+                  bindings: Mapping[str, float],
+                  machine: MachineConfig,
+                  options: RestructurerOptions | None = None,
+                  prefetch: bool = True,
+                  placements: Mapping[str, str] | None = None) -> SpeedupResult:
+    """Serial + restructured estimates and their speedup."""
+    ser = serial_estimate(source, entry, bindings, machine)
+    par, _, report = restructured_estimate(
+        source, entry, bindings, machine, options, prefetch, placements)
+    return SpeedupResult(serial=ser, parallel=par, report=report)
+
+
+def scale_bindings(bindings: Mapping[str, float], n: int,
+                   size_keys: tuple[str, ...]) -> dict[str, float]:
+    """Override the size symbols of a bindings dict (for sweeps)."""
+    out = dict(bindings)
+    for k in size_keys:
+        if k in out:
+            out[k] = n
+    return out

@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Table:
+    """One experiment's output: a titled grid of rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        i = self.columns.index(name)
+        return [r[i] for r in self.rows]
+
+    def row(self, key: Any) -> list[Any]:
+        for r in self.rows:
+            if r[0] == key:
+                return r
+        raise KeyError(key)
+
+    def cell(self, key: Any, column: str):
+        return self.row(key)[self.columns.index(column)]
+
+    def render(self) -> str:
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                if v >= 100:
+                    return f"{v:.0f}"
+                if v >= 10:
+                    return f"{v:.1f}"
+                return f"{v:.2f}"
+            return str(v)
+
+        grid = [self.columns] + [[fmt(v) for v in r] for r in self.rows]
+        widths = [max(len(row[i]) for row in grid)
+                  for i in range(len(self.columns))]
+        lines = [self.title, "=" * len(self.title)]
+        for j, row in enumerate(grid):
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            if j == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        for n in self.notes:
+            lines.append(f"note: {n}")
+        return "\n".join(lines)

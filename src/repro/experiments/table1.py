@@ -1,0 +1,53 @@
+"""Table 1: speedups of automatically restructured linear-algebra routines
+on Configuration 1 of the 32-processor Cedar.
+
+Speedup = serial (scalar, data in one cluster's memory) time divided by
+the automatically parallelized Cedar version's time, at the paper's data
+sizes.  mprove's outlier comes from the serial version thrashing (its two
+1000×1000 matrices exceed one cluster's physical memory) while the
+parallel version's data fits in global memory.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import estimate_pair
+from repro.experiments.report import Table
+from repro.machine.config import cedar_config1
+from repro.restructurer.options import RestructurerOptions
+from repro.workloads.linalg import LINALG_ROUTINES
+
+#: paper column (routine → (size, speedup))
+PAPER = {
+    "cg": (400, 163.0),
+    "ludcmp": (1000, 9.2),
+    "lubksb": (1000, 6.8),
+    "sparse": (800, 29.0),
+    "gaussj": (600, 10.0),
+    "svbksb": (200, 32.0),
+    "svdcmp": (200, 7.2),
+    "mprove": (1000, 1079.0),
+    "toeplz": (800, 1.3),
+    "tridag": (800, 2.1),
+}
+
+
+def run(quick: bool = False) -> Table:
+    """Regenerate Table 1.  ``quick`` shrinks sizes (for smoke tests)."""
+    machine = cedar_config1()
+    options = RestructurerOptions.automatic()
+    t = Table(
+        title="Table 1: speedups of automatically restructured linear "
+              "algebra routines (Cedar Configuration 1)",
+        columns=["routine", "size", "paper speedup", "measured speedup"],
+    )
+    for name, (size, paper) in PAPER.items():
+        r = LINALG_ROUTINES[name]
+        n = max(16, size // 8) if quick else size
+        res = estimate_pair(r.source, r.entry, r.bindings(n),
+                            machine, options)
+        t.add(name, n, paper, res.speedup)
+    return t
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,27 @@
+"""Fortran 77 front end: fixed-form lexer, parser, AST, symbol tables, unparser.
+
+The front end accepts the Fortran 77 subset used by the paper's workloads,
+extended with the Fortran 90 vector (array-section) operations that the Cedar
+restructurer accepted on input (see paper §3.1).
+
+Public entry points::
+
+    from repro.fortran import parse_program, unparse
+    unit_file = parse_program(source_text)
+    text = unparse(unit_file)
+"""
+
+from repro.fortran.lexer import Lexer, lex_source
+from repro.fortran.parser import Parser, parse_program
+from repro.fortran.unparse import unparse
+from repro.fortran.symtab import SymbolTable, build_symbol_table
+
+__all__ = [
+    "Lexer",
+    "lex_source",
+    "Parser",
+    "parse_program",
+    "unparse",
+    "SymbolTable",
+    "build_symbol_table",
+]

@@ -1,0 +1,494 @@
+"""AST node definitions for the Fortran 77 front end.
+
+Nodes are plain dataclasses.  Child traversal is generic: any field whose
+value is a ``Node`` or a list of ``Node`` is a child.  Two traversal helpers
+are provided: :class:`Visitor` (read-only, dispatches on class name) and
+:class:`Transformer` (rebuilds, a method may return a replacement node, a
+list of nodes for statement positions, or ``None`` to keep recursing).
+
+Expression nodes produced by the *parser* use :class:`Apply` for any
+``name(...)`` form; :func:`repro.fortran.symtab.build_symbol_table` resolves
+these into :class:`ArrayRef` or :class:`FuncCall` once declarations are known.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+# ---------------------------------------------------------------------------
+# base machinery
+# ---------------------------------------------------------------------------
+
+def _iter_nodes(value: Any) -> Iterator["Node"]:
+    """Yield Nodes inside arbitrarily nested lists/tuples."""
+    if isinstance(value, Node):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _iter_nodes(item)
+
+
+def _clone_value(value: Any) -> Any:
+    """Deep-copy Nodes inside arbitrarily nested lists/tuples."""
+    if isinstance(value, Node):
+        return value.clone()
+    if isinstance(value, list):
+        return [_clone_value(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_clone_value(v) for v in value)
+    return value
+
+
+@dataclass
+class Node:
+    """Base class of all AST nodes."""
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (descending into nested lists/tuples,
+        e.g. IfBlock's (condition, body) arms)."""
+        for f in dataclasses.fields(self):
+            yield from _iter_nodes(getattr(self, f.name))
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+    def clone(self) -> "Node":
+        """Deep copy of the subtree (including nested list/tuple fields)."""
+        kwargs: dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            kwargs[f.name] = _clone_value(getattr(self, f.name))
+        return type(self)(**kwargs)
+
+
+class Visitor:
+    """Read-only traversal with per-class dispatch (``visit_<ClassName>``)."""
+
+    def visit(self, node: Node) -> Any:
+        method = getattr(self, "visit_" + type(node).__name__, None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: Node) -> Any:
+        for c in node.children():
+            self.visit(c)
+        return None
+
+
+class Transformer:
+    """Rebuilding traversal.
+
+    ``visit_<ClassName>`` may return:
+
+    - a Node — replaces the original;
+    - a list of Nodes — splices in statement-list positions;
+    - ``None`` — keep the node and transform its children.
+    """
+
+    def visit(self, node: Node) -> Node | list[Node]:
+        method = getattr(self, "visit_" + type(node).__name__, None)
+        if method is not None:
+            result = method(node)
+            if result is not None:
+                return result
+        return self.generic_transform(node)
+
+    def generic_transform(self, node: Node) -> Node:
+        for f in dataclasses.fields(node):
+            setattr(node, f.name, self._transform_value(getattr(node, f.name),
+                                                        f.name))
+        return node
+
+    def _transform_value(self, v: Any, field_name: str) -> Any:
+        if isinstance(v, Node):
+            new = self.visit(v)
+            if isinstance(new, list):
+                raise TypeError(
+                    f"cannot splice a statement list into field {field_name!r}")
+            return new
+        if isinstance(v, list):
+            out: list[Any] = []
+            for item in v:
+                if isinstance(item, Node):
+                    new = self.visit(item)
+                    if isinstance(new, list):
+                        out.extend(new)
+                    else:
+                        out.append(new)
+                elif isinstance(item, (list, tuple)):
+                    out.append(self._transform_value(item, field_name))
+                else:
+                    out.append(item)
+            return out
+        if isinstance(v, tuple):
+            return tuple(self._transform_value(item, field_name)
+                         if isinstance(item, (Node, list, tuple)) else item
+                         for item in v)
+        return v
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    """Base class of expression nodes."""
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class RealLit(Expr):
+    value: float
+    double: bool = False
+
+    def text(self) -> str:
+        s = repr(self.value)
+        if self.double:
+            s = s.replace("e", "d")
+            if "d" not in s:
+                s += "d0"
+        return s
+
+
+@dataclass
+class LogicalLit(Expr):
+    value: bool
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+
+@dataclass
+class Var(Expr):
+    """A scalar variable reference (or whole-array reference in calls)."""
+    name: str
+
+
+@dataclass
+class RangeExpr(Expr):
+    """An array-section subscript ``lo:hi[:stride]`` (Fortran 90 subset).
+
+    ``lo``/``hi`` of ``None`` mean the array's declared bound.
+    """
+    lo: Optional[Expr]
+    hi: Optional[Expr]
+    stride: Optional[Expr] = None
+
+
+@dataclass
+class Apply(Expr):
+    """Unresolved ``name(args)`` — array reference or function call."""
+    name: str
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ArrayRef(Expr):
+    """A subscripted array reference; subscripts may be RangeExpr sections."""
+    name: str
+    subscripts: list[Expr] = field(default_factory=list)
+
+    def is_section(self) -> bool:
+        return any(isinstance(s, RangeExpr) for s in self.subscripts)
+
+
+@dataclass
+class FuncCall(Expr):
+    name: str
+    args: list[Expr] = field(default_factory=list)
+    intrinsic: bool = False
+
+
+@dataclass
+class BinOp(Expr):
+    op: str  # '+', '-', '*', '/', '**', '//', '.and.', '.or.', relationals
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    op: str  # '-', '+', '.not.'
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# type specifications
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TypeSpec(Node):
+    """A Fortran type: integer, real, doubleprecision, logical, character."""
+    base: str
+    char_len: Optional[Expr] = None  # for character*N
+
+    def __str__(self) -> str:
+        if self.base == "character" and self.char_len is not None:
+            return f"character*{unparse_len(self.char_len)}"
+        return self.base
+
+
+def unparse_len(e: Expr) -> str:
+    if isinstance(e, IntLit):
+        return str(e.value)
+    return "(*)"
+
+
+@dataclass
+class DimSpec(Node):
+    """One array dimension: ``lower:upper`` (lower defaults to 1).
+
+    ``upper`` of ``None`` encodes an assumed-size ``*`` bound.
+    """
+    lower: Optional[Expr]
+    upper: Optional[Expr]
+
+
+@dataclass
+class EntityDecl(Node):
+    """One declared entity within a type/DIMENSION statement."""
+    name: str
+    dims: list[DimSpec] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# specification statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    """Base class of statements; ``label`` is the numeric statement label."""
+    label: Optional[int] = field(default=None, kw_only=True)
+    line: Optional[int] = field(default=None, kw_only=True)
+
+
+@dataclass
+class TypeDecl(Stmt):
+    type: TypeSpec = None  # type: ignore[assignment]
+    entities: list[EntityDecl] = field(default_factory=list)
+
+
+@dataclass
+class DimensionStmt(Stmt):
+    entities: list[EntityDecl] = field(default_factory=list)
+
+
+@dataclass
+class CommonStmt(Stmt):
+    """``COMMON /name/ a, b(10), ...`` — blank common has name ''. """
+    block: str = ""
+    entities: list[EntityDecl] = field(default_factory=list)
+
+
+@dataclass
+class ParameterStmt(Stmt):
+    """``PARAMETER (name = const-expr, ...)``."""
+    defs: list[tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class DataStmt(Stmt):
+    """``DATA var-list / value-list /`` (flat subset)."""
+    names: list[Expr] = field(default_factory=list)
+    values: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class EquivalenceStmt(Stmt):
+    groups: list[list[Expr]] = field(default_factory=list)
+
+
+@dataclass
+class ImplicitStmt(Stmt):
+    """Only ``IMPLICIT NONE`` is modelled; default implicit rules otherwise."""
+    none: bool = True
+
+
+@dataclass
+class ExternalStmt(Stmt):
+    names: list[str] = field(default_factory=list)
+
+
+@dataclass
+class IntrinsicStmt(Stmt):
+    names: list[str] = field(default_factory=list)
+
+
+@dataclass
+class SaveStmt(Stmt):
+    names: list[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# executable statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None  # type: ignore[assignment]  # Var | ArrayRef
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoLoop(Stmt):
+    """A sequential DO loop (``do_label`` is the terminal label, if labeled)."""
+    var: str = ""
+    start: Expr = None  # type: ignore[assignment]
+    end: Expr = None  # type: ignore[assignment]
+    step: Optional[Expr] = None
+    body: list[Stmt] = field(default_factory=list)
+    do_label: Optional[int] = None
+
+
+@dataclass
+class IfBlock(Stmt):
+    """Block IF: ``if (c) then ... [else if ...] [else ...] end if``.
+
+    ``arms`` is a list of (condition, body); the final arm's condition is
+    ``None`` for ELSE.
+    """
+    arms: list[tuple[Optional[Expr], list[Stmt]]] = field(default_factory=list)
+
+
+@dataclass
+class LogicalIf(Stmt):
+    """One-statement logical IF: ``if (c) stmt``."""
+    cond: Expr = None  # type: ignore[assignment]
+    stmt: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Goto(Stmt):
+    target: int = 0
+
+
+@dataclass
+class ComputedGoto(Stmt):
+    targets: list[int] = field(default_factory=list)
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class CallStmt(Stmt):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    pass
+
+
+@dataclass
+class StopStmt(Stmt):
+    message: Optional[str] = None
+
+
+@dataclass
+class PrintStmt(Stmt):
+    """``print *, items`` / ``write(*,*) items`` — modelled as list output."""
+    items: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ReadStmt(Stmt):
+    """``read *, items`` — consumes from the interpreter's input queue."""
+    items: list[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# program units
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ProgramUnit(Node):
+    name: str = ""
+    args: list[str] = field(default_factory=list)
+    specs: list[Stmt] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class MainProgram(ProgramUnit):
+    @property
+    def kind(self) -> str:
+        return "program"
+
+
+@dataclass
+class Subroutine(ProgramUnit):
+    @property
+    def kind(self) -> str:
+        return "subroutine"
+
+
+@dataclass
+class Function(ProgramUnit):
+    result_type: Optional[TypeSpec] = None
+
+    @property
+    def kind(self) -> str:
+        return "function"
+
+
+@dataclass
+class SourceFile(Node):
+    """A whole source file: one or more program units."""
+    units: list[ProgramUnit] = field(default_factory=list)
+
+    def unit(self, name: str) -> ProgramUnit:
+        for u in self.units:
+            if u.name == name:
+                return u
+        raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# small helpers used across the package
+# ---------------------------------------------------------------------------
+
+def intlit(v: int) -> IntLit:
+    return IntLit(int(v))
+
+
+def one() -> IntLit:
+    return IntLit(1)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def is_const_int(e: Expr, value: int | None = None) -> bool:
+    """True if ``e`` is an integer literal (optionally equal to ``value``)."""
+    if not isinstance(e, IntLit):
+        return False
+    return value is None or e.value == value
+
+
+def stmts_walk(stmts: list[Stmt]) -> Iterator[Node]:
+    """Walk every node under a statement list."""
+    for s in stmts:
+        yield from s.walk()

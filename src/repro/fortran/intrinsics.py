@@ -1,0 +1,123 @@
+"""Catalogue of the Fortran 77 intrinsic functions the front end knows.
+
+Each entry records the Python callable used by the functional interpreter
+and a nominal cost class used by the performance model ('cheap' ≈ an ALU
+op, 'func' ≈ a short libm routine, 'heavy' ≈ divide/sqrt class latency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    name: str
+    arity: tuple[int, int]  # (min, max) argument count; max -1 = unbounded
+    fn: Callable
+    cost_class: str = "func"
+    reduction: bool = False  # True for vector reductions (sum, dotproduct)
+
+
+def _fmin(*xs):
+    return min(xs)
+
+
+def _fmax(*xs):
+    return max(xs)
+
+
+def _sign(a, b):
+    mag = abs(a)
+    return mag if b >= 0 else -mag
+
+
+def _dim(a, b):
+    return a - b if a > b else type(a)(0)
+
+
+def _mod(a, b):
+    # Fortran MOD truncates toward zero, unlike Python's %.
+    return a - int(a / b) * b if isinstance(a, (int, np.integer)) else math.fmod(a, b)
+
+
+def _nint(x):
+    return int(math.floor(x + 0.5)) if x >= 0 else -int(math.floor(-x + 0.5))
+
+
+INTRINSICS: dict[str, Intrinsic] = {}
+
+
+def _reg(name: str, arity, fn, cost_class="func", reduction=False) -> None:
+    INTRINSICS[name] = Intrinsic(name, arity, fn, cost_class, reduction)
+
+
+# numeric conversion / simple
+_reg("abs", (1, 1), abs, "cheap")
+_reg("iabs", (1, 1), abs, "cheap")
+_reg("dabs", (1, 1), abs, "cheap")
+_reg("int", (1, 1), int, "cheap")
+_reg("ifix", (1, 1), int, "cheap")
+_reg("idint", (1, 1), int, "cheap")
+_reg("float", (1, 1), float, "cheap")
+_reg("real", (1, 1), float, "cheap")
+_reg("dble", (1, 1), float, "cheap")
+_reg("sngl", (1, 1), float, "cheap")
+_reg("nint", (1, 1), _nint, "cheap")
+_reg("sign", (2, 2), _sign, "cheap")
+_reg("isign", (2, 2), _sign, "cheap")
+_reg("dim", (2, 2), _dim, "cheap")
+_reg("mod", (2, 2), _mod, "cheap")
+_reg("amod", (2, 2), _mod, "cheap")
+_reg("dmod", (2, 2), _mod, "cheap")
+_reg("max", (2, -1), _fmax, "cheap")
+_reg("max0", (2, -1), _fmax, "cheap")
+_reg("amax1", (2, -1), _fmax, "cheap")
+_reg("dmax1", (2, -1), _fmax, "cheap")
+_reg("min", (2, -1), _fmin, "cheap")
+_reg("min0", (2, -1), _fmin, "cheap")
+_reg("amin1", (2, -1), _fmin, "cheap")
+_reg("dmin1", (2, -1), _fmin, "cheap")
+
+# math
+_reg("sqrt", (1, 1), math.sqrt, "heavy")
+_reg("dsqrt", (1, 1), math.sqrt, "heavy")
+_reg("exp", (1, 1), math.exp)
+_reg("dexp", (1, 1), math.exp)
+_reg("log", (1, 1), math.log)
+_reg("alog", (1, 1), math.log)
+_reg("dlog", (1, 1), math.log)
+_reg("log10", (1, 1), math.log10)
+_reg("alog10", (1, 1), math.log10)
+_reg("sin", (1, 1), math.sin)
+_reg("dsin", (1, 1), math.sin)
+_reg("cos", (1, 1), math.cos)
+_reg("dcos", (1, 1), math.cos)
+_reg("tan", (1, 1), math.tan)
+_reg("atan", (1, 1), math.atan)
+_reg("datan", (1, 1), math.atan)
+_reg("atan2", (2, 2), math.atan2)
+_reg("datan2", (2, 2), math.atan2)
+_reg("asin", (1, 1), math.asin)
+_reg("acos", (1, 1), math.acos)
+_reg("sinh", (1, 1), math.sinh)
+_reg("cosh", (1, 1), math.cosh)
+_reg("tanh", (1, 1), math.tanh)
+
+# Fortran 90 vector reductions accepted on restructurer input (paper §2.1)
+_reg("sum", (1, 1), np.sum, "func", reduction=True)
+_reg("dotproduct", (2, 2), np.dot, "func", reduction=True)
+_reg("maxval", (1, 1), np.max, "func", reduction=True)
+_reg("minval", (1, 1), np.min, "func", reduction=True)
+
+
+def is_intrinsic(name: str) -> bool:
+    return name in INTRINSICS
+
+
+def intrinsic(name: str) -> Intrinsic:
+    return INTRINSICS[name]

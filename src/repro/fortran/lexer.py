@@ -1,0 +1,259 @@
+"""Fixed-form Fortran 77 lexer.
+
+Handles the fixed-form card layout:
+
+- column 1 ``c``, ``C`` or ``*`` (or a blank line) marks a comment card;
+- columns 1-5 hold an optional numeric statement label;
+- a non-blank, non-zero character in column 6 marks a continuation card;
+- the statement body occupies columns 7-72 (text past 72 is ignored);
+- ``!`` starts a trailing comment (common extension, honoured outside
+  character literals).
+
+The lexer is *space-tolerant* rather than fully space-insensitive: it
+requires the conventional spelling ``do 10 i = 1, n`` (as produced by every
+tool of the era) rather than the pathological ``DO10I=1,N``.  Identifiers and
+keywords are lower-cased; Fortran has no reserved words, so keyword
+recognition is the parser's job.
+
+Each logical statement is terminated by a ``NEWLINE`` token; a ``LABEL``
+token (if any) leads the statement.  The token stream ends with ``EOF``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.fortran.tokens import (
+    DOT_CONSTANTS,
+    DOT_OPERATORS,
+    SYMBOL_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+_COMMENT_CHARS = {"c", "C", "*", "!"}
+
+
+def _is_comment_card(line: str) -> bool:
+    if not line.strip():
+        return True
+    return line[0] in _COMMENT_CHARS
+
+
+class _LogicalLine:
+    """A logical statement: label, body text, and source line of each char."""
+
+    __slots__ = ("label", "text", "lines", "cols", "first_line")
+
+    def __init__(self, label: str | None, first_line: int):
+        self.label = label
+        self.text: list[str] = []
+        self.lines: list[int] = []
+        self.cols: list[int] = []
+        self.first_line = first_line
+
+    def extend(self, body: str, lineno: int, col0: int) -> None:
+        for i, ch in enumerate(body):
+            self.text.append(ch)
+            self.lines.append(lineno)
+            self.cols.append(col0 + i)
+
+
+def _split_logical_lines(source: str) -> list[_LogicalLine]:
+    """Assemble physical cards into logical statements."""
+    logical: list[_LogicalLine] = []
+    current: _LogicalLine | None = None
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if _is_comment_card(line):
+            continue
+        # Fixed-form significance ends at column 72.
+        line = line[:72]
+        label_field = line[:5]
+        cont_field = line[5:6]
+        body = line[6:]
+        is_continuation = (
+            cont_field.strip() not in ("", "0") and not label_field.strip()
+        )
+        if is_continuation:
+            if current is None:
+                raise LexError("continuation card with no statement to continue",
+                               line=lineno)
+            current.extend(body, lineno, 7)
+            continue
+        # New statement card.
+        if current is not None:
+            logical.append(current)
+        label = label_field.strip() or None
+        if label is not None and not label.isdigit():
+            raise LexError(f"malformed statement label {label!r}", line=lineno)
+        current = _LogicalLine(label, lineno)
+        current.extend(body, lineno, 7)
+    if current is not None:
+        logical.append(current)
+    return logical
+
+
+class Lexer:
+    """Tokenizes one logical statement at a time."""
+
+    def __init__(self, source: str):
+        self._logical = _split_logical_lines(source)
+
+    def tokens(self) -> list[Token]:
+        """Lex the whole source into a flat token list."""
+        out: list[Token] = []
+        for ll in self._logical:
+            out.extend(self._lex_logical(ll))
+        out.append(Token(TokenKind.EOF, "", 0, 0))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _lex_logical(self, ll: _LogicalLine) -> list[Token]:
+        toks: list[Token] = []
+        if ll.label is not None:
+            toks.append(Token(TokenKind.LABEL, str(int(ll.label)), ll.first_line, 1))
+        text = "".join(ll.text)
+        n = len(text)
+        i = 0
+
+        def loc(j: int) -> tuple[int, int]:
+            j = min(j, n - 1) if n else 0
+            if not ll.lines:
+                return ll.first_line, 7
+            return ll.lines[j], ll.cols[j]
+
+        while i < n:
+            ch = text[i]
+            if ch in " \t":
+                i += 1
+                continue
+            if ch == "!":
+                break  # trailing comment
+            line, col = loc(i)
+            if ch == "'":
+                j = i + 1
+                buf = []
+                while True:
+                    if j >= n:
+                        raise LexError("unterminated character literal", line, col)
+                    if text[j] == "'":
+                        if j + 1 < n and text[j + 1] == "'":
+                            buf.append("'")
+                            j += 2
+                            continue
+                        break
+                    buf.append(text[j])
+                    j += 1
+                toks.append(Token(TokenKind.STRING, "".join(buf), line, col))
+                i = j + 1
+                continue
+            if ch == ".":
+                low = text[i:i + 8].lower()
+                matched = False
+                for op in DOT_OPERATORS:
+                    if low.startswith(op):
+                        toks.append(Token(TokenKind.OP, op, line, col))
+                        i += len(op)
+                        matched = True
+                        break
+                if matched:
+                    continue
+                for const in DOT_CONSTANTS:
+                    if low.startswith(const):
+                        toks.append(Token(TokenKind.LOGICAL, const, line, col))
+                        i += len(const)
+                        matched = True
+                        break
+                if matched:
+                    continue
+                if i + 1 < n and (text[i + 1].isdigit()):
+                    tok, i = self._lex_number(text, i, line, col)
+                    toks.append(tok)
+                    continue
+                raise LexError(f"unexpected '.' sequence {text[i:i+6]!r}", line, col)
+            if ch.isdigit():
+                tok, i = self._lex_number(text, i, line, col)
+                toks.append(tok)
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                toks.append(Token(TokenKind.IDENT, text[i:j].lower(), line, col))
+                i = j
+                continue
+            if ch == "(":
+                toks.append(Token(TokenKind.LPAREN, "(", line, col))
+                i += 1
+                continue
+            if ch == ")":
+                toks.append(Token(TokenKind.RPAREN, ")", line, col))
+                i += 1
+                continue
+            if ch == ",":
+                toks.append(Token(TokenKind.COMMA, ",", line, col))
+                i += 1
+                continue
+            if ch == ":":
+                toks.append(Token(TokenKind.COLON, ":", line, col))
+                i += 1
+                continue
+            if ch == "=":
+                toks.append(Token(TokenKind.EQUALS, "=", line, col))
+                i += 1
+                continue
+            matched = False
+            for op in SYMBOL_OPERATORS:
+                if text.startswith(op, i):
+                    toks.append(Token(TokenKind.OP, op, line, col))
+                    i += len(op)
+                    matched = True
+                    break
+            if matched:
+                continue
+            raise LexError(f"unexpected character {ch!r}", line, col)
+        line = ll.lines[-1] if ll.lines else ll.first_line
+        toks.append(Token(TokenKind.NEWLINE, "", line, 73))
+        return toks
+
+    @staticmethod
+    def _lex_number(text: str, i: int, line: int, col: int) -> tuple[Token, int]:
+        """Lex an integer, real, or double literal starting at ``i``."""
+        n = len(text)
+        j = i
+        while j < n and text[j].isdigit():
+            j += 1
+        is_real = False
+        is_double = False
+        if j < n and text[j] == ".":
+            # Guard: "1.eq.2" — the dot belongs to the operator, not the number.
+            low = text[j:j + 8].lower()
+            if not any(low.startswith(op) for op in DOT_OPERATORS):
+                is_real = True
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+        if j < n and text[j].lower() in ("e", "d"):
+            k = j + 1
+            if k < n and text[k] in "+-":
+                k += 1
+            if k < n and text[k].isdigit():
+                is_double = text[j].lower() == "d"
+                is_real = is_real or not is_double
+                j = k
+                while j < n and text[j].isdigit():
+                    j += 1
+        value = text[i:j].lower()
+        if is_double:
+            kind = TokenKind.DOUBLE
+        elif is_real:
+            kind = TokenKind.REAL
+        else:
+            kind = TokenKind.INT
+        return Token(kind, value, line, col), j
+
+
+def lex_source(source: str) -> list[Token]:
+    """Convenience: lex ``source`` into a token list (ending with EOF)."""
+    return Lexer(source).tokens()

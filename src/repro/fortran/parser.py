@@ -1,0 +1,754 @@
+"""Recursive-descent parser for the Fortran 77 subset.
+
+Statements are parsed one logical line at a time; block structure (labeled
+DO termination, DO/END DO, block IF) is reconstructed with an explicit frame
+stack, which naturally supports several nested DO loops sharing one terminal
+label (``do 100 i`` / ``do 100 j`` / ``100 continue``).
+
+The parser produces :class:`repro.fortran.ast_nodes.SourceFile`; any
+``name(...)`` form in an expression becomes the unresolved :class:`Apply`
+node, later resolved against the symbol table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.fortran import ast_nodes as F
+from repro.fortran.lexer import lex_source
+from repro.fortran.tokens import Token, TokenKind
+
+_TYPE_KEYWORDS = {"integer", "real", "logical", "character", "doubleprecision"}
+
+_RELATIONAL = {".lt.", ".le.", ".eq.", ".ne.", ".gt.", ".ge."}
+
+
+class _StmtTokens:
+    """Cursor over the tokens of one logical statement."""
+
+    def __init__(self, toks: list[Token]):
+        self.toks = toks
+        self.pos = 0
+
+    # -- cursor primitives -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        i = self.pos + offset
+        if i < len(self.toks):
+            return self.toks[i]
+        last = self.toks[-1] if self.toks else Token(TokenKind.NEWLINE, "", 0, 0)
+        return Token(TokenKind.NEWLINE, "", last.line, last.col)
+
+    def next(self) -> Token:
+        t = self.peek()
+        self.pos += 1
+        return t
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.toks)
+
+    def expect(self, kind: TokenKind, value: str | None = None) -> Token:
+        t = self.peek()
+        if t.kind is not kind or (value is not None and t.value != value):
+            want = value or kind.name
+            raise ParseError(f"expected {want}, found {t.value!r}", t.line, t.col)
+        return self.next()
+
+    def expect_ident(self, *names: str) -> Token:
+        t = self.peek()
+        if t.kind is not TokenKind.IDENT or (names and t.value not in names):
+            raise ParseError(
+                f"expected identifier {'/'.join(names) or ''}, found {t.value!r}",
+                t.line, t.col)
+        return self.next()
+
+    def accept_ident(self, *names: str) -> Optional[Token]:
+        t = self.peek()
+        if t.kind is TokenKind.IDENT and t.value in names:
+            return self.next()
+        return None
+
+    def accept(self, kind: TokenKind, value: str | None = None) -> Optional[Token]:
+        t = self.peek()
+        if t.kind is kind and (value is None or t.value == value):
+            return self.next()
+        return None
+
+    def require_end(self) -> None:
+        if not self.at_end():
+            t = self.peek()
+            raise ParseError(f"trailing tokens: {t.value!r}", t.line, t.col)
+
+    # -- scanning helpers ---------------------------------------------------
+
+    def contains_toplevel(self, kind: TokenKind, value: str | None = None,
+                          start: int = 0) -> bool:
+        """True if a token of ``kind`` occurs at paren depth 0 after start."""
+        depth = 0
+        for t in self.toks[self.pos + start:]:
+            if t.kind is TokenKind.LPAREN:
+                depth += 1
+            elif t.kind is TokenKind.RPAREN:
+                depth -= 1
+            elif depth == 0 and t.kind is kind and (value is None or t.value == value):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# expression parsing (precedence climbing)
+# ---------------------------------------------------------------------------
+
+class ExprParser:
+    """Parses Fortran expressions from a :class:`_StmtTokens` cursor."""
+
+    def __init__(self, ts: _StmtTokens):
+        self.ts = ts
+
+    def parse(self) -> F.Expr:
+        return self._equiv()
+
+    def _equiv(self) -> F.Expr:
+        e = self._disjunction()
+        while True:
+            t = self.ts.peek()
+            if t.kind is TokenKind.OP and t.value in (".eqv.", ".neqv."):
+                self.ts.next()
+                e = F.BinOp(t.value, e, self._disjunction())
+            else:
+                return e
+
+    def _disjunction(self) -> F.Expr:
+        e = self._conjunction()
+        while self.ts.accept(TokenKind.OP, ".or."):
+            e = F.BinOp(".or.", e, self._conjunction())
+        return e
+
+    def _conjunction(self) -> F.Expr:
+        e = self._negation()
+        while self.ts.accept(TokenKind.OP, ".and."):
+            e = F.BinOp(".and.", e, self._negation())
+        return e
+
+    def _negation(self) -> F.Expr:
+        if self.ts.accept(TokenKind.OP, ".not."):
+            return F.UnOp(".not.", self._negation())
+        return self._relational()
+
+    def _relational(self) -> F.Expr:
+        e = self._concat()
+        t = self.ts.peek()
+        if t.kind is TokenKind.OP and t.value in _RELATIONAL:
+            self.ts.next()
+            return F.BinOp(t.value, e, self._concat())
+        return e
+
+    def _concat(self) -> F.Expr:
+        e = self._additive()
+        while self.ts.accept(TokenKind.OP, "//"):
+            e = F.BinOp("//", e, self._additive())
+        return e
+
+    def _additive(self) -> F.Expr:
+        t = self.ts.peek()
+        if t.kind is TokenKind.OP and t.value in ("+", "-"):
+            self.ts.next()
+            e: F.Expr = F.UnOp(t.value, self._multiplicative())
+        else:
+            e = self._multiplicative()
+        while True:
+            t = self.ts.peek()
+            if t.kind is TokenKind.OP and t.value in ("+", "-"):
+                self.ts.next()
+                e = F.BinOp(t.value, e, self._multiplicative())
+            else:
+                return e
+
+    def _multiplicative(self) -> F.Expr:
+        e = self._unary()
+        while True:
+            t = self.ts.peek()
+            if t.kind is TokenKind.OP and t.value in ("*", "/"):
+                self.ts.next()
+                e = F.BinOp(t.value, e, self._unary())
+            else:
+                return e
+
+    def _unary(self) -> F.Expr:
+        t = self.ts.peek()
+        if t.kind is TokenKind.OP and t.value in ("+", "-"):
+            self.ts.next()
+            return F.UnOp(t.value, self._unary())
+        return self._power()
+
+    def _power(self) -> F.Expr:
+        base = self._primary()
+        if self.ts.accept(TokenKind.OP, "**"):
+            return F.BinOp("**", base, self._unary())  # right associative
+        return base
+
+    def _primary(self) -> F.Expr:
+        t = self.ts.peek()
+        if t.kind is TokenKind.INT:
+            self.ts.next()
+            return F.IntLit(int(t.value))
+        if t.kind is TokenKind.REAL:
+            self.ts.next()
+            return F.RealLit(float(t.value))
+        if t.kind is TokenKind.DOUBLE:
+            self.ts.next()
+            return F.RealLit(float(t.value.replace("d", "e")), double=True)
+        if t.kind is TokenKind.LOGICAL:
+            self.ts.next()
+            return F.LogicalLit(t.value == ".true.")
+        if t.kind is TokenKind.STRING:
+            self.ts.next()
+            return F.StrLit(t.value)
+        if t.kind is TokenKind.LPAREN:
+            self.ts.next()
+            e = self.parse()
+            self.ts.expect(TokenKind.RPAREN)
+            return e
+        if t.kind is TokenKind.IDENT:
+            self.ts.next()
+            if self.ts.peek().kind is TokenKind.LPAREN:
+                self.ts.next()
+                args = self._arg_list()
+                self.ts.expect(TokenKind.RPAREN)
+                return F.Apply(t.value, args)
+            return F.Var(t.value)
+        raise ParseError(f"unexpected token {t.value!r} in expression",
+                         t.line, t.col)
+
+    def _arg_list(self) -> list[F.Expr]:
+        """Comma-separated args; each may be an expr or a section lo:hi[:st]."""
+        args: list[F.Expr] = []
+        if self.ts.peek().kind is TokenKind.RPAREN:
+            return args
+        while True:
+            args.append(self._arg())
+            if not self.ts.accept(TokenKind.COMMA):
+                return args
+
+    def _arg(self) -> F.Expr:
+        lo: Optional[F.Expr] = None
+        if self.ts.peek().kind not in (TokenKind.COLON,):
+            lo = self.parse()
+        if self.ts.accept(TokenKind.COLON):
+            hi: Optional[F.Expr] = None
+            if self.ts.peek().kind not in (TokenKind.COLON, TokenKind.COMMA,
+                                           TokenKind.RPAREN):
+                hi = self.parse()
+            stride: Optional[F.Expr] = None
+            if self.ts.accept(TokenKind.COLON):
+                stride = self.parse()
+            return F.RangeExpr(lo, hi, stride)
+        assert lo is not None
+        return lo
+
+
+# ---------------------------------------------------------------------------
+# statement & unit parsing
+# ---------------------------------------------------------------------------
+
+class _Frame:
+    """Open block during statement-stream reconstruction."""
+
+    __slots__ = ("kind", "node", "body", "arms", "do_label")
+
+    def __init__(self, kind: str, node=None):
+        self.kind = kind          # 'unit' | 'do' | 'if'
+        self.node = node
+        self.body: list[F.Stmt] = []
+        self.arms: list[tuple[Optional[F.Expr], list[F.Stmt]]] = []
+        self.do_label: Optional[int] = None
+
+
+class Parser:
+    """Parses a whole source file into a :class:`SourceFile`."""
+
+    def __init__(self, source: str):
+        self._stmts = self._split_statements(lex_source(source))
+
+    @staticmethod
+    def _split_statements(tokens: list[Token]) -> list[tuple[Optional[int], _StmtTokens]]:
+        out: list[tuple[Optional[int], _StmtTokens]] = []
+        cur: list[Token] = []
+        label: Optional[int] = None
+        for t in tokens:
+            if t.kind is TokenKind.EOF:
+                break
+            if t.kind is TokenKind.LABEL:
+                label = int(t.value)
+                continue
+            if t.kind is TokenKind.NEWLINE:
+                if cur or label is not None:
+                    out.append((label, _StmtTokens(cur)))
+                cur = []
+                label = None
+                continue
+            cur.append(t)
+        if cur or label is not None:
+            out.append((label, _StmtTokens(cur)))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> F.SourceFile:
+        units: list[F.ProgramUnit] = []
+        stack: list[_Frame] = []
+        unit: Optional[F.ProgramUnit] = None
+        in_specs = True
+
+        def append(stmt: F.Stmt, label: Optional[int]) -> None:
+            nonlocal in_specs
+            stmt.label = label
+            if unit is None:
+                raise ParseError("statement outside any program unit",
+                                 stmt.line)
+            is_spec = isinstance(stmt, (
+                F.TypeDecl, F.DimensionStmt, F.CommonStmt, F.ParameterStmt,
+                F.DataStmt, F.EquivalenceStmt, F.ImplicitStmt, F.ExternalStmt,
+                F.IntrinsicStmt, F.SaveStmt))
+            if in_specs and is_spec and len(stack) == 1:
+                unit.specs.append(stmt)
+                return
+            in_specs = False
+            stack[-1].body.append(stmt)
+            # close labeled DO loops terminated by this statement
+            while (label is not None and stack and stack[-1].kind == "do"
+                   and stack[-1].do_label == label):
+                fr = stack.pop()
+                loop: F.DoLoop = fr.node
+                loop.body = fr.body
+                stack[-1].body.append(loop)
+
+        for label, ts in self._stmts:
+            first = ts.peek()
+            if first.kind is TokenKind.NEWLINE and label is not None:
+                append(F.ContinueStmt(line=first.line), label)
+                continue
+            if first.kind is not TokenKind.IDENT:
+                raise ParseError(f"statement cannot start with {first.value!r}",
+                                 first.line, first.col)
+            kw = first.value
+            line = first.line
+
+            # ---- unit boundaries ----
+            if unit is None:
+                unit = self._parse_unit_header(ts)
+                stack = [_Frame("unit", unit)]
+                in_specs = True
+                continue
+
+            if kw == "end" and len(ts.toks) == 1:
+                if len(stack) != 1:
+                    raise ParseError("END with unclosed DO or IF block", line)
+                unit.body = stack[0].body
+                units.append(unit)
+                unit = None
+                continue
+
+            stmt_or_marker = self._parse_statement(ts, kw, line)
+            if isinstance(stmt_or_marker, str):
+                marker = stmt_or_marker
+                if marker == "enddo":
+                    if not stack or stack[-1].kind != "do":
+                        raise ParseError("END DO without matching DO", line)
+                    fr = stack.pop()
+                    loop = fr.node
+                    loop.body = fr.body
+                    stack[-1].body.append(loop)
+                elif marker in ("else", "endif") or marker.startswith("elseif"):
+                    if not stack or stack[-1].kind != "if":
+                        raise ParseError(f"{marker} without matching IF", line)
+                    fr = stack[-1]
+                    fr.arms.append((fr.node, fr.body))
+                    if marker == "endif":
+                        stack.pop()
+                        ifblock = F.IfBlock(arms=fr.arms, line=line)
+                        stack[-1].body.append(ifblock)
+                    else:
+                        fr.body = []
+                        fr.node = self._pending_cond if marker != "else" else None
+                continue
+
+            stmt = stmt_or_marker
+            if isinstance(stmt, F.DoLoop):
+                in_specs = False
+                stmt.label = label
+                fr = _Frame("do", stmt)
+                fr.do_label = stmt.do_label
+                stack.append(fr)
+                continue
+            if isinstance(stmt, F.IfBlock) and not stmt.arms:
+                # opening "if (c) then": condition stashed on _pending_cond
+                in_specs = False
+                fr = _Frame("if")
+                fr.node = self._pending_cond
+                stack.append(fr)
+                continue
+            append(stmt, label)
+
+        if unit is not None:
+            raise ParseError(f"missing END for unit {unit.name!r}")
+        return F.SourceFile(units)
+
+    # ------------------------------------------------------------------
+
+    def _parse_unit_header(self, ts: _StmtTokens) -> F.ProgramUnit:
+        t = ts.peek()
+        kw = t.value
+        if kw == "program":
+            ts.next()
+            name = ts.expect(TokenKind.IDENT).value
+            ts.require_end()
+            return F.MainProgram(name=name)
+        if kw == "subroutine":
+            ts.next()
+            name = ts.expect(TokenKind.IDENT).value
+            args = self._parse_dummy_args(ts)
+            ts.require_end()
+            return F.Subroutine(name=name, args=args)
+        # [type] function name(args)
+        rettype = None
+        save = ts.pos
+        if kw in _TYPE_KEYWORDS or kw == "double":
+            rettype = self._parse_type_spec(ts)
+            if ts.peek().is_ident("function"):
+                kw = "function"
+            else:
+                ts.pos = save
+                rettype = None
+        if ts.peek().is_ident("function"):
+            ts.next()
+            name = ts.expect(TokenKind.IDENT).value
+            args = self._parse_dummy_args(ts)
+            ts.require_end()
+            return F.Function(name=name, args=args, result_type=rettype)
+        raise ParseError(f"expected a program-unit header, found {t.value!r}",
+                         t.line, t.col)
+
+    @staticmethod
+    def _parse_dummy_args(ts: _StmtTokens) -> list[str]:
+        args: list[str] = []
+        if ts.accept(TokenKind.LPAREN):
+            if not ts.accept(TokenKind.RPAREN):
+                while True:
+                    args.append(ts.expect(TokenKind.IDENT).value)
+                    if ts.accept(TokenKind.RPAREN):
+                        break
+                    ts.expect(TokenKind.COMMA)
+        return args
+
+    # ------------------------------------------------------------------
+
+    def _parse_statement(self, ts: _StmtTokens, kw: str, line: int):
+        """Parse one statement; returns a Stmt, or a control marker string."""
+        # declarations
+        if kw in _TYPE_KEYWORDS or (kw == "double" and ts.peek(1).is_ident("precision")):
+            return self._parse_type_decl(ts, line)
+        if kw == "dimension":
+            ts.next()
+            return F.DimensionStmt(entities=self._parse_entity_list(ts), line=line)
+        if kw == "common":
+            return self._parse_common(ts, line)
+        if kw == "parameter":
+            return self._parse_parameter(ts, line)
+        if kw == "data":
+            return self._parse_data(ts, line)
+        if kw == "equivalence":
+            return self._parse_equivalence(ts, line)
+        if kw == "implicit":
+            ts.next()
+            ts.expect_ident("none")
+            ts.require_end()
+            return F.ImplicitStmt(none=True, line=line)
+        if kw in ("external", "intrinsic", "save"):
+            ts.next()
+            names = [ts.expect(TokenKind.IDENT).value]
+            while ts.accept(TokenKind.COMMA):
+                names.append(ts.expect(TokenKind.IDENT).value)
+            ts.require_end()
+            cls = {"external": F.ExternalStmt, "intrinsic": F.IntrinsicStmt,
+                   "save": F.SaveStmt}[kw]
+            return cls(names=names, line=line)
+
+        # control / executable
+        if kw == "do":
+            return self._parse_do(ts, line)
+        if kw == "enddo" or (kw == "end" and ts.peek(1).is_ident("do")):
+            return "enddo"
+        if kw == "endif" or (kw == "end" and ts.peek(1).is_ident("if")):
+            return "endif"
+        if kw == "elseif" or (kw == "else" and ts.peek(1).is_ident("if")):
+            ts.next()
+            if ts.peek().is_ident("if"):
+                ts.next()
+            ts.expect(TokenKind.LPAREN)
+            cond = ExprParser(ts).parse()
+            ts.expect(TokenKind.RPAREN)
+            ts.expect_ident("then")
+            ts.require_end()
+            self._pending_cond = cond
+            return "elseif"
+        if kw == "else":
+            ts.next()
+            ts.require_end()
+            return "else"
+        if kw == "if":
+            return self._parse_if(ts, line)
+        if kw == "goto" or (kw == "go" and ts.peek(1).is_ident("to")):
+            ts.next()
+            if ts.peek().is_ident("to"):
+                ts.next()
+            if ts.peek().kind is TokenKind.LPAREN:
+                ts.next()
+                targets = [int(ts.expect(TokenKind.INT).value)]
+                while ts.accept(TokenKind.COMMA):
+                    targets.append(int(ts.expect(TokenKind.INT).value))
+                ts.expect(TokenKind.RPAREN)
+                ts.accept(TokenKind.COMMA)
+                idx = ExprParser(ts).parse()
+                ts.require_end()
+                return F.ComputedGoto(targets=targets, index=idx, line=line)
+            target = int(ts.expect(TokenKind.INT).value)
+            ts.require_end()
+            return F.Goto(target=target, line=line)
+        if kw == "continue":
+            ts.next()
+            ts.require_end()
+            return F.ContinueStmt(line=line)
+        if kw == "call":
+            ts.next()
+            name = ts.expect(TokenKind.IDENT).value
+            args: list[F.Expr] = []
+            if ts.accept(TokenKind.LPAREN):
+                if not ts.accept(TokenKind.RPAREN):
+                    args = ExprParser(ts)._arg_list()
+                    ts.expect(TokenKind.RPAREN)
+            ts.require_end()
+            return F.CallStmt(name=name, args=args, line=line)
+        if kw == "return":
+            ts.next()
+            ts.require_end()
+            return F.ReturnStmt(line=line)
+        if kw == "stop":
+            ts.next()
+            msg = None
+            t = ts.peek()
+            if t.kind is TokenKind.STRING:
+                ts.next()
+                msg = t.value
+            elif t.kind is TokenKind.INT:
+                ts.next()
+                msg = t.value
+            ts.require_end()
+            return F.StopStmt(message=msg, line=line)
+        if kw == "print":
+            ts.next()
+            ts.expect(TokenKind.OP, "*")
+            items: list[F.Expr] = []
+            while ts.accept(TokenKind.COMMA):
+                items.append(ExprParser(ts).parse())
+            ts.require_end()
+            return F.PrintStmt(items=items, line=line)
+        if kw == "write":
+            ts.next()
+            ts.expect(TokenKind.LPAREN)
+            ts.expect(TokenKind.OP, "*")
+            ts.expect(TokenKind.COMMA)
+            ts.expect(TokenKind.OP, "*")
+            ts.expect(TokenKind.RPAREN)
+            items = []
+            if not ts.at_end():
+                items.append(ExprParser(ts).parse())
+                while ts.accept(TokenKind.COMMA):
+                    items.append(ExprParser(ts).parse())
+            ts.require_end()
+            return F.PrintStmt(items=items, line=line)
+        if kw == "read":
+            ts.next()
+            ts.expect(TokenKind.OP, "*")
+            items = []
+            while ts.accept(TokenKind.COMMA):
+                items.append(ExprParser(ts).parse())
+            ts.require_end()
+            return F.ReadStmt(items=items, line=line)
+
+        # otherwise: assignment
+        return self._parse_assignment(ts, line)
+
+    # -- declarations --------------------------------------------------
+
+    def _parse_type_spec(self, ts: _StmtTokens) -> F.TypeSpec:
+        t = ts.next()
+        base = t.value
+        if base == "double":
+            ts.expect_ident("precision")
+            base = "doubleprecision"
+        char_len: Optional[F.Expr] = None
+        if base == "character" and ts.accept(TokenKind.OP, "*"):
+            if ts.accept(TokenKind.LPAREN):
+                if ts.accept(TokenKind.OP, "*"):
+                    char_len = None
+                else:
+                    char_len = ExprParser(ts).parse()
+                ts.expect(TokenKind.RPAREN)
+            else:
+                char_len = F.IntLit(int(ts.expect(TokenKind.INT).value))
+        return F.TypeSpec(base, char_len)
+
+    def _parse_type_decl(self, ts: _StmtTokens, line: int) -> F.TypeDecl:
+        spec = self._parse_type_spec(ts)
+        entities = self._parse_entity_list(ts)
+        return F.TypeDecl(type=spec, entities=entities, line=line)
+
+    def _parse_entity_list(self, ts: _StmtTokens) -> list[F.EntityDecl]:
+        entities = [self._parse_entity(ts)]
+        while ts.accept(TokenKind.COMMA):
+            entities.append(self._parse_entity(ts))
+        ts.require_end()
+        return entities
+
+    def _parse_entity(self, ts: _StmtTokens) -> F.EntityDecl:
+        name = ts.expect(TokenKind.IDENT).value
+        dims: list[F.DimSpec] = []
+        if ts.accept(TokenKind.LPAREN):
+            while True:
+                dims.append(self._parse_dim(ts))
+                if ts.accept(TokenKind.RPAREN):
+                    break
+                ts.expect(TokenKind.COMMA)
+        return F.EntityDecl(name=name, dims=dims)
+
+    def _parse_dim(self, ts: _StmtTokens) -> F.DimSpec:
+        if ts.accept(TokenKind.OP, "*"):
+            return F.DimSpec(None, None)
+        first = ExprParser(ts).parse()
+        if ts.accept(TokenKind.COLON):
+            if ts.accept(TokenKind.OP, "*"):
+                return F.DimSpec(first, None)
+            return F.DimSpec(first, ExprParser(ts).parse())
+        return F.DimSpec(None, first)
+
+    def _parse_common(self, ts: _StmtTokens, line: int) -> F.CommonStmt:
+        ts.next()
+        block = ""
+        if ts.accept(TokenKind.OP, "/"):
+            block = ts.expect(TokenKind.IDENT).value
+            ts.expect(TokenKind.OP, "/")
+        entities = [self._parse_entity(ts)]
+        while ts.accept(TokenKind.COMMA):
+            entities.append(self._parse_entity(ts))
+        ts.require_end()
+        return F.CommonStmt(block=block, entities=entities, line=line)
+
+    def _parse_parameter(self, ts: _StmtTokens, line: int) -> F.ParameterStmt:
+        ts.next()
+        ts.expect(TokenKind.LPAREN)
+        defs: list[tuple[str, F.Expr]] = []
+        while True:
+            name = ts.expect(TokenKind.IDENT).value
+            ts.expect(TokenKind.EQUALS)
+            defs.append((name, ExprParser(ts).parse()))
+            if ts.accept(TokenKind.RPAREN):
+                break
+            ts.expect(TokenKind.COMMA)
+        ts.require_end()
+        return F.ParameterStmt(defs=defs, line=line)
+
+    def _parse_data(self, ts: _StmtTokens, line: int) -> F.DataStmt:
+        # Names are variables/array elements (primaries); values are signed
+        # constants.  Full expression parsing would eat the '/' delimiters
+        # as division.
+        ts.next()
+        names: list[F.Expr] = [ExprParser(ts)._primary()]
+        while ts.accept(TokenKind.COMMA):
+            names.append(ExprParser(ts)._primary())
+        ts.expect(TokenKind.OP, "/")
+
+        def signed_constant() -> F.Expr:
+            t = ts.peek()
+            if t.kind is TokenKind.OP and t.value in ("+", "-"):
+                ts.next()
+                return F.UnOp(t.value, ExprParser(ts)._primary())
+            return ExprParser(ts)._primary()
+
+        values: list[F.Expr] = [signed_constant()]
+        while ts.accept(TokenKind.COMMA):
+            values.append(signed_constant())
+        ts.expect(TokenKind.OP, "/")
+        ts.require_end()
+        return F.DataStmt(names=names, values=values, line=line)
+
+    def _parse_equivalence(self, ts: _StmtTokens, line: int) -> F.EquivalenceStmt:
+        ts.next()
+        groups: list[list[F.Expr]] = []
+        while True:
+            ts.expect(TokenKind.LPAREN)
+            group = [ExprParser(ts).parse()]
+            while ts.accept(TokenKind.COMMA):
+                group.append(ExprParser(ts).parse())
+            ts.expect(TokenKind.RPAREN)
+            groups.append(group)
+            if not ts.accept(TokenKind.COMMA):
+                break
+        ts.require_end()
+        return F.EquivalenceStmt(groups=groups, line=line)
+
+    # -- control -------------------------------------------------------
+
+    def _parse_do(self, ts: _StmtTokens, line: int) -> F.DoLoop:
+        ts.next()
+        do_label: Optional[int] = None
+        t = ts.peek()
+        if t.kind is TokenKind.INT:
+            ts.next()
+            do_label = int(t.value)
+        var = ts.expect(TokenKind.IDENT).value
+        ts.expect(TokenKind.EQUALS)
+        start = ExprParser(ts).parse()
+        ts.expect(TokenKind.COMMA)
+        end = ExprParser(ts).parse()
+        step: Optional[F.Expr] = None
+        if ts.accept(TokenKind.COMMA):
+            step = ExprParser(ts).parse()
+        ts.require_end()
+        return F.DoLoop(var=var, start=start, end=end, step=step,
+                        do_label=do_label, line=line)
+
+    _pending_cond: Optional[F.Expr] = None
+
+    def _parse_if(self, ts: _StmtTokens, line: int):
+        ts.next()
+        ts.expect(TokenKind.LPAREN)
+        cond = ExprParser(ts).parse()
+        ts.expect(TokenKind.RPAREN)
+        if ts.peek().is_ident("then") and ts.pos == len(ts.toks) - 1:
+            ts.next()
+            self._pending_cond = cond
+            return F.IfBlock(arms=[], line=line)  # marker: opening of block IF
+        # logical IF: one trailing statement
+        inner_kw = ts.peek().value
+        inner = self._parse_statement(ts, inner_kw, line)
+        if isinstance(inner, str) or isinstance(inner, (F.DoLoop, F.IfBlock)):
+            raise ParseError("invalid statement in logical IF", line)
+        return F.LogicalIf(cond=cond, stmt=inner, line=line)
+
+    # -- assignment ----------------------------------------------------
+
+    def _parse_assignment(self, ts: _StmtTokens, line: int) -> F.Assign:
+        target = ExprParser(ts)._primary()
+        if not isinstance(target, (F.Var, F.Apply)):
+            raise ParseError("invalid assignment target", line)
+        ts.expect(TokenKind.EQUALS)
+        value = ExprParser(ts).parse()
+        ts.require_end()
+        return F.Assign(target=target, value=value, line=line)
+
+
+def parse_program(source: str) -> F.SourceFile:
+    """Parse Fortran 77 source text into a :class:`SourceFile` AST."""
+    return Parser(source).parse()

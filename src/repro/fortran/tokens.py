@@ -1,0 +1,60 @@
+"""Token kinds and the Token record produced by the fixed-form lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """Lexical category of a token."""
+
+    IDENT = auto()       # identifiers and keywords (Fortran has no reserved words)
+    INT = auto()         # integer literal
+    REAL = auto()        # real literal (single precision)
+    DOUBLE = auto()      # double-precision literal (d exponent)
+    STRING = auto()      # character literal
+    LOGICAL = auto()     # .true. / .false.
+    OP = auto()          # operator, including dot-operators like .and.
+    LPAREN = auto()
+    RPAREN = auto()
+    COMMA = auto()
+    COLON = auto()
+    EQUALS = auto()
+    NEWLINE = auto()     # end of a logical statement line
+    LABEL = auto()       # numeric statement label (columns 1-5)
+    EOF = auto()
+
+
+#: Dot-delimited operators, longest-match order.
+DOT_OPERATORS = (
+    ".neqv.", ".eqv.", ".and.", ".not.", ".or.",
+    ".lt.", ".le.", ".eq.", ".ne.", ".gt.", ".ge.",
+)
+
+#: Dot-delimited logical constants.
+DOT_CONSTANTS = (".true.", ".false.")
+
+#: Multi-character symbolic operators, longest first.
+SYMBOL_OPERATORS = ("**", "//", "+", "-", "*", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the canonical text: identifiers and dot-operators are
+    lower-cased; literals keep their spelling.
+    """
+
+    kind: TokenKind
+    value: str
+    line: int
+    col: int
+
+    def is_ident(self, *names: str) -> bool:
+        """True if this token is an identifier equal to one of ``names``."""
+        return self.kind is TokenKind.IDENT and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.value!r}, {self.line}:{self.col})"

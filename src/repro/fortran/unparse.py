@@ -1,0 +1,328 @@
+"""Fixed-form Fortran 77 unparser (pretty printer).
+
+Produces canonical fixed-form text: labels right-justified in columns 1-5,
+statement bodies starting at column 7, continuation cards marked with ``&``
+in column 6, nothing beyond column 72.  Round-trips with the parser
+(``parse(unparse(parse(s)))`` equals ``parse(s)`` structurally).
+
+The :class:`UnparserBase` dispatch tables are extended by the Cedar Fortran
+unparser in :mod:`repro.cedar.unparse`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.fortran import ast_nodes as F
+
+#: Binding strength of operators, used to minimize parentheses.
+_PRECEDENCE = {
+    ".eqv.": 1, ".neqv.": 1,
+    ".or.": 2,
+    ".and.": 3,
+    ".not.": 4,
+    ".lt.": 5, ".le.": 5, ".eq.": 5, ".ne.": 5, ".gt.": 5, ".ge.": 5,
+    "//": 6,
+    "+": 7, "-": 7,
+    "*": 8, "/": 8,
+    "**": 10,
+}
+
+
+def _fmt_real(value: float, double: bool) -> str:
+    s = repr(float(value))
+    if "e" in s:
+        mant, exp = s.split("e")
+        if "." not in mant:
+            mant += "."
+        s = mant + ("d" if double else "e") + exp
+    elif double:
+        s += "d0" if "." in s else ".d0"
+    elif "." not in s:
+        s += ".0"
+    return s
+
+
+class ExprWriter:
+    """Renders expression trees to flat text."""
+
+    def write(self, e: F.Expr, parent_prec: int = 0) -> str:
+        m = getattr(self, "w_" + type(e).__name__, None)
+        if m is None:
+            raise ReproError(f"cannot unparse expression node {type(e).__name__}")
+        return m(e, parent_prec)
+
+    def w_IntLit(self, e: F.IntLit, p: int) -> str:
+        return str(e.value)
+
+    def w_RealLit(self, e: F.RealLit, p: int) -> str:
+        return _fmt_real(e.value, e.double)
+
+    def w_LogicalLit(self, e: F.LogicalLit, p: int) -> str:
+        return ".true." if e.value else ".false."
+
+    def w_StrLit(self, e: F.StrLit, p: int) -> str:
+        return "'" + e.value.replace("'", "''") + "'"
+
+    def w_Var(self, e: F.Var, p: int) -> str:
+        return e.name
+
+    def w_RangeExpr(self, e: F.RangeExpr, p: int) -> str:
+        lo = self.write(e.lo) if e.lo is not None else ""
+        hi = self.write(e.hi) if e.hi is not None else ""
+        s = f"{lo}:{hi}"
+        if e.stride is not None:
+            s += ":" + self.write(e.stride)
+        return s
+
+    def _args(self, args: list[F.Expr]) -> str:
+        return ", ".join(self.write(a) for a in args)
+
+    def w_Apply(self, e: F.Apply, p: int) -> str:
+        return f"{e.name}({self._args(e.args)})"
+
+    def w_ArrayRef(self, e: F.ArrayRef, p: int) -> str:
+        return f"{e.name}({self._args(e.subscripts)})"
+
+    def w_FuncCall(self, e: F.FuncCall, p: int) -> str:
+        return f"{e.name}({self._args(e.args)})"
+
+    def w_BinOp(self, e: F.BinOp, p: int) -> str:
+        prec = _PRECEDENCE[e.op]
+        if e.op == "**":  # right-associative: parenthesize equal-prec left
+            left = self.write(e.left, prec + 1)
+            right = self.write(e.right, prec)
+        else:  # left-associative: parenthesize equal-prec right
+            left = self.write(e.left, prec)
+            right = self.write(e.right, prec + 1)
+        text = f"{left} {e.op} {right}"
+        if prec < p:
+            return "(" + text + ")"
+        return text
+
+    def w_UnOp(self, e: F.UnOp, p: int) -> str:
+        # Fortran unary +/- sits at additive precedence (the parser treats a
+        # leading sign at the _additive level), so the operand must be
+        # parenthesized at equal precedence to round-trip: -(a + b) vs -a + b.
+        prec = _PRECEDENCE[e.op] if e.op.startswith(".") else 7
+        text = (f"{e.op}{' ' if e.op.startswith('.') else ''}"
+                f"{self.write(e.operand, prec + 1)}")
+        if prec < p:
+            return "(" + text + ")"
+        return text
+
+
+class UnparserBase:
+    """Statement/unit pretty printer; subclassed by the Cedar unparser."""
+
+    INDENT = 3
+
+    def __init__(self):
+        self.lines: list[str] = []
+        self.expr = ExprWriter()
+
+    # -- physical layout -------------------------------------------------
+
+    def emit(self, text: str, label: int | None = None, depth: int = 0) -> None:
+        label_field = f"{label:>5}" if label is not None else "     "
+        body = " " * (self.INDENT * depth) + text
+        first = True
+        while True:
+            room = 66 - (0 if first else 0)  # columns 7..72
+            if len(body) <= room:
+                chunk, body = body, ""
+            else:
+                cut = body.rfind(" ", 40, room)
+                if cut < 0:
+                    cut = room
+                chunk, body = body[:cut], body[cut:].lstrip()
+            if first:
+                self.lines.append(f"{label_field} {chunk}".rstrip())
+                first = False
+            else:
+                self.lines.append(f"     &{chunk}".rstrip())
+            if not body:
+                break
+
+    def comment(self, text: str) -> None:
+        self.lines.append("c " + text if text else "c")
+
+    def result(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    # -- dispatch ----------------------------------------------------------
+
+    def e(self, expr: F.Expr) -> str:
+        return self.expr.write(expr)
+
+    def stmt(self, s: F.Stmt, depth: int) -> None:
+        m = getattr(self, "s_" + type(s).__name__, None)
+        if m is None:
+            raise ReproError(f"cannot unparse statement node {type(s).__name__}")
+        m(s, depth)
+
+    def block(self, stmts: list[F.Stmt], depth: int) -> None:
+        for s in stmts:
+            self.stmt(s, depth)
+
+    # -- program units -----------------------------------------------------
+
+    def unit(self, u: F.ProgramUnit) -> None:
+        if isinstance(u, F.MainProgram):
+            self.emit(f"program {u.name}")
+        elif isinstance(u, F.Subroutine):
+            args = f"({', '.join(u.args)})" if u.args else ""
+            self.emit(f"subroutine {u.name}{args}")
+        elif isinstance(u, F.Function):
+            prefix = f"{u.result_type} " if u.result_type else ""
+            self.emit(f"{prefix}function {u.name}({', '.join(u.args)})")
+        else:  # pragma: no cover
+            raise ReproError(f"unknown unit kind {type(u).__name__}")
+        self.block(u.specs, 1)
+        self.block(u.body, 1)
+        self.emit("end")
+
+    def source_file(self, sf: F.SourceFile) -> None:
+        for i, u in enumerate(sf.units):
+            if i:
+                self.lines.append("")
+            self.unit(u)
+
+    # -- specification statements -------------------------------------------
+
+    def _entity(self, ent: F.EntityDecl) -> str:
+        if not ent.dims:
+            return ent.name
+        dims = []
+        for d in ent.dims:
+            lo = self.e(d.lower) if d.lower is not None else None
+            hi = self.e(d.upper) if d.upper is not None else "*"
+            dims.append(hi if lo is None or lo == "1" else f"{lo}:{hi}")
+        return f"{ent.name}({', '.join(dims)})"
+
+    def s_TypeDecl(self, s: F.TypeDecl, d: int) -> None:
+        ents = ", ".join(self._entity(e) for e in s.entities)
+        base = s.type.base
+        if base == "doubleprecision":
+            base = "double precision"
+        if base == "character" and s.type.char_len is not None:
+            base += "*" + self.e(s.type.char_len)
+        self.emit(f"{base} {ents}", s.label, d)
+
+    def s_DimensionStmt(self, s: F.DimensionStmt, d: int) -> None:
+        ents = ", ".join(self._entity(e) for e in s.entities)
+        self.emit(f"dimension {ents}", s.label, d)
+
+    def s_CommonStmt(self, s: F.CommonStmt, d: int) -> None:
+        ents = ", ".join(self._entity(e) for e in s.entities)
+        blk = f"/{s.block}/ " if s.block else ""
+        self.emit(f"common {blk}{ents}", s.label, d)
+
+    def s_ParameterStmt(self, s: F.ParameterStmt, d: int) -> None:
+        defs = ", ".join(f"{n} = {self.e(v)}" for n, v in s.defs)
+        self.emit(f"parameter ({defs})", s.label, d)
+
+    def s_DataStmt(self, s: F.DataStmt, d: int) -> None:
+        names = ", ".join(self.e(n) for n in s.names)
+        values = ", ".join(self.e(v) for v in s.values)
+        self.emit(f"data {names} /{values}/", s.label, d)
+
+    def s_EquivalenceStmt(self, s: F.EquivalenceStmt, d: int) -> None:
+        groups = ", ".join(
+            "(" + ", ".join(self.e(x) for x in g) + ")" for g in s.groups
+        )
+        self.emit(f"equivalence {groups}", s.label, d)
+
+    def s_ImplicitStmt(self, s: F.ImplicitStmt, d: int) -> None:
+        self.emit("implicit none", s.label, d)
+
+    def s_ExternalStmt(self, s: F.ExternalStmt, d: int) -> None:
+        self.emit("external " + ", ".join(s.names), s.label, d)
+
+    def s_IntrinsicStmt(self, s: F.IntrinsicStmt, d: int) -> None:
+        self.emit("intrinsic " + ", ".join(s.names), s.label, d)
+
+    def s_SaveStmt(self, s: F.SaveStmt, d: int) -> None:
+        self.emit("save " + ", ".join(s.names), s.label, d)
+
+    # -- executable statements ----------------------------------------------
+
+    def s_Assign(self, s: F.Assign, d: int) -> None:
+        self.emit(f"{self.e(s.target)} = {self.e(s.value)}", s.label, d)
+
+    def s_DoLoop(self, s: F.DoLoop, d: int) -> None:
+        header = f"do {s.var} = {self.e(s.start)}, {self.e(s.end)}"
+        if s.step is not None:
+            header += f", {self.e(s.step)}"
+        self.emit(header, s.label, d)
+        self.block(s.body, d + 1)
+        self.emit("end do", None, d)
+
+    def s_IfBlock(self, s: F.IfBlock, d: int) -> None:
+        for i, (cond, body) in enumerate(s.arms):
+            if i == 0:
+                self.emit(f"if ({self.e(cond)}) then", s.label, d)
+            elif cond is not None:
+                self.emit(f"else if ({self.e(cond)}) then", None, d)
+            else:
+                self.emit("else", None, d)
+            self.block(body, d + 1)
+        self.emit("end if", None, d)
+
+    def s_LogicalIf(self, s: F.LogicalIf, d: int) -> None:
+        inner = self._inline_stmt(s.stmt)
+        self.emit(f"if ({self.e(s.cond)}) {inner}", s.label, d)
+
+    def _inline_stmt(self, s: F.Stmt) -> str:
+        sub = type(self)()
+        sub.stmt(s, 0)
+        if len(sub.lines) != 1:
+            raise ReproError("logical-IF statement does not fit on one line")
+        return sub.lines[0][6:].strip()
+
+    def s_Goto(self, s: F.Goto, d: int) -> None:
+        self.emit(f"goto {s.target}", s.label, d)
+
+    def s_ComputedGoto(self, s: F.ComputedGoto, d: int) -> None:
+        targets = ", ".join(str(t) for t in s.targets)
+        self.emit(f"goto ({targets}), {self.e(s.index)}", s.label, d)
+
+    def s_ContinueStmt(self, s: F.ContinueStmt, d: int) -> None:
+        self.emit("continue", s.label, d)
+
+    def s_CallStmt(self, s: F.CallStmt, d: int) -> None:
+        args = ", ".join(self.e(a) for a in s.args)
+        self.emit(f"call {s.name}({args})" if s.args else f"call {s.name}",
+                  s.label, d)
+
+    def s_ReturnStmt(self, s: F.ReturnStmt, d: int) -> None:
+        self.emit("return", s.label, d)
+
+    def s_StopStmt(self, s: F.StopStmt, d: int) -> None:
+        text = "stop" if s.message is None else f"stop '{s.message}'"
+        self.emit(text, s.label, d)
+
+    def s_PrintStmt(self, s: F.PrintStmt, d: int) -> None:
+        items = ", ".join(self.e(i) for i in s.items)
+        self.emit(f"print *, {items}" if items else "print *", s.label, d)
+
+    def s_ReadStmt(self, s: F.ReadStmt, d: int) -> None:
+        items = ", ".join(self.e(i) for i in s.items)
+        self.emit(f"read *, {items}", s.label, d)
+
+
+class Unparser(UnparserBase):
+    """The plain Fortran 77 unparser."""
+
+
+def unparse(node: F.Node) -> str:
+    """Unparse a SourceFile, ProgramUnit, or statement (list) to f77 text."""
+    u = Unparser()
+    if isinstance(node, F.SourceFile):
+        u.source_file(node)
+    elif isinstance(node, F.ProgramUnit):
+        u.unit(node)
+    elif isinstance(node, F.Stmt):
+        u.stmt(node, 0)
+    else:
+        raise ReproError(f"cannot unparse {type(node).__name__}")
+    return u.result()

@@ -1,0 +1,46 @@
+"""Parametric performance model of the Cedar machine (and Alliant FX/80).
+
+The model captures the architectural features the paper's experiments
+exercise:
+
+- the three-level memory hierarchy (cache / cluster memory / global
+  memory) with per-level access latencies (:mod:`repro.machine.memory`);
+- the 32-element vector prefetch unit for global data
+  (:mod:`repro.machine.prefetch`, paper §2.2.3);
+- global-memory bandwidth saturation across clusters (Figure 8);
+- virtual-memory paging and thrashing (Table 1's mprove anomaly);
+- self-scheduled (microtasked) parallel loops with per-level startup and
+  dispatch costs (:mod:`repro.machine.scheduler`, §2.2.1, §4.2.4);
+- await/advance cascade synchronization and lock contention
+  (:mod:`repro.machine.sync`);
+- subroutine-level tasking via ``ctskstart``/``mtskstart``
+  (:mod:`repro.machine.tasking`, §2.2.2).
+
+All times are in processor clock cycles.
+"""
+
+from repro.machine.config import (
+    MachineConfig,
+    alliant_fx80,
+    cedar_config1,
+    cedar_config2,
+)
+from repro.machine.memory import MemorySystem
+from repro.machine.prefetch import PrefetchUnit
+from repro.machine.paging import PagingModel
+from repro.machine.scheduler import LoopScheduler
+from repro.machine.sync import SyncModel
+from repro.machine.vector import VectorUnit
+
+__all__ = [
+    "MachineConfig",
+    "cedar_config1",
+    "cedar_config2",
+    "alliant_fx80",
+    "MemorySystem",
+    "PrefetchUnit",
+    "PagingModel",
+    "LoopScheduler",
+    "SyncModel",
+    "VectorUnit",
+]

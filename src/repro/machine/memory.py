@@ -1,0 +1,102 @@
+"""Memory hierarchy timing: cache, cluster memory, global memory.
+
+The model answers "what does one element access cost" given the data's
+placement and access pattern, and models the Figure 8 effect: aggregate
+global-memory traffic across clusters is capped by the network/GM
+bandwidth, so adding clusters stops helping once the program runs at the
+global transfer rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.config import MachineConfig
+
+
+@dataclass
+class AccessProfile:
+    """Accumulated traffic of one program region (element counts)."""
+
+    cache_elems: float = 0.0
+    cluster_elems: float = 0.0
+    global_elems: float = 0.0
+    prefetched_elems: float = 0.0
+
+    def add(self, other: "AccessProfile") -> None:
+        self.cache_elems += other.cache_elems
+        self.cluster_elems += other.cluster_elems
+        self.global_elems += other.global_elems
+        self.prefetched_elems += other.prefetched_elems
+
+    def scaled(self, k: float) -> "AccessProfile":
+        return AccessProfile(self.cache_elems * k, self.cluster_elems * k,
+                             self.global_elems * k, self.prefetched_elems * k)
+
+
+class MemorySystem:
+    """Per-access costs plus the global-bandwidth saturation correction."""
+
+    def __init__(self, config: MachineConfig):
+        self.cfg = config
+
+    # -- single-access costs -------------------------------------------------
+
+    def scalar_access(self, placement: str, cached: bool = False) -> float:
+        """Cost of one scalar element access."""
+        if placement == "private" or cached:
+            return self.cfg.lat_cache
+        if placement == "cluster":
+            return self.cfg.lat_cluster
+        if placement == "global":
+            return self.cfg.lat_global if self.cfg.has_global_memory \
+                else self.cfg.lat_cluster
+        raise ValueError(placement)
+
+    def vector_access(self, placement: str, length: float,
+                      prefetch: bool = True) -> tuple[float, AccessProfile]:
+        """Cost and traffic of streaming ``length`` elements.
+
+        Global vector streams use the prefetch unit when enabled: one
+        trigger per 32-element block, then cache-speed delivery (§2.2.3).
+        """
+        prof = AccessProfile()
+        if length <= 0:
+            return 0.0, prof
+        if placement in ("private",):
+            prof.cache_elems = length
+            return self.cfg.lat_cache * length, prof
+        if placement == "cluster" or not self.cfg.has_global_memory:
+            prof.cluster_elems = length
+            # cluster streams run through the shared cache
+            return self.cfg.lat_cluster * length, prof
+        if placement == "global":
+            if prefetch:
+                blocks = -(-length // self.cfg.prefetch_block)
+                prof.prefetched_elems = length
+                prof.global_elems = length
+                return (blocks * self.cfg.prefetch_trigger
+                        + length * self.cfg.lat_global_prefetched), prof
+            prof.global_elems = length
+            # un-prefetched global vector access still pipelines somewhat
+            return length * (0.55 * self.cfg.lat_global), prof
+        raise ValueError(placement)
+
+    # -- saturation ----------------------------------------------------------
+
+    def saturation_factor(self, global_elems: float, busy_time: float,
+                          active_clusters: int) -> float:
+        """Slowdown multiplier when aggregate global traffic exceeds the
+        sustainable bandwidth.
+
+        ``global_elems`` is the total global-memory traffic the region
+        generates across all clusters; ``busy_time`` is the region's
+        uncorrected parallel run time.
+        """
+        if busy_time <= 0 or global_elems <= 0 or not self.cfg.has_global_memory:
+            return 1.0
+        demanded_rate = global_elems / busy_time
+        capacity = self.cfg.global_bandwidth
+        if demanded_rate <= capacity:
+            return 1.0
+        return demanded_rate / capacity

@@ -1,0 +1,56 @@
+"""Virtual-memory paging and thrashing model.
+
+Table 1's mprove result (speedup 1079 at size 1000) comes from the serial
+version thrashing: all its data sits in one cluster's memory, and past
+size ~800 the working set exceeds physical memory, while the parallel
+version's data fits in the larger global memory.  The model charges page
+faults once the working set exceeds the available physical memory, with a
+sharply super-linear penalty (thrash regime) beyond a small overcommit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.config import MachineConfig
+
+
+@dataclass
+class PagingModel:
+    cfg: MachineConfig
+    #: fraction of physical memory available to user data (OS, buffers,
+    #: code and stacks take the rest) — this is why the paper's serial
+    #: mprove starts thrashing past size ~800, before its two matrices
+    #: nominally fill the 16 MB cluster memory
+    usable_fraction: float = 0.75
+
+    def capacity_bytes(self, placement: str) -> float:
+        if placement == "global" and self.cfg.has_global_memory:
+            return self.cfg.global_memory_mb * 1024.0 * 1024.0 \
+                * self.usable_fraction
+        return self.cfg.cluster_memory_mb * 1024.0 * 1024.0 \
+            * self.usable_fraction
+
+    def fault_overhead(self, working_set_bytes: float, placement: str,
+                       touches: float) -> float:
+        """Extra cycles due to paging for a region touching its working
+        set ``touches`` times (e.g. passes over the data).
+
+        Below capacity: zero.  Slight overcommit: faults proportional to
+        the excess (pages stream in once per pass).  Heavy overcommit
+        (> 25%): thrashing — every pass faults most of the excess back in.
+        """
+        cap = self.capacity_bytes(placement)
+        if working_set_bytes <= cap or cap <= 0:
+            return 0.0
+        excess = working_set_bytes - cap
+        overcommit = working_set_bytes / cap
+        if overcommit <= 1.1:
+            # mild overcommit: the excess streams in once per pass
+            per_pass = excess / (self.cfg.page_kb * 1024.0) * 0.5
+        else:
+            # thrash regime: numerical passes scan the data sequentially,
+            # the worst case for LRU — essentially every page of every
+            # pass faults
+            per_pass = working_set_bytes / (self.cfg.page_kb * 1024.0)
+        return per_pass * max(touches, 1.0) * self.cfg.page_fault_cost

@@ -1,0 +1,43 @@
+"""Synchronization costs: await/advance cascades and unordered locks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.config import MachineConfig
+
+
+@dataclass
+class SyncModel:
+    cfg: MachineConfig
+
+    def cascade_cost(self, cross_cluster: bool) -> float:
+        """One await+advance pair along a DOACROSS cascade."""
+        c = self.cfg.cost_await + self.cfg.cost_advance
+        if cross_cluster:
+            c += self.cfg.cross_cluster_signal
+        return c
+
+    def critical_section(self, body_cost: float, contenders: int) -> float:
+        """Expected cost of one pass through an unordered critical section
+        under ``contenders`` simultaneous contenders: lock acquisition plus
+        expected serialization wait of half the other holders."""
+        lock = self.cfg.cost_lock + self.cfg.cost_unlock
+        wait = 0.5 * max(contenders - 1, 0) * (body_cost + lock)
+        return lock + body_cost + wait
+
+    def reduction_combine(self, level: str, elems: float = 1.0) -> float:
+        """Cost of combining per-processor partials at loop exit.
+
+        Two steps (§3.3): within each cluster over the concurrency bus,
+        then across clusters through global memory.
+        """
+        within = self.cfg.processors_per_cluster.bit_length() * (
+            self.cfg.lat_cache + self.cfg.cost_alu) * elems
+        if level == "C" or not self.cfg.has_global_memory:
+            return within
+        across = self.cfg.clusters.bit_length() * (
+            self.cfg.lat_global + self.cfg.cross_cluster_signal) * elems
+        if level == "S":
+            return across
+        return within + across

@@ -1,0 +1,52 @@
+"""Subroutine-level tasking model (paper §2.2.2).
+
+Two thread-creation mechanisms:
+
+- ``ctskstart`` — the OS builds a new cluster task: very expensive, but
+  the thread may use unrestricted synchronization;
+- ``mtskstart`` — an existing helper task picks up the thread: cheap,
+  enabling fine-grain subroutine parallelism, but synchronization inside
+  is forbidden (deadlock risk: helpers never context-switch, so a thread
+  waiting on an unscheduled thread can wait forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineModelError
+from repro.machine.config import MachineConfig
+
+
+@dataclass
+class TaskSpawn:
+    """One subroutine-level thread request."""
+
+    mechanism: str          # 'ctskstart' | 'mtskstart'
+    uses_synchronization: bool = False
+
+
+class TaskingModel:
+    def __init__(self, config: MachineConfig, helper_tasks: int | None = None):
+        self.cfg = config
+        self.helpers = (helper_tasks if helper_tasks is not None
+                        else config.total_processors - 1)
+
+    def spawn_cost(self, spawn: TaskSpawn) -> float:
+        if spawn.mechanism == "ctskstart":
+            return self.cfg.cost_ctskstart
+        if spawn.mechanism == "mtskstart":
+            if spawn.uses_synchronization:
+                raise MachineModelError(
+                    "synchronization is not allowed in mtskstart threads "
+                    "(deadlock risk: helper tasks never context-switch)")
+            return self.cfg.cost_mtskstart
+        raise MachineModelError(f"unknown mechanism {spawn.mechanism!r}")
+
+    def can_run_concurrently(self, threads: int, mechanism: str) -> bool:
+        """mtskstart threads beyond the helper count queue up; waiting on a
+        queued thread from a running one deadlocks, so the model only
+        admits fan-outs that fit."""
+        if mechanism == "ctskstart":
+            return True
+        return threads <= self.helpers

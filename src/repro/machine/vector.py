@@ -1,0 +1,26 @@
+"""Vector pipeline timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.config import MachineConfig
+
+
+@dataclass
+class VectorUnit:
+    cfg: MachineConfig
+
+    def op_cost(self, length: float, heavy: bool = False) -> float:
+        """One vector arithmetic operation over ``length`` elements.
+
+        ``heavy`` marks divide/sqrt-class operations (longer pipelines).
+        """
+        if length <= 0:
+            return 0.0
+        per = self.cfg.vector_per_element * (4.0 if heavy else 1.0)
+        return self.cfg.vector_startup + length * per
+
+    def reduction_cost(self, length: float) -> float:
+        """Vector reduction to scalar (sum/dot within one processor)."""
+        return self.cfg.vector_startup * 2 + length * self.cfg.vector_per_element

@@ -1,0 +1,211 @@
+"""Loop fusion (paper §4.2.4, Figure 9).
+
+Fusing adjacent parallel loops with identical headers builds the large
+concurrent loops Cedar needs — a single SDOALL start instead of many,
+which is the 2× gain of Figure 9.  Legality: for each pair of fused
+bodies, no *fusion-preventing* dependence — a dependence from an earlier
+loop's iteration i to a later loop's iteration j < i would be reversed by
+fusion.
+
+The pass also implements the paper's trick for FLO52: replicating the
+loop-invariant code that sits *between* two outer loops into the fused
+body (adding redundant computation) so the whole region becomes one
+parallel loop.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.analysis.depend.graph import build_dependence_graph
+from repro.analysis.expr import exprs_equal
+from repro.analysis.refs import written_names
+from repro.errors import TransformError
+from repro.fortran import ast_nodes as F
+from repro.restructurer.rename import rename_in_stmts
+
+
+def same_header(a: F.DoLoop, b: F.DoLoop,
+                params: Mapping[str, int] | None = None) -> bool:
+    """Identical iteration spaces (index names may differ)."""
+    step_a = a.step if a.step is not None else F.IntLit(1)
+    step_b = b.step if b.step is not None else F.IntLit(1)
+    return (exprs_equal(a.start, b.start, params)
+            and exprs_equal(a.end, b.end, params)
+            and exprs_equal(step_a, step_b, params))
+
+
+def fusion_legal(a: F.DoLoop, b: F.DoLoop,
+                 params: Mapping[str, int] | None = None,
+                 ignore: frozenset[str] | set[str] = frozenset()) -> bool:
+    """Can ``a`` and ``b`` (adjacent, same header) be fused?
+
+    We fuse the bodies into a probe loop and check that no dependence from
+    a ``b``-statement to an ``a``-statement is carried (backward across
+    the fusion seam), and no loop-independent dependence from ``b`` to
+    ``a`` exists.
+    """
+    if not same_header(a, b, params):
+        return False
+    body_b = [s.clone() for s in b.body]
+    if b.var != a.var:
+        rename_in_stmts(body_b, {b.var: a.var})
+    probe = F.DoLoop(var=a.var, start=a.start, end=a.end, step=a.step,
+                     body=[s.clone() for s in a.body] + body_b)
+    a_stmts = set()
+    for i, s in enumerate(probe.body):
+        if i < len(a.body):
+            for node in s.walk():
+                a_stmts.add(id(node))
+    g = build_dependence_graph(probe, params=params)
+    for d in g.deps:
+        if d.variable in ignore:
+            continue  # replicated loop-invariant scalars: benign by design
+        src_in_a = id(d.source.stmt) in a_stmts
+        sink_in_a = id(d.sink.stmt) in a_stmts
+        if src_in_a == sink_in_a:
+            continue  # within one original loop: unchanged by fusion
+        if not src_in_a and sink_in_a:
+            # dependence b → a: fusion would reverse it
+            return False
+        # a → b dependence: legal unless it becomes backward-carried,
+        # i.e. some direction vector has '>' in the fused loop position
+        if any(dv and dv[0] == ">" for dv in d.directions):
+            return False
+    return True
+
+
+def fuse(a: F.DoLoop, b: F.DoLoop) -> F.DoLoop:
+    """Fuse ``b`` into ``a`` (headers must match; returns the fused loop)."""
+    body_b = [s.clone() for s in b.body]
+    if b.var != a.var:
+        rename_in_stmts(body_b, {b.var: a.var})
+    return F.DoLoop(var=a.var, start=a.start, end=a.end, step=a.step,
+                    body=list(a.body) + body_b)
+
+
+def fuse_everywhere(stmts: list[F.Stmt],
+                    params: Mapping[str, int] | None = None,
+                    replicate_between: bool = True) -> int:
+    """Apply :func:`fuse_adjacent_in` to this list and every nested body."""
+    count = fuse_adjacent_in(stmts, params, replicate_between)
+    for s in stmts:
+        if isinstance(s, F.DoLoop):
+            count += fuse_everywhere(s.body, params, replicate_between)
+        elif isinstance(s, F.IfBlock):
+            for _, body in s.arms:
+                count += fuse_everywhere(body, params, replicate_between)
+    return count
+
+
+def fuse_adjacent_in(stmts: list[F.Stmt],
+                     params: Mapping[str, int] | None = None,
+                     replicate_between: bool = True) -> int:
+    """Fuse runs of adjacent fusable loops in a statement list (in place).
+
+    With ``replicate_between``, loop-invariant straight-line code between
+    two fusable loops is *replicated into* the fused loop body when it
+    neither reads anything the first loop writes nor writes anything
+    either loop touches — the paper's FLO52 replication trick (the code
+    then executes redundantly on every cluster).  Returns the number of
+    fusions performed.
+    """
+    fused = 0
+    i = 0
+    while i < len(stmts):
+        a = stmts[i]
+        if not isinstance(a, F.DoLoop):
+            i += 1
+            continue
+        j = i + 1
+        between: list[F.Stmt] = []
+        while j < len(stmts):
+            s = stmts[j]
+            if isinstance(s, F.DoLoop):
+                break
+            if replicate_between and isinstance(s, F.Assign) \
+                    and isinstance(s.target, F.Var):
+                between.append(s)
+                j += 1
+                continue
+            break
+        if j >= len(stmts) or not isinstance(stmts[j], F.DoLoop):
+            i += 1
+            continue
+        b = stmts[j]
+        if between and not _replicable(between, a, b):
+            i += 1
+            continue
+        probe_a = a
+        replicated: set[str] = set()
+        if between:
+            probe_a = F.DoLoop(var=a.var, start=a.start, end=a.end,
+                               step=a.step, body=list(a.body) + [
+                                   s.clone() for s in between])
+            replicated = {s.target.name for s in between
+                          if isinstance(s.target, F.Var)}
+        if not fusion_legal(probe_a, b, params, ignore=replicated):
+            i += 1
+            continue
+        # profitability: never fuse a parallelizable loop into a serial
+        # one — the merged loop would inherit the serialization (QCD's
+        # RNG loop must not swallow the measurement loop)
+        merged = fuse(probe_a, b)
+        if (_parallelish(a, params) or _parallelish(b, params)) \
+                and not _parallelish(merged, params):
+            i += 1
+            continue
+        stmts[i:j + 1] = [merged]
+        fused += 1
+        # stay at i: the merged loop may fuse with the next one too
+    return fused
+
+
+def _parallelish(loop: F.DoLoop,
+                 params: Mapping[str, int] | None = None) -> bool:
+    """Cheap parallelizability probe: carried deps modulo privatizable
+    scalars/arrays and recognized reductions."""
+    from repro.analysis.privatization import find_privatizable
+    from repro.analysis.reductions import reduction_variables
+
+    g = build_dependence_graph(loop, params=params)
+    ignore = {p.name for p in find_privatizable(loop, arrays=True)
+              if p.privatizable}
+    ignore |= reduction_variables(loop)
+    return g.is_parallel(0, ignore)
+
+
+def _replicable(between: list[F.Stmt], a: F.DoLoop, b: F.DoLoop) -> bool:
+    """Safe to replicate ``between`` into every iteration?
+
+    The statements must be scalar assignments whose targets are not read
+    or written by either loop body (they become redundant recomputation),
+    and whose RHS reads nothing the first loop writes.
+    """
+    from repro.analysis.refs import read_names
+
+    a_written = written_names(a.body)
+    b_written = written_names(b.body)
+    a_read = read_names(a.body)
+    b_read = read_names(b.body)
+    produced: set[str] = set()
+    for s in between:
+        assert isinstance(s.target, F.Var)
+        t = s.target.name
+        if t in a_written | b_written | a_read:
+            return False
+        for n in s.value.walk():
+            name = None
+            if isinstance(n, (F.Var, F.ArrayRef, F.Apply, F.FuncCall)):
+                name = n.name
+            if name is not None and name in (a_written - produced):
+                return False
+        produced.add(t)
+    # targets may be read by the second loop — that is the point — but the
+    # values must then be iteration-invariant: require RHS free of both
+    # loop indices
+    for s in between:
+        for n in s.value.walk():
+            if isinstance(n, F.Var) and n.name in (a.var, b.var):
+                return False
+    return True

@@ -1,0 +1,55 @@
+"""Loop interchange (paper §3.4: "how loops in a nest might be interchanged").
+
+Interchanging the two outer loops of a perfect nest is legal when no
+dependence has direction vector ``(<, >)`` — that pair would reverse
+execution order of the dependent iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.analysis.depend.graph import build_dependence_graph
+from repro.errors import TransformError
+from repro.fortran import ast_nodes as F
+
+
+def perfectly_nested(loop: F.DoLoop) -> Optional[F.DoLoop]:
+    """The inner loop if ``loop`` is a perfect 2-nest, else None."""
+    body = [s for s in loop.body if not isinstance(s, F.ContinueStmt)]
+    if len(body) == 1 and isinstance(body[0], F.DoLoop):
+        return body[0]
+    return None
+
+
+def interchange_legal(loop: F.DoLoop,
+                      params: Mapping[str, int] | None = None) -> bool:
+    """Is interchanging ``loop`` with its (perfectly nested) inner legal?"""
+    inner = perfectly_nested(loop)
+    if inner is None:
+        return False
+    # inner loop bounds must not depend on the outer index (non-triangular)
+    for e in (inner.start, inner.end, inner.step):
+        if e is None:
+            continue
+        for n in e.walk():
+            if isinstance(n, F.Var) and n.name == loop.var:
+                return False
+    g = build_dependence_graph(loop, params=params)
+    for d in g.deps:
+        for dv in d.directions:
+            if len(dv) >= 2 and dv[0] == "<" and dv[1] == ">":
+                return False
+    return True
+
+
+def interchange(loop: F.DoLoop) -> F.DoLoop:
+    """Swap a perfect 2-nest in place (returns the new outer loop)."""
+    inner = perfectly_nested(loop)
+    if inner is None:
+        raise TransformError("interchange requires a perfect 2-nest")
+    outer_hdr = (loop.var, loop.start, loop.end, loop.step)
+    loop.var, loop.start, loop.end, loop.step = (
+        inner.var, inner.start, inner.end, inner.step)
+    inner.var, inner.start, inner.end, inner.step = outer_hdr
+    return loop

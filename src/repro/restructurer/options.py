@@ -1,0 +1,81 @@
+"""User-settable restructurer options.
+
+The defaults correspond to the paper's *automatic* configuration (the 1991
+KAP-derived restructurer).  The ``aggressive()`` preset switches on every
+technique the paper applied *by hand* (§4.1) — array privatization,
+generalized induction variables, run-time dependence tests, array
+reductions, critical sections, interprocedural analysis — which is how the
+"manually improved" columns of Table 2 are modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class RestructurerOptions:
+    """Knobs controlling which passes run and how loops are mapped."""
+
+    # --- capability switches (baseline ≈ 1991 KAP) ---
+    scalar_privatization: bool = True
+    scalar_expansion: bool = True
+    basic_induction: bool = True
+    simple_reductions: bool = True          # s = s + a(i), single statement
+    recurrence_recognition: bool = True     # library replacement
+    doacross: bool = True
+    if_to_where: bool = True
+    stripmining: bool = True
+
+    # --- advanced techniques (paper §4.1, off by default = "automatic") ---
+    array_privatization: bool = False       # §4.1.2
+    generalized_induction: bool = False     # §4.1.4 (GIVs)
+    array_reductions: bool = False          # §4.1.3 (a(j) = a(j)+..., multi-stmt)
+    multi_stmt_reductions: bool = False     # §4.1.3
+    runtime_dependence_test: bool = False   # §4.1.5
+    critical_sections: bool = False         # §4.1.6
+    interprocedural: bool = False           # §4.1.1 (MOD/REF + const prop)
+    inline_expansion: bool = False          # §3.2
+    loop_fusion: bool = False               # §4.2.4
+    loop_interchange: bool = True
+    # The 1991 system mapped a single parallel loop to XDOALL+strip (§3.2);
+    # choosing a cheap single-cluster CDOALL for small loops was part of
+    # the manual loop-level/hardware-level matching the paper was still
+    # studying (§3.4, §4.2.4)
+    cluster_mapping: bool = False
+
+    # --- planning ---
+    max_versions: int = 50                  # candidate-version cap (§3.4)
+    default_trip: int = 1000                # assumed trips for unknown bounds
+    default_strip: int = 32                 # default vector strip length
+    default_placement: str = "cluster"      # interface data default (§3.2)
+
+    # --- target shape (used by the planner's cost model) ---
+    clusters: int = 4
+    processors_per_cluster: int = 8
+
+    def aggressive(self) -> "RestructurerOptions":
+        """The paper's hand-applied technique set (Table 2 'manual')."""
+        return replace(
+            self,
+            array_privatization=True,
+            generalized_induction=True,
+            array_reductions=True,
+            multi_stmt_reductions=True,
+            runtime_dependence_test=True,
+            critical_sections=True,
+            interprocedural=True,
+            inline_expansion=True,
+            loop_fusion=True,
+            cluster_mapping=True,
+        )
+
+    @staticmethod
+    def automatic() -> "RestructurerOptions":
+        """The baseline automatic configuration."""
+        return RestructurerOptions()
+
+    @staticmethod
+    def manual() -> "RestructurerOptions":
+        """Alias for ``automatic().aggressive()``."""
+        return RestructurerOptions().aggressive()

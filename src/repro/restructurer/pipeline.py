@@ -1,0 +1,153 @@
+"""The fortran77 → Cedar Fortran restructuring pipeline (paper Figure 2).
+
+:class:`Restructurer` drives the whole translation:
+
+1. parse-level preparation: symbol tables, PARAMETER constants, optional
+   interprocedural summaries and inline expansion;
+2. per-unit, per-nest planning and transformation (the
+   :class:`LoopPlanner`), optionally preceded by loop fusion;
+3. globalization (GLOBAL/CLUSTER placement).
+
+The :class:`RestructureReport` records, per unit and loop, which version
+won, what the analyses found, and why loops stayed serial — the raw
+material of the paper's hand-analysis methodology (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.expr import const_value
+from repro.analysis.interproc.summaries import effects_oracle, summarize_source_file
+from repro.cedar.nodes import ParallelDo
+from repro.fortran import ast_nodes as F
+from repro.fortran.symtab import SymbolTable, build_symbol_table
+from repro.restructurer.fusion import fuse_everywhere
+from repro.restructurer.globalize import PlacementResult, globalize_unit
+from repro.restructurer.inline import inline_calls
+from repro.restructurer.options import RestructurerOptions
+from repro.restructurer.planner import LoopPlanner, NestPlan
+
+
+@dataclass
+class UnitReport:
+    """Restructuring outcome of one program unit."""
+
+    name: str
+    plans: list[NestPlan] = field(default_factory=list)
+    fused_loops: int = 0
+    inlined_calls: int = 0
+    placement: Optional[PlacementResult] = None
+
+    @property
+    def parallelized_loops(self) -> int:
+        return sum(1 for p in self.plans if p.parallelized)
+
+    @property
+    def total_loops(self) -> int:
+        return len(self.plans)
+
+
+@dataclass
+class RestructureReport:
+    """Whole-translation report."""
+
+    units: dict[str, UnitReport] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = []
+        for name, u in self.units.items():
+            lines.append(f"{name}: {u.parallelized_loops}/{u.total_loops} "
+                         f"loop nests parallelized"
+                         + (f", {u.fused_loops} fused" if u.fused_loops else "")
+                         + (f", {u.inlined_calls} calls inlined"
+                            if u.inlined_calls else ""))
+            for p in u.plans:
+                lines.append(f"  {p.original.var}-loop -> {p.chosen}")
+        return "\n".join(lines)
+
+
+class Restructurer:
+    """Drives fortran77 → Cedar Fortran translation of a source file."""
+
+    def __init__(self, options: RestructurerOptions | None = None):
+        self.opt = options or RestructurerOptions()
+
+    def run(self, sf: F.SourceFile) -> tuple[F.SourceFile, RestructureReport]:
+        """Restructure every unit of ``sf`` (the tree is transformed in
+        place and also returned, with Cedar nodes spliced in)."""
+        report = RestructureReport()
+
+        effects = None
+        if self.opt.interprocedural:
+            summaries = summarize_source_file(sf)
+            effects = effects_oracle(summaries)
+
+        # inline expansion must see the *original* callees: units are
+        # restructured in file order, and inlining an already-transformed
+        # callee would splice Cedar nodes into a pre-translation tree
+        pristine = F.SourceFile([u.clone() for u in sf.units]) \
+            if self.opt.inline_expansion else sf
+
+        for unit in sf.units:
+            report.units[unit.name] = self._run_unit(unit, pristine, effects)
+        return sf, report
+
+    # ------------------------------------------------------------------
+
+    def _run_unit(self, unit: F.ProgramUnit, sf: F.SourceFile,
+                  effects) -> UnitReport:
+        ur = UnitReport(unit.name)
+
+        if self.opt.inline_expansion:
+            res = inline_calls(unit, sf)
+            ur.inlined_calls = res.expanded
+
+        symtab = build_symbol_table(unit)
+        params = self._parameter_values(symtab)
+
+        if self.opt.loop_fusion:
+            ur.fused_loops = fuse_everywhere(unit.body, params)
+
+        planner = LoopPlanner(self.opt, unit, symtab, params, effects)
+        self._plan_region(unit.body, planner, ur)
+
+        ur.placement = globalize_unit(unit, symtab,
+                                      self.opt.default_placement)
+        return ur
+
+    def _plan_region(self, stmts: list[F.Stmt], planner: LoopPlanner,
+                     ur: UnitReport) -> None:
+        """Plan every outermost loop in a statement region (in place).
+
+        Loops the planner leaves serial are descended into, so the nests
+        inside a sequential time/convergence loop still parallelize —
+        startup costs then recur per outer iteration, as on the machine.
+        """
+        i = 0
+        while i < len(stmts):
+            s = stmts[i]
+            if isinstance(s, F.DoLoop):
+                plan = planner.plan(s)
+                ur.plans.append(plan)
+                stmts[i:i + 1] = plan.replacement
+                for r in plan.replacement:
+                    if isinstance(r, F.DoLoop) and not isinstance(r, ParallelDo):
+                        self._plan_region(r.body, planner, ur)
+                i += len(plan.replacement)
+                continue
+            if isinstance(s, F.IfBlock):
+                for _, body in s.arms:
+                    self._plan_region(body, planner, ur)
+            i += 1
+
+    @staticmethod
+    def _parameter_values(symtab: SymbolTable) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for name, sym in symtab.symbols.items():
+            if sym.is_parameter and sym.param_value is not None:
+                v = const_value(sym.param_value)
+                if isinstance(v, (int, bool)):
+                    out[name] = int(v)
+        return out

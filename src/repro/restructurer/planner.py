@@ -1,0 +1,550 @@
+"""The central coordinator: loop-nest planning (paper §3.4).
+
+For each outermost loop nest the planner
+
+1. runs the scalar analyses (induction substitution, reduction
+   recognition, privatization) to explain away removable dependences;
+2. builds the dependence graph and determines which nest levels can run
+   in parallel;
+3. enumerates candidate execution versions — serial, inner-vector,
+   XDOALL (+stripmined vector body), SDOALL/CDOALL nests, CDOACROSS with
+   synchronization, optionally behind a run-time dependence test — up to
+   the user-settable cap (default 50);
+4. scores each with the compile-time cost model and materializes the
+   cheapest.
+
+"We believe that as the number of alternatives increases, so does the
+number of near-optimal ones" — the heuristics here are deliberately
+simple, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.analysis.depend.graph import DependenceGraph, build_dependence_graph
+from repro.analysis.induction import find_induction_variables
+from repro.analysis.privatization import PrivatizationResult, find_privatizable
+from repro.analysis.reductions import Reduction, find_reductions
+from repro.analysis.runtime_test import synthesize_runtime_test
+from repro.cedar.nodes import ParallelDo
+from repro.errors import TransformError
+from repro.fortran import ast_nodes as F
+from repro.fortran.symtab import SymbolTable
+from repro.restructurer.costmodel import CostModel, estimate_body_ops, trip_count
+from repro.restructurer.criticals import (
+    build_critical_loop,
+    plan_critical_section,
+)
+from repro.restructurer.doacross import build_doacross, plan_doacross
+from repro.restructurer.induction_sub import substitute_inductions
+from repro.restructurer.names import NamePool
+from repro.restructurer.options import RestructurerOptions
+from repro.restructurer.privatize import privatize_for_loop
+from repro.restructurer.recurrence import replace_with_library
+from repro.restructurer.reduction_xform import transform_reductions
+from repro.restructurer.scalar_expansion import plan_expansion
+from repro.restructurer.stripmine import stripmine_vectorize, vectorize_inner
+from repro.restructurer.versioning import build_two_version
+
+
+@dataclass
+class NestPlan:
+    """What the planner decided for one loop nest."""
+
+    original: F.DoLoop
+    replacement: list[F.Stmt]
+    chosen: str                        # label of the winning version
+    considered: list[tuple[str, float]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def parallelized(self) -> bool:
+        from repro.cedar.nodes import contains_parallelism
+
+        return (contains_parallelism(self.replacement)
+                or self.chosen.startswith("library"))
+
+
+def _monotonic_arrays(loop: F.DoLoop, ivs) -> dict[str, str]:
+    """Arrays provably written at distinct addresses every iteration.
+
+    An array qualifies for IV ``v`` when *every* reference to it in the
+    loop is 1-D with the **identical** affine subscript ``v + c`` — the
+    TRFD packed-triangle pattern ``xij(k)``.  Because ``v`` is strictly
+    monotonic across iterations, no two iterations touch the same cell,
+    so the (non-affine after substitution) dependences on the array can
+    be discharged.  Returns {array name: iv name}.
+    """
+    from repro.analysis.expr import linearize
+    from repro.analysis.refs import LoopInfo, RefCollector
+
+    mono_ivs = {iv.name for iv in ivs if iv.strictly_monotonic}
+    if not mono_ivs:
+        return {}
+    rc = RefCollector()
+    rc.collect(loop.body, (LoopInfo.of(loop),))
+    by_name: dict[str, list] = {}
+    for r in rc.refs:
+        if r.subscripts:
+            by_name.setdefault(r.name, []).append(r)
+    out: dict[str, str] = {}
+    for name, refs in by_name.items():
+        forms = []
+        ok = True
+        for r in refs:
+            if r.in_call or len(r.subscripts) != 1:
+                ok = False
+                break
+            le = linearize(r.subscripts[0])
+            if le is None:
+                ok = False
+                break
+            ivs_used = le.variables() & mono_ivs
+            if len(ivs_used) != 1 or len(le.variables()) != 1 \
+                    or abs(le.coeff(next(iter(ivs_used)))) != 1:
+                ok = False
+                break
+            forms.append((next(iter(ivs_used)), le.const, le.coeffs))
+        if ok and forms and len({f for f in forms}) == 1:
+            out[name] = forms[0][0]
+    return out
+
+
+class LoopPlanner:
+    """Plans and materializes one loop nest at a time."""
+
+    def __init__(self, options: RestructurerOptions,
+                 unit: F.ProgramUnit, symtab: SymbolTable,
+                 params: dict[str, int] | None = None,
+                 effects: Optional[Callable] = None):
+        self.opt = options
+        self.unit = unit
+        self.symtab = symtab
+        self.params = params or {}
+        self.effects = effects
+        self.pool = NamePool(unit)
+        self.cost = CostModel(options.clusters,
+                              options.processors_per_cluster,
+                              options.default_trip)
+
+    # ------------------------------------------------------------------
+
+    def plan(self, loop: F.DoLoop) -> NestPlan:
+        notes: list[str] = []
+        before: list[F.Stmt] = []
+        after: list[F.Stmt] = []
+
+        # 1. induction variables
+        substituted: list[str] = []
+        mono_arrays: set[str] = set()
+        if self.opt.basic_induction or self.opt.generalized_induction:
+            ivs = find_induction_variables(loop, self.params)
+            allowed = []
+            for iv in ivs:
+                if iv.kind == "basic" and self.opt.basic_induction:
+                    allowed.append(iv)
+                elif iv.kind in ("geometric", "polynomial") \
+                        and self.opt.generalized_induction:
+                    allowed.append(iv)
+            if allowed:
+                candidates = _monotonic_arrays(loop, allowed)
+                outcome = substitute_inductions(loop, allowed, self.pool)
+                before.extend(outcome.before_loop)
+                after.extend(outcome.after_loop)
+                substituted = outcome.substituted
+                mono_arrays = {a for a, iv_name in candidates.items()
+                               if iv_name in substituted}
+                if substituted:
+                    notes.append("induction substitution: "
+                                 + ", ".join(substituted))
+                if mono_arrays:
+                    notes.append("monotonic-IV arrays independent: "
+                                 + ", ".join(sorted(mono_arrays)))
+
+        # 2. library idiom replacement
+        if self.opt.recurrence_recognition:
+            lib = replace_with_library(loop)
+            if lib is not None:
+                notes.append("replaced by Cedar library call")
+                return NestPlan(loop, before + lib + after,
+                                chosen="library", notes=notes)
+
+        # 3. reductions
+        reductions = self._allowed_reductions(loop)
+
+        # 4. privatization
+        priv = find_privatizable(
+            loop, self.unit, self.symtab, self.params,
+            arrays=self.opt.array_privatization)
+        priv_ok = [p for p in priv if p.privatizable]
+        if not self.opt.scalar_privatization:
+            priv_ok = [p for p in priv_ok if p.is_array]
+
+        # 5. dependence graph + ignorable variables.  A variable counts as
+        # explained only if the privatization transform will actually take
+        # it: arrays needing a last value are declined there, and scalars
+        # needing one must have a synthesizable final assignment.
+        from repro.restructurer.privatize import _last_value_assign
+
+        ignorable: set[str] = set()
+        for p in priv_ok:
+            if p.needs_last_value:
+                if p.is_array:
+                    continue
+                if _last_value_assign(loop, p.name) is None:
+                    continue
+            ignorable.add(p.name)
+        graph = build_dependence_graph(loop, self.params, self.effects)
+        # a "reduction" whose accumulator carries no dependence (e.g. an
+        # array element indexed by the parallel loop) needs no transform:
+        # treating it as one would privatize/combine whole arrays for
+        # nothing
+        carried_vars = graph.variables_with_carried(0)
+        reductions = [r for r in reductions if r.var in carried_vars]
+        self._active_reduction_vars = {r.var for r in reductions}
+        ignore = (ignorable
+                  | {r.var for r in reductions}
+                  | set(substituted)
+                  | mono_arrays)
+
+        outer_parallel = graph.is_parallel(0, ignore)
+        inner = self._inner_loop(loop)
+        inner_parallel = (inner is not None
+                          and self._inner_is_parallel(loop, inner, graph))
+
+        # 6. enumerate and score
+        versions = self._versions(loop, graph, ignore, reductions, priv_ok,
+                                  outer_parallel, inner, inner_parallel)
+        versions = versions[: self.opt.max_versions]
+        if not versions:
+            return NestPlan(loop, before + [loop] + after, chosen="serial",
+                            considered=[("serial", 0.0)], notes=notes)
+        versions.sort(key=lambda v: v[1])
+        considered = [(label, score) for label, score, _ in versions]
+
+        # 7. materialize the winner (fall back down the list on failure)
+        for label, score, builder in versions:
+            try:
+                stmts = builder()
+            except TransformError as exc:
+                notes.append(f"version {label} failed: {exc}")
+                continue
+            return NestPlan(loop, before + stmts + after, chosen=label,
+                            considered=considered, notes=notes)
+        return NestPlan(loop, before + [loop] + after, chosen="serial",
+                        considered=considered, notes=notes)
+
+    # ------------------------------------------------------------------
+
+    def _allowed_reductions(self, loop: F.DoLoop) -> list[Reduction]:
+        if not self.opt.simple_reductions:
+            return []
+        reds = find_reductions(loop)
+        out = []
+        for r in reds:
+            if r.kind == "array":
+                if not self.opt.array_reductions:
+                    continue
+                sym = self.symtab.lookup(r.var)
+                if sym is None or not sym.is_array \
+                        or any(b.upper is None for b in sym.dims):
+                    continue  # assumed-size: cannot build the private copy
+            if len(r.stmts) > 1 and not self.opt.multi_stmt_reductions:
+                continue
+            out.append(r)
+        return out
+
+    def _inner_loop(self, loop: F.DoLoop) -> Optional[F.DoLoop]:
+        body = [s for s in loop.body if not isinstance(s, F.ContinueStmt)]
+        inners = [s for s in body if isinstance(s, F.DoLoop)]
+        if len(inners) == 1:
+            return inners[0]
+        return None
+
+    def _inner_is_parallel(self, outer: F.DoLoop, inner: F.DoLoop,
+                           outer_graph: DependenceGraph) -> bool:
+        sub = build_dependence_graph(inner, self.params, self.effects)
+        priv = find_privatizable(inner, self.unit, self.symtab, self.params,
+                                 arrays=self.opt.array_privatization)
+        ignore = {p.name for p in priv if p.privatizable}
+        # reductions are NOT ignorable here: the CDOALL built for the inner
+        # loop has no reduction transform, so an accumulator would race
+        return sub.is_parallel(0, ignore)
+
+    # ------------------------------------------------------------------
+
+    def _versions(self, loop, graph, ignore, reductions, priv_ok,
+                  outer_parallel, inner, inner_parallel):
+        """(label, score, builder) candidates, unsorted."""
+        trips = trip_count(loop, self.opt.default_trip)
+        body_ops = estimate_body_ops(loop.body, self.opt.default_trip)
+        out: list[tuple[str, float, Callable[[], list[F.Stmt]]]] = []
+
+        out.append(("serial", self.cost.serial(trips, body_ops),
+                    lambda: [loop]))
+
+        if inner is not None and inner_parallel and self.opt.stripmining:
+            itrips = trip_count(inner, self.opt.default_trip)
+            ibody = estimate_body_ops(inner.body, self.opt.default_trip)
+            per_iter = (body_ops - self.cost.serial(itrips, ibody)
+                        + self.cost.vectorized(itrips, ibody))
+            out.append((
+                "inner-vector",
+                self.cost.serial(trips, max(per_iter, 1.0)),
+                lambda: [self._with_inner_vectorized(loop)],
+            ))
+
+        if outer_parallel:
+            if self.opt.stripmining:
+                out.append((
+                    "xdoall-vector",
+                    self.cost.parallel("xdoall", trips,
+                                       max(0.35 * body_ops, 1.0),
+                                       self.cost.total_p),
+                    lambda: self._build_xdoall(loop, reductions, priv_ok,
+                                               vector=True),
+                ))
+                # single-cluster mapping: far cheaper startup, 8 procs —
+                # wins for small loops (§3.4's DOALL-activation question)
+                if self.opt.cluster_mapping:
+                    out.append((
+                        "cdoall-vector",
+                        self.cost.parallel("cdoall", trips,
+                                           max(0.35 * body_ops, 1.0),
+                                           self.cost.ppc),
+                        lambda: self._build_xdoall(loop, reductions, priv_ok,
+                                                   vector=True, level="C"),
+                    ))
+            out.append((
+                "xdoall",
+                self.cost.parallel("xdoall", trips, body_ops,
+                                   self.cost.total_p),
+                lambda: self._build_xdoall(loop, reductions, priv_ok,
+                                           vector=False),
+            ))
+            if self.opt.cluster_mapping:
+                out.append((
+                    "cdoall",
+                    self.cost.parallel("cdoall", trips, body_ops,
+                                       self.cost.ppc),
+                    lambda: self._build_xdoall(loop, reductions, priv_ok,
+                                               vector=False, level="C"),
+                ))
+            if inner is not None and inner_parallel:
+                itrips = trip_count(inner, self.opt.default_trip)
+                ibody = estimate_body_ops(inner.body, self.opt.default_trip)
+                inner_cost = self.cost.parallel(
+                    "cdoall", itrips, max(0.35 * ibody, 1.0), self.cost.ppc)
+                rest = max(body_ops - self.cost.serial(itrips, ibody), 0.0)
+                out.append((
+                    "sdoall-cdoall",
+                    self.cost.parallel("sdoall", trips, rest + inner_cost,
+                                       self.cost.clusters),
+                    lambda: self._build_sdoall_cdoall(loop, inner,
+                                                      reductions, priv_ok),
+                ))
+        else:
+            # DOACROSS alternative for carried-but-synchronizable loops
+            if self.opt.doacross and not reductions:
+                plan = plan_doacross(loop, graph, ignore)
+                if plan is not None:
+                    score = self.cost.doacross(
+                        "cdoacross", trips, body_ops,
+                        plan.region_ops, self.cost.ppc)
+                    out.append((
+                        "cdoacross", score,
+                        lambda p=plan: self._build_doacross(p, priv_ok),
+                    ))
+            # run-time dependence test: two-version loop
+            if self.opt.runtime_dependence_test:
+                test = synthesize_runtime_test(loop, self.params)
+                if test is not None:
+                    par_score = self.cost.parallel(
+                        "xdoall", trips, body_ops, self.cost.total_p)
+                    out.append((
+                        "runtime-two-version",
+                        par_score * 1.1 + 10.0,
+                        lambda t=test: self._build_two_version(
+                            loop, t, reductions, priv_ok),
+                    ))
+            # unordered critical section (§4.1.6)
+            if self.opt.critical_sections:
+                cplan = plan_critical_section(loop, graph, ignore)
+                if cplan is not None:
+                    base = self.cost.parallel("xdoall", trips, body_ops,
+                                              self.cost.total_p)
+                    serialized = trips * (cplan.region_ops + 60.0)
+                    out.append((
+                        "critical-xdoall", max(base, serialized) * 1.05,
+                        lambda cp=cplan: self._build_critical(cp, priv_ok),
+                    ))
+            # inner vectorization may still apply below a serial outer
+        return out
+
+    # -- builders ----------------------------------------------------------
+
+    def _with_inner_vectorized(self, loop: F.DoLoop) -> F.Stmt:
+        inner = self._inner_loop(loop)
+        assert inner is not None
+        new_body: list[F.Stmt] = []
+        for s in loop.body:
+            if s is inner:
+                new_body.extend(vectorize_inner(inner))
+            else:
+                new_body.append(s)
+        return F.DoLoop(var=loop.var, start=loop.start, end=loop.end,
+                        step=loop.step, body=new_body)
+
+    def _build_xdoall(self, loop: F.DoLoop, reductions: list[Reduction],
+                      priv: list[PrivatizationResult],
+                      vector: bool, level: str = "X") -> list[F.Stmt]:
+        work = loop.clone()
+        active = getattr(self, "_active_reduction_vars", None)
+        reds = [r for r in self._allowed_reductions(work)
+                if active is None or r.var in active]
+        red_out = transform_reductions(work, reds, self.pool, self.symtab)
+        priv_out = privatize_for_loop(
+            work, priv, self.symtab,
+            allow_arrays=self.opt.array_privatization)
+        if vector:
+            if red_out.transformed:
+                raise TransformError(
+                    "reduction loops are not stripmine-vectorized; the "
+                    "partial accumulator stays scalar per processor")
+            # analyze scalars on the original loop (still in the unit tree,
+            # so liveness queries see the surrounding code)
+            plan = plan_expansion(loop, self.pool, self.symtab, self.unit)
+            if not plan.ok:
+                raise TransformError(
+                    f"scalars block vectorization: {plan.blocked}")
+            pdo = stripmine_vectorize(
+                work, self.pool, strip=self.opt.default_strip, level=level,
+                expanded_scalars=plan.mapping, scalar_types=plan.types)
+        else:
+            # inner library idioms (dot products, sums) still pay off per
+            # task: each processor runs the vectorized library kernel on
+            # its own iteration's data
+            if self.opt.recurrence_recognition:
+                self._replace_inner_idioms(work.body)
+            # remaining parallel inner loops vectorize per task — the
+            # paper's third level ("SDOALL / CDOALL / vector", Figure 9)
+            if self.opt.stripmining:
+                self._vectorize_inner_loops(work.body)
+            pdo = ParallelDo(level=level, order="doall", var=work.var,
+                             start=work.start, end=work.end, step=work.step,
+                             body=work.body)
+            pdo.locals_ = priv_out.locals_
+        pdo.locals_ = pdo.locals_ + red_out.locals_
+        pdo.preamble = red_out.preamble
+        pdo.postamble = red_out.postamble
+        return [pdo] + priv_out.after_loop
+
+    def _build_sdoall_cdoall(self, loop: F.DoLoop, inner: F.DoLoop,
+                             reductions: list[Reduction],
+                             priv: list[PrivatizationResult]) -> list[F.Stmt]:
+        if reductions:
+            raise TransformError(
+                "reductions are mapped to single-level XDOALL loops")
+        # analyze the inner loop while it still sits in the original tree
+        inner_priv_results = find_privatizable(
+            inner, self.unit, self.symtab, self.params,
+            arrays=self.opt.array_privatization)
+        work = loop.clone()
+        w_inner = self._inner_loop(work)
+        assert w_inner is not None
+        priv_out = privatize_for_loop(
+            work, priv, self.symtab,
+            allow_arrays=self.opt.array_privatization)
+
+        # inner loop: CDOALL; with only two parallel levels the paper also
+        # stripmines the innermost to generate vector statements
+        try:
+            cdo = stripmine_vectorize(
+                w_inner, self.pool, strip=self.opt.default_strip, level="C")
+        except TransformError:
+            inner_priv = privatize_for_loop(
+                w_inner, inner_priv_results,
+                self.symtab, allow_arrays=self.opt.array_privatization)
+            cdo = ParallelDo(level="C", order="doall", var=w_inner.var,
+                             start=w_inner.start, end=w_inner.end,
+                             step=w_inner.step, locals_=inner_priv.locals_,
+                             body=w_inner.body)
+
+        new_body: list[F.Stmt] = []
+        for s in work.body:
+            if s is w_inner:
+                new_body.append(cdo)
+            else:
+                new_body.append(s)
+        sdo = ParallelDo(level="S", order="doall", var=work.var,
+                         start=work.start, end=work.end, step=work.step,
+                         locals_=priv_out.locals_, body=new_body)
+        return [sdo] + priv_out.after_loop
+
+    def _build_doacross(self, plan, priv: list[PrivatizationResult]
+                        ) -> list[F.Stmt]:
+        priv_out = privatize_for_loop(
+            plan.loop, priv, self.symtab,
+            allow_arrays=self.opt.array_privatization)
+        pdo = build_doacross(plan, level="C", locals_=priv_out.locals_)
+        return [pdo] + priv_out.after_loop
+
+    def _build_two_version(self, loop: F.DoLoop, test,
+                           reductions, priv) -> list[F.Stmt]:
+        parallel = self._build_xdoall(loop, reductions, priv, vector=False)
+        serial = [loop.clone()]
+        return [build_two_version(test, parallel, serial)]
+
+    def _vectorize_inner_loops(self, stmts: list[F.Stmt]) -> None:
+        """Vectorize eligible inner loops in place (full-range sections)."""
+        i = 0
+        while i < len(stmts):
+            s = stmts[i]
+            if isinstance(s, F.DoLoop):
+                inner_has_loop = any(isinstance(x, F.DoLoop)
+                                     for x in F.stmts_walk(s.body))
+                if not inner_has_loop:
+                    g = build_dependence_graph(s, self.params, self.effects)
+                    priv = {p.name for p in
+                            find_privatizable(s, arrays=False)
+                            if p.privatizable and not p.is_array}
+                    if g.is_parallel(0, priv):
+                        try:
+                            stmts[i:i + 1] = vectorize_inner(s)
+                            i += 1
+                            continue
+                        except TransformError:
+                            pass
+                self._vectorize_inner_loops(s.body)
+            elif isinstance(s, F.IfBlock):
+                for _, body in s.arms:
+                    self._vectorize_inner_loops(body)
+            i += 1
+
+    def _replace_inner_idioms(self, stmts: list[F.Stmt]) -> None:
+        """Replace library idioms among nested loops (in place)."""
+        i = 0
+        while i < len(stmts):
+            s = stmts[i]
+            if isinstance(s, F.DoLoop):
+                rep = replace_with_library(s)
+                if rep is not None:
+                    stmts[i:i + 1] = rep
+                    i += len(rep)
+                    continue
+                self._replace_inner_idioms(s.body)
+            elif isinstance(s, F.IfBlock):
+                for _, body in s.arms:
+                    self._replace_inner_idioms(body)
+            i += 1
+
+    def _build_critical(self, cplan, priv: list[PrivatizationResult]
+                        ) -> list[F.Stmt]:
+        priv_out = privatize_for_loop(
+            cplan.loop, priv, self.symtab,
+            allow_arrays=self.opt.array_privatization)
+        pdo = build_critical_loop(cplan, level="X",
+                                  locals_=priv_out.locals_)
+        return [pdo] + priv_out.after_loop

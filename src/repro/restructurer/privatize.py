@@ -1,0 +1,104 @@
+"""Privatization transformation (paper §3.2, §4.1.2).
+
+Given a loop chosen to run parallel and the analysis verdicts, this pass
+builds the loop-local declarations that make each processor own a private
+copy of the privatized scalars and arrays, and emits last-value
+assignments after the loop for variables that are live-out.
+
+Private data lands in cluster memory on Cedar — that placement (and the
+Figure 7 speed difference against globally-expanded storage) is modelled
+by the machine layer; here we only produce the Cedar Fortran form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.privatization import PrivatizationResult
+from repro.errors import TransformError
+from repro.fortran import ast_nodes as F
+from repro.fortran.symtab import SymbolTable
+
+
+@dataclass
+class PrivatizeOutcome:
+    """Declarations and follow-up statements produced by privatization."""
+
+    locals_: list[F.Stmt] = field(default_factory=list)
+    after_loop: list[F.Stmt] = field(default_factory=list)
+    privatized: list[str] = field(default_factory=list)
+    declined: list[str] = field(default_factory=list)
+
+
+def _decl_for(name: str, symtab: SymbolTable | None) -> F.TypeDecl:
+    sym = symtab.lookup(name) if symtab else None
+    if sym is not None and sym.is_array:
+        dims = [F.DimSpec(b.lower.clone() if b.lower else None,
+                          b.upper.clone() if b.upper else None)
+                for b in sym.dims]
+        ent = F.EntityDecl(name, dims)
+        base = sym.type
+    else:
+        ent = F.EntityDecl(name)
+        base = sym.type if sym else (
+            "integer" if name[0] in "ijklmn" else "real")
+    return F.TypeDecl(type=F.TypeSpec(base), entities=[ent])
+
+
+def _last_value_assign(loop: F.DoLoop, name: str) -> F.Stmt | None:
+    """Synthesize the post-loop last-value assignment for a scalar.
+
+    Supported when the scalar has exactly one unconditional top-level
+    definition ``name = rhs`` whose RHS only uses the loop index and
+    loop-invariant values: the last value is ``rhs[i → end]``.
+    """
+    from repro.analysis.refs import written_names
+    from repro.restructurer.rename import substitute_reads
+
+    defs = [s for s in loop.body
+            if isinstance(s, F.Assign) and isinstance(s.target, F.Var)
+            and s.target.name == name]
+    all_defs = [s for s in F.stmts_walk(loop.body)
+                if isinstance(s, F.Assign) and isinstance(s.target, F.Var)
+                and s.target.name == name]
+    if len(defs) != 1 or len(all_defs) != 1:
+        return None
+    rhs = defs[0].value.clone()
+    written = written_names(loop.body) - {name, loop.var}
+    for n in rhs.walk():
+        if isinstance(n, F.Var) and n.name in written:
+            return None
+    holder = F.Assign(target=F.Var(name), value=rhs)
+    substitute_reads([holder], loop.var, loop.end.clone())
+    return holder
+
+
+def privatize_for_loop(loop: F.DoLoop,
+                       results: list[PrivatizationResult],
+                       symtab: SymbolTable | None = None,
+                       allow_arrays: bool = True) -> PrivatizeOutcome:
+    """Turn analysis verdicts into loop-local declarations.
+
+    Variables needing a last value get one synthesized when possible;
+    otherwise they are declined (stay shared — the loop then may not be
+    parallelizable on their account, which the planner rechecks).
+    """
+    out = PrivatizeOutcome()
+    for r in results:
+        if not r.privatizable:
+            continue
+        if r.is_array and not allow_arrays:
+            out.declined.append(r.name)
+            continue
+        if r.needs_last_value:
+            if r.is_array:
+                out.declined.append(r.name)
+                continue
+            lv = _last_value_assign(loop, r.name)
+            if lv is None:
+                out.declined.append(r.name)
+                continue
+            out.after_loop.append(lv)
+        out.locals_.append(_decl_for(r.name, symtab))
+        out.privatized.append(r.name)
+    return out

@@ -1,0 +1,170 @@
+"""Recurrence and reduction *library replacement* (paper §3.3).
+
+Loops that are nothing but a known recurrence/reduction idiom are replaced
+by calls into the Cedar-optimized library: dot products, sums, min/max
+searches, and first-order linear recurrences.  The paper reports the
+parallel dot product halving Conjugate Gradient's run time.
+
+Recognized whole-loop idioms (body must consist of the idiom alone):
+
+- ``s = s + a(i) * b(i)``        → ``s = s + ces_dotproduct(a(l:u), b(l:u))``
+- ``s = s + a(i)``               → ``s = s + ces_sum(a(l:u))``
+- ``s = min(s, a(i))`` (or max)  → ``s = min(s, ces_minval(a(l:u)))``
+- ``x(i) = x(i-1) * b(i) + c(i)`` → ``call ces_linrec(x(l:u), b(l:u), c(l:u))``
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.expr import exprs_equal, linearize
+from repro.fortran import ast_nodes as F
+
+
+def _indexed_ref(e: F.Expr, idx: str, offset: int = 0
+                 ) -> Optional[tuple[str, list[F.Expr], int]]:
+    """Match a reference with exactly one dimension equal to ``idx+offset``
+    and every other dimension loop-invariant.
+
+    Returns (array name, subscripts, position of the indexed dimension).
+    Multi-dimensional accesses like ``a(i, j)`` (j the loop index) match —
+    their replacement streams one row/column as a section.
+    """
+    if not isinstance(e, (F.ArrayRef, F.Apply)):
+        return None
+    subs = e.subscripts if isinstance(e, F.ArrayRef) else e.args
+    pos = -1
+    for d, s in enumerate(subs):
+        if isinstance(s, F.RangeExpr):
+            return None
+        le = linearize(s)
+        if le is None:
+            return None
+        if le.coeff(idx) != 0:
+            if le.coeff(idx) != 1 or le.variables() != {idx} \
+                    or le.const != offset or pos >= 0:
+                return None
+            pos = d
+    if pos < 0:
+        return None
+    return e.name, list(subs), pos
+
+
+def _plain_ref(e: F.Expr, idx: str, offset: int = 0) -> Optional[str]:
+    """Match ``name(..., idx + offset, ...)``; returns the array name."""
+    got = _indexed_ref(e, idx, offset)
+    return got[0] if got is not None else None
+
+
+def _section_of(ref: tuple[str, list[F.Expr], int],
+                loop: F.DoLoop) -> F.ArrayRef:
+    """Section covering the loop range in the indexed dimension."""
+    name, subs, pos = ref
+    out = [s.clone() for s in subs]
+    out[pos] = F.RangeExpr(loop.start.clone(), loop.end.clone(), None)
+    return F.ArrayRef(name, out)
+
+
+def _section(name: str, loop: F.DoLoop) -> F.ArrayRef:
+    return F.ArrayRef(name, [F.RangeExpr(loop.start.clone(),
+                                         loop.end.clone(), None)])
+
+
+def _single_stmt(loop: F.DoLoop) -> Optional[F.Stmt]:
+    body = [s for s in loop.body if not isinstance(s, F.ContinueStmt)]
+    if len(body) != 1:
+        return None
+    return body[0]
+
+
+def replace_with_library(loop: F.DoLoop) -> Optional[list[F.Stmt]]:
+    """If the loop is a recognized idiom, return its replacement statements.
+
+    Returns None when the loop is not a pure library idiom.
+    """
+    if loop.step is not None and not F.is_const_int(loop.step, 1):
+        return None
+    s = _single_stmt(loop)
+    if s is None or not isinstance(s, F.Assign):
+        return None
+    idx = loop.var
+
+    # scalar accumulator forms: s = s + <contrib> / s = s - <contrib>
+    if isinstance(s.target, F.Var):
+        acc = s.target.name
+        e = s.value
+        if isinstance(e, F.BinOp) and e.op == "+":
+            for self_side, contrib in ((e.left, e.right), (e.right, e.left)):
+                if isinstance(self_side, F.Var) and self_side.name == acc:
+                    rep = _accumulator_replacement(acc, contrib, loop, idx)
+                    if rep is not None:
+                        return rep
+        if isinstance(e, F.BinOp) and e.op == "-" \
+                and isinstance(e.left, F.Var) and e.left.name == acc:
+            rep = _accumulator_replacement(acc, e.right, loop, idx)
+            if rep is not None:
+                # negate the library contribution: s = s - ces_*(...)
+                inner = rep[0].value
+                assert isinstance(inner, F.BinOp) and inner.op == "+"
+                rep[0].value = F.BinOp("-", inner.left, inner.right)
+                return rep
+        if isinstance(e, (F.FuncCall, F.Apply)) and e.name in (
+                "min", "max", "amin1", "amax1") and len(e.args) == 2:
+            a, b = e.args
+            op = "min" if e.name.startswith(("min", "amin")) else "max"
+            for self_side, contrib in ((a, b), (b, a)):
+                if isinstance(self_side, F.Var) and self_side.name == acc:
+                    arr = _plain_ref(contrib, idx)
+                    if arr is not None:
+                        lib = "ces_minval" if op == "min" else "ces_maxval"
+                        return [F.Assign(
+                            target=F.Var(acc),
+                            value=F.FuncCall(op, [
+                                F.Var(acc),
+                                F.FuncCall(lib, [_section(arr, loop)]),
+                            ], intrinsic=True))]
+        return None
+
+    # linear recurrence: x(i) = x(i-1) * b(i) + c(i)
+    if isinstance(s.target, (F.ArrayRef, F.Apply)):
+        x = _plain_ref(s.target, idx)
+        if x is None:
+            return None
+        e = s.value
+        if isinstance(e, F.BinOp) and e.op == "+":
+            for prod, addend in ((e.left, e.right), (e.right, e.left)):
+                if isinstance(prod, F.BinOp) and prod.op == "*":
+                    for xm1, bterm in ((prod.left, prod.right),
+                                       (prod.right, prod.left)):
+                        if _plain_ref(xm1, idx, -1) == x:
+                            b = _plain_ref(bterm, idx)
+                            c = _plain_ref(addend, idx)
+                            if b is not None and c is not None:
+                                return [F.CallStmt(name="ces_linrec", args=[
+                                    _section(x, loop),
+                                    _section(b, loop),
+                                    _section(c, loop),
+                                ])]
+    return None
+
+
+def _accumulator_replacement(acc: str, contrib: F.Expr, loop: F.DoLoop,
+                             idx: str) -> Optional[list[F.Stmt]]:
+    # dot product: contrib = a(.., i, ..) * b(.., i, ..)
+    if isinstance(contrib, F.BinOp) and contrib.op == "*":
+        a = _indexed_ref(contrib.left, idx)
+        b = _indexed_ref(contrib.right, idx)
+        if a is not None and b is not None:
+            return [F.Assign(
+                target=F.Var(acc),
+                value=F.BinOp("+", F.Var(acc), F.FuncCall(
+                    "ces_dotproduct",
+                    [_section_of(a, loop), _section_of(b, loop)])))]
+    # plain sum: contrib = a(.., i, ..)
+    arr = _indexed_ref(contrib, idx)
+    if arr is not None:
+        return [F.Assign(
+            target=F.Var(acc),
+            value=F.BinOp("+", F.Var(acc),
+                          F.FuncCall("ces_sum", [_section_of(arr, loop)])))]
+    return None

@@ -1,0 +1,93 @@
+"""Variable renaming and substitution over statement subtrees."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.fortran import ast_nodes as F
+
+
+class RenameVars(F.Transformer):
+    """Renames variable/array names per a mapping (in place)."""
+
+    def __init__(self, mapping: Mapping[str, str]):
+        self.mapping = dict(mapping)
+
+    def visit_Var(self, node: F.Var):
+        if node.name in self.mapping:
+            return F.Var(self.mapping[node.name])
+        return node
+
+    def visit_ArrayRef(self, node: F.ArrayRef):
+        subs = [self._sub(s) for s in node.subscripts]
+        name = self.mapping.get(node.name, node.name)
+        return F.ArrayRef(name, subs)
+
+    def visit_Apply(self, node: F.Apply):
+        args = [self._sub(a) for a in node.args]
+        name = self.mapping.get(node.name, node.name)
+        return F.Apply(name, args)
+
+    def visit_DoLoop(self, node: F.DoLoop):
+        node.var = self.mapping.get(node.var, node.var)
+        return self.generic_transform(node)
+
+    def visit_ParallelDo(self, node):
+        node.var = self.mapping.get(node.var, node.var)
+        return self.generic_transform(node)
+
+    def visit_EntityDecl(self, node: F.EntityDecl):
+        node.name = self.mapping.get(node.name, node.name)
+        return self.generic_transform(node)
+
+    def _sub(self, e: F.Expr) -> F.Expr:
+        out = self.visit(e)
+        assert isinstance(out, F.Expr)
+        return out
+
+
+def rename_in_stmts(stmts: list[F.Stmt], mapping: Mapping[str, str]) -> list[F.Stmt]:
+    """Rename names throughout ``stmts`` (returns the same, mutated, list)."""
+    r = RenameVars(mapping)
+    for i, s in enumerate(stmts):
+        out = r.visit(s)
+        if isinstance(out, list):  # pragma: no cover - renames never splice
+            raise TypeError("rename produced a statement list")
+        stmts[i] = out
+    return stmts
+
+
+class SubstituteVar(F.Transformer):
+    """Replaces reads of one scalar variable by an expression."""
+
+    def __init__(self, name: str, replacement: F.Expr):
+        self.name = name
+        self.replacement = replacement
+
+    def visit_Var(self, node: F.Var):
+        if node.name == self.name:
+            return self.replacement.clone()
+        return node
+
+    def visit_Assign(self, node: F.Assign):
+        # do not substitute into the assignment target when it is the var
+        value = self.visit(node.value)
+        assert isinstance(value, F.Expr)
+        node.value = value
+        if isinstance(node.target, (F.ArrayRef, F.Apply)):
+            target = self.visit(node.target)
+            assert isinstance(target, F.Expr)
+            node.target = target
+        return node
+
+
+def substitute_reads(stmts: list[F.Stmt], name: str,
+                     replacement: F.Expr) -> list[F.Stmt]:
+    """Replace every *read* of scalar ``name`` in ``stmts`` (mutating)."""
+    t = SubstituteVar(name, replacement)
+    for i, s in enumerate(stmts):
+        out = t.visit(s)
+        if isinstance(out, list):  # pragma: no cover
+            raise TypeError("substitution produced a statement list")
+        stmts[i] = out
+    return stmts

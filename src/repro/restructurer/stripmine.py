@@ -1,0 +1,238 @@
+"""Stripmining and vectorization (paper §3.2).
+
+``stripmine_vectorize`` rewrites a parallel loop into the paper's canonical
+Cedar form — an XDOALL over strips whose body is vector (array-section)
+statements::
+
+    do i = 1, n                 XDOALL i = 1, n, strip
+       a(i) = b(i)        →        integer i3, upper
+    end do                         i3 = min(strip, n - i + 1)
+                                   upper = i + i3 - 1
+                                   a(i:upper) = b(i:upper)
+                                END XDOALL
+
+``vectorize_inner`` rewrites a whole innermost parallel loop into
+full-range vector statements (used inside CDOALL bodies, where the Alliant
+vector unit takes the complete range).
+
+Scalars assigned inside a strip are *expanded* (the paper's ``t`` →
+``t(strip)`` example in §3.2): callers obtain the mapping from
+:mod:`repro.restructurer.scalar_expansion` and pass it in.
+
+IF statements vectorize into WHERE (paper's IF-to-WHERE conversion).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.analysis.expr import linearize, simplify
+from repro.cedar.nodes import ParallelDo, WhereStmt
+from repro.errors import TransformError
+from repro.fortran import ast_nodes as F
+from repro.restructurer.names import NamePool
+
+#: Builds the section ``lo:hi`` replacing an occurrence of the loop index.
+SectionBuilder = Callable[[F.Expr], Optional[F.Expr]]
+
+
+def _make_section_builder(var: str, lo_ast: F.Expr, hi_ast: F.Expr) -> SectionBuilder:
+    """Section builder mapping a subscript affine in ``var`` (coefficient 1)
+    to ``subscript[var→lo] : subscript[var→hi]``."""
+    lo_lin = linearize(lo_ast)
+    hi_lin = linearize(hi_ast)
+
+    def build(sub: F.Expr) -> Optional[F.Expr]:
+        le = linearize(sub)
+        if le is None:
+            return None
+        c = le.coeff(var)
+        if c == 0:
+            return sub  # strip-invariant subscript stays scalar
+        if c != 1:
+            return None  # non-unit stride sections are not generated
+        rest = le - type(le).variable(var)
+        if lo_lin is not None:
+            lo = simplify((lo_lin + rest).to_ast())
+        else:
+            lo = simplify(F.BinOp("+", lo_ast.clone(), rest.to_ast()))
+        if hi_lin is not None:
+            hi = simplify((hi_lin + rest).to_ast())
+        else:
+            hi = simplify(F.BinOp("+", hi_ast.clone(), rest.to_ast()))
+        return F.RangeExpr(lo, hi, None)
+
+    return build
+
+
+class VectorizeRewriter:
+    """Rewrites loop-body statements into vector (section) form."""
+
+    def __init__(self, var: str, section: SectionBuilder,
+                 index_section: F.RangeExpr,
+                 expanded: dict[str, str],
+                 expanded_section: Optional[F.RangeExpr]):
+        self.var = var
+        self.section = section
+        self.index_section = index_section
+        self.expanded = expanded
+        self.expanded_section = expanded_section
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, s: F.Stmt) -> F.Stmt:
+        if isinstance(s, F.Assign):
+            if isinstance(s.target, F.Var) and s.target.name not in self.expanded \
+                    and self.invariant_scalar_assign(s):
+                return s
+            return F.Assign(target=self._target(s.target),
+                            value=self._expr(s.value))
+        if isinstance(s, F.LogicalIf):
+            mask = self._expr(s.cond)
+            inner = self.stmt(s.stmt)
+            if not isinstance(inner, F.Assign):
+                raise TransformError("cannot vectorize non-assignment under IF")
+            return WhereStmt(mask=mask, body=[inner])
+        if isinstance(s, F.IfBlock):
+            if len(s.arms) > 2 or (len(s.arms) == 2 and s.arms[1][0] is not None):
+                raise TransformError("cannot vectorize multi-arm IF")
+            mask = self._expr(s.arms[0][0])
+            body = [self.stmt(x) for x in s.arms[0][1]]
+            elsewhere = ([self.stmt(x) for x in s.arms[1][1]]
+                         if len(s.arms) == 2 else [])
+            return WhereStmt(mask=mask, body=body, elsewhere=elsewhere)
+        if isinstance(s, F.ContinueStmt):
+            return s
+        raise TransformError(f"cannot vectorize statement {type(s).__name__}")
+
+    def _target(self, t: F.Expr) -> F.Expr:
+        if isinstance(t, F.Var):
+            if t.name in self.expanded and self.expanded_section is not None:
+                return F.ArrayRef(self.expanded[t.name],
+                                  [self.expanded_section.clone()])
+            raise TransformError(
+                f"scalar {t.name!r} assigned in vector loop but not expanded")
+        return self._expr(t)
+
+    def invariant_scalar_assign(self, s: F.Stmt) -> bool:
+        """A scalar assignment whose RHS is free of the loop index can stay
+        scalar in the vector body: it computes the same value for every
+        element, so executing it once is equivalent."""
+        if not (isinstance(s, F.Assign) and isinstance(s.target, F.Var)):
+            return False
+        for n in s.value.walk():
+            if isinstance(n, F.Var) and n.name == self.var:
+                return False
+            if isinstance(n, F.Var) and n.name == s.target.name:
+                return False
+        return True
+
+    # -- expressions --------------------------------------------------------
+
+    def _expr(self, e: F.Expr) -> F.Expr:
+        if isinstance(e, F.Var):
+            if e.name == self.var:
+                # the loop index as a *value* would need an iota vector,
+                # which Cedar Fortran sections cannot express
+                raise TransformError(
+                    f"loop index {e.name!r} used as a value in vector body")
+            if e.name in self.expanded and self.expanded_section is not None:
+                return F.ArrayRef(self.expanded[e.name],
+                                  [self.expanded_section.clone()])
+            return e
+        if isinstance(e, F.ArrayRef):
+            subs = []
+            for sub in e.subscripts:
+                sec = self.section(sub)
+                if sec is None:
+                    raise TransformError(
+                        f"non-vectorizable subscript of {e.name}")
+                subs.append(sec)
+            return F.ArrayRef(e.name, subs)
+        if isinstance(e, F.BinOp):
+            return F.BinOp(e.op, self._expr(e.left), self._expr(e.right))
+        if isinstance(e, F.UnOp):
+            return F.UnOp(e.op, self._expr(e.operand))
+        if isinstance(e, F.FuncCall):
+            return F.FuncCall(e.name, [self._expr(a) for a in e.args],
+                              intrinsic=e.intrinsic)
+        if isinstance(e, (F.IntLit, F.RealLit, F.LogicalLit, F.StrLit)):
+            return e
+        raise TransformError(f"cannot vectorize expression {type(e).__name__}")
+
+
+def stripmine_vectorize(loop: F.DoLoop, pool: NamePool,
+                        strip: int = 32,
+                        level: str = "X",
+                        expanded_scalars: dict[str, str] | None = None,
+                        scalar_types: dict[str, str] | None = None,
+                        ) -> ParallelDo:
+    """Build the stripmined, vectorized parallel form of ``loop``.
+
+    ``expanded_scalars`` maps privatized scalar names to their expanded
+    array names; ``scalar_types`` supplies their Fortran types for the
+    loop-local declarations.
+    """
+    if loop.step is not None and not F.is_const_int(loop.step, 1):
+        raise TransformError("cannot stripmine a non-unit-stride loop")
+    expanded = dict(expanded_scalars or {})
+    types = dict(scalar_types or {})
+
+    var = loop.var
+    i3 = pool.fresh("i3")
+    upper = pool.fresh("upper")
+    strip_lit = F.IntLit(strip)
+
+    count_rhs = F.FuncCall("min", [
+        strip_lit,
+        F.BinOp("+", F.BinOp("-", loop.end, F.Var(var)), F.IntLit(1)),
+    ], intrinsic=True)
+    prologue: list[F.Stmt] = [
+        F.Assign(target=F.Var(i3), value=count_rhs),
+        F.Assign(target=F.Var(upper),
+                 value=F.BinOp("-", F.BinOp("+", F.Var(var), F.Var(i3)),
+                               F.IntLit(1))),
+    ]
+
+    section = _make_section_builder(var, F.Var(var), F.Var(upper))
+    rewriter = VectorizeRewriter(
+        var, section,
+        index_section=F.RangeExpr(F.Var(var), F.Var(upper), None),
+        expanded=expanded,
+        expanded_section=F.RangeExpr(F.IntLit(1), F.Var(i3), None),
+    )
+    body = prologue + [rewriter.stmt(s) for s in loop.body]
+
+    locals_: list[F.Stmt] = [
+        F.TypeDecl(type=F.TypeSpec("integer"),
+                   entities=[F.EntityDecl(i3), F.EntityDecl(upper)]),
+    ]
+    for scalar, arr in expanded.items():
+        t = types.get(scalar, "real")
+        locals_.append(F.TypeDecl(
+            type=F.TypeSpec(t),
+            entities=[F.EntityDecl(arr, [F.DimSpec(None, strip_lit)])]))
+
+    return ParallelDo(
+        level=level, order="doall", var=var,
+        start=loop.start, end=loop.end, step=strip_lit,
+        locals_=locals_, body=body,
+    )
+
+
+def vectorize_inner(loop: F.DoLoop) -> list[F.Stmt]:
+    """Rewrite a whole innermost parallel loop as full-range vector
+    statements (used inside C-level loop bodies).
+
+    Scalars assigned inside the loop are not supported here — expand or
+    privatize them first.
+    """
+    if loop.step is not None and not F.is_const_int(loop.step, 1):
+        raise TransformError("cannot vectorize a non-unit-stride loop")
+    section = _make_section_builder(loop.var, loop.start, loop.end)
+    rewriter = VectorizeRewriter(
+        loop.var, section,
+        index_section=F.RangeExpr(loop.start, loop.end, None),
+        expanded={}, expanded_section=None,
+    )
+    return [rewriter.stmt(s) for s in loop.body]

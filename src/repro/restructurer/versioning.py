@@ -1,0 +1,20 @@
+"""Two-version loops guarded by a run-time dependence test (paper §4.1.5).
+
+``IF (independent) <parallel version> ELSE <serial original>`` — the
+predicate comes from :mod:`repro.analysis.runtime_test`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runtime_test import RuntimeTest
+from repro.fortran import ast_nodes as F
+
+
+def build_two_version(test: RuntimeTest,
+                      parallel_version: list[F.Stmt],
+                      serial_version: list[F.Stmt]) -> F.IfBlock:
+    """The guarded two-version form."""
+    return F.IfBlock(arms=[
+        (test.predicate, parallel_version),
+        (None, serial_version),
+    ])

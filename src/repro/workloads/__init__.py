@@ -1,0 +1,16 @@
+"""Workloads: the paper's experimental programs.
+
+- :mod:`repro.workloads.linalg` — the linear-algebra routines of Table 1
+  (conjugate gradient plus Numerical-Recipes-style routines, rewritten in
+  clean Fortran 77).
+- :mod:`repro.workloads.perfect` — proxy kernels for the Perfect
+  Benchmarks of Table 2; each embeds the parallelization obstacles the
+  paper documents for that program (§4.1).
+- :mod:`repro.workloads.synthetic` — small loops used by unit tests.
+"""
+
+from repro.workloads.linalg import LINALG_ROUTINES, LinalgRoutine
+from repro.workloads.perfect import PERFECT_PROGRAMS, PerfectProgram
+
+__all__ = ["LINALG_ROUTINES", "LinalgRoutine",
+           "PERFECT_PROGRAMS", "PerfectProgram"]

@@ -1,0 +1,61 @@
+"""Proxy kernels for the Perfect Benchmarks programs of Table 2.
+
+The real suite is large proprietary applications; each proxy here is a
+compact Fortran 77 kernel embedding the *parallelization obstacles* the
+paper documents for that program (§4.1) — so the automatic configuration
+of the restructurer fails on it in the same way the 1991 KAP did, and the
+"manual" (aggressive) configuration unlocks it through the same
+techniques.  Table 2's auto-vs-manual structure is therefore reproduced
+by construction of the same compiler decisions, not by curve fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.workloads.perfect import (
+    adm,
+    arc2d,
+    bdna,
+    dyfesm,
+    flo52,
+    mdg,
+    mg3d,
+    ocean,
+    qcd,
+    spec77,
+    track,
+    trfd,
+)
+
+
+@dataclass(frozen=True)
+class PerfectProgram:
+    """Descriptor of one Table 2 proxy."""
+
+    name: str
+    source: str
+    entry: str
+    paper: dict                # auto/manual speedups on fx80/cedar
+    techniques: tuple[str, ...]  # §4.1 techniques the manual version needs
+    make_args: Callable        # (n, rng) -> (args, aux)
+    bindings: Callable         # (n) -> {symbol: value}
+    default_n: int
+
+
+def _mk(mod) -> PerfectProgram:
+    return PerfectProgram(
+        name=mod.NAME, source=mod.SOURCE, entry=mod.ENTRY,
+        paper=mod.PAPER, techniques=tuple(mod.TECHNIQUES),
+        make_args=mod.make_args, bindings=mod.bindings,
+        default_n=mod.DEFAULT_N,
+    )
+
+
+PERFECT_PROGRAMS: dict[str, PerfectProgram] = {
+    m.NAME: _mk(m) for m in (
+        arc2d, flo52, bdna, dyfesm, adm, mdg,
+        mg3d, ocean, track, trfd, qcd, spec77,
+    )
+}

@@ -1,0 +1,109 @@
+"""Tests for CFG construction and dominators."""
+
+from repro.analysis.cfg import build_cfg
+from repro.fortran import ast_nodes as F
+from repro.fortran.parser import parse_program
+
+
+def body_of(src):
+    sf = parse_program(src)
+    return sf.units[0].body
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        cfg = build_cfg(body_of("""
+      subroutine s(a, b)
+      real a, b
+      a = 1.0
+      b = 2.0
+      a = a + b
+      end
+"""))
+        # one code block + exit
+        assert len(cfg.blocks) == 2
+        assert cfg.blocks[0].succs == [cfg.exit_index]
+
+    def test_goto_backward_loop(self):
+        cfg = build_cfg(body_of("""
+      subroutine s(x)
+      real x
+   10 continue
+      x = x - 1.0
+      if (x .gt. 0.0) goto 10
+      end
+"""))
+        back = cfg.back_edges()
+        assert len(back) == 1
+        assert cfg.is_reducible()
+
+    def test_forward_goto_splits(self):
+        cfg = build_cfg(body_of("""
+      subroutine s(x)
+      real x
+      if (x .gt. 0.0) goto 20
+      x = -x
+   20 continue
+      x = x * 2.0
+      end
+"""))
+        # the conditional branch block has two successors
+        branching = [b for b in cfg.blocks if len(b.succs) == 2]
+        assert branching
+
+    def test_computed_goto_fanout(self):
+        cfg = build_cfg(body_of("""
+      subroutine s(k, x)
+      integer k
+      real x
+      goto (10, 20), k
+   10 x = 1.0
+   20 x = 2.0
+      end
+"""))
+        first = cfg.blocks[0]
+        assert len(first.succs) >= 2
+
+    def test_dominators_linear(self):
+        cfg = build_cfg(body_of("""
+      subroutine s(x)
+      real x
+      x = 1.0
+   10 x = x + 1.0
+      if (x .lt. 9.0) goto 10
+      x = 0.0
+      end
+"""))
+        dom = cfg.dominators()
+        # entry dominates everything reachable
+        for b in cfg.blocks:
+            if dom.get(b.index):
+                assert 0 in dom[b.index] or b.index == 0
+
+    def test_return_edges_to_exit(self):
+        cfg = build_cfg(body_of("""
+      subroutine s(x)
+      real x
+      if (x .gt. 0.0) return
+      x = -x
+      end
+"""))
+        # a block must link straight to exit via the RETURN
+        assert any(cfg.exit_index in b.succs for b in cfg.blocks[:-1])
+
+    def test_irreducible_crossing_gotos(self):
+        """Two GOTOs jumping into each other's region: not reducible."""
+        cfg = build_cfg(body_of("""
+      subroutine s(x)
+      real x
+      if (x .gt. 0.0) goto 20
+   10 x = x + 1.0
+      goto 30
+   20 x = x - 1.0
+      if (x .gt. 5.0) goto 10
+   30 continue
+      if (x .lt. 0.0) goto 20
+      end
+"""))
+        # the 10/20 blocks form a cycle entered from two places
+        assert not cfg.is_reducible() or len(cfg.back_edges()) >= 1

@@ -1,0 +1,308 @@
+"""Dependence-test and dependence-graph tests.
+
+Includes a brute-force consistency property: on small concrete iteration
+spaces, enumerate all iteration pairs, compute actual subscript collisions,
+and check the symbolic tester never misses a real dependence (soundness)
+and is exact on the affine cases it claims to decide.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.depend import (
+    DependenceTester,
+    SubscriptPair,
+    build_dependence_graph,
+)
+from repro.analysis.depend.banerjee import LoopBounds, banerjee_test
+from repro.analysis.depend.gcd import gcd_test
+from repro.analysis.expr import LinearExpr
+from repro.analysis.refs import LoopInfo
+from repro.fortran import ast_nodes as F
+from repro.fortran.parser import parse_program
+from repro.fortran.symtab import build_symbol_table
+
+
+def L(c=0, **coeffs):
+    e = LinearExpr.constant(c)
+    for n, k in coeffs.items():
+        e = e + LinearExpr.variable(n, k)
+    return e
+
+
+def nest1(lo=1, hi=100, var="i"):
+    return [LoopInfo(var, F.IntLit(lo), F.IntLit(hi), None)]
+
+
+class TestGCD:
+    def test_no_solution(self):
+        # 2i vs 2i'+1: gcd 2 does not divide 1
+        assert not gcd_test(L(0, i=2), L(1, i=2), ["i"])
+
+    def test_solution_exists(self):
+        assert gcd_test(L(0, i=2), L(2, i=2), ["i"])
+        assert gcd_test(L(0, i=3), L(1, i=2), ["i"])
+
+    def test_ziv(self):
+        assert gcd_test(L(5), L(5), ["i"])
+        assert not gcd_test(L(5), L(6), ["i"])
+
+    def test_symbolic_invariant_cancels(self):
+        # a(i+n) vs a(i+n+1): constants differ by 1, coeff gcd 1 → possible
+        assert gcd_test(L(0, i=1, n=1), L(1, i=1, n=1), ["i"])
+        # mismatched symbolic parts → conservative True
+        assert gcd_test(L(0, i=1, n=1), L(0, i=1, m=1), ["i"])
+
+
+class TestBanerjee:
+    def bounds(self, lo=1, hi=100):
+        return [LoopBounds("i", lo, hi)]
+
+    def test_equal_direction_independent(self):
+        # a(i) vs a(i+1) with '=': difference is -1, never 0
+        assert not banerjee_test(L(0, i=1), L(1, i=1), self.bounds(), "=")
+
+    def test_lt_direction_dependent(self):
+        # a(i+1) read after write a(i): i' = i+1 carries '<'
+        assert banerjee_test(L(1, i=1), L(0, i=1), self.bounds(), "<")
+
+    def test_gt_direction_for_negative_distance(self):
+        assert banerjee_test(L(0, i=1), L(1, i=1), self.bounds(), ">")
+        assert not banerjee_test(L(1, i=1), L(0, i=1), self.bounds(), ">")
+
+    def test_out_of_range_offset(self):
+        # a(i) vs a(i+200) in 100-trip loop: no direction possible
+        for d in "<=>":
+            assert not banerjee_test(L(0, i=1), L(200, i=1),
+                                     self.bounds(), d)
+
+    def test_unknown_bounds_conservative(self):
+        bounds = [LoopBounds("i")]  # ± inf
+        # src i, sink i'+1: collision needs i = i'+1, i.e. i > i' ('>')
+        assert banerjee_test(L(0, i=1), L(1, i=1), bounds, ">")
+        assert not banerjee_test(L(0, i=1), L(1, i=1), bounds, "<")
+        # with an unknown-coefficient mix, '<' stays possible
+        assert banerjee_test(L(0, i=1), L(0, i=2), bounds, "<")
+
+    def test_single_trip_lt_empty(self):
+        assert not banerjee_test(L(0, i=1), L(0, i=1),
+                                 [LoopBounds("i", 1, 1)], "<")
+
+
+class TestDependenceTester:
+    def test_independent_distinct_constants(self):
+        t = DependenceTester(nest1())
+        r = t.test_subscripts([SubscriptPair(L(1), L(2))])
+        assert r.independent
+
+    def test_same_element_every_iteration(self):
+        t = DependenceTester(nest1())
+        r = t.test_subscripts([SubscriptPair(L(5), L(5))])
+        assert not r.independent
+
+    def test_distance_vector(self):
+        t = DependenceTester(nest1())
+        # src a(i), sink a(i-1): i' - i = 1 → distance +1, carried '<'
+        r = t.test_subscripts([SubscriptPair(L(0, i=1), L(-1, i=1))])
+        assert r.distance == (1,)
+        assert r.directions == {("<",)}
+        assert r.carried_by(0)
+
+    def test_loop_independent_only(self):
+        t = DependenceTester(nest1())
+        r = t.test_subscripts([SubscriptPair(L(0, i=1), L(0, i=1))])
+        assert r.distance == (0,)
+        assert r.loop_independent()
+        assert not r.carried_by(0)
+
+    def test_stride_2_interleave(self):
+        t = DependenceTester(nest1())
+        # a(2i) vs a(2i+1): disjoint even/odd elements
+        r = t.test_subscripts([SubscriptPair(L(0, i=2), L(1, i=2))])
+        assert r.independent
+
+    def test_2d_nest_exact_distance(self):
+        nest = [LoopInfo("i", F.IntLit(1), F.IntLit(10), None),
+                LoopInfo("j", F.IntLit(1), F.IntLit(10), None)]
+        t = DependenceTester(nest)
+        # a(i, j) vs a(i-1, j+1): distance (1, -1)
+        r = t.test_subscripts([
+            SubscriptPair(L(0, i=1), L(-1, i=1)),
+            SubscriptPair(L(0, j=1), L(1, j=1)),
+        ])
+        assert r.distance == (1, -1)
+        assert r.carried_by(0)
+        assert not r.carried_by(1)
+
+    def test_distance_exceeding_trips(self):
+        t = DependenceTester(nest1(1, 5))
+        r = t.test_subscripts([SubscriptPair(L(0, i=1), L(-100, i=1))])
+        assert r.independent
+
+    def test_symbolic_bound_conservative(self):
+        nest = [LoopInfo("i", F.IntLit(1), F.Var("n"), None)]
+        t = DependenceTester(nest)
+        r = t.test_subscripts([SubscriptPair(L(0, i=1), L(-1, i=1))])
+        assert not r.independent
+        assert r.carried_by(0)
+
+    def test_nonaffine_conservative(self):
+        t = DependenceTester(nest1())
+        r = t.test_refs([F.BinOp("*", F.Var("i"), F.Var("i"))],
+                        [F.Var("i")])
+        assert not r.independent and not r.exact
+
+
+def graph_of(src, unit=0):
+    sf = parse_program(src)
+    u = sf.units[unit]
+    build_symbol_table(u)
+    loop = next(s for s in u.body if isinstance(s, F.DoLoop))
+    return build_dependence_graph(loop)
+
+
+class TestDependenceGraph:
+    def test_parallel_loop_no_deps(self):
+        g = graph_of("""
+      subroutine s(a, b, n)
+      integer n
+      real a(n), b(n)
+      do i = 1, n
+         a(i) = b(i) + 1.0
+      end do
+      end
+""")
+        assert g.is_parallel(0)
+
+    def test_flow_dependence_carried(self):
+        g = graph_of("""
+      subroutine s(a, n)
+      integer n
+      real a(n)
+      do i = 2, n
+         a(i) = a(i-1) + 1.0
+      end do
+      end
+""")
+        assert not g.is_parallel(0)
+        flows = [d for d in g.deps if d.kind == "flow" and d.variable == "a"]
+        assert flows and flows[0].distance == (1,)
+
+    def test_anti_dependence_not_carried_blocking(self):
+        g = graph_of("""
+      subroutine s(a, n)
+      integer n
+      real a(n)
+      do i = 1, n
+         a(i) = a(i+1) + 1.0
+      end do
+      end
+""")
+        # anti dependence a(i+1) read, a(i') written with i' = i+1: carried
+        antis = [d for d in g.deps if d.kind == "anti"]
+        assert antis
+        assert not g.is_parallel(0)
+
+    def test_scalar_accumulator_blocks(self):
+        g = graph_of("""
+      subroutine s(a, n, total)
+      integer n
+      real a(n), total
+      do i = 1, n
+         total = total + a(i)
+      end do
+      end
+""")
+        assert not g.is_parallel(0)
+        assert "total" in g.variables_with_carried(0)
+        # but ignoring the recognized reduction variable it is parallel
+        assert g.is_parallel(0, ignore={"total"})
+
+    def test_private_scalar_blocks_until_ignored(self):
+        g = graph_of("""
+      subroutine s(a, b, n)
+      integer n
+      real a(n), b(n), t
+      do i = 1, n
+         t = a(i) * 2.0
+         b(i) = t + 1.0
+      end do
+      end
+""")
+        assert not g.is_parallel(0)
+        assert g.is_parallel(0, ignore={"t"})
+
+    def test_inner_loop_independent_outer_carried(self):
+        sf = parse_program("""
+      subroutine s(a, n, m)
+      integer n, m
+      real a(100, 100)
+      do i = 2, n
+         do j = 1, m
+            a(i, j) = a(i-1, j) + 1.0
+         end do
+      end do
+      end
+""")
+        u = sf.units[0]
+        build_symbol_table(u)
+        loop = u.body[0]
+        g = build_dependence_graph(loop)
+        assert not g.is_parallel(0)
+        # the j loop (depth 1) carries nothing
+        assert g.is_parallel(1)
+
+    def test_unknown_call_conservative(self):
+        g = graph_of("""
+      subroutine s(a, n)
+      integer n
+      real a(n)
+      do i = 1, n
+         call f(a, i)
+      end do
+      end
+""")
+        assert not g.is_parallel(0)
+        assert not g.exact
+
+    def test_output_dependence(self):
+        g = graph_of("""
+      subroutine s(a, n, k)
+      integer n, k
+      real a(n)
+      do i = 1, n
+         a(k) = a(k) + 1.0
+      end do
+      end
+""")
+        outs = [d for d in g.deps if d.kind == "output"]
+        assert outs
+        assert not g.is_parallel(0)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    a1=st.integers(-3, 3), c1=st.integers(-6, 6),
+    a2=st.integers(-3, 3), c2=st.integers(-6, 6),
+    n=st.integers(1, 12),
+)
+def test_tester_sound_vs_bruteforce(a1, c1, a2, c2, n):
+    """The symbolic tester must never report independence when a concrete
+    collision exists, and its surviving direction vectors must cover every
+    concrete pair relation."""
+    nest = [LoopInfo("i", F.IntLit(1), F.IntLit(n), None)]
+    t = DependenceTester(nest)
+    r = t.test_subscripts([SubscriptPair(L(c1, i=a1), L(c2, i=a2))])
+
+    actual_dirs = set()
+    for i, ip in itertools.product(range(1, n + 1), repeat=2):
+        if a1 * i + c1 == a2 * ip + c2:
+            actual_dirs.add(("<" if i < ip else (">" if i > ip else "="),))
+    # soundness: every actual relation must be covered
+    assert actual_dirs <= r.directions, (actual_dirs, r.directions)
+    # for this affine 1-var case the result should also be reasonably tight:
+    # independence claimed only when truly no collision
+    if r.independent:
+        assert not actual_dirs

@@ -1,0 +1,170 @@
+"""Tests for the affine expression algebra and AST simplifier."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.expr import (
+    LinearExpr,
+    const_value,
+    exprs_equal,
+    linearize,
+    simplify,
+)
+from repro.fortran import ast_nodes as F
+from repro.fortran.parser import parse_program
+
+
+def expr_of(text):
+    """Parse the expression from 'x = <text>'."""
+    sf = parse_program(f"      subroutine s\n      x = {text}\n      end\n")
+    return sf.units[0].body[0].value
+
+
+class TestLinearExpr:
+    def test_constant_and_variable(self):
+        c = LinearExpr.constant(5)
+        v = LinearExpr.variable("i")
+        assert c.is_constant and c.const == 5
+        assert v.coeff("i") == 1 and not v.is_constant
+
+    def test_add_sub(self):
+        a = LinearExpr.variable("i", 2) + LinearExpr.constant(3)
+        b = LinearExpr.variable("i", 2) + LinearExpr.variable("j", -1)
+        s = a + b
+        assert s.coeff("i") == 4 and s.coeff("j") == -1 and s.const == 3
+        d = a - b
+        assert d.coeff("i") == 0 and d.coeff("j") == 1 and d.const == 3
+
+    def test_zero_coeff_pruned(self):
+        a = LinearExpr.variable("i") - LinearExpr.variable("i")
+        assert a == LinearExpr.constant(0)
+        assert a.variables() == set()
+
+    def test_scale_and_neg(self):
+        a = LinearExpr.variable("i", 3) + LinearExpr.constant(2)
+        assert a.scale(2).coeff("i") == 6
+        assert (-a).const == -2
+
+    def test_multiply_affine_guard(self):
+        i = LinearExpr.variable("i")
+        assert i.multiply(LinearExpr.constant(4)).coeff("i") == 4
+        assert i.multiply(i) is None
+
+    def test_substitute(self):
+        a = LinearExpr.variable("i", 2) + LinearExpr.constant(1)
+        env = {"i": LinearExpr.variable("j") + LinearExpr.constant(5)}
+        s = a.substitute(env)
+        assert s.coeff("j") == 2 and s.const == 11
+
+    def test_to_ast_roundtrip(self):
+        a = LinearExpr.variable("i", 2) - LinearExpr.variable("j") + 7
+        back = linearize(a.to_ast())
+        assert back == a
+
+    def test_to_ast_negative_leading(self):
+        a = LinearExpr.variable("i", -1)
+        back = linearize(a.to_ast())
+        assert back == a
+
+
+class TestLinearize:
+    def test_simple(self):
+        le = linearize(expr_of("2 * i + j - 3"))
+        assert le.coeff("i") == 2 and le.coeff("j") == 1 and le.const == -3
+
+    def test_params_fold(self):
+        le = linearize(expr_of("n * 2 + i"), params={"n": 10})
+        assert le.const == 20 and le.coeff("i") == 1
+
+    def test_nested_parens(self):
+        le = linearize(expr_of("3 * (i - (j + 1))"))
+        assert le.coeff("i") == 3 and le.coeff("j") == -3 and le.const == -3
+
+    def test_nonaffine_product(self):
+        assert linearize(expr_of("i * j")) is None
+
+    def test_nonaffine_call(self):
+        assert linearize(expr_of("mod(i, 2)")) is None
+
+    def test_symbolic_times_symbolic(self):
+        assert linearize(expr_of("n * i")) is None
+        assert linearize(expr_of("n * i"), params={"n": 4}).coeff("i") == 4
+
+    def test_division_exact(self):
+        assert linearize(expr_of("(4 * i) / 2")).coeff("i") == 2
+        assert linearize(expr_of("i / 2")) is None
+
+    def test_power_constant(self):
+        assert linearize(expr_of("2 ** 3 + i")).const == 8
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(expr_of("2 + 3 * 4")).value == 14
+
+    def test_identities(self):
+        assert isinstance(simplify(expr_of("x + 0")), F.Var)
+        assert isinstance(simplify(expr_of("1 * x")), F.Var)
+        assert simplify(expr_of("0 * x")).value == 0
+        assert isinstance(simplify(expr_of("x / 1")), F.Var)
+        assert simplify(expr_of("x - x")).value == 0
+
+    def test_double_negation(self):
+        e = simplify(F.UnOp("-", F.UnOp("-", F.Var("x"))))
+        assert isinstance(e, F.Var)
+
+    def test_min_max_folding(self):
+        assert simplify(expr_of("min(3, 5)")).value == 3
+        assert simplify(expr_of("max(3, 5)")).value == 5
+        assert isinstance(simplify(expr_of("min(x, x)")), F.Var)
+
+    def test_relational_folding(self):
+        assert simplify(expr_of("3 .lt. 5")).value is True
+        assert simplify(expr_of("3 .ge. 5")).value is False
+
+    def test_truncating_division(self):
+        assert const_value(expr_of("7 / 2")) == 3
+        assert const_value(expr_of("(-7) / 2")) == -3  # Fortran truncates
+
+
+class TestExprsEqual:
+    def test_affine_equality(self):
+        assert exprs_equal(expr_of("i + i"), expr_of("2 * i"))
+        assert not exprs_equal(expr_of("i + 1"), expr_of("i"))
+
+    def test_structural_fallback(self):
+        assert exprs_equal(expr_of("sqrt(x)"), expr_of("sqrt(x)"))
+        assert not exprs_equal(expr_of("sqrt(x)"), expr_of("sqrt(y)"))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.tuples(st.sampled_from("ijkn"),
+                       st.integers(-5, 5)), max_size=4),
+    st.integers(-10, 10),
+    st.lists(st.tuples(st.sampled_from("ijkn"),
+                       st.integers(-5, 5)), max_size=4),
+    st.integers(-10, 10),
+)
+def test_linear_algebra_laws(t1, c1, t2, c2):
+    def build(terms, c):
+        e = LinearExpr.constant(c)
+        for n, k in terms:
+            e = e + LinearExpr.variable(n, k)
+        return e
+
+    a, b = build(t1, c1), build(t2, c2)
+    assert a + b == b + a
+    assert (a - b) + b == a
+    assert a.scale(3) == a + a + a
+    assert (a + b).scale(2) == a.scale(2) + b.scale(2)
+    assert linearize((a - b).to_ast()) == a - b
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50))
+def test_const_value_matches_python(x, y, z):
+    e = F.BinOp("+", F.BinOp("*", F.IntLit(x), F.IntLit(y)), F.IntLit(z))
+    assert const_value(e) == x * y + z
+    s = simplify(e)
+    assert isinstance(s, F.IntLit) and s.value == x * y + z

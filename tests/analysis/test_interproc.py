@@ -1,0 +1,275 @@
+"""Tests for call graph, MOD/REF summaries, constant propagation, and the
+run-time dependence test synthesis."""
+
+from repro.analysis.interproc import (
+    build_call_graph,
+    propagate_constants,
+    summarize_source_file,
+)
+from repro.analysis.interproc.summaries import effects_oracle
+from repro.analysis.depend import build_dependence_graph
+from repro.analysis.runtime_test import synthesize_runtime_test
+from repro.fortran import ast_nodes as F
+from repro.fortran.parser import parse_program
+from repro.fortran.symtab import build_symbol_table
+
+
+SRC = """
+      subroutine top(a, b, n)
+      integer n
+      real a(n), b(n)
+      call mid(a, b, n)
+      end
+
+      subroutine mid(x, y, n)
+      integer n
+      real x(n), y(n)
+      do i = 1, n
+         y(i) = getx(x, i)
+      end do
+      end
+
+      real function getx(x, i)
+      integer i
+      real x(*)
+      getx = x(i)
+      end
+"""
+
+
+class TestCallGraph:
+    def test_edges(self):
+        g = build_call_graph(parse_program(SRC))
+        assert g.callees["top"] == {"mid"}
+        assert g.callees["mid"] == {"getx"}
+        assert g.callees["getx"] == set()
+
+    def test_topological_order(self):
+        g = build_call_graph(parse_program(SRC))
+        order = g.topological()
+        assert order.index("getx") < order.index("mid") < order.index("top")
+
+    def test_external_calls(self):
+        src = """
+      subroutine s(a)
+      real a(10)
+      call unknown(a)
+      end
+"""
+        g = build_call_graph(parse_program(src))
+        assert g.external_calls("s") == {"unknown"}
+
+    def test_recursion_detection(self):
+        src = """
+      subroutine a(x)
+      real x
+      call b(x)
+      end
+      subroutine b(x)
+      real x
+      call a(x)
+      end
+"""
+        g = build_call_graph(parse_program(src))
+        assert g.is_recursive("a") and g.is_recursive("b")
+
+
+class TestSummaries:
+    def test_mod_ref_args(self):
+        src = """
+      subroutine axpy(n, alpha, x, y)
+      integer n
+      real alpha, x(n), y(n)
+      do i = 1, n
+         y(i) = y(i) + alpha * x(i)
+      end do
+      end
+"""
+        sums = summarize_source_file(parse_program(src))
+        s = sums["axpy"]
+        assert 2 in s.ref_args and 3 in s.ref_args     # x read, y read
+        assert 3 in s.mod_args                          # y written
+        assert 2 not in s.mod_args                      # x not written
+        assert 0 in s.ref_args and 1 in s.ref_args      # n, alpha read
+
+    def test_transitive_through_calls(self):
+        sums = summarize_source_file(parse_program(SRC))
+        top = sums["top"]
+        # top(a, b, n): mid writes y→b (pos 1), reads x→a (pos 0)
+        assert 1 in top.mod_args
+        assert 0 in top.ref_args
+        assert 0 not in top.mod_args
+
+    def test_common_effects(self):
+        src = """
+      subroutine w
+      common /blk/ c
+      c = 1.0
+      end
+      subroutine r(out)
+      real out
+      common /blk/ c
+      out = c
+      call w
+      end
+"""
+        sums = summarize_source_file(parse_program(src))
+        assert ("blk", "c") in sums["w"].mod_common
+        assert ("blk", "c") in sums["r"].mod_common  # via the call
+        assert ("blk", "c") in sums["r"].ref_common
+
+    def test_unknown_callee_flags(self):
+        src = """
+      subroutine s(a)
+      real a(10)
+      call mystery(a)
+      end
+"""
+        sums = summarize_source_file(parse_program(src))
+        assert sums["s"].unknown
+
+    def test_oracle_enables_parallelization(self):
+        src = """
+      subroutine caller(a, b, n)
+      integer n
+      real a(n), b(n)
+      do i = 1, n
+         call work(a(i), b(i))
+      end do
+      end
+      subroutine work(x, y)
+      real x, y
+      y = x * 2.0
+      end
+"""
+        sf = parse_program(src)
+        sums = summarize_source_file(sf)
+        oracle = effects_oracle(sums)
+        unit = sf.units[0]
+        build_symbol_table(unit)
+        loop = next(s for s in unit.body if isinstance(s, F.DoLoop))
+        # without the oracle, the call is opaque → not parallel
+        g0 = build_dependence_graph(loop)
+        assert not g0.is_parallel(0)
+        # with the oracle the call reads a(i), writes b(i) → still
+        # conservative because sections are unknown, but restricted to b
+        g1 = build_dependence_graph(loop, effects=oracle)
+        vars_carried = g1.variables_with_carried(0)
+        assert "a" in vars_carried or "b" in vars_carried  # sections unknown
+
+
+class TestConstProp:
+    def test_all_sites_agree(self):
+        src = """
+      program main
+      real a(100)
+      call work(a, 100)
+      call work(a, 100)
+      end
+      subroutine work(a, n)
+      integer n
+      real a(n)
+      a(1) = 0.0
+      end
+"""
+        sf = parse_program(src)
+        got = propagate_constants(sf, "work", ["n"])
+        assert got == {"n": 100}
+
+    def test_disagreeing_sites(self):
+        src = """
+      program main
+      real a(100)
+      call work(a, 100)
+      call work(a, 50)
+      end
+      subroutine work(a, n)
+      integer n
+      real a(n)
+      a(1) = 0.0
+      end
+"""
+        got = propagate_constants(parse_program(src), "work", ["n"])
+        assert got == {}
+
+    def test_parameter_resolution(self):
+        src = """
+      subroutine s
+      parameter (m = 64)
+      real a(m)
+      a(1) = 0.0
+      end
+"""
+        got = propagate_constants(parse_program(src), "s", ["m"])
+        assert got == {"m": 64}
+
+    def test_chained_through_caller(self):
+        src = """
+      program main
+      parameter (n = 32)
+      real a(n)
+      k = n
+      call work(a, k)
+      end
+      subroutine work(a, n)
+      integer n
+      real a(n)
+      a(1) = 0.0
+      end
+"""
+        got = propagate_constants(parse_program(src), "work", ["n"])
+        assert got == {"n": 32}
+
+
+class TestRuntimeTest:
+    def _loop(self, src):
+        sf = parse_program(src)
+        u = sf.units[0]
+        build_symbol_table(u)
+        return next(s for s in u.body if isinstance(s, F.DoLoop))
+
+    def test_linearized_pattern_recognized(self):
+        loop = self._loop("""
+      subroutine s(a, n, m)
+      integer n, m
+      real a(*)
+      do j = 1, n
+         do i = 1, m
+            a(i + m * (j - 1)) = 0.0
+         end do
+      end do
+      end
+""")
+        t = synthesize_runtime_test(loop)
+        assert t is not None
+        assert t.array == "a"
+        # predicate mentions the stride symbol m
+        names = {n.name for n in t.predicate.walk() if isinstance(n, F.Var)}
+        assert "m" in names
+
+    def test_constant_stride_not_needed(self):
+        loop = self._loop("""
+      subroutine s(a, n)
+      integer n
+      real a(*)
+      do j = 1, n
+         do i = 1, 8
+            a(i + 8 * (j - 1)) = 0.0
+         end do
+      end do
+      end
+""")
+        # constant strides are decidable at compile time: no runtime test
+        assert synthesize_runtime_test(loop) is None
+
+    def test_unrelated_loop_none(self):
+        loop = self._loop("""
+      subroutine s(a, n)
+      integer n
+      real a(n)
+      do i = 1, n
+         a(i) = 0.0
+      end do
+      end
+""")
+        assert synthesize_runtime_test(loop) is None

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for the Fortran front end.
+
+Random expression trees and small loop nests are generated directly as AST,
+unparsed, reparsed, and compared structurally; this exercises the
+parser/unparser pair far beyond the hand-written cases.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fortran import ast_nodes as F
+from repro.fortran.parser import parse_program
+from repro.fortran.unparse import unparse
+
+# -- strategies -------------------------------------------------------------
+
+names = st.sampled_from(list("abcdefg"))
+int_names = st.sampled_from(["i", "j", "k", "n", "m"])
+
+
+def exprs(depth=3):
+    base = st.one_of(
+        st.integers(min_value=0, max_value=999).map(F.IntLit),
+        names.map(F.Var),
+        int_names.map(F.Var),
+        st.floats(min_value=0.001, max_value=1000.0,
+                  allow_nan=False, allow_infinity=False).map(F.RealLit),
+    )
+    if depth <= 0:
+        return base
+    sub = exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(F.BinOp, st.sampled_from(["+", "-", "*", "/", "**"]), sub, sub),
+        st.builds(lambda op, e: F.UnOp(op, e), st.sampled_from(["-", "+"]), sub),
+        st.builds(lambda a, b: F.FuncCall("max", [a, b], intrinsic=True), sub, sub),
+        st.builds(lambda i: F.ArrayRef("w", [i]), sub),
+    )
+
+
+def logical_exprs(depth=2):
+    rel = st.builds(
+        F.BinOp,
+        st.sampled_from([".lt.", ".le.", ".eq.", ".ne.", ".gt.", ".ge."]),
+        exprs(1), exprs(1),
+    )
+    if depth <= 0:
+        return rel
+    sub = logical_exprs(depth - 1)
+    return st.one_of(
+        rel,
+        st.builds(F.BinOp, st.sampled_from([".and.", ".or."]), sub, sub),
+        st.builds(lambda e: F.UnOp(".not.", e), sub),
+    )
+
+
+def assigns():
+    target = st.one_of(
+        names.map(F.Var),
+        st.builds(lambda i: F.ArrayRef("w", [i]), exprs(1)),
+    )
+    return st.builds(lambda t, v: F.Assign(target=t, value=v), target, exprs(2))
+
+
+def stmts(depth=2):
+    base = assigns()
+    if depth <= 0:
+        return base
+    sub = st.lists(stmts(depth - 1), min_size=1, max_size=3)
+    return st.one_of(
+        base,
+        st.builds(
+            lambda v, lo, hi, body: F.DoLoop(var=v, start=lo, end=hi, body=body),
+            int_names, exprs(0), exprs(0), sub,
+        ),
+        st.builds(
+            lambda c, body: F.IfBlock(arms=[(c, body)]),
+            logical_exprs(1), sub,
+        ),
+        st.builds(
+            lambda c, t, e: F.IfBlock(arms=[(c, t), (None, e)]),
+            logical_exprs(1), sub, sub,
+        ),
+    )
+
+
+def wrap(body):
+    return F.SourceFile(units=[F.Subroutine(
+        name="s",
+        specs=[F.TypeDecl(type=F.TypeSpec("real"),
+                          entities=[F.EntityDecl("w", [F.DimSpec(None, F.IntLit(100))])])],
+        body=body,
+    )])
+
+
+def normalize(node):
+    if isinstance(node, F.Node):
+        fields = []
+        for f in dataclasses.fields(node):
+            if f.name in ("label", "line", "do_label"):
+                continue
+            fields.append((f.name, normalize(getattr(node, f.name))))
+        return (type(node).__name__, tuple(fields))
+    if isinstance(node, list):
+        return tuple(normalize(x) for x in node)
+    if isinstance(node, tuple):
+        return tuple(normalize(x) for x in node)
+    if isinstance(node, float):
+        return round(node, 10)
+    return node
+
+
+# -- properties -------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(stmts(2), min_size=1, max_size=5))
+def test_roundtrip_random_programs(body):
+    sf = wrap(body)
+    text = unparse(sf)
+    assert all(len(line) <= 72 for line in text.splitlines())
+    sf2 = parse_program(text)
+    # reparse leaves Apply nodes where we built ArrayRef/FuncCall: map them
+    def canon(x):
+        if isinstance(x, tuple) and x and x[0] in ("ArrayRef", "FuncCall", "Apply"):
+            # unify node name and the args/subscripts field name
+            kind, fields = x
+            fd = dict(fields)
+            args = fd.get("args", fd.get("subscripts"))
+            name = fd["name"]
+            return ("CallOrRef", name, canon(args))
+        if isinstance(x, tuple):
+            return tuple(canon(i) for i in x)
+        return x
+    assert canon(normalize(sf)) == canon(normalize(sf2)), text
+
+
+@settings(max_examples=200, deadline=None)
+@given(exprs(3))
+def test_expression_roundtrip(e):
+    src = unparse(F.SourceFile(units=[F.Subroutine(
+        name="s", body=[F.Assign(target=F.Var("x"), value=e)])]))
+    sf2 = parse_program(src)
+    got = sf2.units[0].body[0].value
+
+    def canon(x):
+        x = normalize(x)
+        def walk(y):
+            if isinstance(y, tuple) and y and y[0] in ("ArrayRef", "FuncCall", "Apply"):
+                kind, fields = y
+                fd = dict(fields)
+                args = fd.get("args", fd.get("subscripts"))
+                return ("CallOrRef", fd["name"], walk(args))
+            if isinstance(y, tuple):
+                return tuple(walk(i) for i in y)
+            return y
+        return walk(x)
+    assert canon(e) == canon(got), src
+
+
+def _canon(x):
+    """Normalize plus unify ArrayRef/FuncCall/Apply (reparse ambiguity)."""
+    x = normalize(x)
+
+    def walk(y):
+        if isinstance(y, tuple) and y and y[0] in ("ArrayRef", "FuncCall", "Apply"):
+            _, fields = y
+            fd = dict(fields)
+            args = fd.get("args", fd.get("subscripts"))
+            return ("CallOrRef", fd["name"], walk(args))
+        if isinstance(y, tuple):
+            return tuple(walk(i) for i in y)
+        return y
+
+    return walk(x)
+
+
+@settings(max_examples=100, deadline=None)
+@given(logical_exprs(2))
+def test_logical_expression_roundtrip(e):
+    src = unparse(F.SourceFile(units=[F.Subroutine(
+        name="s",
+        body=[F.IfBlock(arms=[(e, [F.Assign(target=F.Var("x"), value=F.IntLit(1))])])],
+    )]))
+    sf2 = parse_program(src)
+    arms = sf2.units[0].body[0].arms
+    assert _canon(arms[0][0]) == _canon(e), src

@@ -1,0 +1,172 @@
+"""Symbol table and Apply-resolution tests."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.fortran import ast_nodes as F
+from repro.fortran.parser import parse_program
+from repro.fortran.symtab import build_symbol_table, resolve_source_file
+
+
+def unit_and_table(src):
+    sf = parse_program(src)
+    u = sf.units[0]
+    return u, build_symbol_table(u)
+
+
+def test_declared_types_and_dims():
+    u, st = unit_and_table("""
+      subroutine s(n, a, b)
+      integer n
+      real a(n), b(10, 20)
+      end
+""")
+    assert st.lookup("n").type == "integer"
+    assert st.lookup("a").rank == 1
+    assert st.lookup("b").rank == 2
+    assert st.lookup("a").is_dummy
+    assert st.lookup("b").dims[1].upper.value == 20
+
+
+def test_implicit_typing():
+    u, st = unit_and_table("""
+      subroutine s
+      kount = 0
+      value = 0.0
+      end
+""")
+    assert st.get("kount").type == "integer"
+    assert st.get("value").type == "real"
+    assert st.get("idx").type == "integer"
+    assert st.get("x").type == "real"
+
+
+def test_implicit_none_rejects_undeclared():
+    u, st = unit_and_table("""
+      subroutine s
+      implicit none
+      integer n
+      end
+""")
+    assert st.get("n").type == "integer"
+    with pytest.raises(SemanticError):
+        st.get("mystery")
+
+
+def test_apply_resolution_array_vs_call():
+    u, st = unit_and_table("""
+      subroutine s(a, n)
+      integer n
+      real a(n)
+      external fext
+      a(1) = sqrt(a(2)) + fext(a(3)) + n
+      end
+""")
+    stmt = u.body[0]
+    assert isinstance(stmt.target, F.ArrayRef)
+    exprs = list(stmt.value.walk())
+    calls = {e.name: e for e in exprs if isinstance(e, F.FuncCall)}
+    refs = {e.name for e in exprs if isinstance(e, F.ArrayRef)}
+    assert "sqrt" in calls and calls["sqrt"].intrinsic
+    assert "fext" in calls and not calls["fext"].intrinsic
+    assert refs == {"a"}
+    assert not any(isinstance(e, F.Apply) for e in exprs)
+
+
+def test_common_block_membership():
+    u, st = unit_and_table("""
+      subroutine s
+      common /blk/ x, y(10)
+      common z
+      x = 1.0
+      end
+""")
+    assert st.lookup("x").common_block == "blk"
+    assert st.lookup("y").common_block == "blk"
+    assert st.lookup("y").is_array
+    assert st.lookup("z").common_block == ""
+    assert st.common_blocks["blk"] == ["x", "y"]
+
+
+def test_parameter_constants():
+    u, st = unit_and_table("""
+      subroutine s
+      parameter (n = 100)
+      real a(n)
+      a(1) = 0.0
+      end
+""")
+    sym = st.lookup("n")
+    assert sym.is_parameter
+    assert isinstance(sym.param_value, F.IntLit)
+    assert sym.param_value.value == 100
+
+
+def test_function_result_symbol():
+    sf = parse_program("""
+      real function f(x)
+      real x
+      f = x * 2.0
+      end
+""")
+    st = build_symbol_table(sf.units[0])
+    assert st.lookup("f").is_function
+    assert st.lookup("f").type == "real"
+
+
+def test_dimension_statement_declares_array():
+    u, st = unit_and_table("""
+      subroutine s
+      dimension w(100)
+      w(1) = 0.0
+      end
+""")
+    assert st.lookup("w").is_array
+    assert isinstance(u.body[0].target, F.ArrayRef)
+
+
+def test_double_dimension_rejected():
+    with pytest.raises(SemanticError):
+        unit_and_table("""
+      subroutine s
+      real a(10)
+      dimension a(20)
+      end
+""")
+
+
+def test_resolve_source_file_all_units():
+    sf = parse_program("""
+      subroutine one(a)
+      real a(10)
+      a(1) = 0.0
+      end
+      subroutine two(b)
+      real b(5)
+      b(1) = 0.0
+      end
+""")
+    tables = resolve_source_file(sf)
+    assert set(tables) == {"one", "two"}
+    assert tables["one"].lookup("a").is_array
+
+
+def test_intrinsic_shadowed_by_array_decl():
+    u, st = unit_and_table("""
+      subroutine s
+      real sum(10)
+      sum(1) = 2.0
+      end
+""")
+    assert isinstance(u.body[0].target, F.ArrayRef)
+
+
+def test_equivalence_recorded():
+    u, st = unit_and_table("""
+      subroutine s
+      real a(10), b(10)
+      equivalence (a(1), b(1))
+      a(1) = 0.0
+      end
+""")
+    assert len(st.equivalences) == 1

@@ -1,0 +1,113 @@
+"""Interprocedural analysis feeding the planner (§4.1.1 end to end)."""
+
+import numpy as np
+
+from repro.api import restructure
+from repro.execmodel.interp import Interpreter
+from repro.fortran.parser import parse_program
+from repro.restructurer.options import RestructurerOptions
+
+CALL_IN_LOOP = """
+      subroutine work(xin, yout)
+      real xin, yout
+      yout = xin * 2.0 + 1.0
+      end
+
+      subroutine driver(n, a, b)
+      integer n
+      real a(n), b(n)
+      integer i
+      do i = 1, n
+         call work(a(i), b(i))
+      end do
+      end
+"""
+
+
+class TestInliningUnlocksLoops:
+    def test_auto_keeps_call_loop_serial(self):
+        _, rep = restructure(parse_program(CALL_IN_LOOP),
+                             RestructurerOptions.automatic())
+        plan = rep.units["driver"].plans[0]
+        assert plan.chosen == "serial"
+
+    def test_manual_inlines_and_parallelizes(self):
+        cedar, rep = restructure(parse_program(CALL_IN_LOOP),
+                                 RestructurerOptions.manual())
+        assert rep.units["driver"].inlined_calls == 1
+        plan = rep.units["driver"].plans[0]
+        assert plan.chosen != "serial"
+
+    def test_inlined_version_equivalent(self):
+        cedar, _ = restructure(parse_program(CALL_IN_LOOP),
+                               RestructurerOptions.manual())
+        n = 10
+        a = np.arange(1.0, n + 1.0)
+        b0, b1 = np.zeros(n), np.zeros(n)
+        Interpreter(parse_program(CALL_IN_LOOP)).call("driver", n,
+                                                      a.copy(), b0)
+        Interpreter(cedar, processors=4).call("driver", n, a.copy(), b1)
+        assert np.allclose(b0, b1)
+        assert np.allclose(b0, a * 2.0 + 1.0)
+
+
+class TestConstantPropagationSizes:
+    SRC = """
+      program main
+      parameter (n = 64)
+      real a(n), b(n)
+      call fill(a, b, n)
+      end
+
+      subroutine fill(a, b, m)
+      integer m
+      real a(m), b(m)
+      integer i
+      do i = 1, m
+         a(i) = b(i) * 2.0
+      end do
+      end
+"""
+
+    def test_entry_constant_resolved(self):
+        from repro.analysis.interproc import propagate_constants
+
+        sf = parse_program(self.SRC)
+        assert propagate_constants(sf, "fill", ["m"]) == {"m": 64}
+
+
+class TestSummariesRestrictCallEffects:
+    SRC = """
+      subroutine reader(xin, acc)
+      real xin, acc
+      acc = acc + xin
+      end
+
+      subroutine driver(n, a, total)
+      integer n
+      real a(n), total
+      integer i
+      do i = 1, n
+         call reader(a(i), total)
+      end do
+      end
+"""
+
+    def test_summaries_expose_read_only_argument(self):
+        """With MOD/REF summaries, 'a' is known read-only at the call —
+        the conservative both-ways dependence on it disappears."""
+        from repro.analysis.depend import build_dependence_graph
+        from repro.analysis.interproc import summarize_source_file
+        from repro.analysis.interproc.summaries import effects_oracle
+        from repro.fortran import ast_nodes as F
+        from repro.fortran.symtab import build_symbol_table
+
+        sf = parse_program(self.SRC)
+        driver = sf.unit("driver")
+        build_symbol_table(driver)
+        loop = next(s for s in driver.body if isinstance(s, F.DoLoop))
+        oracle = effects_oracle(summarize_source_file(sf))
+        g = build_dependence_graph(loop, effects=oracle)
+        carried = {d.variable for d in g.carried_at(0)}
+        assert "a" not in carried      # read-only via the summary
+        assert "total" in carried      # genuinely modified every call

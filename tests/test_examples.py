@@ -1,0 +1,32 @@
+"""The examples must stay runnable — they are the documented entry point."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "techniques_tour.py",
+    "machine_exploration.py",
+    "linear_algebra.py",
+])
+def test_example_runs(script):
+    path = EXAMPLES / script
+    assert path.exists(), path
+    proc = subprocess.run([sys.executable, str(path)],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+
+
+def test_quickstart_shows_cedar_fortran():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert "xdoall" in proc.stdout
+    assert "speedup" in proc.stdout
