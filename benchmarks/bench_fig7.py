@@ -6,8 +6,10 @@ from repro.experiments import fig7_privatization
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode):
-    return fig7_privatization.run(quick=quick_mode)
+def table(quick_mode, write_bench_json):
+    t = fig7_privatization.run(quick=quick_mode)
+    write_bench_json("fig7", t)
+    return t
 
 
 def test_fig7_benchmark(benchmark):

@@ -6,8 +6,10 @@ from repro.experiments import fig9_fusion
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode):
-    return fig9_fusion.run(quick=quick_mode)
+def table(quick_mode, write_bench_json):
+    t = fig9_fusion.run(quick=quick_mode)
+    write_bench_json("fig9", t)
+    return t
 
 
 def _series(table, machine):

@@ -6,8 +6,10 @@ from repro.experiments import table1
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode):
-    return table1.run(quick=quick_mode)
+def table(quick_mode, write_bench_json):
+    t = table1.run(quick=quick_mode)
+    write_bench_json("table1", t)
+    return t
 
 
 def test_table1_benchmark(benchmark, quick_mode):

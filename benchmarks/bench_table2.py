@@ -6,8 +6,10 @@ from repro.experiments import table2
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode):
-    return table2.run(quick=quick_mode)
+def table(quick_mode, write_bench_json):
+    t = table2.run(quick=quick_mode)
+    write_bench_json("table2", t)
+    return t
 
 
 def _col(table, name):

@@ -16,3 +16,25 @@ def quick_mode(pytestconfig):
     import os
 
     return bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+
+@pytest.fixture(scope="session")
+def write_bench_json():
+    """Persist a benchmark table as ``BENCH_<name>.json`` in the repo root
+    (same payload shape as ``python -m repro.experiments --json``), so runs
+    can be diffed and post-processed without rerunning the pipeline."""
+    import json
+    from pathlib import Path
+
+    from repro.experiments.__main__ import JSON_SCHEMA
+
+    root = Path(__file__).resolve().parent.parent
+
+    def write(name, table):
+        path = root / f"BENCH_{name}.json"
+        payload = {"schema": JSON_SCHEMA,
+                   "experiments": {name: table.to_dict()}}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return path
+
+    return write

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validate a ``python -m repro.experiments --json`` payload.
+
+Usage: ``validate_experiment_json.py payload.json`` (or ``-`` for stdin).
+
+This is a hand-rolled checker for ``schemas/experiment.schema.json`` —
+the environment deliberately carries no jsonschema dependency — plus two
+semantic invariants the schema language cannot express:
+
+- every cycle breakdown's group totals sum to its grand total (1e-6
+  relative): attribution never changes totals;
+- every loop the planner accepted as ``serial`` has at least one
+  rejection/failure decision with a reason: the trace must explain why a
+  loop did not parallelize.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA_TAG = "repro-experiment/1"
+ACTIONS = {"accepted", "rejected", "failed", "applied", "declined", "noted"}
+REL_TOL = 1e-6
+
+_errors: list[str] = []
+
+
+def err(path: str, msg: str) -> None:
+    _errors.append(f"{path}: {msg}")
+
+
+def _expect(cond: bool, path: str, msg: str) -> bool:
+    if not cond:
+        err(path, msg)
+    return cond
+
+
+def check_breakdown(bd, path: str) -> None:
+    if not _expect(isinstance(bd, dict), path, "breakdown must be an object"):
+        return
+    if not _expect("total" in bd and "groups" in bd, path,
+                   "breakdown needs 'total' and 'groups'"):
+        return
+    total = bd["total"]
+    group_sum = 0.0
+    for g, cats in bd["groups"].items():
+        gpath = f"{path}.groups.{g}"
+        if not _expect(isinstance(cats, dict) and "total" in cats, gpath,
+                       "group needs a 'total'"):
+            continue
+        cat_sum = sum(v for k, v in cats.items() if k != "total")
+        _expect(abs(cat_sum - cats["total"])
+                <= REL_TOL * max(abs(cats["total"]), 1.0),
+                gpath, f"category sum {cat_sum} != group total "
+                       f"{cats['total']}")
+        group_sum += cats["total"]
+    _expect(abs(group_sum - total) <= REL_TOL * max(abs(total), 1.0),
+            path, f"group sum {group_sum} != total {total}")
+
+
+def check_decision(d, path: str) -> None:
+    if not _expect(isinstance(d, dict), path, "decision must be an object"):
+        return
+    for key in ("kind", "unit", "technique", "action"):
+        _expect(key in d, path, f"decision missing {key!r}")
+    if "action" in d:
+        _expect(d["action"] in ACTIONS, path,
+                f"unknown action {d['action']!r}")
+    if "kind" in d:
+        _expect(d["kind"] in ("plan", "pass"), path,
+                f"unknown kind {d['kind']!r}")
+
+
+def check_serial_loops_explained(decisions, path: str) -> None:
+    """Every planner-accepted 'serial' loop must carry a rejection reason."""
+    serial = {(d.get("loop"), d.get("line")) for d in decisions
+              if d.get("kind") == "plan" and d.get("action") == "accepted"
+              and d.get("technique") == "serial"}
+    for loop, line in sorted(serial, key=str):
+        explained = any(
+            (d.get("loop"), d.get("line")) == (loop, line)
+            and d.get("action") in ("rejected", "failed")
+            and d.get("reason")
+            for d in decisions)
+        _expect(explained, path,
+                f"serial loop {loop!r} (line {line}) has no rejection "
+                f"reason in the trace")
+
+
+def check_trace_entry(w, path: str) -> None:
+    if not _expect(isinstance(w, dict), path, "trace entry must be an object"):
+        return
+    for key in ("speedup", "serial_cycles", "parallel_cycles"):
+        _expect(isinstance(w.get(key), (int, float)), path,
+                f"missing numeric {key!r}")
+    for key in ("serial_breakdown", "parallel_breakdown"):
+        if key in w:
+            check_breakdown(w[key], f"{path}.{key}")
+    decisions = w.get("decisions", [])
+    for i, d in enumerate(decisions):
+        check_decision(d, f"{path}.decisions[{i}]")
+    check_serial_loops_explained(decisions, path)
+
+
+def check_table(t, path: str) -> None:
+    if not _expect(isinstance(t, dict), path, "table must be an object"):
+        return
+    for key in ("title", "columns", "rows", "notes", "meta"):
+        _expect(key in t, path, f"table missing {key!r}")
+    cols = t.get("columns", [])
+    _expect(isinstance(cols, list) and all(isinstance(c, str) for c in cols),
+            f"{path}.columns", "columns must be a list of strings")
+    for i, row in enumerate(t.get("rows", [])):
+        rpath = f"{path}.rows[{i}]"
+        if _expect(isinstance(row, dict), rpath, "row must be an object"):
+            _expect(set(row) == set(cols), rpath,
+                    "row keys must match the columns")
+    for name, w in t.get("meta", {}).get("trace", {}).items():
+        check_trace_entry(w, f"{path}.meta.trace.{name}")
+
+
+def validate(payload) -> list[str]:
+    """Return a list of violations (empty == valid)."""
+    _errors.clear()
+    if not _expect(isinstance(payload, dict), "$", "payload must be an object"):
+        return list(_errors)
+    _expect(payload.get("schema") == SCHEMA_TAG, "$.schema",
+            f"expected {SCHEMA_TAG!r}, got {payload.get('schema')!r}")
+    experiments = payload.get("experiments")
+    if _expect(isinstance(experiments, dict) and experiments,
+               "$.experiments", "need a non-empty experiments object"):
+        for name, t in experiments.items():
+            check_table(t, f"$.experiments.{name}")
+    return list(_errors)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    raw = sys.stdin.read() if argv[1] == "-" else open(argv[1]).read()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(f"invalid JSON: {exc}", file=sys.stderr)
+        return 1
+    problems = validate(payload)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"{len(problems)} violation(s)", file=sys.stderr)
+        return 1
+    n = len(payload["experiments"])
+    print(f"OK: {n} experiment(s) conform to {SCHEMA_TAG}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

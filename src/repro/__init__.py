@@ -23,6 +23,9 @@ The package provides:
   kernels for the Perfect Benchmarks of Table 2.
 - :mod:`repro.experiments` — drivers that regenerate every table and figure
   of the paper's evaluation section.
+- :mod:`repro.trace` — observability: hierarchical cycle-attribution
+  ledgers charged by the machine model and structured decision events
+  emitted by the restructurer (see the README's Observability section).
 
 Quickstart::
 

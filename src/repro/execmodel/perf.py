@@ -13,6 +13,14 @@ loop-local data is private (cache-speed).  Global *vector* streams use the
 prefetch unit when enabled (Figure 6); aggregate global traffic is capped
 by the machine's bandwidth (Figure 8); working sets beyond physical memory
 page (Table 1's mprove).
+
+Every estimate also attributes its cycles into a
+:class:`repro.trace.CycleLedger` (compute / vector / startup / dispatch /
+sync / per-tier memory / prefetch / page faults).  The ledger composes
+exactly as the cycle totals do, so the category sums always equal the
+aggregate — the estimate itself is unchanged by tracing.  Construct with
+``trace=False`` to skip the bookkeeping (a shared null ledger absorbs all
+charges).
 """
 
 from __future__ import annotations
@@ -32,8 +40,12 @@ from repro.machine.paging import PagingModel
 from repro.machine.scheduler import LoopScheduler
 from repro.machine.sync import SyncModel
 from repro.machine.vector import VectorUnit
+from repro.trace.ledger import NULL_LEDGER, CycleLedger
 
 _HEAVY_OPS = {"/", "**"}
+
+#: (cost, traffic profile, cycle attribution) — the walk's return triple
+_Costed = "tuple[float, AccessProfile, CycleLedger]"
 
 
 @dataclass
@@ -45,10 +57,17 @@ class PerfResult:
     page_overhead: float
     profile: AccessProfile
     notes: list[str] = field(default_factory=list)
+    #: per-category attribution; ``ledger.total() == total`` (within fp
+    #: rounding) when the estimator ran with ``trace=True``
+    ledger: Optional[CycleLedger] = None
 
     @property
     def total(self) -> float:
         return self.cycles + self.page_overhead
+
+    def breakdown(self) -> dict:
+        """JSON-ready hierarchical cycle attribution (empty if untraced)."""
+        return self.ledger.to_dict() if self.ledger is not None else {}
 
 
 @dataclass
@@ -65,7 +84,8 @@ class PerfEstimator:
     def __init__(self, sf: F.SourceFile, config: MachineConfig,
                  prefetch: bool = True,
                  placements: Mapping[str, str] | None = None,
-                 serial_data_placement: str = "cluster"):
+                 serial_data_placement: str = "cluster",
+                 trace: bool = True):
         self.sf = sf
         self.cfg = config
         self.units = {u.name: u for u in sf.units}
@@ -77,6 +97,7 @@ class PerfEstimator:
         self.sync = SyncModel(config)
         self.paging = PagingModel(config)
         self.prefetch = prefetch
+        self.trace = trace
         self.placement_override = dict(placements or {})
         self.serial_default = serial_data_placement
         # honor the globalization pass's GLOBAL/CLUSTER declarations
@@ -91,6 +112,10 @@ class PerfEstimator:
                     for n in spec.names:
                         decl[n] = "cluster"
             self.declared_placement[u.name] = decl
+
+    def _ledger(self) -> CycleLedger:
+        """A fresh ledger, or the shared null sink when tracing is off."""
+        return CycleLedger() if self.trace else NULL_LEDGER
 
     # ------------------------------------------------------------------
 
@@ -110,10 +135,11 @@ class PerfEstimator:
 
         self._unit_stack = [unit_name]
         ctx = _Ctx(env=env)
-        cycles, prof = self._body(unit.body, ctx, unit_name)
-        page = self._paging_overhead(unit_name, env, prof)
+        cycles, prof, led = self._body(unit.body, ctx, unit_name)
+        page = self._paging_overhead(unit_name, env, prof, led)
         return PerfResult(cycles=cycles, compute_cycles=cycles,
-                          page_overhead=page, profile=prof)
+                          page_overhead=page, profile=prof,
+                          ledger=led if self.trace else None)
 
     # ------------------------------------------------------------------
     # placement
@@ -210,18 +236,18 @@ class PerfEstimator:
     # ------------------------------------------------------------------
     # statement costing
 
-    def _body(self, stmts: list[F.Stmt], ctx: _Ctx,
-              unit: str) -> tuple[float, AccessProfile]:
+    def _body(self, stmts: list[F.Stmt], ctx: _Ctx, unit: str):
         total = 0.0
         prof = AccessProfile()
+        led = self._ledger()
         for s in stmts:
-            c, p = self._stmt(s, ctx, unit)
+            c, p, l = self._stmt(s, ctx, unit)
             total += c
             prof.add(p)
-        return total, prof
+            led.add(l)
+        return total, prof, led
 
-    def _stmt(self, s: F.Stmt, ctx: _Ctx,
-              unit: str) -> tuple[float, AccessProfile]:
+    def _stmt(self, s: F.Stmt, ctx: _Ctx, unit: str):
         if isinstance(s, F.Assign):
             return self._assign(s, ctx, unit)
         if isinstance(s, C.ParallelDo):
@@ -237,49 +263,64 @@ class PerfEstimator:
                 if verdict is None:
                     break
                 if verdict:
-                    c0, p0 = (self._expr(cond, ctx, unit, None)
-                              if cond is not None else (0.0, AccessProfile()))
-                    c, p = self._body(body, ctx, unit)
+                    if cond is not None:
+                        c0, p0, l0 = self._expr(cond, ctx, unit, None)
+                    else:
+                        c0, p0, l0 = 0.0, AccessProfile(), self._ledger()
+                    c, p, l = self._body(body, ctx, unit)
                     p0.add(p)
-                    return c0 + self.cfg.cost_branch + c, p0
+                    l0.charge("compute", self.cfg.cost_branch)
+                    l0.add(l)
+                    return c0 + self.cfg.cost_branch + c, p0, l0
             prof = AccessProfile()
+            led = self._ledger()
             total = 0.0
             arm_costs = []
             for cond, body in s.arms:
                 if cond is not None:
-                    c, p = self._expr(cond, ctx, unit, vector_len=None)
+                    c, p, l = self._expr(cond, ctx, unit, vector_len=None)
                     total += c + self.cfg.cost_branch
                     prof.add(p)
-                c, p = self._body(body, ctx, unit)
+                    led.add(l)
+                    led.charge("compute", self.cfg.cost_branch)
+                c, p, l = self._body(body, ctx, unit)
                 arm_costs.append(c)
                 prof.add(p.scaled(1.0 / max(len(s.arms), 1)))
+                led.add(l.scaled(1.0 / max(len(s.arms), 1)))
             if arm_costs:
                 total += sum(arm_costs) / len(arm_costs)
-            return total, prof
+            return total, prof, led
         if isinstance(s, F.LogicalIf):
-            c1, p1 = self._expr(s.cond, ctx, unit, vector_len=None)
-            c2, p2 = self._stmt(s.stmt, ctx, unit)
+            c1, p1, l1 = self._expr(s.cond, ctx, unit, vector_len=None)
+            c2, p2, l2 = self._stmt(s.stmt, ctx, unit)
             p1.add(p2.scaled(0.5))
-            return c1 + self.cfg.cost_branch + 0.5 * c2, p1
+            l1.charge("compute", self.cfg.cost_branch)
+            l1.add(l2.scaled(0.5))
+            return c1 + self.cfg.cost_branch + 0.5 * c2, p1, l1
         if isinstance(s, C.WhereStmt):
             return self._where(s, ctx, unit)
         if isinstance(s, F.CallStmt):
             return self._call(s, ctx, unit)
         if isinstance(s, C.AwaitStmt):
-            return self.cfg.cost_await, AccessProfile()
+            return self._fixed(self.cfg.cost_await, "sync")
         if isinstance(s, C.AdvanceStmt):
-            return self.cfg.cost_advance, AccessProfile()
+            return self._fixed(self.cfg.cost_advance, "sync")
         if isinstance(s, (C.LockStmt,)):
-            return self.cfg.cost_lock, AccessProfile()
+            return self._fixed(self.cfg.cost_lock, "sync")
         if isinstance(s, (C.UnlockStmt,)):
-            return self.cfg.cost_unlock, AccessProfile()
+            return self._fixed(self.cfg.cost_unlock, "sync")
         if isinstance(s, (F.Goto, F.ComputedGoto, F.ContinueStmt,
                           F.ReturnStmt, F.StopStmt)):
-            return self.cfg.cost_branch, AccessProfile()
+            return self._fixed(self.cfg.cost_branch, "compute")
         if isinstance(s, (F.PrintStmt, F.ReadStmt)):
-            return 100.0, AccessProfile()
+            return self._fixed(100.0, "compute")
         # declarations
-        return 0.0, AccessProfile()
+        return 0.0, AccessProfile(), self._ledger()
+
+    def _fixed(self, cost: float, category: str):
+        led = self._ledger()
+        led.charge(category, cost)
+        return cost, AccessProfile(), led
 
     # -- assignment ----------------------------------------------------------
 
@@ -293,19 +334,20 @@ class PerfEstimator:
                 return max(1.0, (hi - lo + st) // st)
         return None
 
-    def _assign(self, s: F.Assign, ctx: _Ctx,
-                unit: str) -> tuple[float, AccessProfile]:
+    def _assign(self, s: F.Assign, ctx: _Ctx, unit: str):
         length = self._section_len(s.target, ctx)
         if length is None:
             length = self._section_len(s.value, ctx)
-        cost, prof = self._expr(s.value, ctx, unit, vector_len=length)
-        c2, p2 = self._store(s.target, ctx, unit, vector_len=length)
+        cost, prof, led = self._expr(s.value, ctx, unit, vector_len=length)
+        c2, p2, l2 = self._store(s.target, ctx, unit, vector_len=length)
         prof.add(p2)
-        return cost + c2, prof
+        led.add(l2)
+        return cost + c2, prof, led
 
     def _store(self, t: F.Expr, ctx: _Ctx, unit: str,
-               vector_len: Optional[float]) -> tuple[float, AccessProfile]:
+               vector_len: Optional[float]):
         prof = AccessProfile()
+        led = self._ledger()
 
         def note_scalar(pl: str) -> None:
             if pl == "global":
@@ -318,33 +360,41 @@ class PerfEstimator:
         if isinstance(t, F.Var):
             pl = self._placement(t.name, ctx, unit)
             note_scalar(pl)
-            return self.memory.scalar_access(pl), prof
+            return self.memory.scalar_access(pl, ledger=led), prof, led
         if isinstance(t, (F.ArrayRef, F.Apply)):
             pl = self._placement(t.name, ctx, unit)
             subs = t.subscripts if isinstance(t, F.ArrayRef) else t.args
             sub_cost = 0.0
             for x in subs:
                 if not isinstance(x, F.RangeExpr):
-                    c, p = self._expr(x, ctx, unit, vector_len=None)
+                    c, p, l = self._expr(x, ctx, unit, vector_len=None)
                     sub_cost += c * 0.25  # address arithmetic overlaps
+                    led.add(l.scaled(0.25))
             if vector_len is not None and any(
                     isinstance(x, F.RangeExpr) for x in subs):
                 # stores do not use the (read) prefetch unit
+                tmp = self._ledger()
                 c, p = self.memory.vector_access(pl, vector_len,
-                                                 prefetch=False)
+                                                 prefetch=False, ledger=tmp)
                 if pl == "global":
-                    c = min(c, vector_len * 0.55 * self.cfg.lat_global)
+                    clamped = min(c, vector_len * 0.55 * self.cfg.lat_global)
+                    if c > 0 and clamped != c:
+                        tmp = tmp.scaled(clamped / c)
+                    c = clamped
                 prof.add(p)
-                return sub_cost + c, prof
+                led.add(tmp)
+                return sub_cost + c, prof, led
             note_scalar(pl)
-            return sub_cost + self.memory.scalar_access(pl), prof
-        return 0.0, prof
+            return sub_cost + self.memory.scalar_access(pl, ledger=led), \
+                prof, led
+        return 0.0, prof, led
 
     # -- expressions ----------------------------------------------------------
 
     def _expr(self, e: F.Expr, ctx: _Ctx, unit: str,
-              vector_len: Optional[float]) -> tuple[float, AccessProfile]:
+              vector_len: Optional[float]):
         prof = AccessProfile()
+        led = self._ledger()
         L = vector_len
 
         def note_scalar(pl: str) -> None:
@@ -355,81 +405,98 @@ class PerfEstimator:
             else:
                 prof.cache_elems += 1.0
 
-        def rec(x: F.Expr) -> float:
+        def rec(x: F.Expr, led: CycleLedger) -> float:
             if isinstance(x, (F.IntLit, F.RealLit, F.LogicalLit, F.StrLit)):
                 return 0.0
             if isinstance(x, F.Var):
                 pl = self._placement(x.name, ctx, unit)
                 note_scalar(pl)
-                return self.memory.scalar_access(pl)
+                return self.memory.scalar_access(pl, ledger=led)
             if isinstance(x, F.RangeExpr):
                 return 0.0
             if isinstance(x, (F.ArrayRef, F.Apply)):
                 subs = (x.subscripts if isinstance(x, F.ArrayRef) else x.args)
                 pl = self._placement(x.name, ctx, unit)
-                cost = sum(rec(sub) * 0.25 for sub in subs
-                           if not isinstance(sub, F.RangeExpr))
+                cost = 0.0
+                for sub in subs:
+                    if not isinstance(sub, F.RangeExpr):
+                        tmp = self._ledger()
+                        cost += rec(sub, tmp) * 0.25
+                        led.add(tmp.scaled(0.25))
                 if L is not None and any(isinstance(sub, F.RangeExpr)
                                          for sub in subs):
-                    c, p = self.memory.vector_access(pl, L,
-                                                     prefetch=self.prefetch)
+                    c, p = self.memory.vector_access(
+                        pl, L, prefetch=self.prefetch, ledger=led)
                     prof.add(p)
                     return cost + c
                 note_scalar(pl)
-                return cost + self.memory.scalar_access(pl)
+                return cost + self.memory.scalar_access(pl, ledger=led)
             if isinstance(x, F.FuncCall):
                 if x.name in CEDAR_LIBRARY:
-                    c, p = self._library(x.name, x.args, ctx, unit)
+                    c, p, l = self._library(x.name, x.args, ctx, unit)
                     prof.add(p)
+                    led.add(l)
                     return c
                 if x.name in self.units:
-                    c, p = self._user_call(x.name, x.args, ctx, unit)
+                    c, p, l = self._user_call(x.name, x.args, ctx, unit)
                     prof.add(p)
+                    led.add(l)
                     return c
-                arg_cost = sum(rec(a) for a in x.args)
+                arg_cost = sum(rec(a, led) for a in x.args)
                 info = INTRINSICS.get(x.name)
                 if L is not None:
                     return arg_cost + self.vector.op_cost(
                         L, heavy=(info is not None and
-                                  info.cost_class == "heavy"))
+                                  info.cost_class == "heavy"), ledger=led)
                 if info is None or info.cost_class == "func":
+                    led.charge("compute", self.cfg.cost_func)
                     return arg_cost + self.cfg.cost_func
                 if info.cost_class == "heavy":
+                    led.charge("compute", self.cfg.cost_div)
                     return arg_cost + self.cfg.cost_div
+                led.charge("compute", self.cfg.cost_alu)
                 return arg_cost + self.cfg.cost_alu
             if isinstance(x, F.BinOp):
-                c = rec(x.left) + rec(x.right)
+                c = rec(x.left, led) + rec(x.right, led)
                 if L is not None:
-                    return c + self.vector.op_cost(L, heavy=x.op in _HEAVY_OPS)
+                    return c + self.vector.op_cost(L, heavy=x.op in _HEAVY_OPS,
+                                                   ledger=led)
                 if x.op in _HEAVY_OPS:
+                    led.charge("compute", self.cfg.cost_div)
                     return c + self.cfg.cost_div
                 if x.op == "*":
+                    led.charge("compute", self.cfg.cost_mul)
                     return c + self.cfg.cost_mul
+                led.charge("compute", self.cfg.cost_alu)
                 return c + self.cfg.cost_alu
             if isinstance(x, F.UnOp):
-                return rec(x.operand) + (self.cfg.cost_alu
-                                         if L is None else
-                                         self.vector.op_cost(L) * 0.25)
+                c = rec(x.operand, led)
+                if L is None:
+                    led.charge("compute", self.cfg.cost_alu)
+                    return c + self.cfg.cost_alu
+                v = self.vector.op_cost(L) * 0.25
+                led.charge("vector", v)
+                return c + v
             raise MachineModelError(f"cannot price {type(x).__name__}")
 
-        return rec(e), prof
+        return rec(e, led), prof, led
 
     # -- loops ----------------------------------------------------------------
 
-    def _do_loop(self, s: F.DoLoop, ctx: _Ctx,
-                 unit: str) -> tuple[float, AccessProfile]:
+    def _do_loop(self, s: F.DoLoop, ctx: _Ctx, unit: str):
         trips = self._trips(s, ctx)
         mid_env = dict(ctx.env)
         lo = self._num(s.start, ctx, 1.0)
         mid_env[s.var] = lo + max(trips - 1, 0) / 2.0
         inner = _Ctx(env=mid_env, private=ctx.private, level=ctx.level,
                      depth=ctx.depth)
-        body_c, body_p = self._body(s.body, inner, unit)
+        body_c, body_p, body_l = self._body(s.body, inner, unit)
         overhead = self.cfg.cost_branch + self.cfg.cost_alu
-        return trips * (body_c + overhead), body_p.scaled(trips)
+        led = body_l.scaled(trips)
+        led.charge("compute", trips * overhead)
+        return trips * (body_c + overhead), body_p.scaled(trips), led
 
-    def _parallel_do(self, s: C.ParallelDo, ctx: _Ctx,
-                     unit: str) -> tuple[float, AccessProfile]:
+    def _parallel_do(self, s: C.ParallelDo, ctx: _Ctx, unit: str):
         trips = int(self._trips(s, ctx))
         private = set(ctx.private)
         for decl in s.locals_:
@@ -443,44 +510,60 @@ class PerfEstimator:
         inner = _Ctx(env=mid_env, private=frozenset(private),
                      level=s.level, depth=ctx.depth + 1)
 
-        body_c, body_p = self._body(s.body, inner, unit)
-        pre_c, pre_p = self._body(s.preamble, inner, unit)
-        post_c, post_p = self._body(s.postamble, inner, unit)
+        body_c, body_p, body_l = self._body(s.body, inner, unit)
+        pre_c, pre_p, pre_l = self._body(s.preamble, inner, unit)
+        post_c, post_p, post_l = self._body(s.postamble, inner, unit)
 
         level = s.level
         if not self.cfg.has_global_memory and level in ("S", "X"):
             # FX/80: spread/cross loops collapse onto the single cluster
             pass  # startup costs already encode this in the config
 
+        led = self._ledger()
         if s.order == "doacross":
             region = self._sync_region_cost(s, inner, unit)
             timing = self.scheduler.doacross(
-                level, max(trips, 1), body_c, region, pre_c, post_c)
+                level, max(trips, 1), body_c, region, pre_c, post_c,
+                ledger=led)
         else:
             timing = self.scheduler.run(level, "doall", max(trips, 1),
-                                        body_c, pre_c, post_c)
+                                        body_c, pre_c, post_c, ledger=led)
         workers = timing.workers
         prof = body_p.scaled(trips)
         prof.add(pre_p.scaled(workers))
         prof.add(post_p.scaled(workers))
+        # critical-path attribution: the scheduler charged its overhead;
+        # body/preamble/postamble cycles carry the body's category mix
+        if body_c > 0:
+            led.add(body_l.scaled(timing.body_cycles / body_c))
+        elif timing.body_cycles:
+            led.charge("compute", timing.body_cycles)
+        led.add(pre_l)
+        led.add(post_l)
 
         total = timing.total_time
         # postambles with locks serialize across workers
         if any(isinstance(x, C.LockStmt) for x in s.postamble):
-            total += self.sync.critical_section(post_c, workers) - post_c
+            extra = self.sync.critical_section(post_c, workers) - post_c
+            led.charge("sync", extra)
+            total += extra
         # a critical section inside the body serializes its region across
         # all iterations: the lock chain is a hard floor on completion time
         region_c = self._lock_region_cost(s.body, inner, unit)
         if region_c > 0:
             lock_chain = trips * (region_c + self.cfg.cost_lock
                                   + self.cfg.cost_unlock)
-            total = max(total, lock_chain)
+            if lock_chain > total:
+                led.charge("sync", lock_chain - total)
+                total = lock_chain
 
         # global bandwidth saturation across active clusters
         active_clusters = (self.cfg.clusters if level in ("S", "X") else 1)
         factor = self.memory.saturation_factor(
             prof.global_elems, total * 1.0, active_clusters)
-        return total * factor, prof
+        if factor > 1.0:
+            led.charge("mem_global", (factor - 1.0) * total)
+        return total * factor, prof, led
 
     def _lock_region_cost(self, body: list[F.Stmt], ctx: _Ctx,
                           unit: str) -> float:
@@ -495,7 +578,7 @@ class PerfEstimator:
                 inside = False
                 continue
             if inside:
-                c, _ = self._stmt(st, ctx, unit)
+                c, _, _ = self._stmt(st, ctx, unit)
                 cost += c
         return cost
 
@@ -511,12 +594,11 @@ class PerfEstimator:
                 inside = False
                 continue
             if inside:
-                c, _ = self._stmt(st, ctx, unit)
+                c, _, _ = self._stmt(st, ctx, unit)
                 cost += c
         return cost
 
-    def _where(self, s: C.WhereStmt, ctx: _Ctx,
-               unit: str) -> tuple[float, AccessProfile]:
+    def _where(self, s: C.WhereStmt, ctx: _Ctx, unit: str):
         L = self._section_len(s.mask, ctx)
         if L is None:
             for st in s.body + s.elsewhere:
@@ -525,35 +607,36 @@ class PerfEstimator:
                     if L is not None:
                         break
         L = L if L is not None else float(self.cfg.prefetch_block)
-        cost, prof = self._expr(s.mask, ctx, unit, vector_len=L)
+        cost, prof, led = self._expr(s.mask, ctx, unit, vector_len=L)
         for st in s.body + s.elsewhere:
-            c, p = self._stmt(st, ctx, unit)
+            c, p, l = self._stmt(st, ctx, unit)
             cost += c
             prof.add(p)
-        return cost, prof
+            led.add(l)
+        return cost, prof, led
 
     # -- calls ------------------------------------------------------------------
 
-    def _call(self, s: F.CallStmt, ctx: _Ctx,
-              unit: str) -> tuple[float, AccessProfile]:
+    def _call(self, s: F.CallStmt, ctx: _Ctx, unit: str):
         if s.name in CEDAR_LIBRARY:
             return self._library(s.name, s.args, ctx, unit)
         if s.name in ("await",):
-            return self.cfg.cost_await, AccessProfile()
+            return self._fixed(self.cfg.cost_await, "sync")
         if s.name in ("advance",):
-            return self.cfg.cost_advance, AccessProfile()
+            return self._fixed(self.cfg.cost_advance, "sync")
         if s.name in ("lock",):
-            return self.cfg.cost_lock, AccessProfile()
+            return self._fixed(self.cfg.cost_lock, "sync")
         if s.name in ("unlock",):
-            return self.cfg.cost_unlock, AccessProfile()
+            return self._fixed(self.cfg.cost_unlock, "sync")
         if s.name in self.units:
             return self._user_call(s.name, s.args, ctx, unit)
-        return self.cfg.cost_func, AccessProfile()
+        return self._fixed(self.cfg.cost_func, "compute")
 
     def _user_call(self, name: str, actuals: list[F.Expr], ctx: _Ctx,
-                   unit: str) -> tuple[float, AccessProfile]:
+                   unit: str):
         if len(self._unit_stack) > 12 or name in self._unit_stack[-3:]:
-            return self.cfg.cost_func * 10, AccessProfile()  # recursion guard
+            # recursion guard
+            return self._fixed(self.cfg.cost_func * 10, "compute")
         callee = self.units[name]
         env: dict[str, float] = {}
         st = self.tables[name]
@@ -573,13 +656,14 @@ class PerfEstimator:
         try:
             cctx = _Ctx(env=env, private=frozenset(), level=ctx.level,
                         depth=ctx.depth)
-            c, p = self._body(callee.body, cctx, name)
+            c, p, l = self._body(callee.body, cctx, name)
         finally:
             self._unit_stack.pop()
-        return arg_cost + c, p
+        l.charge("compute", arg_cost)
+        return arg_cost + c, p, l
 
     def _library(self, name: str, args: list[F.Expr], ctx: _Ctx,
-                 unit: str) -> tuple[float, AccessProfile]:
+                 unit: str):
         lib = CEDAR_LIBRARY[name]
         # section length of the first array argument
         L = None
@@ -589,46 +673,59 @@ class PerfEstimator:
                 break
         L = L if L is not None else 100.0
         prof = AccessProfile()
+        led = self._ledger()
 
         if ctx.level is not None:
             # called from inside a parallel loop: the calling processor
             # runs the vectorized kernel locally on its own data
             compute = self.vector.reduction_cost(
-                L * lib.serial_ops_per_elem)
+                L * lib.serial_ops_per_elem, ledger=led)
             stream_time = 0.0
             for a in args:
                 if isinstance(a, (F.ArrayRef, F.Apply, F.Var)):
                     pl = self._placement(a.name, ctx, unit)
                     c, pr = self.memory.vector_access(
-                        pl, L, prefetch=self.prefetch)
+                        pl, L, prefetch=self.prefetch, ledger=led)
                     stream_time += c
                     prof.add(pr)
-            return 30.0 + compute + stream_time, prof
+            led.charge("compute", 30.0)
+            return 30.0 + compute + stream_time, prof, led
 
         # whole-machine distributed execution (§3.3 two-step combining)
         p = self.cfg.total_processors
         compute = lib.parallel_ops(int(L), p) * self.cfg.cost_alu
+        led.charge("compute", compute)
         stream_time = 0.0
+        stream_led = self._ledger()
         for a in args:
             if isinstance(a, (F.ArrayRef, F.Apply, F.Var)):
                 pl = self._placement(a.name, ctx, unit)
+                tmp = self._ledger()
                 c, pr = self.memory.vector_access(pl, L / p,
-                                                  prefetch=self.prefetch)
-                stream_time = max(stream_time, c)
+                                                  prefetch=self.prefetch,
+                                                  ledger=tmp)
+                if c > stream_time:
+                    stream_time, stream_led = c, tmp
                 prof.add(pr.scaled(p))
+        led.add(stream_led)
         startup = self.cfg.start_xdoall if p > self.cfg.processors_per_cluster \
             else self.cfg.start_cdoall
-        combine = self.sync.reduction_combine("X" if p > 8 else "C")
+        led.charge("startup", startup)
+        combine = self.sync.reduction_combine("X" if p > 8 else "C",
+                                              ledger=led)
         total = startup + compute + stream_time + combine
         factor = self.memory.saturation_factor(prof.global_elems, total,
                                                self.cfg.clusters)
-        return total * factor, prof
+        if factor > 1.0:
+            led.charge("mem_global", (factor - 1.0) * total)
+        return total * factor, prof, led
 
     # ------------------------------------------------------------------
     # paging
 
     def _paging_overhead(self, unit: str, env: Mapping[str, float],
-                         prof: AccessProfile) -> float:
+                         prof: AccessProfile,
+                         ledger: CycleLedger = NULL_LEDGER) -> float:
         st = self.tables[unit]
         ws = {"global": 0.0, "cluster": 0.0}
         ctx = _Ctx(env=dict(env))
@@ -656,5 +753,6 @@ class PerfEstimator:
             touched = {"global": prof.global_elems,
                        "cluster": prof.cluster_elems + prof.cache_elems}[placement]
             touches = max(touched * 8.0 / bytes_, 1.0)
-            overhead += self.paging.fault_overhead(bytes_, placement, touches)
+            overhead += self.paging.fault_overhead(bytes_, placement, touches,
+                                                   ledger=ledger)
         return overhead

@@ -1,14 +1,21 @@
 """Run every experiment and print the tables: ``python -m repro.experiments``.
 
-``--quick`` shrinks data sizes for a fast smoke run.
+``--quick`` shrinks data sizes for a fast smoke run; ``--json`` emits the
+tables (plus cycle-attribution traces) as one JSON document on stdout;
+``--trace`` appends the human-readable cycle/decision breakdown after
+each table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments import ALL_EXPERIMENTS
+
+#: stamped into every --json payload; bump on incompatible shape changes
+JSON_SCHEMA = "repro-experiment/1"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -20,6 +27,11 @@ def main(argv: list[str] | None = None) -> int:
                          f"{', '.join(ALL_EXPERIMENTS)})")
     ap.add_argument("--quick", action="store_true",
                     help="small data sizes (smoke run)")
+    ap.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit one JSON document instead of text tables")
+    ap.add_argument("--trace", action="store_true",
+                    help="append the cycle-attribution/decision trace "
+                         "after each table")
     args = ap.parse_args(argv)
 
     names = args.names or list(ALL_EXPERIMENTS)
@@ -27,8 +39,28 @@ def main(argv: list[str] | None = None) -> int:
         if name not in ALL_EXPERIMENTS:
             print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
+
+    if args.as_json:
+        payload = {
+            "schema": JSON_SCHEMA,
+            "quick": args.quick,
+            "experiments": {},
+        }
+        for name in names:
+            table = ALL_EXPERIMENTS[name](quick=args.quick)
+            payload["experiments"][name] = table.to_dict()
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+
+    for name in names:
         table = ALL_EXPERIMENTS[name](quick=args.quick)
         print(table.render())
+        if args.trace and table.meta.get("trace"):
+            from repro.trace.report import TraceReport
+
+            print()
+            print(TraceReport(table.title, table.meta["trace"]).render())
         print()
     return 0
 

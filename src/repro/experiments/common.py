@@ -31,6 +31,23 @@ class SpeedupResult:
     def speedup(self) -> float:
         return self.serial.total / max(self.parallel.total, 1e-9)
 
+    def trace_entry(self) -> dict:
+        """JSON-ready per-workload telemetry: speedup, the serial and
+        parallel cycle breakdowns, and the restructurer's decision log."""
+        entry: dict = {
+            "speedup": self.speedup,
+            "serial_cycles": self.serial.total,
+            "parallel_cycles": self.parallel.total,
+        }
+        if self.serial.ledger is not None:
+            entry["serial_breakdown"] = self.serial.ledger.to_dict()
+        if self.parallel.ledger is not None:
+            entry["parallel_breakdown"] = self.parallel.ledger.to_dict()
+        events = getattr(self.report, "events", None)
+        if events:
+            entry["decisions"] = [e.to_dict() for e in events]
+        return entry
+
 
 def serial_estimate(source: str, entry: str,
                     bindings: Mapping[str, float],

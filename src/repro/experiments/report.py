@@ -14,6 +14,8 @@ class Table:
     columns: list[str]
     rows: list[list[Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: machine-readable side data (per-workload traces, breakdowns, ...)
+    meta: dict = field(default_factory=dict)
 
     def add(self, *values: Any) -> None:
         self.rows.append(list(values))
@@ -31,12 +33,24 @@ class Table:
     def cell(self, key: Any, column: str):
         return self.row(key)[self.columns.index(column)]
 
+    def to_dict(self) -> dict:
+        """JSON-ready form: rows become {column: value} records."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(zip(self.columns, r)) for r in self.rows],
+            "notes": list(self.notes),
+            "meta": self.meta,
+        }
+
     def render(self) -> str:
         def fmt(v: Any) -> str:
             if isinstance(v, float):
-                if v >= 100:
+                # pick precision by magnitude (sign excluded, so that
+                # e.g. -123.4 and 123.4 round the same way)
+                if abs(v) >= 100:
                     return f"{v:.0f}"
-                if v >= 10:
+                if abs(v) >= 10:
                     return f"{v:.1f}"
                 return f"{v:.2f}"
             return str(v)

@@ -40,12 +40,14 @@ def run(quick: bool = False) -> Table:
               "algebra routines (Cedar Configuration 1)",
         columns=["routine", "size", "paper speedup", "measured speedup"],
     )
+    t.meta["trace"] = {}
     for name, (size, paper) in PAPER.items():
         r = LINALG_ROUTINES[name]
         n = max(16, size // 8) if quick else size
         res = estimate_pair(r.source, r.entry, r.bindings(n),
                             machine, options)
         t.add(name, n, paper, res.speedup)
+        t.meta["trace"][name] = res.trace_entry()
     return t
 
 

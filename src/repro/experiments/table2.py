@@ -38,6 +38,7 @@ def run(quick: bool = False, n_override: int | None = None) -> Table:
     fx80_auto = dict(auto.__dict__)
     ratios_fx = []
     ratios_cedar = []
+    t.meta["trace"] = {}
     for name in ORDER:
         p = PERFECT_PROGRAMS[name]
         n = n_override or (max(16, p.default_n // 4) if quick else p.default_n)
@@ -50,6 +51,8 @@ def run(quick: bool = False, n_override: int | None = None) -> Table:
             for opt_label, opts in (("auto", auto), ("manual", manual)):
                 res = estimate_pair(p.source, p.entry, b, machine, opts)
                 cells[f"{mach_label} {opt_label}"] = res.speedup
+                if mach_label == "cedar" and opt_label == "manual":
+                    t.meta["trace"][name] = res.trace_entry()
         t.add(name,
               cells["fx80 auto"], cells["cedar auto"],
               cells["fx80 manual"], cells["cedar manual"],

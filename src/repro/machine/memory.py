@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.machine.config import MachineConfig
+from repro.trace.ledger import NULL_LEDGER, CycleLedger
 
 
 @dataclass
@@ -42,19 +43,27 @@ class MemorySystem:
 
     # -- single-access costs -------------------------------------------------
 
-    def scalar_access(self, placement: str, cached: bool = False) -> float:
-        """Cost of one scalar element access."""
+    def scalar_access(self, placement: str, cached: bool = False,
+                      ledger: CycleLedger = NULL_LEDGER) -> float:
+        """Cost of one scalar element access (charged into ``ledger``)."""
         if placement == "private" or cached:
+            ledger.charge("mem_cache", self.cfg.lat_cache)
             return self.cfg.lat_cache
         if placement == "cluster":
+            ledger.charge("mem_cluster", self.cfg.lat_cluster)
             return self.cfg.lat_cluster
         if placement == "global":
-            return self.cfg.lat_global if self.cfg.has_global_memory \
-                else self.cfg.lat_cluster
+            if self.cfg.has_global_memory:
+                ledger.charge("mem_global", self.cfg.lat_global)
+                return self.cfg.lat_global
+            ledger.charge("mem_cluster", self.cfg.lat_cluster)
+            return self.cfg.lat_cluster
         raise ValueError(placement)
 
     def vector_access(self, placement: str, length: float,
-                      prefetch: bool = True) -> tuple[float, AccessProfile]:
+                      prefetch: bool = True,
+                      ledger: CycleLedger = NULL_LEDGER
+                      ) -> tuple[float, AccessProfile]:
         """Cost and traffic of streaming ``length`` elements.
 
         Global vector streams use the prefetch unit when enabled: one
@@ -65,20 +74,25 @@ class MemorySystem:
             return 0.0, prof
         if placement in ("private",):
             prof.cache_elems = length
+            ledger.charge("mem_cache", self.cfg.lat_cache * length)
             return self.cfg.lat_cache * length, prof
         if placement == "cluster" or not self.cfg.has_global_memory:
             prof.cluster_elems = length
             # cluster streams run through the shared cache
+            ledger.charge("mem_cluster", self.cfg.lat_cluster * length)
             return self.cfg.lat_cluster * length, prof
         if placement == "global":
             if prefetch:
                 blocks = -(-length // self.cfg.prefetch_block)
                 prof.prefetched_elems = length
                 prof.global_elems = length
-                return (blocks * self.cfg.prefetch_trigger
-                        + length * self.cfg.lat_global_prefetched), prof
+                cost = (blocks * self.cfg.prefetch_trigger
+                        + length * self.cfg.lat_global_prefetched)
+                ledger.charge("prefetch", cost)
+                return cost, prof
             prof.global_elems = length
             # un-prefetched global vector access still pipelines somewhat
+            ledger.charge("mem_global", length * (0.55 * self.cfg.lat_global))
             return length * (0.55 * self.cfg.lat_global), prof
         raise ValueError(placement)
 

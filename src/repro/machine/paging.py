@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.machine.config import MachineConfig
+from repro.trace.ledger import NULL_LEDGER, CycleLedger
 
 
 @dataclass
@@ -32,7 +33,8 @@ class PagingModel:
             * self.usable_fraction
 
     def fault_overhead(self, working_set_bytes: float, placement: str,
-                       touches: float) -> float:
+                       touches: float,
+                       ledger: CycleLedger = NULL_LEDGER) -> float:
         """Extra cycles due to paging for a region touching its working
         set ``touches`` times (e.g. passes over the data).
 
@@ -53,4 +55,6 @@ class PagingModel:
             # the worst case for LRU — essentially every page of every
             # pass faults
             per_pass = working_set_bytes / (self.cfg.page_kb * 1024.0)
-        return per_pass * max(touches, 1.0) * self.cfg.page_fault_cost
+        overhead = per_pass * max(touches, 1.0) * self.cfg.page_fault_cost
+        ledger.charge("page_fault", overhead)
+        return overhead

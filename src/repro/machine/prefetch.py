@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.machine.config import MachineConfig
+from repro.trace.ledger import NULL_LEDGER, CycleLedger
 
 
 @dataclass
@@ -21,15 +22,20 @@ class PrefetchUnit:
     cfg: MachineConfig
     enabled: bool = True
 
-    def stream_cost(self, length: float) -> float:
+    def stream_cost(self, length: float,
+                    ledger: CycleLedger = NULL_LEDGER) -> float:
         """Cycles to stream ``length`` contiguous global elements."""
         if length <= 0:
             return 0.0
         if not self.enabled or not self.cfg.has_global_memory:
-            return length * (0.55 * self.cfg.lat_global)
+            cost = length * (0.55 * self.cfg.lat_global)
+            ledger.charge("mem_global", cost)
+            return cost
         blocks = -(-length // self.cfg.prefetch_block)
-        return (blocks * self.cfg.prefetch_trigger
+        cost = (blocks * self.cfg.prefetch_trigger
                 + length * self.cfg.lat_global_prefetched)
+        ledger.charge("prefetch", cost)
+        return cost
 
     def speedup_for(self, length: float) -> float:
         """Prefetch-on / prefetch-off time ratio for one stream."""

@@ -9,30 +9,61 @@ clusters (§4.2.4).
 
 For the common homogeneous case an O(1) closed form is used; the event
 simulation handles heterogeneous iteration costs (e.g. triangular loops).
+
+Every timing carries a critical-path breakdown (startup / dispatch /
+synchronization / iteration-body / preamble+postamble cycles) whose sum
+equals ``total_time`` exactly, and can charge its overhead components
+into a :class:`repro.trace.CycleLedger`.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.machine.config import MachineConfig
+from repro.trace.ledger import NULL_LEDGER, CycleLedger
 
 
 @dataclass
 class LoopTiming:
-    """Completion time and bookkeeping of one parallel loop execution."""
+    """Completion time and bookkeeping of one parallel loop execution.
+
+    The ``*_cycles`` fields decompose the critical path:
+    ``total_time == startup_cycles + dispatch_cycles + sync_cycles
+    + body_cycles + pre_post_cycles``.
+    """
 
     total_time: float
     busy_time: float           # sum of worker busy cycles
     workers: int
     chunks: int
+    startup_cycles: float = 0.0
+    dispatch_cycles: float = 0.0
+    sync_cycles: float = 0.0
+    body_cycles: float = 0.0       # iteration-body time on the critical path
+    pre_post_cycles: float = 0.0   # one preamble+postamble on the path
 
     @property
     def efficiency(self) -> float:
         denom = self.total_time * self.workers
         return self.busy_time / denom if denom > 0 else 0.0
+
+    @property
+    def overhead_cycles(self) -> float:
+        """Non-body critical-path cycles (startup + dispatch + sync)."""
+        return self.startup_cycles + self.dispatch_cycles + self.sync_cycles
+
+    def charge_overhead(self, ledger: CycleLedger) -> None:
+        """Charge the scheduler-added overhead into ``ledger``.
+
+        Body and preamble/postamble cycles are the *caller's* to
+        attribute — only the caller knows their compute/memory mix.
+        """
+        ledger.charge("startup", self.startup_cycles)
+        ledger.charge("dispatch", self.dispatch_cycles)
+        ledger.charge("sync", self.sync_cycles)
 
 
 class LoopScheduler:
@@ -44,23 +75,28 @@ class LoopScheduler:
     def run(self, level: str, order: str, trips: int,
             iter_cost: float | Sequence[float],
             preamble: float = 0.0, postamble: float = 0.0,
-            chunk: int = 1) -> LoopTiming:
+            chunk: int = 1, ledger: CycleLedger = NULL_LEDGER) -> LoopTiming:
         """Completion time of a self-scheduled loop.
 
         ``iter_cost`` is one number (homogeneous) or a per-iteration
         sequence.  ``preamble``/``postamble`` run once per worker.
-        ``chunk`` iterations are grabbed per dispatch.
+        ``chunk`` iterations are grabbed per dispatch.  Scheduler-added
+        overhead (startup/dispatch/sync) is charged into ``ledger``.
         """
         p = min(self.cfg.processors_at(level), max(trips, 1))
         startup = self.cfg.startup(level, order)
         dispatch = self.cfg.dispatch(level)
 
         if trips <= 0:
-            return LoopTiming(startup, 0.0, p, 0)
+            timing = LoopTiming(startup, 0.0, p, 0, startup_cycles=startup)
+            timing.charge_overhead(ledger)
+            return timing
 
         if not isinstance(iter_cost, (int, float)):
-            return self._simulate(level, order, list(iter_cost), p, startup,
-                                  dispatch, preamble, postamble, chunk)
+            timing = self._simulate(level, order, list(iter_cost), p, startup,
+                                    dispatch, preamble, postamble, chunk)
+            timing.charge_overhead(ledger)
+            return timing
 
         per = float(iter_cost)
         chunks = -(-trips // chunk)
@@ -69,19 +105,27 @@ class LoopScheduler:
             # whole iteration is synchronized (callers with a region use
             # :meth:`doacross` directly)
             return self.doacross(level, trips, per, per,
-                                 preamble, postamble)
+                                 preamble, postamble, ledger=ledger)
         # homogeneous DOALL: workers grab chunks until exhausted
         per_worker_chunks = -(-chunks // p)
         busy = trips * per + chunks * dispatch + p * (preamble + postamble)
         total = (startup + preamble + postamble
                  + per_worker_chunks * (chunk * per + dispatch))
-        return LoopTiming(total, busy, p, chunks)
+        timing = LoopTiming(
+            total, busy, p, chunks,
+            startup_cycles=startup,
+            dispatch_cycles=per_worker_chunks * dispatch,
+            body_cycles=per_worker_chunks * chunk * per,
+            pre_post_cycles=preamble + postamble)
+        timing.charge_overhead(ledger)
+        return timing
 
     # ------------------------------------------------------------------
 
     def doacross(self, level: str, trips: int, iter_cost: float,
                  region_cost: float, preamble: float = 0.0,
-                 postamble: float = 0.0) -> LoopTiming:
+                 postamble: float = 0.0,
+                 ledger: CycleLedger = NULL_LEDGER) -> LoopTiming:
         """DOACROSS with an explicit synchronized-region cost.
 
         The critical path is ``trips * (region + signalling)`` when the
@@ -95,11 +139,22 @@ class LoopScheduler:
         if level == "X":
             signal += self.cfg.cross_cluster_signal
         serial_chain = trips * (region_cost + signal)
-        parallel_part = (-(-trips // p)) * (iter_cost + dispatch + signal)
+        k = -(-trips // p)
+        parallel_part = k * (iter_cost + dispatch + signal)
         total = startup + preamble + postamble + max(parallel_part,
                                                      serial_chain)
         busy = trips * (iter_cost + signal)
-        return LoopTiming(total, busy, p, trips)
+        if serial_chain >= parallel_part:
+            # the synchronized-region cascade is the critical path
+            body, disp, sync = trips * region_cost, 0.0, trips * signal
+        else:
+            body, disp, sync = k * iter_cost, k * dispatch, k * signal
+        timing = LoopTiming(
+            total, busy, p, trips,
+            startup_cycles=startup, dispatch_cycles=disp, sync_cycles=sync,
+            body_cycles=body, pre_post_cycles=preamble + postamble)
+        timing.charge_overhead(ledger)
+        return timing
 
     # ------------------------------------------------------------------
 
@@ -113,16 +168,27 @@ class LoopScheduler:
         busy = p * (preamble + postamble)
         n = len(costs)
         finish = preamble
+        # per-worker critical-path decomposition
+        w_dispatch = [0.0] * p
+        w_body = [0.0] * p
         while next_iter < n:
             t, w = heapq.heappop(heap)
             take = costs[next_iter:next_iter + chunk]
             next_iter += len(take)
             dt = dispatch + sum(take)
+            w_dispatch[w] += dispatch
+            w_body[w] += sum(take)
             busy += dt
             t += dt
             finish = max(finish, t)
             heapq.heappush(heap, (t, w))
-        # all workers then run their postamble
-        finish = max(finish, max(t for t, _ in heap)) + postamble
-        return LoopTiming(startup + finish, busy, p,
-                          -(-n // chunk))
+        # all workers then run their postamble; the finishing worker's
+        # split defines the critical-path breakdown
+        last_t, last_w = max(heap)
+        finish = max(finish, last_t) + postamble
+        return LoopTiming(
+            startup + finish, busy, p, -(-n // chunk),
+            startup_cycles=startup,
+            dispatch_cycles=w_dispatch[last_w],
+            body_cycles=w_body[last_w],
+            pre_post_cycles=preamble + postamble)

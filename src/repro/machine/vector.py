@@ -5,13 +5,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.machine.config import MachineConfig
+from repro.trace.ledger import NULL_LEDGER, CycleLedger
 
 
 @dataclass
 class VectorUnit:
     cfg: MachineConfig
 
-    def op_cost(self, length: float, heavy: bool = False) -> float:
+    def op_cost(self, length: float, heavy: bool = False,
+                ledger: CycleLedger = NULL_LEDGER) -> float:
         """One vector arithmetic operation over ``length`` elements.
 
         ``heavy`` marks divide/sqrt-class operations (longer pipelines).
@@ -19,8 +21,14 @@ class VectorUnit:
         if length <= 0:
             return 0.0
         per = self.cfg.vector_per_element * (4.0 if heavy else 1.0)
-        return self.cfg.vector_startup + length * per
+        cost = self.cfg.vector_startup + length * per
+        ledger.charge("vector", cost)
+        return cost
 
-    def reduction_cost(self, length: float) -> float:
+    def reduction_cost(self, length: float,
+                       ledger: CycleLedger = NULL_LEDGER) -> float:
         """Vector reduction to scalar (sum/dot within one processor)."""
-        return self.cfg.vector_startup * 2 + length * self.cfg.vector_per_element
+        cost = (self.cfg.vector_startup * 2
+                + length * self.cfg.vector_per_element)
+        ledger.charge("vector", cost)
+        return cost

@@ -38,6 +38,12 @@ class DoacrossPlan:
     def delay_factor(self, processors: int) -> float:
         return (self.region_ops / max(self.body_ops, 1.0)) / processors
 
+    def describe(self) -> str:
+        """One-line human summary (used in decision-trace events)."""
+        share = 100.0 * self.region_ops / max(self.body_ops, 1.0)
+        return (f"sync region spans statements {self.first}..{self.last} "
+                f"(distance {self.distance}, {share:.0f}% of body ops)")
+
 
 def _top_level_index(loop: F.DoLoop, stmt: F.Stmt) -> Optional[int]:
     """Index of the top-level statement of ``loop.body`` containing ``stmt``."""

@@ -23,6 +23,7 @@ from repro.analysis.refs import written_names
 from repro.errors import TransformError
 from repro.fortran import ast_nodes as F
 from repro.restructurer.rename import rename_in_stmts
+from repro.trace.events import NULL_SINK, DecisionEvent
 
 
 def same_header(a: F.DoLoop, b: F.DoLoop,
@@ -81,26 +82,30 @@ def fuse(a: F.DoLoop, b: F.DoLoop) -> F.DoLoop:
     if b.var != a.var:
         rename_in_stmts(body_b, {b.var: a.var})
     return F.DoLoop(var=a.var, start=a.start, end=a.end, step=a.step,
-                    body=list(a.body) + body_b)
+                    body=list(a.body) + body_b, line=a.line)
 
 
 def fuse_everywhere(stmts: list[F.Stmt],
                     params: Mapping[str, int] | None = None,
-                    replicate_between: bool = True) -> int:
+                    replicate_between: bool = True,
+                    sink=NULL_SINK, unit: str = "") -> int:
     """Apply :func:`fuse_adjacent_in` to this list and every nested body."""
-    count = fuse_adjacent_in(stmts, params, replicate_between)
+    count = fuse_adjacent_in(stmts, params, replicate_between, sink, unit)
     for s in stmts:
         if isinstance(s, F.DoLoop):
-            count += fuse_everywhere(s.body, params, replicate_between)
+            count += fuse_everywhere(s.body, params, replicate_between,
+                                     sink, unit)
         elif isinstance(s, F.IfBlock):
             for _, body in s.arms:
-                count += fuse_everywhere(body, params, replicate_between)
+                count += fuse_everywhere(body, params, replicate_between,
+                                         sink, unit)
     return count
 
 
 def fuse_adjacent_in(stmts: list[F.Stmt],
                      params: Mapping[str, int] | None = None,
-                     replicate_between: bool = True) -> int:
+                     replicate_between: bool = True,
+                     sink=NULL_SINK, unit: str = "") -> int:
     """Fuse runs of adjacent fusable loops in a statement list (in place).
 
     With ``replicate_between``, loop-invariant straight-line code between
@@ -141,7 +146,8 @@ def fuse_adjacent_in(stmts: list[F.Stmt],
         if between:
             probe_a = F.DoLoop(var=a.var, start=a.start, end=a.end,
                                step=a.step, body=list(a.body) + [
-                                   s.clone() for s in between])
+                                   s.clone() for s in between],
+                               line=a.line)
             replicated = {s.target.name for s in between
                           if isinstance(s.target, F.Var)}
         if not fusion_legal(probe_a, b, params, ignore=replicated):
@@ -153,8 +159,20 @@ def fuse_adjacent_in(stmts: list[F.Stmt],
         merged = fuse(probe_a, b)
         if (_parallelish(a, params) or _parallelish(b, params)) \
                 and not _parallelish(merged, params):
+            sink.emit(DecisionEvent(
+                kind="pass", unit=unit, technique="fusion", action="declined",
+                loop=f"do {a.var}", line=a.line,
+                reason=f"fusing do {b.var} @ line {b.line} would serialize "
+                       f"a parallelizable loop"))
             i += 1
             continue
+        why = f"fused with do {b.var} @ line {b.line}"
+        if between:
+            why += (f", replicating {len(between)} loop-invariant "
+                    f"statement(s) between them")
+        sink.emit(DecisionEvent(
+            kind="pass", unit=unit, technique="fusion", action="applied",
+            loop=f"do {a.var}", line=a.line, reason=why))
         stmts[i:j + 1] = [merged]
         fused += 1
         # stay at i: the merged loop may fuse with the next one too

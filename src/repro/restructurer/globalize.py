@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.cedar.nodes import ClusterDecl, GlobalDecl, ParallelDo
 from repro.fortran import ast_nodes as F
 from repro.fortran.symtab import SymbolTable
+from repro.trace.events import NULL_SINK, DecisionEvent
 
 
 @dataclass
@@ -61,7 +62,8 @@ def _local_names(loop: ParallelDo) -> set[str]:
 
 
 def globalize_unit(unit: F.ProgramUnit, symtab: SymbolTable,
-                   default_placement: str = "cluster") -> PlacementResult:
+                   default_placement: str = "cluster",
+                   sink=NULL_SINK) -> PlacementResult:
     """Run the globalization pass over a (restructured) unit.
 
     Mutates ``unit.specs`` (prepends the declarations) and annotates
@@ -94,6 +96,13 @@ def globalize_unit(unit: F.ProgramUnit, symtab: SymbolTable,
         sym.placement = placement
         if placement == "global":
             result.global_names.append(name)
+            sink.emit(DecisionEvent(
+                kind="pass", unit=unit.name, technique="globalize",
+                action="applied", loop=name,
+                reason="referenced inside an S/X-level parallel loop: "
+                       "processors on different clusters need one copy"
+                if name in cross_cluster else
+                f"interface data placed {default_placement} by option"))
         else:
             result.cluster_names.append(name)
 

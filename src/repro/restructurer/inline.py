@@ -21,6 +21,7 @@ from repro.fortran import ast_nodes as F
 from repro.fortran.symtab import SymbolTable, build_symbol_table
 from repro.restructurer.names import NamePool
 from repro.restructurer.rename import rename_in_stmts
+from repro.trace.events import NULL_SINK, DecisionEvent
 
 
 @dataclass
@@ -38,7 +39,7 @@ def _rank_of(st: SymbolTable, name: str) -> int:
 
 def inline_calls(unit: F.ProgramUnit, sf: F.SourceFile,
                  max_depth: int = 3, max_stmts: int = 400,
-                 _depth: int = 0) -> InlineResult:
+                 _depth: int = 0, sink=NULL_SINK) -> InlineResult:
     """Expand every call in ``unit`` to a routine defined in ``sf``.
 
     Recursive chains stop at ``max_depth``; units larger than
@@ -50,17 +51,23 @@ def inline_calls(unit: F.ProgramUnit, sf: F.SourceFile,
     caller_st = build_symbol_table(unit)
     pool = NamePool(unit)
 
+    def fail(s: F.CallStmt, why: str) -> None:
+        result.failed.append((s.name, why))
+        sink.emit(DecisionEvent(
+            kind="pass", unit=unit.name, technique="inline", action="failed",
+            loop=f"call {s.name}", line=s.line, reason=why))
+
     def expand_in(stmts: list[F.Stmt]) -> None:
         i = 0
         while i < len(stmts):
             s = stmts[i]
             if isinstance(s, F.CallStmt) and s.name in callees:
                 if _depth >= max_depth:
-                    result.failed.append((s.name, "max inline depth"))
+                    fail(s, "max inline depth")
                     i += 1
                     continue
                 if _count_stmts(unit.body) > max_stmts:
-                    result.failed.append((s.name, "unit too large"))
+                    fail(s, "unit too large")
                     i += 1
                     continue
                 try:
@@ -68,11 +75,15 @@ def inline_calls(unit: F.ProgramUnit, sf: F.SourceFile,
                                               unit, caller_st, pool, sf,
                                               _depth)
                 except TransformError as exc:
-                    result.failed.append((s.name, str(exc)))
+                    fail(s, str(exc))
                     i += 1
                     continue
                 stmts[i:i + 1] = replacement
                 result.expanded += 1
+                sink.emit(DecisionEvent(
+                    kind="pass", unit=unit.name, technique="inline",
+                    action="applied", loop=f"call {s.name}", line=s.line,
+                    reason=f"expanded body of {s.name} into {unit.name}"))
                 continue  # re-examine spliced statements (nested calls)
             if isinstance(s, F.DoLoop):
                 expand_in(s.body)

@@ -28,6 +28,7 @@ from repro.restructurer.globalize import PlacementResult, globalize_unit
 from repro.restructurer.inline import inline_calls
 from repro.restructurer.options import RestructurerOptions
 from repro.restructurer.planner import LoopPlanner, NestPlan
+from repro.trace.events import DecisionEvent, TeeSink, TraceRecorder
 
 
 @dataclass
@@ -48,12 +49,26 @@ class UnitReport:
     def total_loops(self) -> int:
         return len(self.plans)
 
+    def to_dict(self) -> dict:
+        return {
+            "unit": self.name,
+            "parallelized_loops": self.parallelized_loops,
+            "total_loops": self.total_loops,
+            "fused_loops": self.fused_loops,
+            "inlined_calls": self.inlined_calls,
+            "global_names": list(self.placement.global_names)
+            if self.placement else [],
+            "plans": [p.to_dict() for p in self.plans],
+        }
+
 
 @dataclass
 class RestructureReport:
     """Whole-translation report."""
 
     units: dict[str, UnitReport] = field(default_factory=dict)
+    #: every pass/planner decision, in emission order (the trace)
+    events: list[DecisionEvent] = field(default_factory=list)
 
     def summary(self) -> str:
         lines = []
@@ -64,20 +79,40 @@ class RestructureReport:
                          + (f", {u.inlined_calls} calls inlined"
                             if u.inlined_calls else ""))
             for p in u.plans:
-                lines.append(f"  {p.original.var}-loop -> {p.chosen}")
+                lines.append(f"  {p.loop_id} -> {p.chosen}")
         return "\n".join(lines)
+
+    def events_for(self, unit: str) -> list[DecisionEvent]:
+        return [e for e in self.events if e.unit == unit]
+
+    def rejections(self) -> list[DecisionEvent]:
+        return [e for e in self.events
+                if e.action in ("rejected", "declined", "failed")]
+
+    def to_dict(self) -> dict:
+        return {
+            "units": {name: u.to_dict() for name, u in self.units.items()},
+            "decisions": [e.to_dict() for e in self.events],
+        }
 
 
 class Restructurer:
     """Drives fortran77 → Cedar Fortran translation of a source file."""
 
-    def __init__(self, options: RestructurerOptions | None = None):
+    def __init__(self, options: RestructurerOptions | None = None,
+                 trace=None):
+        """``trace`` is an optional extra sink (any object with an
+        ``emit(event)`` method) that sees every decision event live; the
+        full trace always lands on ``RestructureReport.events``."""
         self.opt = options or RestructurerOptions()
+        self._user_sink = trace
 
     def run(self, sf: F.SourceFile) -> tuple[F.SourceFile, RestructureReport]:
         """Restructure every unit of ``sf`` (the tree is transformed in
         place and also returned, with Cedar nodes spliced in)."""
         report = RestructureReport()
+        self._recorder = TraceRecorder()
+        self._sink = TeeSink(self._recorder, self._user_sink)
 
         effects = None
         if self.opt.interprocedural:
@@ -92,6 +127,7 @@ class Restructurer:
 
         for unit in sf.units:
             report.units[unit.name] = self._run_unit(unit, pristine, effects)
+        report.events = list(self._recorder.events)
         return sf, report
 
     # ------------------------------------------------------------------
@@ -101,20 +137,23 @@ class Restructurer:
         ur = UnitReport(unit.name)
 
         if self.opt.inline_expansion:
-            res = inline_calls(unit, sf)
+            res = inline_calls(unit, sf, sink=self._sink)
             ur.inlined_calls = res.expanded
 
         symtab = build_symbol_table(unit)
         params = self._parameter_values(symtab)
 
         if self.opt.loop_fusion:
-            ur.fused_loops = fuse_everywhere(unit.body, params)
+            ur.fused_loops = fuse_everywhere(unit.body, params,
+                                             sink=self._sink, unit=unit.name)
 
-        planner = LoopPlanner(self.opt, unit, symtab, params, effects)
+        planner = LoopPlanner(self.opt, unit, symtab, params, effects,
+                              sink=self._sink)
         self._plan_region(unit.body, planner, ur)
 
         ur.placement = globalize_unit(unit, symtab,
-                                      self.opt.default_placement)
+                                      self.opt.default_placement,
+                                      sink=self._sink)
         return ur
 
     def _plan_region(self, stmts: list[F.Stmt], planner: LoopPlanner,

@@ -47,6 +47,7 @@ from repro.restructurer.reduction_xform import transform_reductions
 from repro.restructurer.scalar_expansion import plan_expansion
 from repro.restructurer.stripmine import stripmine_vectorize, vectorize_inner
 from repro.restructurer.versioning import build_two_version
+from repro.trace.events import NULL_SINK, DecisionEvent
 
 
 @dataclass
@@ -58,6 +59,15 @@ class NestPlan:
     chosen: str                        # label of the winning version
     considered: list[tuple[str, float]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: source line of the DO statement — disambiguates several nests over
+    #: the same index variable in one unit
+    line: Optional[int] = None
+
+    @property
+    def loop_id(self) -> str:
+        """Human-readable nest identifier, e.g. ``"do i @ line 12"``."""
+        where = f" @ line {self.line}" if self.line is not None else ""
+        return f"do {self.original.var}{where}"
 
     @property
     def parallelized(self) -> bool:
@@ -65,6 +75,17 @@ class NestPlan:
 
         return (contains_parallelism(self.replacement)
                 or self.chosen.startswith("library"))
+
+    def to_dict(self) -> dict:
+        return {
+            "loop": f"do {self.original.var}",
+            "line": self.line,
+            "chosen": self.chosen,
+            "parallelized": self.parallelized,
+            "considered": [{"version": v, "predicted_cycles": s}
+                           for v, s in self.considered],
+            "notes": list(self.notes),
+        }
 
 
 def _monotonic_arrays(loop: F.DoLoop, ivs) -> dict[str, str]:
@@ -118,18 +139,27 @@ class LoopPlanner:
     def __init__(self, options: RestructurerOptions,
                  unit: F.ProgramUnit, symtab: SymbolTable,
                  params: dict[str, int] | None = None,
-                 effects: Optional[Callable] = None):
+                 effects: Optional[Callable] = None,
+                 sink=None):
         self.opt = options
         self.unit = unit
         self.symtab = symtab
         self.params = params or {}
         self.effects = effects
+        self.sink = sink if sink is not None else NULL_SINK
         self.pool = NamePool(unit)
         self.cost = CostModel(options.clusters,
                               options.processors_per_cluster,
                               options.default_trip)
 
     # ------------------------------------------------------------------
+
+    def _emit(self, loop: F.DoLoop, technique: str, action: str,
+              reason: str = "", cost: Optional[float] = None) -> None:
+        self.sink.emit(DecisionEvent(
+            kind="plan", unit=self.unit.name, technique=technique,
+            action=action, loop=f"do {loop.var}", line=loop.line,
+            reason=reason, predicted_cycles=cost))
 
     def plan(self, loop: F.DoLoop) -> NestPlan:
         notes: list[str] = []
@@ -159,6 +189,8 @@ class LoopPlanner:
                 if substituted:
                     notes.append("induction substitution: "
                                  + ", ".join(substituted))
+                    self._emit(loop, "induction-substitution", "applied",
+                               reason=", ".join(substituted))
                 if mono_arrays:
                     notes.append("monotonic-IV arrays independent: "
                                  + ", ".join(sorted(mono_arrays)))
@@ -168,8 +200,12 @@ class LoopPlanner:
             lib = replace_with_library(loop)
             if lib is not None:
                 notes.append("replaced by Cedar library call")
+                self._emit(loop, "library", "accepted",
+                           reason="recurrence/idiom matched a Cedar "
+                                  "library routine")
                 return NestPlan(loop, before + lib + after,
-                                chosen="library", notes=notes)
+                                chosen="library", notes=notes,
+                                line=loop.line)
 
         # 3. reductions
         reductions = self._allowed_reductions(loop)
@@ -210,6 +246,12 @@ class LoopPlanner:
                   | mono_arrays)
 
         outer_parallel = graph.is_parallel(0, ignore)
+        if not outer_parallel:
+            blockers = sorted(graph.variables_with_carried(0) - ignore)
+            self._emit(loop, "xdoall", "rejected",
+                       reason="loop-carried dependence on "
+                              + (", ".join(blockers) if blockers
+                                 else "unanalyzable references"))
         inner = self._inner_loop(loop)
         inner_parallel = (inner is not None
                           and self._inner_is_parallel(loop, inner, graph))
@@ -220,7 +262,8 @@ class LoopPlanner:
         versions = versions[: self.opt.max_versions]
         if not versions:
             return NestPlan(loop, before + [loop] + after, chosen="serial",
-                            considered=[("serial", 0.0)], notes=notes)
+                            considered=[("serial", 0.0)], notes=notes,
+                            line=loop.line)
         versions.sort(key=lambda v: v[1])
         considered = [(label, score) for label, score, _ in versions]
 
@@ -230,11 +273,23 @@ class LoopPlanner:
                 stmts = builder()
             except TransformError as exc:
                 notes.append(f"version {label} failed: {exc}")
+                self._emit(loop, label, "failed", reason=str(exc),
+                           cost=score)
                 continue
+            self._emit(loop, label, "accepted", cost=score)
+            for other, oscore in considered:
+                if other != label:
+                    self._emit(loop, other, "rejected",
+                               reason=f"predicted {oscore:.0f} cycles vs "
+                                      f"{score:.0f} for {label}",
+                               cost=oscore)
             return NestPlan(loop, before + stmts + after, chosen=label,
-                            considered=considered, notes=notes)
+                            considered=considered, notes=notes,
+                            line=loop.line)
+        self._emit(loop, "serial", "accepted",
+                   reason="every candidate version failed to materialize")
         return NestPlan(loop, before + [loop] + after, chosen="serial",
-                        considered=considered, notes=notes)
+                        considered=considered, notes=notes, line=loop.line)
 
     # ------------------------------------------------------------------
 
@@ -353,10 +408,23 @@ class LoopPlanner:
                     score = self.cost.doacross(
                         "cdoacross", trips, body_ops,
                         plan.region_ops, self.cost.ppc)
+                    self._emit(loop, "cdoacross", "noted",
+                               reason=plan.describe(), cost=score)
                     out.append((
                         "cdoacross", score,
                         lambda p=plan: self._build_doacross(p, priv_ok),
                     ))
+                else:
+                    self._emit(loop, "cdoacross", "rejected",
+                               reason="carried dependences have no exact "
+                                      "positive distance to synchronize on")
+            elif not self.opt.doacross:
+                self._emit(loop, "cdoacross", "rejected",
+                           reason="doacross disabled by options")
+            else:
+                self._emit(loop, "cdoacross", "rejected",
+                           reason="reduction accumulators preclude a "
+                                  "synchronized ordered loop")
             # run-time dependence test: two-version loop
             if self.opt.runtime_dependence_test:
                 test = synthesize_runtime_test(loop, self.params)
@@ -369,6 +437,10 @@ class LoopPlanner:
                         lambda t=test: self._build_two_version(
                             loop, t, reductions, priv_ok),
                     ))
+                else:
+                    self._emit(loop, "runtime-two-version", "rejected",
+                               reason="no run-time dependence test "
+                                      "synthesizable for the subscripts")
             # unordered critical section (§4.1.6)
             if self.opt.critical_sections:
                 cplan = plan_critical_section(loop, graph, ignore)
@@ -380,6 +452,10 @@ class LoopPlanner:
                         "critical-xdoall", max(base, serialized) * 1.05,
                         lambda cp=cplan: self._build_critical(cp, priv_ok),
                     ))
+                else:
+                    self._emit(loop, "critical-xdoall", "rejected",
+                               reason="dependences are not confined to an "
+                                      "order-insensitive region")
             # inner vectorization may still apply below a serial outer
         return out
 
@@ -404,10 +480,12 @@ class LoopPlanner:
         active = getattr(self, "_active_reduction_vars", None)
         reds = [r for r in self._allowed_reductions(work)
                 if active is None or r.var in active]
-        red_out = transform_reductions(work, reds, self.pool, self.symtab)
+        red_out = transform_reductions(work, reds, self.pool, self.symtab,
+                                       sink=self.sink, unit=self.unit.name)
         priv_out = privatize_for_loop(
             work, priv, self.symtab,
-            allow_arrays=self.opt.array_privatization)
+            allow_arrays=self.opt.array_privatization,
+            sink=self.sink, unit=self.unit.name)
         if vector:
             if red_out.transformed:
                 raise TransformError(
@@ -456,7 +534,8 @@ class LoopPlanner:
         assert w_inner is not None
         priv_out = privatize_for_loop(
             work, priv, self.symtab,
-            allow_arrays=self.opt.array_privatization)
+            allow_arrays=self.opt.array_privatization,
+            sink=self.sink, unit=self.unit.name)
 
         # inner loop: CDOALL; with only two parallel levels the paper also
         # stripmines the innermost to generate vector statements
@@ -466,7 +545,8 @@ class LoopPlanner:
         except TransformError:
             inner_priv = privatize_for_loop(
                 w_inner, inner_priv_results,
-                self.symtab, allow_arrays=self.opt.array_privatization)
+                self.symtab, allow_arrays=self.opt.array_privatization,
+                sink=self.sink, unit=self.unit.name)
             cdo = ParallelDo(level="C", order="doall", var=w_inner.var,
                              start=w_inner.start, end=w_inner.end,
                              step=w_inner.step, locals_=inner_priv.locals_,
@@ -487,7 +567,8 @@ class LoopPlanner:
                         ) -> list[F.Stmt]:
         priv_out = privatize_for_loop(
             plan.loop, priv, self.symtab,
-            allow_arrays=self.opt.array_privatization)
+            allow_arrays=self.opt.array_privatization,
+            sink=self.sink, unit=self.unit.name)
         pdo = build_doacross(plan, level="C", locals_=priv_out.locals_)
         return [pdo] + priv_out.after_loop
 
@@ -544,7 +625,8 @@ class LoopPlanner:
                         ) -> list[F.Stmt]:
         priv_out = privatize_for_loop(
             cplan.loop, priv, self.symtab,
-            allow_arrays=self.opt.array_privatization)
+            allow_arrays=self.opt.array_privatization,
+            sink=self.sink, unit=self.unit.name)
         pdo = build_critical_loop(cplan, level="X",
                                   locals_=priv_out.locals_)
         return [pdo] + priv_out.after_loop

@@ -18,6 +18,7 @@ from repro.analysis.privatization import PrivatizationResult
 from repro.errors import TransformError
 from repro.fortran import ast_nodes as F
 from repro.fortran.symtab import SymbolTable
+from repro.trace.events import NULL_SINK, DecisionEvent
 
 
 @dataclass
@@ -76,29 +77,47 @@ def _last_value_assign(loop: F.DoLoop, name: str) -> F.Stmt | None:
 def privatize_for_loop(loop: F.DoLoop,
                        results: list[PrivatizationResult],
                        symtab: SymbolTable | None = None,
-                       allow_arrays: bool = True) -> PrivatizeOutcome:
+                       allow_arrays: bool = True,
+                       sink=NULL_SINK, unit: str = "") -> PrivatizeOutcome:
     """Turn analysis verdicts into loop-local declarations.
 
     Variables needing a last value get one synthesized when possible;
     otherwise they are declined (stay shared — the loop then may not be
     parallelizable on their account, which the planner rechecks).
+    Each take-or-decline decision is emitted to ``sink``.
     """
+    def emit(action: str, name: str, reason: str) -> None:
+        sink.emit(DecisionEvent(
+            kind="pass", unit=unit, technique="privatize", action=action,
+            loop=f"do {loop.var}", line=loop.line,
+            reason=f"{name}: {reason}" if reason else name))
+
     out = PrivatizeOutcome()
     for r in results:
         if not r.privatizable:
             continue
         if r.is_array and not allow_arrays:
             out.declined.append(r.name)
+            emit("declined", r.name, "array privatization disabled")
             continue
         if r.needs_last_value:
             if r.is_array:
                 out.declined.append(r.name)
+                emit("declined", r.name,
+                     "live-out array needs a last-value copy")
                 continue
             lv = _last_value_assign(loop, r.name)
             if lv is None:
                 out.declined.append(r.name)
+                emit("declined", r.name,
+                     "no synthesizable last-value assignment")
                 continue
             out.after_loop.append(lv)
+            emit("applied", r.name, "privatized with last-value copy-out")
+        else:
+            emit("applied", r.name,
+                 "array made loop-private" if r.is_array
+                 else "scalar made loop-private")
         out.locals_.append(_decl_for(r.name, symtab))
         out.privatized.append(r.name)
     return out

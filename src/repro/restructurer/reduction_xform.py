@@ -25,6 +25,7 @@ from repro.fortran import ast_nodes as F
 from repro.fortran.symtab import SymbolTable
 from repro.restructurer.names import NamePool
 from repro.restructurer.rename import rename_in_stmts
+from repro.trace.events import NULL_SINK, DecisionEvent
 
 #: neutral element literal per op and type class
 def _neutral(op: str, ftype: str) -> F.Expr:
@@ -60,11 +61,18 @@ class ReductionOutcome:
 
 def transform_reductions(loop: F.DoLoop, reductions: list[Reduction],
                          pool: NamePool,
-                         symtab: SymbolTable | None = None) -> ReductionOutcome:
+                         symtab: SymbolTable | None = None,
+                         sink=NULL_SINK,
+                         unit: str = "") -> ReductionOutcome:
     """Build preamble/postamble code for ``reductions`` and redirect the
     accumulation statements in ``loop.body`` (mutated in place)."""
     out = ReductionOutcome()
     for red in reductions:
+        sink.emit(DecisionEvent(
+            kind="pass", unit=unit, technique="reduction", action="applied",
+            loop=f"do {loop.var}", line=loop.line,
+            reason=f"{red.var}: {red.kind} {red.op}-reduction split into "
+                   f"per-processor partials"))
         sym = symtab.lookup(red.var) if symtab else None
         ftype = sym.type if sym else (
             "integer" if red.var[0] in "ijklmn" else "real")

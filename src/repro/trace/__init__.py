@@ -1,0 +1,46 @@
+"""Cycle-attribution tracing and structured experiment telemetry.
+
+The paper's methodology (§4.1) is diagnostic: knowing *where* the cycles
+went — startup, dispatch, global-memory traffic, paging — is what
+motivated every restructuring technique.  This package keeps that
+breakdown instead of throwing it away:
+
+- :mod:`repro.trace.ledger` — :class:`CycleLedger`, a hierarchical cycle
+  counter the machine models charge into (with a zero-overhead
+  :data:`NULL_LEDGER` default);
+- :mod:`repro.trace.events` — :class:`DecisionEvent` records of what the
+  restructurer tried per loop nest and why candidates were rejected,
+  collected by a :class:`TraceRecorder` sink;
+- :mod:`repro.trace.report` — :class:`TraceReport`, the human-readable
+  renderer of per-workload cycle breakdowns and decision logs.
+"""
+
+from repro.trace.events import (
+    NULL_SINK,
+    DecisionEvent,
+    TeeSink,
+    TraceRecorder,
+    TraceSink,
+)
+from repro.trace.ledger import (
+    CATEGORIES,
+    HIERARCHY,
+    NULL_LEDGER,
+    CycleLedger,
+    NullLedger,
+)
+from repro.trace.report import TraceReport
+
+__all__ = [
+    "CATEGORIES",
+    "HIERARCHY",
+    "NULL_LEDGER",
+    "NULL_SINK",
+    "CycleLedger",
+    "DecisionEvent",
+    "NullLedger",
+    "TeeSink",
+    "TraceRecorder",
+    "TraceSink",
+    "TraceReport",
+]

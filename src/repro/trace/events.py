@@ -1,0 +1,135 @@
+"""Structured restructurer decision events (the paper's §4.1 hand-log).
+
+Every technique the planner or a transformation pass *tries* produces a
+:class:`DecisionEvent`: which loop (identified by index variable and
+source line), what was attempted, whether it was accepted, and — the
+part the paper's methodology leans on — *why not* when it was rejected.
+Sinks are duck-typed on a single ``emit(event)`` method;
+:class:`TraceRecorder` is the standard in-memory collector and
+:data:`NULL_SINK` the zero-overhead default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol, runtime_checkable
+
+#: event actions, in roughly decreasing order of interest
+ACTIONS = ("accepted", "rejected", "failed", "applied", "declined", "noted")
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """One restructuring decision about one loop nest (or unit).
+
+    ``kind`` distinguishes planner version selection (``"plan"``) from
+    transformation-pass bookkeeping (``"pass"``).  ``technique`` is the
+    candidate version label (``"xdoall"``, ``"cdoacross"``, ...) or the
+    pass name (``"privatize"``, ``"fusion"``, ...).  ``predicted_cycles``
+    carries the compile-time cost-model score for planner candidates.
+    """
+
+    kind: str                  # "plan" | "pass"
+    unit: str                  # program unit name
+    technique: str
+    action: str                # one of ACTIONS
+    loop: str = ""             # e.g. "do i"
+    line: Optional[int] = None  # source line of the DO statement
+    reason: str = ""
+    predicted_cycles: Optional[float] = None
+
+    def where(self) -> str:
+        loc = f"@{self.line}" if self.line is not None else ""
+        return f"{self.unit}:{self.loop}{loc}" if self.loop else self.unit
+
+    def to_dict(self) -> dict:
+        d = {
+            "kind": self.kind,
+            "unit": self.unit,
+            "technique": self.technique,
+            "action": self.action,
+        }
+        if self.loop:
+            d["loop"] = self.loop
+        if self.line is not None:
+            d["line"] = self.line
+        if self.reason:
+            d["reason"] = self.reason
+        if self.predicted_cycles is not None:
+            d["predicted_cycles"] = self.predicted_cycles
+        return d
+
+    def render(self) -> str:
+        cost = (f" [{self.predicted_cycles:.0f} cyc]"
+                if self.predicted_cycles is not None else "")
+        why = f": {self.reason}" if self.reason else ""
+        return f"{self.where()} {self.technique} {self.action}{cost}{why}"
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything with an ``emit(event)`` method accepts decision events."""
+
+    def emit(self, event: DecisionEvent) -> None: ...
+
+
+class _NullSink:
+    """Drops every event (the zero-overhead default)."""
+
+    def emit(self, event: DecisionEvent) -> None:
+        pass
+
+
+#: shared default sink
+NULL_SINK = _NullSink()
+
+
+@dataclass
+class TraceRecorder:
+    """In-memory event collector with the common filters."""
+
+    events: list[DecisionEvent] = field(default_factory=list)
+
+    def emit(self, event: DecisionEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- filters -------------------------------------------------------------
+
+    def for_unit(self, unit: str) -> list[DecisionEvent]:
+        return [e for e in self.events if e.unit == unit]
+
+    def for_loop(self, loop: str,
+                 line: Optional[int] = None) -> list[DecisionEvent]:
+        return [e for e in self.events
+                if e.loop == loop and (line is None or e.line == line)]
+
+    def rejections(self) -> list[DecisionEvent]:
+        return [e for e in self.events
+                if e.action in ("rejected", "failed", "declined")]
+
+    def accepted(self) -> list[DecisionEvent]:
+        return [e for e in self.events if e.action == "accepted"]
+
+    def to_list(self) -> list[dict]:
+        return [e.to_dict() for e in self.events]
+
+
+class TeeSink:
+    """Forwards each event to several sinks (recorder + user sink)."""
+
+    def __init__(self, *sinks: TraceSink):
+        self.sinks = [s for s in sinks if s is not None and s is not NULL_SINK]
+
+    def emit(self, event: DecisionEvent) -> None:
+        for s in self.sinks:
+            s.emit(event)
+
+
+def render_events(events: Iterable[DecisionEvent]) -> str:
+    return "\n".join(e.render() for e in events)

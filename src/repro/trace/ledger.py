@@ -1,0 +1,148 @@
+"""Hierarchical cycle accounting (the "where did the cycles go" ledger).
+
+A :class:`CycleLedger` splits an execution-time estimate into the paper's
+§2 cost sources: processor work (scalar vs vector), parallel-loop
+machinery (startup, dispatch, synchronization), the memory hierarchy
+(global vs cluster vs cache traffic, prefetched streams), and virtual
+memory (page faults).  The machine models charge into a ledger as they
+price operations; the performance estimator composes per-region ledgers
+exactly as it composes cycle totals, so the category sums always equal
+the aggregate cycle count — tracing changes *attribution*, never totals.
+
+:data:`NULL_LEDGER` is a shared do-nothing instance used as the default
+everywhere, so untraced estimation pays (almost) nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: flat category names, in rendering order
+CATEGORIES = (
+    "compute",      # scalar arithmetic, branches, call linkage
+    "vector",       # vector-pipeline operations (incl. startup ramps)
+    "startup",      # parallel-loop activation (CDOALL bus / SDOALL+XDOALL
+    #                 helper-task wakeup through global memory)
+    "dispatch",     # per-chunk self-scheduling cost on the critical path
+    "sync",         # await/advance cascades, locks, combining trees
+    "mem_global",   # un-prefetched global-memory element traffic + the
+    #                 bandwidth-saturation stall (Figure 8)
+    "mem_cluster",  # cluster-memory element traffic
+    "mem_cache",    # private/cached element traffic
+    "prefetch",     # prefetched global vector streams (trigger + delivery)
+    "page_fault",   # virtual-memory overhead (Table 1's mprove)
+)
+
+#: two-level grouping used by ``to_dict``/``render`` — maps the flat
+#: categories onto the paper's §2 cost-source taxonomy
+HIERARCHY = {
+    "processor": ("compute", "vector"),
+    "parallel_overhead": ("startup", "dispatch", "sync"),
+    "memory": ("mem_global", "mem_cluster", "mem_cache", "prefetch"),
+    "paging": ("page_fault",),
+}
+
+
+@dataclass
+class CycleLedger:
+    """Mutable per-category cycle counter.
+
+    Supports the same composition algebra as
+    :class:`repro.machine.memory.AccessProfile`: in-place :meth:`add` and
+    a scaling copy :meth:`scaled`, which is how loop trip counts and
+    averaged branch arms propagate through the estimator.
+    """
+
+    compute: float = 0.0
+    vector: float = 0.0
+    startup: float = 0.0
+    dispatch: float = 0.0
+    sync: float = 0.0
+    mem_global: float = 0.0
+    mem_cluster: float = 0.0
+    mem_cache: float = 0.0
+    prefetch: float = 0.0
+    page_fault: float = 0.0
+
+    # -- composition ---------------------------------------------------------
+
+    def charge(self, category: str, cycles: float) -> None:
+        """Add ``cycles`` to one category (must be in :data:`CATEGORIES`)."""
+        if category not in CATEGORIES:
+            raise KeyError(f"unknown ledger category {category!r}")
+        setattr(self, category, getattr(self, category) + cycles)
+
+    def add(self, other: "CycleLedger") -> None:
+        for c in CATEGORIES:
+            setattr(self, c, getattr(self, c) + getattr(other, c))
+
+    def scaled(self, k: float) -> "CycleLedger":
+        return CycleLedger(**{c: getattr(self, c) * k for c in CATEGORIES})
+
+    def copy(self) -> "CycleLedger":
+        return self.scaled(1.0)
+
+    # -- inspection ----------------------------------------------------------
+
+    def total(self) -> float:
+        return sum(getattr(self, c) for c in CATEGORIES)
+
+    def group_total(self, group: str) -> float:
+        return sum(getattr(self, c) for c in HIERARCHY[group])
+
+    def to_dict(self) -> dict:
+        """Hierarchical JSON-ready view: groups → categories → cycles."""
+        return {
+            "total": self.total(),
+            "groups": {
+                g: {
+                    "total": self.group_total(g),
+                    **{c: getattr(self, c) for c in cats},
+                }
+                for g, cats in HIERARCHY.items()
+            },
+        }
+
+    def render(self, indent: str = "") -> str:
+        """Two-level text breakdown with percentages of the total."""
+        total = self.total()
+        lines = [f"{indent}total {total:.0f} cycles"]
+        for g, cats in HIERARCHY.items():
+            gt = self.group_total(g)
+            if gt == 0:
+                continue
+            lines.append(f"{indent}  {g:<17} {gt:>14.0f}  "
+                         f"({100.0 * gt / total:5.1f}%)" if total else
+                         f"{indent}  {g:<17} {gt:>14.0f}")
+            for c in cats:
+                v = getattr(self, c)
+                if v == 0:
+                    continue
+                pct = f"({100.0 * v / total:5.1f}%)" if total else ""
+                lines.append(f"{indent}    {c:<15} {v:>14.0f}  {pct}")
+        return "\n".join(lines)
+
+
+class NullLedger(CycleLedger):
+    """Zero-overhead sink: every charge is dropped.
+
+    The shared :data:`NULL_LEDGER` instance is the default ``ledger``
+    argument of every machine-model costing method, so callers that do
+    not trace pay only a no-op call.
+    """
+
+    def charge(self, category: str, cycles: float) -> None:
+        pass
+
+    def add(self, other: CycleLedger) -> None:
+        pass
+
+    def scaled(self, k: float) -> "NullLedger":
+        return self
+
+    def copy(self) -> "NullLedger":
+        return self
+
+
+#: shared default sink for all machine-model costing methods
+NULL_LEDGER = NullLedger()

@@ -1,0 +1,80 @@
+"""Human-readable rendering of experiment telemetry.
+
+:class:`TraceReport` renders the per-workload trace dictionaries that the
+experiment drivers attach to their tables (``Table.meta["trace"]``): for
+each workload, the serial-vs-parallel cycle breakdown by ledger category
+and the restructurer's decision log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.trace.ledger import CATEGORIES, HIERARCHY
+
+
+def _breakdown_lines(breakdown: Mapping, indent: str) -> list[str]:
+    """Render a ``CycleLedger.to_dict()``-shaped mapping."""
+    total = breakdown.get("total", 0.0)
+    lines = [f"{indent}total {total:,.0f} cycles"]
+    for group, cats in breakdown.get("groups", {}).items():
+        gt = cats.get("total", 0.0)
+        if not gt:
+            continue
+        pct = f" ({100.0 * gt / total:.1f}%)" if total else ""
+        lines.append(f"{indent}  {group}: {gt:,.0f}{pct}")
+        for name, v in cats.items():
+            if name == "total" or not v:
+                continue
+            cpct = f" ({100.0 * v / total:.1f}%)" if total else ""
+            lines.append(f"{indent}    {name}: {v:,.0f}{cpct}")
+    return lines
+
+
+class TraceReport:
+    """Renders one experiment's trace metadata.
+
+    ``workloads`` maps workload name → dict with any of the keys
+    ``speedup``, ``serial_cycles``, ``parallel_cycles``,
+    ``serial_breakdown``, ``parallel_breakdown`` (ledger dicts) and
+    ``decisions`` (list of ``DecisionEvent.to_dict()`` entries).
+    """
+
+    def __init__(self, title: str, workloads: Mapping[str, Mapping]):
+        self.title = title
+        self.workloads = workloads
+
+    def render(self) -> str:
+        lines = [f"{self.title} — cycle attribution",
+                 "-" * (len(self.title) + 20)]
+        for name, w in self.workloads.items():
+            head = name
+            if "speedup" in w:
+                head += f"  (speedup {w['speedup']:.2f})"
+            lines.append(head)
+            for label, key in (("serial", "serial_breakdown"),
+                               ("restructured", "parallel_breakdown")):
+                bd = w.get(key)
+                if bd:
+                    lines.append(f"  {label}:")
+                    lines.extend(_breakdown_lines(bd, "  "))
+            decisions = w.get("decisions") or []
+            if decisions:
+                lines.append("  decisions:")
+                for d in decisions:
+                    lines.append("    " + _render_decision(d))
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
+
+def _render_decision(d: Mapping) -> str:
+    loc = f"@{d['line']}" if d.get("line") is not None else ""
+    loop = f"{d.get('loop', '')}{loc}" or "<unit>"
+    cost = (f" [{d['predicted_cycles']:.0f} cyc]"
+            if d.get("predicted_cycles") is not None else "")
+    why = f": {d['reason']}" if d.get("reason") else ""
+    return (f"{d.get('unit', '?')}:{loop} {d.get('technique', '?')} "
+            f"{d.get('action', '?')}{cost}{why}")
+
+
+__all__ = ["TraceReport", "CATEGORIES", "HIERARCHY"]

@@ -1,0 +1,100 @@
+"""Unit tests for decision events, sinks, and the trace report renderer."""
+
+from repro.trace import (
+    NULL_SINK,
+    DecisionEvent,
+    TeeSink,
+    TraceRecorder,
+    TraceReport,
+)
+from repro.trace.events import render_events
+
+
+def _ev(**kw):
+    base = dict(kind="plan", unit="foo", technique="xdoall",
+                action="accepted", loop="do i", line=12)
+    base.update(kw)
+    return DecisionEvent(**base)
+
+
+class TestDecisionEvent:
+    def test_where_includes_line(self):
+        assert _ev().where() == "foo:do i@12"
+        assert _ev(line=None).where() == "foo:do i"
+        assert _ev(loop="", line=None).where() == "foo"
+
+    def test_to_dict_omits_empty_fields(self):
+        d = _ev(reason="", predicted_cycles=None).to_dict()
+        assert "reason" not in d and "predicted_cycles" not in d
+        d2 = _ev(reason="why", predicted_cycles=42.0).to_dict()
+        assert d2["reason"] == "why" and d2["predicted_cycles"] == 42.0
+
+    def test_render_carries_cost_and_reason(self):
+        text = _ev(action="rejected", reason="carried dep on b",
+                   predicted_cycles=123.0).render()
+        assert "foo:do i@12" in text
+        assert "rejected" in text and "carried dep on b" in text
+        assert "123" in text
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _ev().action = "rejected"
+
+
+class TestSinks:
+    def test_recorder_collects_and_filters(self):
+        rec = TraceRecorder()
+        rec.emit(_ev())
+        rec.emit(_ev(action="rejected", technique="cdoacross"))
+        rec.emit(_ev(unit="bar", loop="do j", line=3, action="declined"))
+        assert len(rec) == 3
+        assert len(rec.for_unit("foo")) == 2
+        assert len(rec.for_loop("do i", 12)) == 2
+        assert [e.action for e in rec.rejections()] \
+            == ["rejected", "declined"]
+        assert len(rec.accepted()) == 1
+        assert all(isinstance(d, dict) for d in rec.to_list())
+
+    def test_null_sink_noop(self):
+        NULL_SINK.emit(_ev())  # must not raise or store anything
+
+    def test_tee_forwards_and_drops_nulls(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        tee = TeeSink(a, None, NULL_SINK, b)
+        assert len(tee.sinks) == 2
+        tee.emit(_ev())
+        assert len(a) == 1 and len(b) == 1
+
+    def test_render_events_one_line_each(self):
+        text = render_events([_ev(), _ev(action="rejected")])
+        assert len(text.splitlines()) == 2
+
+
+class TestTraceReport:
+    def test_renders_breakdowns_and_decisions(self):
+        from repro.trace import CycleLedger
+
+        workloads = {
+            "cg": {
+                "speedup": 6.5,
+                "serial_breakdown": CycleLedger(compute=90.0,
+                                                mem_cluster=10.0).to_dict(),
+                "parallel_breakdown": CycleLedger(vector=5.0,
+                                                  startup=15.0).to_dict(),
+                "decisions": [_ev(unit="cg", action="rejected",
+                                  reason="carried dep").to_dict()],
+            },
+        }
+        text = TraceReport("Table 1", workloads).render()
+        assert "cycle attribution" in text
+        assert "speedup 6.50" in text
+        assert "mem_cluster" in text and "startup" in text
+        assert "carried dep" in text
+
+    def test_empty_workload_entry_is_tolerated(self):
+        text = TraceReport("T", {"empty": {}}).render()
+        assert "empty" in text

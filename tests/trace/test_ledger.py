@@ -1,0 +1,92 @@
+"""Unit tests for the cycle-attribution ledger algebra."""
+
+import pytest
+
+from repro.trace import CATEGORIES, HIERARCHY, NULL_LEDGER, CycleLedger, NullLedger
+
+
+class TestAlgebra:
+    def test_charge_accumulates(self):
+        led = CycleLedger()
+        led.charge("compute", 10.0)
+        led.charge("compute", 5.0)
+        led.charge("mem_global", 2.5)
+        assert led.compute == 15.0
+        assert led.mem_global == 2.5
+        assert led.total() == 17.5
+
+    def test_unknown_category_raises(self):
+        led = CycleLedger()
+        with pytest.raises(KeyError):
+            led.charge("memory", 1.0)  # group name, not a category
+        with pytest.raises(KeyError):
+            led.charge("cycles", 1.0)
+
+    def test_add_is_componentwise(self):
+        a = CycleLedger(compute=1.0, sync=2.0)
+        b = CycleLedger(compute=3.0, vector=4.0)
+        a.add(b)
+        assert a.compute == 4.0 and a.sync == 2.0 and a.vector == 4.0
+        # b untouched
+        assert b.compute == 3.0
+
+    def test_scaled_mirrors_cost_scaling(self):
+        led = CycleLedger(compute=2.0, mem_cluster=6.0)
+        tripled = led.scaled(3.0)
+        assert tripled.compute == 6.0 and tripled.mem_cluster == 18.0
+        assert tripled is not led and led.compute == 2.0
+        assert tripled.total() == pytest.approx(3.0 * led.total())
+
+    def test_copy_is_independent(self):
+        led = CycleLedger(vector=1.0)
+        dup = led.copy()
+        dup.charge("vector", 1.0)
+        assert led.vector == 1.0 and dup.vector == 2.0
+
+    def test_group_totals_partition_the_total(self):
+        led = CycleLedger(**{c: float(i + 1)
+                             for i, c in enumerate(CATEGORIES)})
+        assert sum(led.group_total(g) for g in HIERARCHY) \
+            == pytest.approx(led.total())
+
+    def test_hierarchy_covers_every_category_once(self):
+        flat = [c for cats in HIERARCHY.values() for c in cats]
+        assert sorted(flat) == sorted(CATEGORIES)
+
+
+class TestToDict:
+    def test_shape(self):
+        led = CycleLedger(compute=3.0, startup=7.0)
+        d = led.to_dict()
+        assert d["total"] == 10.0
+        assert d["groups"]["processor"]["compute"] == 3.0
+        assert d["groups"]["parallel_overhead"]["total"] == 7.0
+        assert set(d["groups"]) == set(HIERARCHY)
+
+    def test_json_round_trip(self):
+        import json
+
+        led = CycleLedger(mem_cache=1.25)
+        assert json.loads(json.dumps(led.to_dict())) == led.to_dict()
+
+    def test_render_mentions_nonzero_categories_only(self):
+        led = CycleLedger(compute=100.0)
+        text = led.render()
+        assert "compute" in text
+        assert "page_fault" not in text
+
+
+class TestNullLedger:
+    def test_charge_is_dropped(self):
+        led = NullLedger()
+        led.charge("compute", 100.0)
+        led.add(CycleLedger(compute=5.0))
+        assert led.total() == 0.0
+
+    def test_scaled_and_copy_return_self(self):
+        assert NULL_LEDGER.scaled(7.0) is NULL_LEDGER
+        assert NULL_LEDGER.copy() is NULL_LEDGER
+
+    def test_shared_instance_stays_clean(self):
+        NULL_LEDGER.charge("sync", 1e9)
+        assert NULL_LEDGER.total() == 0.0
