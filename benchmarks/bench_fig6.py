@@ -6,8 +6,8 @@ from repro.experiments import fig6_prefetch
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode, write_bench_json):
-    t = fig6_prefetch.run(quick=quick_mode)
+def table(quick_mode, write_bench_json, profiled_run):
+    t = profiled_run("fig6", fig6_prefetch.run, quick=quick_mode)
     write_bench_json("fig6", t)
     return t
 

@@ -6,8 +6,8 @@ from repro.experiments import fig7_privatization
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode, write_bench_json):
-    t = fig7_privatization.run(quick=quick_mode)
+def table(quick_mode, write_bench_json, profiled_run):
+    t = profiled_run("fig7", fig7_privatization.run, quick=quick_mode)
     write_bench_json("fig7", t)
     return t
 

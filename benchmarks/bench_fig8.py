@@ -6,8 +6,8 @@ from repro.experiments import fig8_partitioning
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode, write_bench_json):
-    t = fig8_partitioning.run(quick=quick_mode)
+def table(quick_mode, write_bench_json, profiled_run):
+    t = profiled_run("fig8", fig8_partitioning.run, quick=quick_mode)
     write_bench_json("fig8", t)
     return t
 

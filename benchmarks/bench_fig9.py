@@ -6,8 +6,8 @@ from repro.experiments import fig9_fusion
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode, write_bench_json):
-    t = fig9_fusion.run(quick=quick_mode)
+def table(quick_mode, write_bench_json, profiled_run):
+    t = profiled_run("fig9", fig9_fusion.run, quick=quick_mode)
     write_bench_json("fig9", t)
     return t
 

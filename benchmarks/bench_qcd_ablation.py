@@ -6,8 +6,8 @@ from repro.experiments import qcd_ablation
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode, write_bench_json):
-    t = qcd_ablation.run(quick=quick_mode)
+def table(quick_mode, write_bench_json, profiled_run):
+    t = profiled_run("qcd", qcd_ablation.run, quick=quick_mode)
     write_bench_json("qcd", t)
     return t
 

@@ -6,8 +6,8 @@ from repro.experiments import table1
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode, write_bench_json):
-    t = table1.run(quick=quick_mode)
+def table(quick_mode, write_bench_json, profiled_run):
+    t = profiled_run("table1", table1.run, quick=quick_mode)
     write_bench_json("table1", t)
     return t
 

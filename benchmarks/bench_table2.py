@@ -6,8 +6,8 @@ from repro.experiments import table2
 
 
 @pytest.fixture(scope="module")
-def table(quick_mode, write_bench_json):
-    t = table2.run(quick=quick_mode)
+def table(quick_mode, write_bench_json, profiled_run):
+    t = profiled_run("table2", table2.run, quick=quick_mode)
     write_bench_json("table2", t)
     return t
 

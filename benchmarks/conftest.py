@@ -19,6 +19,49 @@ def quick_mode(pytestconfig):
 
 
 @pytest.fixture(scope="session")
+def profile_dir():
+    """Directory for profiler artifacts, from ``REPRO_BENCH_PROFILE``;
+    ``None`` (the default) disables profiling entirely."""
+    import os
+    from pathlib import Path
+
+    value = os.environ.get("REPRO_BENCH_PROFILE", "")
+    if not value:
+        return None
+    path = Path(value)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def profiled_run(profile_dir):
+    """Run one experiment driver, optionally under the profiler.
+
+    With ``REPRO_BENCH_PROFILE=<dir>`` set, the run collects hardware
+    counters and per-CE timelines and writes ``<name>.trace.json``
+    (Perfetto) plus ``<name>.profile.json`` (``repro-profile/1``) into
+    the directory; without it, this is a plain call with zero overhead.
+    """
+    import json
+
+    def run(name, fn, **kwargs):
+        if profile_dir is None:
+            return fn(**kwargs)
+        from repro.experiments.common import profiled
+        from repro.prof.export import write_chrome_trace
+
+        with profiled(name) as session:
+            table = fn(**kwargs)
+        write_chrome_trace(session, profile_dir / f"{name}.trace.json")
+        doc = session.to_profile_doc(quick=kwargs.get("quick"))
+        (profile_dir / f"{name}.profile.json").write_text(
+            json.dumps(doc, indent=2) + "\n")
+        return table
+
+    return run
+
+
+@pytest.fixture(scope="session")
 def write_bench_json():
     """Persist a benchmark table as ``BENCH_<name>.json`` in the repo root
     (same payload shape as ``python -m repro.experiments --json``), so runs

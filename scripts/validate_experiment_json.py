@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
-"""Validate a ``python -m repro.experiments --json`` payload.
+"""Validate a repro JSON payload — experiment tables or profiles.
 
 Usage: ``validate_experiment_json.py payload.json`` (or ``-`` for stdin).
+Dispatches on the payload's ``schema`` tag:
 
-This is a hand-rolled checker for ``schemas/experiment.schema.json`` —
-the environment deliberately carries no jsonschema dependency — plus two
-semantic invariants the schema language cannot express:
+- ``repro-experiment/1`` (``python -m repro.experiments --json``,
+  ``BENCH_*.json``) against ``schemas/experiment.schema.json``;
+- ``repro-profile/1`` (``--profile`` output) against
+  ``schemas/profile.schema.json``.
+
+This is a hand-rolled checker — the environment deliberately carries no
+jsonschema dependency — plus semantic invariants the schema language
+cannot express:
 
 - every cycle breakdown's group totals sum to its grand total (1e-6
   relative): attribution never changes totals;
 - every loop the planner accepted as ``serial`` has at least one
   rejection/failure decision with a reason: the trace must explain why a
-  loop did not parallelize.
+  loop did not parallelize;
+- for profiles: the memory-side ledger cycles must equal the cycles
+  recomputed from the hardware counters and the embedded machine
+  constants (1e-6 relative), and every loop's per-CE busy cycles must
+  sum to its ``busy_time``.
 """
 
 from __future__ import annotations
@@ -20,8 +30,17 @@ import json
 import sys
 
 SCHEMA_TAG = "repro-experiment/1"
+PROFILE_TAG = "repro-profile/1"
 ACTIONS = {"accepted", "rejected", "failed", "applied", "declined", "noted"}
 REL_TOL = 1e-6
+
+#: machine constants every profile run must embed (besides "name")
+PROFILE_MACHINE_KEYS = ("lat_cache", "lat_cluster", "lat_global",
+                        "lat_global_prefetched", "prefetch_trigger",
+                        "page_fault_cost")
+PROFILE_ROLES = {"serial", "parallel"}
+MEMORY_KEYS = ("mem_global", "mem_cluster", "mem_cache", "prefetch",
+               "page_fault")
 
 _errors: list[str] = []
 
@@ -120,13 +139,145 @@ def check_table(t, path: str) -> None:
         check_trace_entry(w, f"{path}.meta.trace.{name}")
 
 
+def _rel_eq(a: float, b: float) -> bool:
+    return abs(a - b) <= REL_TOL * max(abs(a), abs(b), 1.0)
+
+
+def memory_cycles_from_counters(counters: dict, machine: dict) -> dict:
+    """Recompute the memory-side cycle categories from raw counters.
+
+    Must stay in lockstep with
+    ``repro.prof.counters.memory_cycles_from_counters`` — the point of
+    embedding the machine constants in the document is that this script
+    can audit the reconciliation with no repro import.
+    """
+    c = lambda k: float(counters.get(k, 0.0))  # noqa: E731
+    return {
+        "mem_cache": c("cache_refs") * machine["lat_cache"],
+        "mem_cluster": c("cluster_refs") * machine["lat_cluster"],
+        "mem_global": (c("global_refs") * machine["lat_global"]
+                       + c("global_stream_elems")
+                       * (0.55 * machine["lat_global"])
+                       + c("bank_stall_cycles")),
+        "prefetch": (c("prefetch_triggers") * machine["prefetch_trigger"]
+                     + c("prefetch_elems")
+                     * machine["lat_global_prefetched"]),
+        "page_fault": c("page_faults") * machine["page_fault_cost"],
+    }
+
+
+def check_profile_loop(lp, path: str) -> None:
+    if not _expect(isinstance(lp, dict), path, "loop must be an object"):
+        return
+    for key in ("label", "level", "order", "workers", "base", "total_time",
+                "busy_time", "worker_busy", "utilization", "imbalance",
+                "n_spans"):
+        _expect(key in lp, path, f"loop missing {key!r}")
+    wb = lp.get("worker_busy")
+    if isinstance(wb, list):
+        _expect(len(wb) == lp.get("workers"), path,
+                f"worker_busy has {len(wb)} entries for "
+                f"{lp.get('workers')} workers")
+        busy = lp.get("busy_time", 0.0)
+        _expect(_rel_eq(sum(wb), busy), path,
+                f"worker busy sum {sum(wb)} != busy_time {busy}")
+    for key in ("utilization", "imbalance"):
+        v = lp.get(key)
+        if isinstance(v, (int, float)):
+            _expect(-REL_TOL <= v <= 1.0 + REL_TOL, path,
+                    f"{key} {v} outside [0, 1]")
+    _expect(lp.get("level") in ("C", "S", "X"), path,
+            f"unknown loop level {lp.get('level')!r}")
+    _expect(lp.get("order") in ("doall", "doacross"), path,
+            f"unknown loop order {lp.get('order')!r}")
+
+
+def check_profile_run(run, path: str) -> None:
+    if not _expect(isinstance(run, dict), path, "run must be an object"):
+        return
+    _expect(isinstance(run.get("workload"), str) and run.get("workload"),
+            path, "run needs a workload name")
+    _expect(run.get("role") in PROFILE_ROLES, path,
+            f"role must be one of {sorted(PROFILE_ROLES)}, "
+            f"got {run.get('role')!r}")
+    machine = run.get("machine")
+    machine_ok = _expect(isinstance(machine, dict), path,
+                         "run needs a machine object")
+    if machine_ok:
+        _expect(isinstance(machine.get("name"), str), f"{path}.machine",
+                "machine needs a name")
+        for k in PROFILE_MACHINE_KEYS:
+            machine_ok &= _expect(
+                isinstance(machine.get(k), (int, float)),
+                f"{path}.machine", f"missing numeric constant {k!r}")
+    _expect(isinstance(run.get("total_cycles"), (int, float))
+            and run.get("total_cycles", -1) >= 0,
+            path, "total_cycles must be a non-negative number")
+    counters = run.get("counters")
+    counters_ok = _expect(bool(isinstance(counters, dict) and counters),
+                          path, "run needs a non-empty counters object")
+    if counters_ok:
+        for k, v in counters.items():
+            counters_ok &= _expect(
+                isinstance(v, (int, float)) and v >= 0,
+                f"{path}.counters.{k}", f"counter must be >= 0, got {v!r}")
+    mc = run.get("memory_cycles")
+    if _expect(isinstance(mc, dict) and "ledger" in mc
+               and "from_counters" in mc, path,
+               "run needs memory_cycles.{ledger,from_counters}"):
+        ledger, fc = mc["ledger"], mc["from_counters"]
+        for d, name in ((ledger, "ledger"), (fc, "from_counters")):
+            _expect(isinstance(d, dict) and set(d) == set(MEMORY_KEYS),
+                    f"{path}.memory_cycles.{name}",
+                    f"must have exactly the keys {sorted(MEMORY_KEYS)}")
+        if (machine_ok and counters_ok and isinstance(ledger, dict)
+                and isinstance(fc, dict) and set(ledger) == set(MEMORY_KEYS)
+                and set(fc) == set(MEMORY_KEYS)):
+            recomputed = memory_cycles_from_counters(counters, machine)
+            for k in MEMORY_KEYS:
+                _expect(_rel_eq(fc[k], recomputed[k]),
+                        f"{path}.memory_cycles.from_counters.{k}",
+                        f"stored {fc[k]} != recomputed {recomputed[k]}")
+                _expect(_rel_eq(ledger[k], recomputed[k]),
+                        f"{path}.memory_cycles.ledger.{k}",
+                        f"ledger {ledger[k]} does not reconcile with "
+                        f"counters ({recomputed[k]})")
+    hr = run.get("prefetch_hit_rate")
+    if hr is not None:
+        _expect(isinstance(hr, (int, float)) and 0.0 <= hr <= 1.0, path,
+                f"prefetch_hit_rate {hr!r} outside [0, 1]")
+    loops = run.get("loops")
+    if _expect(isinstance(loops, list), path, "run needs a loops array"):
+        for i, lp in enumerate(loops):
+            check_profile_loop(lp, f"{path}.loops[{i}]")
+
+
+def validate_profile(payload) -> None:
+    _expect(isinstance(payload.get("experiment"), str)
+            and payload.get("experiment"),
+            "$.experiment", "need a non-empty experiment name")
+    runs = payload.get("runs")
+    if _expect(isinstance(runs, list) and runs, "$.runs",
+               "need a non-empty runs array"):
+        for i, run in enumerate(runs):
+            check_profile_run(run, f"$.runs[{i}]")
+        names = [(r.get("workload"), r.get("role")) for r in runs
+                 if isinstance(r, dict)]
+        _expect(len(names) == len(set(names)), "$.runs",
+                "duplicate (workload, role) pairs")
+
+
 def validate(payload) -> list[str]:
     """Return a list of violations (empty == valid)."""
     _errors.clear()
     if not _expect(isinstance(payload, dict), "$", "payload must be an object"):
         return list(_errors)
-    _expect(payload.get("schema") == SCHEMA_TAG, "$.schema",
-            f"expected {SCHEMA_TAG!r}, got {payload.get('schema')!r}")
+    tag = payload.get("schema")
+    if tag == PROFILE_TAG:
+        validate_profile(payload)
+        return list(_errors)
+    _expect(tag == SCHEMA_TAG, "$.schema",
+            f"expected {SCHEMA_TAG!r} or {PROFILE_TAG!r}, got {tag!r}")
     experiments = payload.get("experiments")
     if _expect(isinstance(experiments, dict) and experiments,
                "$.experiments", "need a non-empty experiments object"):
@@ -151,8 +302,12 @@ def main(argv: list[str]) -> int:
             print(p, file=sys.stderr)
         print(f"{len(problems)} violation(s)", file=sys.stderr)
         return 1
-    n = len(payload["experiments"])
-    print(f"OK: {n} experiment(s) conform to {SCHEMA_TAG}")
+    if payload.get("schema") == PROFILE_TAG:
+        print(f"OK: {len(payload['runs'])} profiled run(s) conform to "
+              f"{PROFILE_TAG}")
+    else:
+        n = len(payload["experiments"])
+        print(f"OK: {n} experiment(s) conform to {SCHEMA_TAG}")
     return 0
 
 

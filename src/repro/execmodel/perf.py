@@ -40,6 +40,8 @@ from repro.machine.paging import PagingModel
 from repro.machine.scheduler import LoopScheduler
 from repro.machine.sync import SyncModel
 from repro.machine.vector import VectorUnit
+from repro.prof.counters import HwCounters, ProfLedger
+from repro.prof.timeline import TimelineRecorder
 from repro.trace.ledger import NULL_LEDGER, CycleLedger
 
 _HEAVY_OPS = {"/", "**"}
@@ -60,6 +62,10 @@ class PerfResult:
     #: per-category attribution; ``ledger.total() == total`` (within fp
     #: rounding) when the estimator ran with ``trace=True``
     ledger: Optional[CycleLedger] = None
+    #: hardware-style event counters, populated when the estimator ran
+    #: with ``profile=True`` (counter×latency reconciles with the
+    #: ledger's memory categories — see :mod:`repro.prof.counters`)
+    counters: Optional[HwCounters] = None
 
     @property
     def total(self) -> float:
@@ -85,7 +91,9 @@ class PerfEstimator:
                  prefetch: bool = True,
                  placements: Mapping[str, str] | None = None,
                  serial_data_placement: str = "cluster",
-                 trace: bool = True):
+                 trace: bool = True,
+                 profile: bool = False,
+                 timeline: Optional[TimelineRecorder] = None):
         self.sf = sf
         self.cfg = config
         self.units = {u.name: u for u in sf.units}
@@ -97,7 +105,9 @@ class PerfEstimator:
         self.sync = SyncModel(config)
         self.paging = PagingModel(config)
         self.prefetch = prefetch
-        self.trace = trace
+        self.profile = profile or timeline is not None
+        self.trace = trace or self.profile
+        self.timeline = timeline
         self.placement_override = dict(placements or {})
         self.serial_default = serial_data_placement
         # honor the globalization pass's GLOBAL/CLUSTER declarations
@@ -114,7 +124,14 @@ class PerfEstimator:
             self.declared_placement[u.name] = decl
 
     def _ledger(self) -> CycleLedger:
-        """A fresh ledger, or the shared null sink when tracing is off."""
+        """A fresh ledger, or the shared null sink when tracing is off.
+
+        Profiling estimates get a :class:`ProfLedger`, which charges
+        cycles identically (totals stay bit-identical) while also
+        accumulating hardware counters through ``ledger.count``.
+        """
+        if self.profile:
+            return ProfLedger()
         return CycleLedger() if self.trace else NULL_LEDGER
 
     # ------------------------------------------------------------------
@@ -139,7 +156,9 @@ class PerfEstimator:
         page = self._paging_overhead(unit_name, env, prof, led)
         return PerfResult(cycles=cycles, compute_cycles=cycles,
                           page_overhead=page, profile=prof,
-                          ledger=led if self.trace else None)
+                          ledger=led if self.trace else None,
+                          counters=(led.counters
+                                    if isinstance(led, ProfLedger) else None))
 
     # ------------------------------------------------------------------
     # placement
@@ -320,6 +339,8 @@ class PerfEstimator:
     def _fixed(self, cost: float, category: str):
         led = self._ledger()
         led.charge(category, cost)
+        if category == "sync":
+            led.count("sync_ops")
         return cost, AccessProfile(), led
 
     # -- assignment ----------------------------------------------------------
@@ -520,14 +541,16 @@ class PerfEstimator:
             pass  # startup costs already encode this in the config
 
         led = self._ledger()
+        label = f"{unit}:do {s.var}" + (f"@{s.line}" if s.line else "")
         if s.order == "doacross":
             region = self._sync_region_cost(s, inner, unit)
             timing = self.scheduler.doacross(
                 level, max(trips, 1), body_c, region, pre_c, post_c,
-                ledger=led)
+                ledger=led, timeline=self.timeline, label=label)
         else:
             timing = self.scheduler.run(level, "doall", max(trips, 1),
-                                        body_c, pre_c, post_c, ledger=led)
+                                        body_c, pre_c, post_c, ledger=led,
+                                        timeline=self.timeline, label=label)
         workers = timing.workers
         prof = body_p.scaled(trips)
         prof.add(pre_p.scaled(workers))
@@ -563,6 +586,7 @@ class PerfEstimator:
             prof.global_elems, total * 1.0, active_clusters)
         if factor > 1.0:
             led.charge("mem_global", (factor - 1.0) * total)
+            led.count("bank_stall_cycles", (factor - 1.0) * total)
         return total * factor, prof, led
 
     def _lock_region_cost(self, body: list[F.Stmt], ctx: _Ctx,
@@ -718,6 +742,7 @@ class PerfEstimator:
                                                self.cfg.clusters)
         if factor > 1.0:
             led.charge("mem_global", (factor - 1.0) * total)
+            led.count("bank_stall_cycles", (factor - 1.0) * total)
         return total * factor, prof, led
 
     # ------------------------------------------------------------------

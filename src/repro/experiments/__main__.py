@@ -3,13 +3,16 @@
 ``--quick`` shrinks data sizes for a fast smoke run; ``--json`` emits the
 tables (plus cycle-attribution traces) as one JSON document on stdout;
 ``--trace`` appends the human-readable cycle/decision breakdown after
-each table.
+each table; ``--profile DIR`` additionally profiles every estimate and
+writes, per experiment, a Perfetto-loadable ``<name>.trace.json`` and a
+``repro-profile/1`` ``<name>.profile.json`` into DIR.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.experiments import ALL_EXPERIMENTS
@@ -32,6 +35,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--trace", action="store_true",
                     help="append the cycle-attribution/decision trace "
                          "after each table")
+    ap.add_argument("--profile", metavar="DIR", default=None,
+                    help="profile every estimate; write per-experiment "
+                         "trace.json (Perfetto) + profile.json into DIR")
     args = ap.parse_args(argv)
 
     names = args.names or list(ALL_EXPERIMENTS)
@@ -40,6 +46,26 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
 
+    if args.profile:
+        os.makedirs(args.profile, exist_ok=True)
+
+    def run_one(name: str):
+        """Run one experiment, profiling (and writing artifacts) if asked."""
+        if not args.profile:
+            return ALL_EXPERIMENTS[name](quick=args.quick)
+        from repro.experiments.common import profiled
+        from repro.prof.export import write_chrome_trace
+
+        with profiled(name) as session:
+            table = ALL_EXPERIMENTS[name](quick=args.quick)
+        write_chrome_trace(
+            session, os.path.join(args.profile, f"{name}.trace.json"))
+        with open(os.path.join(args.profile,
+                               f"{name}.profile.json"), "w") as fh:
+            json.dump(session.to_profile_doc(quick=args.quick), fh, indent=2)
+            fh.write("\n")
+        return table
+
     if args.as_json:
         payload = {
             "schema": JSON_SCHEMA,
@@ -47,14 +73,13 @@ def main(argv: list[str] | None = None) -> int:
             "experiments": {},
         }
         for name in names:
-            table = ALL_EXPERIMENTS[name](quick=args.quick)
-            payload["experiments"][name] = table.to_dict()
+            payload["experiments"][name] = run_one(name).to_dict()
         json.dump(payload, sys.stdout, indent=2)
         sys.stdout.write("\n")
         return 0
 
     for name in names:
-        table = ALL_EXPERIMENTS[name](quick=args.quick)
+        table = run_one(name)
         print(table.render())
         if args.trace and table.meta.get("trace"):
             from repro.trace.report import TraceReport

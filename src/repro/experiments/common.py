@@ -8,6 +8,7 @@ every table and figure of the paper plots.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
@@ -15,8 +16,57 @@ from repro.execmodel.perf import PerfEstimator, PerfResult
 from repro.fortran import ast_nodes as F
 from repro.fortran.parser import parse_program
 from repro.machine.config import MachineConfig
+from repro.prof.session import ProfileSession
 from repro.restructurer.options import RestructurerOptions
 from repro.restructurer.pipeline import Restructurer
+
+#: the ProfileSession collecting estimates, when ``profiled()`` is active
+_ACTIVE_SESSION: Optional[ProfileSession] = None
+
+
+@contextmanager
+def profiled(experiment: str):
+    """Collect a :class:`ProfileSession` around an experiment driver.
+
+    While active, every ``serial_estimate``/``restructured_estimate``
+    call runs its estimator with profiling on (hardware counters + a
+    per-CE timeline) and registers the result with the session.  Nesting
+    is not supported — experiment drivers don't call each other.
+    """
+    global _ACTIVE_SESSION
+    if _ACTIVE_SESSION is not None:
+        raise RuntimeError("profiled() sessions do not nest")
+    session = ProfileSession(experiment)
+    _ACTIVE_SESSION = session
+    try:
+        yield session
+    finally:
+        _ACTIVE_SESSION = None
+
+
+def _profiled_estimator_kwargs() -> dict:
+    if _ACTIVE_SESSION is None:
+        return {}
+    return {"profile": True, "timeline": _ACTIVE_SESSION.new_timeline()}
+
+
+def direct_estimate(sf: F.SourceFile, entry: str,
+                    bindings: Mapping[str, float],
+                    machine: MachineConfig, workload: str,
+                    role: str = "parallel", **est_kwargs) -> PerfResult:
+    """Estimate an already-built AST, visible to ``profiled()`` sessions.
+
+    Drivers that construct estimators directly (placement sweeps,
+    hand-built variants) route through here so their runs still land in
+    an active profile session; without one this is a plain estimate.
+    """
+    prof_kwargs = _profiled_estimator_kwargs()
+    est = PerfEstimator(sf, machine, **est_kwargs, **prof_kwargs)
+    res = est.estimate(entry, bindings)
+    if _ACTIVE_SESSION is not None:
+        _ACTIVE_SESSION.add(workload, role, machine, res,
+                            prof_kwargs["timeline"])
+    return res
 
 
 @dataclass
@@ -56,9 +106,14 @@ def serial_estimate(source: str, entry: str,
     """Estimate the original serial/scalar program (data in cluster
     memory — the paper's baseline)."""
     sf = parse_program(source)
+    prof_kwargs = _profiled_estimator_kwargs()
     est = PerfEstimator(sf, machine, prefetch=False, placements=placements,
-                        serial_data_placement="cluster")
-    return est.estimate(entry, bindings)
+                        serial_data_placement="cluster", **prof_kwargs)
+    res = est.estimate(entry, bindings)
+    if _ACTIVE_SESSION is not None:
+        _ACTIVE_SESSION.add(entry, "serial", machine, res,
+                            prof_kwargs["timeline"])
+    return res
 
 
 def restructured_estimate(source: str, entry: str,
@@ -72,9 +127,14 @@ def restructured_estimate(source: str, entry: str,
     sf = parse_program(source)
     opts = options or RestructurerOptions()
     cedar, report = Restructurer(opts).run(sf)
+    prof_kwargs = _profiled_estimator_kwargs()
     est = PerfEstimator(cedar, machine, prefetch=prefetch,
-                        placements=placements)
-    return est.estimate(entry, bindings), cedar, report
+                        placements=placements, **prof_kwargs)
+    res = est.estimate(entry, bindings)
+    if _ACTIVE_SESSION is not None:
+        _ACTIVE_SESSION.add(entry, "parallel", machine, res,
+                            prof_kwargs["timeline"])
+    return res, cedar, report
 
 
 def estimate_pair(source: str, entry: str,

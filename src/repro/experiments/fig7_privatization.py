@@ -15,7 +15,7 @@ privatized one.
 from __future__ import annotations
 
 from repro.cedar.nodes import ParallelDo
-from repro.execmodel.perf import PerfEstimator
+from repro.experiments.common import direct_estimate
 from repro.experiments.report import Table
 from repro.fortran import ast_nodes as F
 from repro.fortran.parser import parse_program
@@ -57,7 +57,7 @@ def run(quick: bool = False) -> Table:
 
     # privatized variant: the manual restructuring as-is
     sf_priv, _ = Restructurer(opts).run(parse_program(p.source))
-    priv = PerfEstimator(sf_priv, machine).estimate(p.entry, b)
+    priv = direct_estimate(sf_priv, p.entry, b, machine, "mdg-privatized")
 
     # expanded variant: same code, work arrays shared and global (the
     # extra expansion dimension's addressing is ~0.5 op per access, which
@@ -65,8 +65,8 @@ def run(quick: bool = False) -> Table:
     sf_exp, _ = Restructurer(opts).run(parse_program(p.source))
     _strip_locals(sf_exp, WORK_ARRAYS)
     placements = {w: "global" for w in WORK_ARRAYS}
-    exp = PerfEstimator(sf_exp, machine,
-                        placements=placements).estimate(p.entry, b)
+    exp = direct_estimate(sf_exp, p.entry, b, machine, "mdg-expanded",
+                          placements=placements)
 
     t = Table(
         title="Figure 7: data privatization vs expansion in MDG "

@@ -13,7 +13,7 @@ memory, for 1-4 clusters:
 
 from __future__ import annotations
 
-from repro.execmodel.perf import PerfEstimator
+from repro.experiments.common import direct_estimate
 from repro.experiments.report import Table
 from repro.fortran.parser import parse_program
 from repro.machine.config import cedar_config1
@@ -42,11 +42,10 @@ def run(quick: bool = False) -> Table:
 
     # baseline: 1 cluster, data in cluster memory
     base_machine = cedar_config1().with_clusters(1)
-    base = PerfEstimator(sf, base_machine,
-                         placements={"a": "cluster", "b": "cluster",
-                                     "x": "cluster", "r": "cluster",
-                                     "p": "cluster", "q": "cluster"},
-                         ).estimate(cg.entry, b)
+    base = direct_estimate(sf, cg.entry, b, base_machine, "cg-1cluster",
+                           placements={"a": "cluster", "b": "cluster",
+                                       "x": "cluster", "r": "cluster",
+                                       "p": "cluster", "q": "cluster"})
 
     t = Table(
         title="Figure 8: data partitioning in Conjugate Gradient "
@@ -56,10 +55,10 @@ def run(quick: bool = False) -> Table:
     )
     for c in (1, 2, 3, 4):
         machine = cedar_config1().with_clusters(c)
-        g = PerfEstimator(sf, machine).estimate(cg.entry, b)
-        part = PerfEstimator(sf, machine,
-                             placements=PARTITIONED_PLACEMENTS,
-                             ).estimate(cg.entry, b)
+        g = direct_estimate(sf, cg.entry, b, machine, f"cg-global-{c}cl")
+        part = direct_estimate(sf, cg.entry, b, machine,
+                               f"cg-partitioned-{c}cl",
+                               placements=PARTITIONED_PLACEMENTS)
         t.add(c, PAPER["global"][c], base.total / g.total,
               PAPER["partitioned"][c], base.total / part.total)
     return t

@@ -25,8 +25,8 @@ Three variants of the QCD proxy on Cedar:
 from __future__ import annotations
 
 from repro.cedar.nodes import LockStmt, ParallelDo, UnlockStmt
-from repro.execmodel.perf import PerfEstimator
-from repro.experiments.common import estimate_pair, serial_estimate
+from repro.experiments.common import (direct_estimate, estimate_pair,
+                                      serial_estimate)
 from repro.experiments.report import Table
 from repro.fortran import ast_nodes as F
 from repro.fortran.parser import parse_program
@@ -111,7 +111,7 @@ def run(quick: bool = False) -> Table:
 
     # variant 2: hand-built critical section (validation-breaking)
     sf_crit = _critical_variant(p.source)
-    crit = PerfEstimator(sf_crit, machine).estimate(p.entry, b)
+    crit = direct_estimate(sf_crit, p.entry, b, machine, "qcd-critical")
     critical = serial.total / crit.total
 
     # variant 3: parallel RNG

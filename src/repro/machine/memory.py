@@ -48,15 +48,19 @@ class MemorySystem:
         """Cost of one scalar element access (charged into ``ledger``)."""
         if placement == "private" or cached:
             ledger.charge("mem_cache", self.cfg.lat_cache)
+            ledger.count("cache_refs")
             return self.cfg.lat_cache
         if placement == "cluster":
             ledger.charge("mem_cluster", self.cfg.lat_cluster)
+            ledger.count("cluster_refs")
             return self.cfg.lat_cluster
         if placement == "global":
             if self.cfg.has_global_memory:
                 ledger.charge("mem_global", self.cfg.lat_global)
+                ledger.count("global_refs")
                 return self.cfg.lat_global
             ledger.charge("mem_cluster", self.cfg.lat_cluster)
+            ledger.count("cluster_refs")
             return self.cfg.lat_cluster
         raise ValueError(placement)
 
@@ -75,11 +79,13 @@ class MemorySystem:
         if placement in ("private",):
             prof.cache_elems = length
             ledger.charge("mem_cache", self.cfg.lat_cache * length)
+            ledger.count("cache_refs", length)
             return self.cfg.lat_cache * length, prof
         if placement == "cluster" or not self.cfg.has_global_memory:
             prof.cluster_elems = length
             # cluster streams run through the shared cache
             ledger.charge("mem_cluster", self.cfg.lat_cluster * length)
+            ledger.count("cluster_refs", length)
             return self.cfg.lat_cluster * length, prof
         if placement == "global":
             if prefetch:
@@ -89,10 +95,13 @@ class MemorySystem:
                 cost = (blocks * self.cfg.prefetch_trigger
                         + length * self.cfg.lat_global_prefetched)
                 ledger.charge("prefetch", cost)
+                ledger.count("prefetch_triggers", blocks)
+                ledger.count("prefetch_elems", length)
                 return cost, prof
             prof.global_elems = length
             # un-prefetched global vector access still pipelines somewhat
             ledger.charge("mem_global", length * (0.55 * self.cfg.lat_global))
+            ledger.count("global_stream_elems", length)
             return length * (0.55 * self.cfg.lat_global), prof
         raise ValueError(placement)
 

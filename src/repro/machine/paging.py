@@ -57,4 +57,5 @@ class PagingModel:
             per_pass = working_set_bytes / (self.cfg.page_kb * 1024.0)
         overhead = per_pass * max(touches, 1.0) * self.cfg.page_fault_cost
         ledger.charge("page_fault", overhead)
+        ledger.count("page_faults", per_pass * max(touches, 1.0))
         return overhead

@@ -30,11 +30,14 @@ class PrefetchUnit:
         if not self.enabled or not self.cfg.has_global_memory:
             cost = length * (0.55 * self.cfg.lat_global)
             ledger.charge("mem_global", cost)
+            ledger.count("global_stream_elems", length)
             return cost
         blocks = -(-length // self.cfg.prefetch_block)
         cost = (blocks * self.cfg.prefetch_trigger
                 + length * self.cfg.lat_global_prefetched)
         ledger.charge("prefetch", cost)
+        ledger.count("prefetch_triggers", blocks)
+        ledger.count("prefetch_elems", length)
         return cost
 
     def speedup_for(self, length: float) -> float:

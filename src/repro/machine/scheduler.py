@@ -9,20 +9,31 @@ clusters (§4.2.4).
 
 For the common homogeneous case an O(1) closed form is used; the event
 simulation handles heterogeneous iteration costs (e.g. triangular loops).
+The closed form models the same round-robin chunk deal the simulation
+produces — including a final partial chunk when the trip count does not
+divide the chunk size — so the two agree to floating-point rounding on
+homogeneous costs (property-tested).
 
 Every timing carries a critical-path breakdown (startup / dispatch /
 synchronization / iteration-body / preamble+postamble cycles) whose sum
 equals ``total_time`` exactly, and can charge its overhead components
 into a :class:`repro.trace.CycleLedger`.
+
+With a :class:`repro.prof.timeline.TimelineRecorder` attached, every
+priced loop additionally emits per-worker spans (preamble, dispatch,
+chunk-execute, sync, idle) whose busy durations sum to ``busy_time``
+exactly — the profiler's per-CE Gantt view.  Without one (the default),
+no span is built and results are bit-identical to the unprofiled path.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.machine.config import MachineConfig
+from repro.prof.timeline import CONTROL_TRACK, Span, TimelineRecorder
 from repro.trace.ledger import NULL_LEDGER, CycleLedger
 
 
@@ -64,6 +75,14 @@ class LoopTiming:
         ledger.charge("startup", self.startup_cycles)
         ledger.charge("dispatch", self.dispatch_cycles)
         ledger.charge("sync", self.sync_cycles)
+        ledger.count("loop_startups", 1.0)
+        ledger.count("chunks_dispatched", float(self.chunks))
+
+
+def _round_robin_counts(chunks: int, p: int) -> list[int]:
+    """Chunks per worker under the deterministic round-robin deal."""
+    k, extra = divmod(chunks, p)
+    return [k + (1 if w < extra else 0) for w in range(p)]
 
 
 class LoopScheduler:
@@ -75,13 +94,16 @@ class LoopScheduler:
     def run(self, level: str, order: str, trips: int,
             iter_cost: float | Sequence[float],
             preamble: float = 0.0, postamble: float = 0.0,
-            chunk: int = 1, ledger: CycleLedger = NULL_LEDGER) -> LoopTiming:
+            chunk: int = 1, ledger: CycleLedger = NULL_LEDGER,
+            timeline: Optional[TimelineRecorder] = None,
+            label: str = "") -> LoopTiming:
         """Completion time of a self-scheduled loop.
 
         ``iter_cost`` is one number (homogeneous) or a per-iteration
         sequence.  ``preamble``/``postamble`` run once per worker.
         ``chunk`` iterations are grabbed per dispatch.  Scheduler-added
-        overhead (startup/dispatch/sync) is charged into ``ledger``.
+        overhead (startup/dispatch/sync) is charged into ``ledger``;
+        per-worker spans land in ``timeline`` when one is given.
         """
         p = min(self.cfg.processors_at(level), max(trips, 1))
         startup = self.cfg.startup(level, order)
@@ -90,11 +112,17 @@ class LoopScheduler:
         if trips <= 0:
             timing = LoopTiming(startup, 0.0, p, 0, startup_cycles=startup)
             timing.charge_overhead(ledger)
+            if timeline is not None:
+                timeline.record(
+                    label, level, order, p, timing.total_time, 0.0,
+                    [Span(CONTROL_TRACK, "startup", 0.0, startup,
+                          busy=False)])
             return timing
 
         if not isinstance(iter_cost, (int, float)):
             timing = self._simulate(level, order, list(iter_cost), p, startup,
-                                    dispatch, preamble, postamble, chunk)
+                                    dispatch, preamble, postamble, chunk,
+                                    timeline=timeline, label=label)
             timing.charge_overhead(ledger)
             return timing
 
@@ -105,19 +133,36 @@ class LoopScheduler:
             # whole iteration is synchronized (callers with a region use
             # :meth:`doacross` directly)
             return self.doacross(level, trips, per, per,
-                                 preamble, postamble, ledger=ledger)
-        # homogeneous DOALL: workers grab chunks until exhausted
+                                 preamble, postamble, ledger=ledger,
+                                 timeline=timeline, label=label)
+        # homogeneous DOALL: workers grab chunks round-robin until
+        # exhausted; the last chunk holds the leftover trips (may be
+        # partial), and the critical path belongs to a worker with
+        # ceil(chunks/p) chunks — all full ones, unless the only such
+        # worker is the one holding the partial tail chunk
         per_worker_chunks = -(-chunks // p)
+        full_tail = chunks - (per_worker_chunks - 1) * p
+        last_chunk = trips - (chunks - 1) * chunk
+        if last_chunk == chunk or full_tail >= 2:
+            crit_body = per_worker_chunks * chunk * per
+        else:
+            crit_body = ((per_worker_chunks - 1) * chunk + last_chunk) * per
         busy = trips * per + chunks * dispatch + p * (preamble + postamble)
         total = (startup + preamble + postamble
-                 + per_worker_chunks * (chunk * per + dispatch))
+                 + per_worker_chunks * dispatch + crit_body)
         timing = LoopTiming(
             total, busy, p, chunks,
             startup_cycles=startup,
             dispatch_cycles=per_worker_chunks * dispatch,
-            body_cycles=per_worker_chunks * chunk * per,
+            body_cycles=crit_body,
             pre_post_cycles=preamble + postamble)
         timing.charge_overhead(ledger)
+        if timeline is not None:
+            spans = self._spans_homogeneous(
+                p, chunks, chunk, last_chunk, per, dispatch, startup,
+                preamble, postamble, total,
+                max_chunk_spans=timeline.max_chunk_spans)
+            timeline.record(label, level, "doall", p, total, busy, spans)
         return timing
 
     # ------------------------------------------------------------------
@@ -125,7 +170,9 @@ class LoopScheduler:
     def doacross(self, level: str, trips: int, iter_cost: float,
                  region_cost: float, preamble: float = 0.0,
                  postamble: float = 0.0,
-                 ledger: CycleLedger = NULL_LEDGER) -> LoopTiming:
+                 ledger: CycleLedger = NULL_LEDGER,
+                 timeline: Optional[TimelineRecorder] = None,
+                 label: str = "") -> LoopTiming:
         """DOACROSS with an explicit synchronized-region cost.
 
         The critical path is ``trips * (region + signalling)`` when the
@@ -154,23 +201,36 @@ class LoopScheduler:
             startup_cycles=startup, dispatch_cycles=disp, sync_cycles=sync,
             body_cycles=body, pre_post_cycles=preamble + postamble)
         timing.charge_overhead(ledger)
+        if timeline is not None:
+            spans = self._spans_doacross(
+                p, trips, iter_cost, dispatch, signal, startup,
+                preamble, postamble, total,
+                max_chunk_spans=timeline.max_chunk_spans)
+            timeline.record(label, level, "doacross", p, total, busy, spans)
         return timing
 
     # ------------------------------------------------------------------
 
     def _simulate(self, level: str, order: str, costs: list[float], p: int,
                   startup: float, dispatch: float, preamble: float,
-                  postamble: float, chunk: int) -> LoopTiming:
+                  postamble: float, chunk: int,
+                  timeline: Optional[TimelineRecorder] = None,
+                  label: str = "") -> LoopTiming:
         """Event-driven self-scheduling over heterogeneous iterations."""
         heap = [(preamble, w) for w in range(p)]
         heapq.heapify(heap)
         next_iter = 0
         busy = p * (preamble + postamble)
         n = len(costs)
+        n_chunks = -(-n // chunk)
         finish = preamble
         # per-worker critical-path decomposition
         w_dispatch = [0.0] * p
         w_body = [0.0] * p
+        w_chunks = [0] * p
+        chunk_spans: list[tuple[int, float, float]] = []  # (worker, t0, t1)
+        keep_spans = (timeline is not None
+                      and n_chunks <= timeline.max_chunk_spans)
         while next_iter < n:
             t, w = heapq.heappop(heap)
             take = costs[next_iter:next_iter + chunk]
@@ -178,6 +238,9 @@ class LoopScheduler:
             dt = dispatch + sum(take)
             w_dispatch[w] += dispatch
             w_body[w] += sum(take)
+            w_chunks[w] += 1
+            if keep_spans:
+                chunk_spans.append((w, t, t + dt))
             busy += dt
             t += dt
             finish = max(finish, t)
@@ -186,9 +249,135 @@ class LoopScheduler:
         # split defines the critical-path breakdown
         last_t, last_w = max(heap)
         finish = max(finish, last_t) + postamble
-        return LoopTiming(
-            startup + finish, busy, p, -(-n // chunk),
+        total = startup + finish
+        timing = LoopTiming(
+            total, busy, p, n_chunks,
             startup_cycles=startup,
             dispatch_cycles=w_dispatch[last_w],
             body_cycles=w_body[last_w],
             pre_post_cycles=preamble + postamble)
+        if timeline is not None:
+            worker_end = {w: t for t, w in heap}
+            spans = self._spans_simulated(
+                p, startup, preamble, postamble, total, dispatch,
+                chunk_spans if keep_spans else None,
+                w_dispatch, w_body, w_chunks, worker_end)
+            timeline.record(label, level, order, p, total, busy, spans)
+        return timing
+
+    # ------------------------------------------------------------------
+    # span construction (profiling only — never touches the timing math)
+
+    @staticmethod
+    def _span(spans: list[Span], worker: int, category: str, start: float,
+              duration: float, busy: bool, count: int = 1) -> float:
+        """Append a span if it has extent; returns the new cursor."""
+        if duration > 0.0:
+            spans.append(Span(worker, category, start, start + duration,
+                              busy=busy, count=count))
+        return start + duration
+
+    def _spans_homogeneous(self, p: int, chunks: int, chunk: int,
+                           last_chunk: int, per: float, dispatch: float,
+                           startup: float, preamble: float, postamble: float,
+                           total: float, max_chunk_spans: int) -> list[Span]:
+        spans: list[Span] = []
+        self._span(spans, CONTROL_TRACK, "startup", 0.0, startup, busy=False)
+        counts = _round_robin_counts(chunks, p)
+        coalesce = chunks > max_chunk_spans
+        for w in range(p):
+            k_w = counts[w]
+            t = self._span(spans, w, "preamble", startup, preamble, busy=True)
+            # the globally last (possibly partial) chunk belongs to the
+            # last worker holding ceil(chunks/p) chunks
+            owns_tail = (w == (chunks - 1) % p)
+            body_w = (k_w * chunk - (chunk - last_chunk if owns_tail else 0)) \
+                * per if k_w else 0.0
+            if coalesce:
+                t = self._span(spans, w, "dispatch", t, k_w * dispatch,
+                               busy=True, count=k_w)
+                t = self._span(spans, w, "chunk", t, body_w, busy=True,
+                               count=k_w)
+            else:
+                for j in range(k_w):
+                    size = (last_chunk if owns_tail and j == k_w - 1
+                            else chunk)
+                    t = self._span(spans, w, "dispatch", t, dispatch,
+                                   busy=True)
+                    t = self._span(spans, w, "chunk", t, size * per,
+                                   busy=True)
+            t = self._span(spans, w, "postamble", t, postamble, busy=True)
+            self._span(spans, w, "idle", t, total - t, busy=False)
+        return spans
+
+    def _spans_doacross(self, p: int, trips: int, iter_cost: float,
+                        dispatch: float, signal: float, startup: float,
+                        preamble: float, postamble: float, total: float,
+                        max_chunk_spans: int) -> list[Span]:
+        # iterations round-robin across workers, spread evenly over the
+        # window the timing model allots; the slack per iteration is the
+        # wait on the incoming cascade signal.  The timing model's
+        # busy_time counts iteration bodies and signalling only, so
+        # preamble/postamble/dispatch spans are marked not-busy here.
+        spans: list[Span] = []
+        self._span(spans, CONTROL_TRACK, "startup", 0.0, startup, busy=False)
+        counts = _round_robin_counts(trips, p)
+        window = max(total - startup - preamble - postamble, 0.0)
+        coalesce = trips > max_chunk_spans
+        for w in range(p):
+            k_w = counts[w]
+            t = self._span(spans, w, "preamble", startup, preamble,
+                           busy=False)
+            if k_w:
+                slot = window / k_w
+                wait = max(slot - (dispatch + iter_cost + signal), 0.0)
+                if coalesce:
+                    t = self._span(spans, w, "wait", t, k_w * wait,
+                                   busy=False, count=k_w)
+                    t = self._span(spans, w, "dispatch", t, k_w * dispatch,
+                                   busy=False, count=k_w)
+                    t = self._span(spans, w, "chunk", t, k_w * iter_cost,
+                                   busy=True, count=k_w)
+                    t = self._span(spans, w, "sync", t, k_w * signal,
+                                   busy=True, count=k_w)
+                else:
+                    for _ in range(k_w):
+                        t = self._span(spans, w, "wait", t, wait, busy=False)
+                        t = self._span(spans, w, "dispatch", t, dispatch,
+                                       busy=False)
+                        t = self._span(spans, w, "chunk", t, iter_cost,
+                                       busy=True)
+                        t = self._span(spans, w, "sync", t, signal,
+                                       busy=True)
+            t = self._span(spans, w, "postamble", t, postamble, busy=False)
+            self._span(spans, w, "idle", t, total - t, busy=False)
+        return spans
+
+    def _spans_simulated(self, p: int, startup: float, preamble: float,
+                         postamble: float, total: float, dispatch: float,
+                         chunk_spans, w_dispatch: list[float],
+                         w_body: list[float], w_chunks: list[int],
+                         worker_end: dict[int, float]) -> list[Span]:
+        spans: list[Span] = []
+        self._span(spans, CONTROL_TRACK, "startup", 0.0, startup, busy=False)
+        for w in range(p):
+            self._span(spans, w, "preamble", startup, preamble, busy=True)
+        if chunk_spans is not None:
+            for w, t0, t1 in chunk_spans:
+                self._span(spans, w, "dispatch", startup + t0, dispatch,
+                           busy=True)
+                self._span(spans, w, "chunk", startup + t0 + dispatch,
+                           t1 - t0 - dispatch, busy=True)
+        else:
+            # coalesced: each worker works continuously from its preamble
+            for w in range(p):
+                t = startup + preamble
+                t = self._span(spans, w, "dispatch", t, w_dispatch[w],
+                               busy=True, count=w_chunks[w])
+                self._span(spans, w, "chunk", t, w_body[w], busy=True,
+                           count=w_chunks[w])
+        for w in range(p):
+            t = startup + worker_end.get(w, preamble)
+            t = self._span(spans, w, "postamble", t, postamble, busy=True)
+            self._span(spans, w, "idle", t, total - t, busy=False)
+        return spans

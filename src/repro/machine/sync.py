@@ -19,6 +19,7 @@ class SyncModel:
         if cross_cluster:
             c += self.cfg.cross_cluster_signal
         ledger.charge("sync", c)
+        ledger.count("sync_ops")
         return c
 
     def critical_section(self, body_cost: float, contenders: int,
@@ -33,6 +34,7 @@ class SyncModel:
         lock = self.cfg.cost_lock + self.cfg.cost_unlock
         wait = 0.5 * max(contenders - 1, 0) * (body_cost + lock)
         ledger.charge("sync", lock + wait)
+        ledger.count("sync_ops")
         return lock + body_cost + wait
 
     def reduction_combine(self, level: str, elems: float = 1.0,
@@ -44,6 +46,7 @@ class SyncModel:
         """
         within = self.cfg.processors_per_cluster.bit_length() * (
             self.cfg.lat_cache + self.cfg.cost_alu) * elems
+        ledger.count("sync_ops")
         if level == "C" or not self.cfg.has_global_memory:
             ledger.charge("sync", within)
             return within

@@ -23,6 +23,8 @@ class VectorUnit:
         per = self.cfg.vector_per_element * (4.0 if heavy else 1.0)
         cost = self.cfg.vector_startup + length * per
         ledger.charge("vector", cost)
+        ledger.count("vector_ops")
+        ledger.count("vector_elems", length)
         return cost
 
     def reduction_cost(self, length: float,
@@ -31,4 +33,6 @@ class VectorUnit:
         cost = (self.cfg.vector_startup * 2
                 + length * self.cfg.vector_per_element)
         ledger.charge("vector", cost)
+        ledger.count("vector_ops")
+        ledger.count("vector_elems", length)
         return cost

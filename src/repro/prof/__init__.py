@@ -1,0 +1,70 @@
+"""repro.prof — simulation profiler for the restructuring pipeline.
+
+Layers observability onto the discrete-event machine model:
+
+- :mod:`repro.prof.counters` — hardware-style event counters
+  (:class:`HwCounters`) carried on a :class:`ProfLedger`, reconciled
+  against the :class:`repro.trace.CycleLedger` cycle categories;
+- :mod:`repro.prof.timeline` — per-CE timeline spans
+  (:class:`TimelineRecorder`) emitted by the loop scheduler;
+- :mod:`repro.prof.session` — per-experiment collection and the
+  ``repro-profile/1`` document;
+- :mod:`repro.prof.export` — Chrome trace-event / Perfetto export;
+- :mod:`repro.prof.report` — ASCII Gantt + utilization reports;
+- :mod:`repro.prof.diff` — benchmark regression diffing (the CI gate).
+
+This package must stay importable from ``repro.machine`` — keep it free
+of ``repro.execmodel`` / ``repro.experiments`` imports.
+"""
+
+from repro.prof.counters import (
+    COUNTERS,
+    HwCounters,
+    ProfLedger,
+    memory_cycles_from_counters,
+    reconcile,
+)
+from repro.prof.diff import Delta, DiffResult, diff_payloads, extract_metrics
+from repro.prof.export import chrome_trace, write_chrome_trace
+from repro.prof.report import render_gantt, render_report, render_utilization
+from repro.prof.session import (
+    MACHINE_CONSTANTS,
+    PROFILE_SCHEMA,
+    ProfileSession,
+    RunProfile,
+    machine_constants,
+)
+from repro.prof.timeline import (
+    CATEGORY_GLYPHS,
+    CONTROL_TRACK,
+    LoopRecord,
+    Span,
+    TimelineRecorder,
+)
+
+__all__ = [
+    "COUNTERS",
+    "HwCounters",
+    "ProfLedger",
+    "memory_cycles_from_counters",
+    "reconcile",
+    "Delta",
+    "DiffResult",
+    "diff_payloads",
+    "extract_metrics",
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_gantt",
+    "render_report",
+    "render_utilization",
+    "MACHINE_CONSTANTS",
+    "PROFILE_SCHEMA",
+    "ProfileSession",
+    "RunProfile",
+    "machine_constants",
+    "CATEGORY_GLYPHS",
+    "CONTROL_TRACK",
+    "LoopRecord",
+    "Span",
+    "TimelineRecorder",
+]

@@ -1,0 +1,173 @@
+"""Hardware-style event counters and the profiling cycle ledger.
+
+The machine models already *charge cycles* into a
+:class:`repro.trace.CycleLedger`; profiling additionally wants *event
+counts* — how many cache/cluster/global references, prefetch triggers,
+page faults, dispatches — the numbers a hardware performance-monitoring
+unit would report, and the quantities the paper reasons about directly
+(prefetch hit rates in Figure 6, global-traffic saturation in Figure 8,
+fault counts behind Table 1's mprove).
+
+:class:`HwCounters` is the counter block; :class:`ProfLedger` is a
+:class:`CycleLedger` subclass that carries one and accumulates events via
+the (otherwise no-op) ``ledger.count`` hook the machine models call next
+to every ``ledger.charge``.  Because the counters ride the ledger through
+the estimator's exact ``add``/``scaled`` composition, the reconciliation
+
+    counter × configured latency  ==  ledger memory category
+
+holds to floating-point rounding for every estimate:
+:func:`memory_cycles_from_counters` recomputes the five memory-side
+categories from counts alone and :func:`reconcile` checks them against
+the ledger.  Counts become fractional under statistical composition
+(averaged branch arms scale by 1/arms) — they are expectations, exactly
+like the cycle categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.ledger import CATEGORIES, CycleLedger
+
+#: counter names, in rendering order.  ``*_cycles`` counters are
+#: cycle-valued (stall time); everything else counts events/elements.
+COUNTERS = (
+    "cache_refs",          # private/cached element references
+    "cluster_refs",        # cluster-memory element references
+    "global_refs",         # full-latency scalar global references
+    "global_stream_elems",  # un-prefetched pipelined global vector elements
+    "prefetch_triggers",   # 32-element prefetch instructions issued
+    "prefetch_elems",      # elements delivered through the prefetch buffer
+    "bank_stall_cycles",   # global-network/GM bandwidth-saturation stalls
+    "page_faults",         # virtual-memory faults
+    "vector_ops",          # vector-pipeline operations started
+    "vector_elems",        # elements pushed through the vector pipes
+    "loop_startups",       # parallel-loop activations
+    "chunks_dispatched",   # self-scheduling chunk grabs
+    "sync_ops",            # await/advance pairs, locks, combine steps
+)
+
+
+@dataclass
+class HwCounters:
+    """One block of accumulated hardware-style counters.
+
+    Supports the same composition algebra as :class:`CycleLedger` and
+    :class:`repro.machine.memory.AccessProfile`: in-place :meth:`add` and
+    a scaling copy :meth:`scaled`.
+    """
+
+    cache_refs: float = 0.0
+    cluster_refs: float = 0.0
+    global_refs: float = 0.0
+    global_stream_elems: float = 0.0
+    prefetch_triggers: float = 0.0
+    prefetch_elems: float = 0.0
+    bank_stall_cycles: float = 0.0
+    page_faults: float = 0.0
+    vector_ops: float = 0.0
+    vector_elems: float = 0.0
+    loop_startups: float = 0.0
+    chunks_dispatched: float = 0.0
+    sync_ops: float = 0.0
+
+    # -- composition ---------------------------------------------------------
+
+    def bump(self, counter: str, n: float = 1.0) -> None:
+        if counter not in COUNTERS:
+            raise KeyError(f"unknown hardware counter {counter!r}")
+        setattr(self, counter, getattr(self, counter) + n)
+
+    def add(self, other: "HwCounters") -> None:
+        for c in COUNTERS:
+            setattr(self, c, getattr(self, c) + getattr(other, c))
+
+    def scaled(self, k: float) -> "HwCounters":
+        return HwCounters(**{c: getattr(self, c) * k for c in COUNTERS})
+
+    def copy(self) -> "HwCounters":
+        return self.scaled(1.0)
+
+    # -- inspection ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {c: getattr(self, c) for c in COUNTERS}
+
+    @classmethod
+    def from_dict(cls, d) -> "HwCounters":
+        return cls(**{c: float(d.get(c, 0.0)) for c in COUNTERS})
+
+    def prefetch_hit_rate(self) -> float:
+        """Fraction of global element traffic served through the prefetch
+        buffer (the Figure 6 quantity)."""
+        total = (self.prefetch_elems + self.global_stream_elems
+                 + self.global_refs)
+        return self.prefetch_elems / total if total > 0 else 0.0
+
+
+def memory_cycles_from_counters(counters: HwCounters, cfg) -> dict:
+    """Recompute the ledger's five memory-side categories from counts.
+
+    ``cfg`` is a :class:`repro.machine.config.MachineConfig` (or anything
+    carrying the same latency attributes).  Mirrors exactly how
+    :mod:`repro.machine.memory`, :mod:`repro.machine.prefetch` and
+    :mod:`repro.machine.paging` price accesses, so the result equals the
+    ledger categories to floating-point rounding.
+    """
+    return {
+        "mem_cache": counters.cache_refs * cfg.lat_cache,
+        "mem_cluster": counters.cluster_refs * cfg.lat_cluster,
+        "mem_global": (counters.global_refs * cfg.lat_global
+                       + counters.global_stream_elems
+                       * (0.55 * cfg.lat_global)
+                       + counters.bank_stall_cycles),
+        "prefetch": (counters.prefetch_triggers * cfg.prefetch_trigger
+                     + counters.prefetch_elems * cfg.lat_global_prefetched),
+        "page_fault": counters.page_faults * cfg.page_fault_cost,
+    }
+
+
+def reconcile(counters: HwCounters, ledger: CycleLedger, cfg,
+              rel_tol: float = 1e-6) -> dict:
+    """Cross-validate counters against a ledger's memory categories.
+
+    Returns ``{category: {"ledger", "from_counters", "rel_err", "ok"}}``.
+    """
+    recomputed = memory_cycles_from_counters(counters, cfg)
+    out = {}
+    for cat, derived in recomputed.items():
+        have = getattr(ledger, cat)
+        err = abs(derived - have) / max(abs(have), 1.0)
+        out[cat] = {"ledger": have, "from_counters": derived,
+                    "rel_err": err, "ok": err <= rel_tol}
+    return out
+
+
+@dataclass
+class ProfLedger(CycleLedger):
+    """A cycle ledger that also accumulates hardware counters.
+
+    Drop-in for :class:`CycleLedger` wherever the estimator creates one:
+    ``charge`` behaves identically (cycle totals are bit-identical with or
+    without profiling), while ``count`` — a no-op on the base class —
+    records events.  ``add``/``scaled`` compose both halves together.
+    """
+
+    counters: HwCounters = field(default_factory=HwCounters)
+
+    def count(self, counter: str, n: float = 1.0) -> None:
+        self.counters.bump(counter, n)
+
+    def add(self, other: CycleLedger) -> None:
+        super().add(other)
+        other_counters = getattr(other, "counters", None)
+        if other_counters is not None:
+            self.counters.add(other_counters)
+
+    def scaled(self, k: float) -> "ProfLedger":
+        return ProfLedger(**{c: getattr(self, c) * k for c in CATEGORIES},
+                          counters=self.counters.scaled(k))
+
+    def copy(self) -> "ProfLedger":
+        return self.scaled(1.0)

@@ -1,0 +1,93 @@
+"""Chrome trace-event (Perfetto-loadable) export of profile sessions.
+
+Emits the JSON object form of the Trace Event Format: a ``traceEvents``
+array of complete (``"ph": "X"``) duration events plus ``"M"`` metadata
+events naming processes and threads.  One *process* per profiled run
+(workload × role), one *thread* per CE (worker track), with the
+scheduler's control track as thread 0.  Cycles map 1:1 onto the format's
+microsecond timestamps, so Perfetto's ruler reads directly in kilocycles.
+
+Load the result at https://ui.perfetto.dev (or ``chrome://tracing``) via
+"Open trace file".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.prof.timeline import CONTROL_TRACK, LoopRecord
+
+
+def _meta(name: str, pid: int, tid: int | None, value: str) -> dict:
+    ev = {"name": name, "ph": "M", "pid": pid, "args": {"name": value}}
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+def _tid(worker: int) -> int:
+    # control track → 0, CE k → k+1 (Perfetto sorts tids numerically)
+    return 0 if worker == CONTROL_TRACK else worker + 1
+
+
+def run_events(loops: Iterable[LoopRecord], pid: int) -> list[dict]:
+    """Trace events for one run's loop records (no metadata)."""
+    events: list[dict] = []
+    for rec in loops:
+        # loop-level envelope on the control track
+        events.append({
+            "name": f"{rec.label} {rec.level}{rec.order}",
+            "cat": "loop", "ph": "X",
+            "ts": rec.base, "dur": rec.total,
+            "pid": pid, "tid": _tid(CONTROL_TRACK),
+            "args": {"workers": rec.workers,
+                     "busy_time": rec.busy,
+                     "utilization": round(rec.utilization(), 4),
+                     "imbalance": round(rec.imbalance(), 4)},
+        })
+        for s in rec.spans:
+            if s.worker == CONTROL_TRACK and s.category == "startup":
+                name = "startup"
+            else:
+                name = s.category if s.count == 1 else \
+                    f"{s.category} ×{s.count}"
+            ev = {
+                "name": name, "cat": s.category, "ph": "X",
+                "ts": rec.base + s.start, "dur": s.duration,
+                "pid": pid, "tid": _tid(s.worker),
+            }
+            if not s.busy or s.count != 1:
+                ev["args"] = {"busy": s.busy}
+                if s.count != 1:
+                    ev["args"]["count"] = s.count
+            events.append(ev)
+    return events
+
+
+def chrome_trace(session) -> dict:
+    """The full Chrome trace object for a :class:`ProfileSession`."""
+    events: list[dict] = []
+    for pid, run in enumerate(session.runs, start=1):
+        label = f"{session.experiment}/{run.workload} [{run.role}]"
+        events.append(_meta("process_name", pid, None, label))
+        workers = {s.worker for rec in run.timeline for s in rec.spans}
+        events.append(_meta("thread_name", pid, _tid(CONTROL_TRACK),
+                            "scheduler"))
+        for w in sorted(w for w in workers if w != CONTROL_TRACK):
+            events.append(_meta("thread_name", pid, _tid(w), f"CE {w}"))
+        events.extend(run_events(run.timeline, pid))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "experiment": session.experiment,
+            "time_unit": "1 trace microsecond == 1 machine cycle",
+        },
+    }
+
+
+def write_chrome_trace(session, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(session), fh, indent=1)
+        fh.write("\n")

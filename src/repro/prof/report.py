@@ -1,0 +1,84 @@
+"""ASCII per-CE Gantt charts and utilization/imbalance reports.
+
+Renders the loop timelines a :class:`repro.prof.timeline.TimelineRecorder`
+collected — one labelled chart per parallel loop, one row per CE, time
+scaled to the terminal — plus a per-loop utilization/imbalance summary
+table.  This is the paper's §4.2.4 evidence in text form: a spread loop
+whose rows are mostly ``.`` (idle/wait) with a long ``>`` (startup)
+prefix is exactly a loop not worth running at S/X level.
+
+Glyphs: ``>`` startup, ``|`` preamble/postamble, ``:`` dispatch,
+``#`` chunk execute, ``~`` synchronization, ``.`` idle/wait.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.prof.timeline import CATEGORY_GLYPHS, CONTROL_TRACK, LoopRecord
+
+
+def _bar(rec: LoopRecord, worker: int, width: int) -> str:
+    cells = ["."] * width
+    scale = width / rec.total if rec.total > 0 else 0.0
+    for s in rec.spans:
+        if s.worker != worker:
+            continue
+        glyph = CATEGORY_GLYPHS.get(s.category, "?")
+        lo = int(s.start * scale)
+        hi = max(int(s.end * scale), lo + 1)
+        for c in range(lo, min(hi, width)):
+            # busy activity wins over filler when spans round into the
+            # same column
+            if s.busy or cells[c] == ".":
+                cells[c] = glyph
+    return "".join(cells)
+
+
+def render_gantt(loops: Iterable[LoopRecord], width: int = 64) -> str:
+    """One ASCII Gantt block per loop record."""
+    lines: list[str] = []
+    for rec in loops:
+        per = rec.worker_busy()
+        lines.append(
+            f"{rec.label} {rec.level}{rec.order}  "
+            f"total {rec.total:,.0f} cyc  busy {rec.busy:,.0f}  "
+            f"util {rec.utilization():.2f}  imb {rec.imbalance():.2f}")
+        ctrl = [s for s in rec.spans if s.worker == CONTROL_TRACK]
+        if ctrl:
+            lines.append(f"  sched {_bar(rec, CONTROL_TRACK, width)}")
+        for w in range(rec.workers):
+            pct = 100.0 * per[w] / rec.total if rec.total > 0 else 0.0
+            lines.append(f"  CE {w:2d} {_bar(rec, w, width)} "
+                         f"{per[w]:>12,.0f} ({pct:5.1f}%)")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_utilization(loops: Iterable[LoopRecord]) -> str:
+    """Per-loop utilization/imbalance summary table."""
+    recs = list(loops)
+    if not recs:
+        return "(no parallel loops recorded)"
+    header = (f"{'loop':<36} {'lvl':<4} {'CEs':>4} {'total cyc':>14} "
+              f"{'util':>6} {'imb':>6}")
+    lines = [header, "-" * len(header)]
+    for rec in recs:
+        label = rec.label if len(rec.label) <= 36 else rec.label[:33] + "..."
+        lines.append(
+            f"{label:<36} {rec.level + rec.order[:3]:<4} {rec.workers:>4} "
+            f"{rec.total:>14,.0f} {rec.utilization():>6.2f} "
+            f"{rec.imbalance():>6.2f}")
+    total = sum(r.total for r in recs)
+    area = sum(r.total * r.workers for r in recs)
+    busy = sum(r.busy for r in recs)
+    lines.append("-" * len(header))
+    lines.append(f"{'all recorded loops':<36} {'':<4} {'':>4} "
+                 f"{total:>14,.0f} {busy / area if area else 0.0:>6.2f}")
+    return "\n".join(lines)
+
+
+def render_report(loops: Iterable[LoopRecord], width: int = 64) -> str:
+    """Utilization table followed by the per-loop Gantt charts."""
+    recs = list(loops)
+    return render_utilization(recs) + "\n\n" + render_gantt(recs, width)

@@ -1,0 +1,131 @@
+"""Profile collection across an experiment run.
+
+A :class:`ProfileSession` accumulates one :class:`RunProfile` per
+estimator invocation (workload × serial/parallel role): the hardware
+counters, the ledger's memory-side cycle categories they must reconcile
+with, and the per-CE loop timelines.  The experiment harness activates a
+session around a driver (``repro.experiments.common.profiled``) and then
+serializes it two ways:
+
+- :meth:`ProfileSession.to_profile_doc` — the ``repro-profile/1`` JSON
+  document (validated by ``scripts/validate_experiment_json.py`` against
+  ``schemas/profile.schema.json``);
+- :func:`repro.prof.export.chrome_trace` — a Chrome trace-event /
+  Perfetto-loadable ``trace.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.prof.counters import (
+    HwCounters,
+    memory_cycles_from_counters,
+)
+from repro.prof.timeline import TimelineRecorder
+from repro.trace.ledger import HIERARCHY
+
+#: stamped into every profile document; bump on incompatible shape changes
+PROFILE_SCHEMA = "repro-profile/1"
+
+#: machine constants a profile document must carry so that validators can
+#: recompute memory cycles from counters without importing this package
+MACHINE_CONSTANTS = ("lat_cache", "lat_cluster", "lat_global",
+                     "lat_global_prefetched", "prefetch_trigger",
+                     "page_fault_cost")
+
+
+@dataclass
+class RunProfile:
+    """One profiled estimate: counters + memory cycles + loop timelines."""
+
+    workload: str
+    role: str                    # "serial" | "parallel"
+    machine: dict                # name + MACHINE_CONSTANTS
+    total_cycles: float
+    counters: HwCounters
+    memory_ledger: dict          # ledger's five memory-side categories
+    timeline: TimelineRecorder = field(default_factory=TimelineRecorder)
+
+    def to_dict(self) -> dict:
+        from_counters = memory_cycles_from_counters(
+            self.counters, _ConstView(self.machine))
+        return {
+            "workload": self.workload,
+            "role": self.role,
+            "machine": self.machine,
+            "total_cycles": self.total_cycles,
+            "counters": self.counters.to_dict(),
+            "memory_cycles": {
+                "ledger": dict(self.memory_ledger),
+                "from_counters": from_counters,
+            },
+            "prefetch_hit_rate": self.counters.prefetch_hit_rate(),
+            "loops": self.timeline.to_list(),
+        }
+
+
+class _ConstView:
+    """Attribute view over a machine-constants dict."""
+
+    def __init__(self, d: dict):
+        self._d = d
+
+    def __getattr__(self, name: str):
+        try:
+            return self._d[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+def machine_constants(cfg) -> dict:
+    """The subset of a :class:`MachineConfig` a profile document embeds."""
+    d = {"name": cfg.name}
+    for k in MACHINE_CONSTANTS:
+        d[k] = getattr(cfg, k)
+    return d
+
+
+class ProfileSession:
+    """Collects :class:`RunProfile`s for one experiment."""
+
+    def __init__(self, experiment: str):
+        self.experiment = experiment
+        self.runs: list[RunProfile] = []
+
+    def new_timeline(self) -> TimelineRecorder:
+        return TimelineRecorder()
+
+    def add(self, workload: str, role: str, cfg, result,
+            timeline: TimelineRecorder) -> RunProfile:
+        """Register one estimator result (a ``PerfResult`` with counters).
+
+        Repeated (workload, role) pairs — parameter sweeps like Figure 8's
+        cluster counts — get ``#2``, ``#3``, ... suffixes.
+        """
+        seen = sum(1 for r in self.runs
+                   if r.role == role
+                   and (r.workload == workload
+                        or r.workload.startswith(workload + "#")))
+        name = workload if seen == 0 else f"{workload}#{seen + 1}"
+        memory_ledger = {
+            c: getattr(result.ledger, c)
+            for c in HIERARCHY["memory"] + HIERARCHY["paging"]
+        } if result.ledger is not None else {}
+        run = RunProfile(
+            workload=name, role=role, machine=machine_constants(cfg),
+            total_cycles=result.total,
+            counters=result.counters or HwCounters(),
+            memory_ledger=memory_ledger, timeline=timeline)
+        self.runs.append(run)
+        return run
+
+    def to_profile_doc(self, quick: bool | None = None) -> dict:
+        doc = {
+            "schema": PROFILE_SCHEMA,
+            "experiment": self.experiment,
+            "runs": [r.to_dict() for r in self.runs],
+        }
+        if quick is not None:
+            doc["quick"] = quick
+        return doc

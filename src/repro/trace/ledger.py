@@ -72,6 +72,18 @@ class CycleLedger:
             raise KeyError(f"unknown ledger category {category!r}")
         setattr(self, category, getattr(self, category) + cycles)
 
+    def count(self, counter: str, n: float = 1.0) -> None:
+        """Record ``n`` hardware-counter events (cache refs, prefetch
+        triggers, page faults, ...).
+
+        A no-op here: plain ledgers keep cycles only.  The profiling
+        ledger (:class:`repro.prof.counters.ProfLedger`) overrides this to
+        accumulate an :class:`repro.prof.counters.HwCounters` alongside the
+        cycle categories, composed by the same ``add``/``scaled`` algebra —
+        which is what lets counter×latency totals reconcile with the
+        ledger's memory categories exactly.
+        """
+
     def add(self, other: "CycleLedger") -> None:
         for c in CATEGORIES:
             setattr(self, c, getattr(self, c) + getattr(other, c))

@@ -1,0 +1,53 @@
+"""Profiling must be observationally pure.
+
+With profiling disabled (the default), no code path may change: totals,
+breakdowns, and the whole ``--json`` payload must be bit-identical to
+what an instrumented-but-unprofiled run produces.  Exact float equality
+throughout — approx is not good enough here.
+"""
+
+import io
+import json
+import sys
+
+from repro.experiments import fig9_fusion, table1
+from repro.experiments.common import profiled
+from repro.experiments.__main__ import main
+
+
+class TestBitIdentity:
+    def test_profiled_run_totals_identical(self):
+        plain = table1.run(quick=True)
+        with profiled("table1"):
+            prof = table1.run(quick=True)
+        assert plain.rows == prof.rows
+        for name, entry in plain.meta.get("trace", {}).items():
+            other = prof.meta["trace"][name]
+            assert entry["serial_cycles"] == other["serial_cycles"]
+            assert entry["parallel_cycles"] == other["parallel_cycles"]
+            assert entry["speedup"] == other["speedup"]
+            assert entry.get("serial_breakdown") == \
+                other.get("serial_breakdown")
+            assert entry.get("parallel_breakdown") == \
+                other.get("parallel_breakdown")
+
+    def test_json_payload_identical_across_profiling(self, tmp_path):
+        def run(argv):
+            old, sys.stdout = sys.stdout, io.StringIO()
+            try:
+                assert main(argv) == 0
+                return sys.stdout.getvalue()
+            finally:
+                sys.stdout = old
+
+        plain = run(["fig9", "--quick", "--json"])
+        profiled_out = run(["fig9", "--quick", "--json",
+                            "--profile", str(tmp_path)])
+        assert plain == profiled_out
+
+    def test_table_without_profiling_has_no_session(self):
+        """No ambient session may leak out of a profiled() block."""
+        with profiled("fig9"):
+            fig9_fusion.run(quick=True)
+        from repro.experiments import common
+        assert common._ACTIVE_SESSION is None

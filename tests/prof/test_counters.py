@@ -1,0 +1,122 @@
+"""HwCounters/ProfLedger composition and counter↔ledger reconciliation."""
+
+import pytest
+
+from repro.machine.config import cedar_config1
+from repro.machine.memory import MemorySystem
+from repro.prof.counters import (
+    COUNTERS,
+    HwCounters,
+    ProfLedger,
+    memory_cycles_from_counters,
+    reconcile,
+)
+from repro.trace.ledger import CATEGORIES, CycleLedger
+
+
+class TestHwCounters:
+    def test_bump_add_scaled(self):
+        a = HwCounters()
+        a.bump("cache_refs", 3)
+        a.bump("global_refs", 2)
+        b = HwCounters()
+        b.bump("cache_refs", 1)
+        b.add(a)
+        assert b.cache_refs == 4 and b.global_refs == 2
+        half = b.scaled(0.5)
+        assert half.cache_refs == 2.0 and half.global_refs == 1.0
+        # scaling must not alias the original
+        assert b.cache_refs == 4
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises((AttributeError, KeyError, TypeError)):
+            HwCounters().bump("no_such_counter", 1)
+
+    def test_round_trip_dict(self):
+        a = HwCounters()
+        a.bump("prefetch_elems", 32)
+        assert HwCounters.from_dict(a.to_dict()).prefetch_elems == 32
+
+    def test_prefetch_hit_rate(self):
+        a = HwCounters()
+        assert a.prefetch_hit_rate() == 0.0
+        a.bump("prefetch_elems", 75)
+        a.bump("global_stream_elems", 25)
+        assert a.prefetch_hit_rate() == pytest.approx(0.75)
+
+
+class TestProfLedger:
+    def test_count_is_noop_on_plain_ledger(self):
+        led = CycleLedger()
+        led.count("cache_refs", 5)  # must not raise, must not record
+        assert not hasattr(led, "counters")
+
+    def test_counters_ride_add_and_scaled(self):
+        a = ProfLedger()
+        a.charge("mem_cache", 10.0)
+        a.count("cache_refs", 5)
+        b = ProfLedger()
+        b.add(a)
+        b.add(a.scaled(3.0))
+        assert b.counters.cache_refs == pytest.approx(20.0)
+        assert b.mem_cache == pytest.approx(40.0)
+
+    def test_scaled_matches_cycle_scaling(self):
+        """Counter scaling must track cycle scaling exactly, or the
+        estimator's trip/branch averaging would break reconciliation."""
+        a = ProfLedger()
+        a.charge("mem_global", 22.0)
+        a.count("global_refs", 1)
+        s = a.scaled(0.25)
+        assert s.mem_global / a.mem_global == pytest.approx(
+            s.counters.global_refs / a.counters.global_refs)
+
+    def test_add_plain_ledger_keeps_counters(self):
+        a = ProfLedger()
+        a.count("sync_ops", 2)
+        plain = CycleLedger()
+        plain.charge("sync", 7.0)
+        a.add(plain)
+        assert a.counters.sync_ops == 2 and a.sync == 7.0
+
+    def test_copy_independent(self):
+        a = ProfLedger()
+        a.count("page_faults", 1)
+        c = a.copy()
+        c.count("page_faults", 1)
+        assert a.counters.page_faults == 1 and c.counters.page_faults == 2
+
+
+class TestReconcile:
+    def test_memory_system_counters_reconcile(self):
+        """Counters accumulated by the memory system, priced with the
+        config's latencies, must equal the cycles it charged."""
+        cfg = cedar_config1()
+        mem = MemorySystem(cfg)
+        led = ProfLedger()
+        mem.scalar_access("private", ledger=led)
+        mem.scalar_access("cluster", ledger=led)
+        mem.scalar_access("global", ledger=led)
+        mem.vector_access("global", 100, prefetch=True, ledger=led)
+        mem.vector_access("global", 50, prefetch=False, ledger=led)
+        mem.vector_access("cluster", 10, ledger=led)
+        report = reconcile(led.counters, led, cfg)
+        assert all(v["ok"] for v in report.values()), report
+
+    def test_reconcile_flags_mismatch(self):
+        cfg = cedar_config1()
+        led = ProfLedger()
+        led.charge("mem_cache", 100.0)  # cycles with no matching counts
+        report = reconcile(led.counters, led, cfg)
+        assert not report["mem_cache"]["ok"]
+
+    def test_from_counters_keys(self):
+        out = memory_cycles_from_counters(HwCounters(), cedar_config1())
+        assert set(out) == {"mem_cache", "mem_cluster", "mem_global",
+                            "prefetch", "page_fault"}
+        assert all(v == 0.0 for v in out.values())
+
+
+def test_counter_names_disjoint_from_categories():
+    """Counter names must not shadow ledger cycle categories."""
+    assert not set(COUNTERS) & set(CATEGORIES)

@@ -1,0 +1,126 @@
+"""Regression-diff behavior: detection, direction, exit codes."""
+
+import copy
+import json
+
+import pytest
+
+from repro.prof.diff import diff_payloads, extract_metrics
+
+
+def exp_payload(cycles=1000.0, speedup=4.0, quick=True):
+    return {
+        "schema": "repro-experiment/1",
+        "quick": quick,
+        "experiments": {
+            "table1": {
+                "title": "t", "columns": ["routine", "x (measured)"],
+                "rows": [{"routine": "cg", "x (measured)": speedup}],
+                "notes": [],
+                "meta": {"trace": {"cg": {
+                    "speedup": speedup,
+                    "serial_cycles": cycles * speedup,
+                    "parallel_cycles": cycles,
+                }}},
+            }
+        },
+    }
+
+
+def profile_payload(total=5000.0):
+    return {
+        "schema": "repro-profile/1",
+        "experiment": "table1",
+        "runs": [{"workload": "cg", "role": "parallel",
+                  "total_cycles": total}],
+    }
+
+
+class TestDetection:
+    def test_identical_passes(self):
+        p = exp_payload()
+        res = diff_payloads(p, copy.deepcopy(p))
+        assert not res.failed
+        assert res.deltas
+
+    def test_five_percent_cycle_regression_fails(self):
+        """The acceptance case: an injected 5% cycle increase must be
+        caught at the default 2% threshold."""
+        old, new = exp_payload(), exp_payload()
+        t = new["experiments"]["table1"]["meta"]["trace"]["cg"]
+        t["parallel_cycles"] *= 1.05
+        res = diff_payloads(old, new)
+        assert res.failed
+        assert any(d.metric == "parallel_cycles"
+                   for d in res.regressions())
+
+    def test_speedup_drop_is_a_regression(self):
+        old, new = exp_payload(speedup=4.0), exp_payload(speedup=3.5)
+        res = diff_payloads(old, new)
+        assert any(d.metric == "speedup" for d in res.regressions())
+        assert any("measured" in d.metric for d in res.regressions())
+
+    def test_cycle_improvement_passes(self):
+        old, new = exp_payload(cycles=1000.0), exp_payload(cycles=900.0)
+        t = new["experiments"]["table1"]["meta"]["trace"]["cg"]
+        t["serial_cycles"] = 4000.0  # keep serial identical to old
+        old["experiments"]["table1"]["meta"]["trace"]["cg"][
+            "serial_cycles"] = 4000.0
+        res = diff_payloads(old, new, metrics=("parallel_cycles",))
+        assert not res.failed
+
+    def test_within_threshold_passes(self):
+        old, new = exp_payload(), exp_payload()
+        t = new["experiments"]["table1"]["meta"]["trace"]["cg"]
+        t["parallel_cycles"] *= 1.01
+        assert not diff_payloads(old, new, threshold=0.02).failed
+
+    def test_profile_payloads(self):
+        res = diff_payloads(profile_payload(5000.0),
+                            profile_payload(5300.0))
+        assert res.failed
+        (d,) = res.regressions()
+        assert d.metric == "total_cycles"
+        assert d.rel == pytest.approx(0.06)
+
+    def test_quick_mismatch_refused(self):
+        with pytest.raises(ValueError):
+            diff_payloads(exp_payload(quick=True), exp_payload(quick=False))
+
+    def test_missing_and_new_workloads_reported_not_failed(self):
+        old, new = exp_payload(), exp_payload()
+        new["experiments"]["table1"]["meta"]["trace"]["extra"] = \
+            dict(new["experiments"]["table1"]["meta"]["trace"]["cg"])
+        res = diff_payloads(old, new)
+        assert res.only_new == ["table1/extra"]
+        assert not res.failed
+
+
+class TestExtractMetrics:
+    def test_rows_without_trace_still_diffable(self):
+        p = exp_payload()
+        del p["experiments"]["table1"]["meta"]["trace"]
+        m = extract_metrics(p)
+        assert m == {"table1/routine=cg": {"x (measured)": 4.0}}
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            extract_metrics({"schema": "bogus/9"})
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        from repro.prof.__main__ import main
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(exp_payload()))
+        regressed = exp_payload()
+        regressed["experiments"]["table1"]["meta"]["trace"]["cg"][
+            "parallel_cycles"] *= 1.05
+        new.write_text(json.dumps(regressed))
+        assert main(["diff", str(old), str(old)]) == 0
+        assert main(["diff", str(old), str(new)]) == 1
+        assert main(["diff", str(old), str(new), "--threshold", "0.10"]) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out

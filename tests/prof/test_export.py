@@ -1,0 +1,89 @@
+"""Chrome trace-event export format checks and round-trip."""
+
+import json
+
+import pytest
+
+from repro.machine.config import cedar_config1
+from repro.machine.scheduler import LoopScheduler
+from repro.prof.export import chrome_trace, write_chrome_trace
+from repro.prof.session import ProfileSession, RunProfile, machine_constants
+from repro.prof.timeline import TimelineRecorder
+from repro.prof.counters import HwCounters
+
+
+@pytest.fixture()
+def session():
+    cfg = cedar_config1()
+    sched = LoopScheduler(cfg)
+    s = ProfileSession("unittest")
+    tl = TimelineRecorder()
+    sched.run("C", "doall", 40, 8.0, preamble=2.0, postamble=2.0,
+              timeline=tl, label="wl:do i@3")
+    sched.doacross("S", 20, 12.0, 4.0, timeline=tl, label="wl:do j@9")
+    s.runs.append(RunProfile(
+        workload="wl", role="parallel", machine=machine_constants(cfg),
+        total_cycles=tl.total_time(), counters=HwCounters(),
+        memory_ledger={}, timeline=tl))
+    return s
+
+
+class TestChromeTraceFormat:
+    def test_structure(self, session):
+        doc = chrome_trace(session)
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        assert doc["displayTimeUnit"] in ("ms", "ns")
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in ("X", "M")
+            assert isinstance(ev["pid"], int)
+            if ev["ph"] == "X":
+                assert isinstance(ev["name"], str)
+                assert isinstance(ev["cat"], str)
+                assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+                assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+                assert isinstance(ev["tid"], int) and ev["tid"] >= 0
+            else:
+                assert ev["name"] in ("process_name", "thread_name")
+                assert "name" in ev["args"]
+
+    def test_metadata_names_processes_and_threads(self, session):
+        doc = chrome_trace(session)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["name"] == "process_name"
+                   and e["args"]["name"] == "unittest/wl [parallel]"
+                   for e in meta)
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert "scheduler" in thread_names
+        assert any(n.startswith("CE ") for n in thread_names)
+
+    def test_loop_envelopes_on_control_track(self, session):
+        doc = chrome_trace(session)
+        envs = [e for e in doc["traceEvents"]
+                if e["ph"] == "X" and e["cat"] == "loop"]
+        assert len(envs) == 2
+        for e in envs:
+            assert e["tid"] == 0
+            assert {"workers", "busy_time", "utilization",
+                    "imbalance"} <= set(e["args"])
+
+    def test_json_serializable_and_loadable(self, session, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(session, path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_roundtrip_through_cli_loader(self, session):
+        from repro.prof.__main__ import loops_from_trace
+
+        doc = chrome_trace(session)
+        loops = loops_from_trace(doc)
+        assert len(loops) == 2
+        originals = session.runs[0].timeline.loops
+        for orig, back in zip(originals, loops):
+            assert back.label == orig.label
+            assert back.order == orig.order
+            assert back.workers == orig.workers
+            assert back.total == pytest.approx(orig.total)
+            assert back.busy_span_sum() == pytest.approx(
+                orig.busy_span_sum(), rel=1e-9)

@@ -1,0 +1,53 @@
+"""ASCII Gantt / utilization rendering."""
+
+from repro.machine.config import cedar_config1
+from repro.machine.scheduler import LoopScheduler
+from repro.prof.report import render_gantt, render_report, render_utilization
+from repro.prof.timeline import TimelineRecorder
+
+
+def make_loops():
+    sched = LoopScheduler(cedar_config1())
+    tl = TimelineRecorder()
+    sched.run("C", "doall", 32, 10.0, preamble=2.0, postamble=2.0,
+              timeline=tl, label="wl:do i@5")
+    sched.doacross("C", 12, 15.0, 5.0, timeline=tl, label="wl:do j@9")
+    return tl.loops
+
+
+class TestGantt:
+    def test_one_row_per_worker(self):
+        loops = make_loops()
+        out = render_gantt(loops)
+        for rec in loops:
+            assert out.count("CE ") >= rec.workers
+        assert "wl:do i@5" in out and "wl:do j@9" in out
+
+    def test_glyphs_present(self):
+        out = render_gantt(make_loops())
+        assert "#" in out          # chunk execution
+        assert ">" in out          # startup on the scheduler track
+        assert "util" in out and "imb" in out
+
+    def test_width_respected(self):
+        out = render_gantt(make_loops(), width=40)
+        bars = [ln for ln in out.splitlines() if ln.strip().startswith("CE")]
+        assert bars
+        for ln in bars:
+            bar = ln.split()[2]
+            assert len(bar) == 40
+
+
+class TestUtilization:
+    def test_table_lists_each_loop(self):
+        loops = make_loops()
+        out = render_utilization(loops)
+        assert out.count("wl:do") == len(loops)
+        assert "all recorded loops" in out
+
+    def test_empty(self):
+        assert "no parallel loops" in render_utilization([])
+
+    def test_report_combines_both(self):
+        out = render_report(make_loops())
+        assert "all recorded loops" in out and "CE " in out
