@@ -7,7 +7,9 @@ Dispatches on the payload's ``schema`` tag:
 - ``repro-experiment/1`` (``python -m repro.experiments --json``,
   ``BENCH_*.json``) against ``schemas/experiment.schema.json``;
 - ``repro-profile/1`` (``--profile`` output) against
-  ``schemas/profile.schema.json``.
+  ``schemas/profile.schema.json``;
+- ``repro-validate/1`` (``python -m repro.validate --json``) against
+  ``schemas/validate.schema.json``.
 
 This is a hand-rolled checker — the environment deliberately carries no
 jsonschema dependency — plus semantic invariants the schema language
@@ -21,7 +23,13 @@ cannot express:
 - for profiles: the memory-side ledger cycles must equal the cycles
   recomputed from the hardware counters and the embedded machine
   constants (1e-6 relative), and every loop's per-CE busy cycles must
-  sum to its ``busy_time``.
+  sum to its ``busy_time``;
+- for validation reports: every status label must be consistent with its
+  evidence (``divergent`` iff divergences recorded, ``race`` iff
+  conflicts but no divergences, ``error`` carries a message, ``ok``
+  carries nothing), culprit passes must come from the configuration's
+  own stage list (or be ``base-parallelization``), and the summary
+  counts must equal recounts over the body.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import sys
 
 SCHEMA_TAG = "repro-experiment/1"
 PROFILE_TAG = "repro-profile/1"
+VALIDATE_TAG = "repro-validate/1"
 ACTIONS = {"accepted", "rejected", "failed", "applied", "declined", "noted"}
 REL_TOL = 1e-6
 
@@ -267,6 +276,123 @@ def validate_profile(payload) -> None:
                 "duplicate (workload, role) pairs")
 
 
+VALIDATE_STATUSES = {"ok", "divergent", "race", "error"}
+VALIDATE_SUITES = {"linalg", "perfect"}
+RACE_KINDS = {"write-write", "read-write"}
+
+
+def check_divergence(d, path: str) -> None:
+    if not _expect(isinstance(d, dict), path,
+                   "divergence must be an object"):
+        return
+    for key in ("key", "dtype", "max_abs", "max_rel", "mismatches",
+                "processors", "seed"):
+        _expect(key in d, path, f"divergence missing {key!r}")
+    m = d.get("mismatches")
+    if isinstance(m, int):
+        _expect(m >= 1, path, f"a divergence needs >= 1 mismatch, got {m}")
+
+
+def check_race(r, path: str) -> None:
+    if not _expect(isinstance(r, dict), path, "race must be an object"):
+        return
+    for key in ("loop", "var", "kind", "iterations"):
+        _expect(key in r, path, f"race missing {key!r}")
+    _expect(r.get("kind") in RACE_KINDS, path,
+            f"unknown race kind {r.get('kind')!r}")
+    its = r.get("iterations")
+    if _expect(isinstance(its, list) and len(its) == 2, path,
+               "iterations must be a pair"):
+        _expect(its[0] != its[1], path,
+                "a conflict needs two *different* iterations")
+
+
+def check_config_result(c, path: str) -> None:
+    if not _expect(isinstance(c, dict), path, "config must be an object"):
+        return
+    status = c.get("status")
+    _expect(status in VALIDATE_STATUSES, path,
+            f"unknown status {status!r}")
+    divs = c.get("divergences", [])
+    races = c.get("races", [])
+    for i, d in enumerate(divs):
+        check_divergence(d, f"{path}.divergences[{i}]")
+    for i, r in enumerate(races):
+        check_race(r, f"{path}.races[{i}]")
+    # the status label must be consistent with the recorded evidence
+    if status == "ok":
+        _expect(not divs, path, "status 'ok' but divergences recorded")
+        _expect(not races, path, "status 'ok' but races recorded")
+        _expect(c.get("error") is None, path,
+                "status 'ok' but an error message is present")
+    elif status == "divergent":
+        _expect(bool(divs), path,
+                "status 'divergent' without any divergence")
+    elif status == "race":
+        _expect(bool(races), path, "status 'race' without any conflict")
+        _expect(not divs, path,
+                "status 'race' but divergences recorded (divergent wins)")
+    elif status == "error":
+        _expect(isinstance(c.get("error"), str) and c.get("error"), path,
+                "status 'error' needs a message")
+    culprit = c.get("culprit_pass")
+    if culprit is not None:
+        _expect(status == "divergent", path,
+                "culprit_pass only makes sense on a divergent config")
+        stages = c.get("stages", [])
+        _expect(culprit == "base-parallelization" or culprit in stages,
+                path, f"culprit {culprit!r} is not one of the config's "
+                      f"stages")
+    _expect(c.get("loops_checked", 0) >= 0, path,
+            "loops_checked must be >= 0")
+
+
+def validate_validation(payload) -> None:
+    configs = payload.get("configs")
+    _expect(isinstance(configs, list) and configs
+            and all(isinstance(x, str) for x in configs),
+            "$.configs", "need a non-empty list of config names")
+    workloads = payload.get("workloads")
+    runs = []
+    if _expect(isinstance(workloads, list) and workloads, "$.workloads",
+               "need a non-empty workloads array"):
+        for i, w in enumerate(workloads):
+            wpath = f"$.workloads[{i}]"
+            if not _expect(isinstance(w, dict), wpath,
+                           "workload must be an object"):
+                continue
+            _expect(isinstance(w.get("workload"), str) and w.get("workload"),
+                    wpath, "workload needs a name")
+            _expect(w.get("suite") in VALIDATE_SUITES, wpath,
+                    f"unknown suite {w.get('suite')!r}")
+            for j, c in enumerate(w.get("configs", [])):
+                check_config_result(c, f"{wpath}.configs[{j}]")
+                if isinstance(c, dict):
+                    runs.append(c)
+        names = [w.get("workload") for w in workloads
+                 if isinstance(w, dict)]
+        _expect(len(names) == len(set(names)), "$.workloads",
+                "duplicate workload names")
+    summary = payload.get("summary")
+    if _expect(isinstance(summary, dict), "$.summary",
+               "need a summary object"):
+        recount = {
+            "workloads": len(workloads) if isinstance(workloads, list)
+            else 0,
+            "configs_run": len(runs),
+            "ok": sum(1 for c in runs if c.get("status") == "ok"),
+            "divergent": sum(1 for c in runs
+                             if c.get("status") == "divergent"),
+            "race": sum(1 for c in runs if c.get("status") == "race"),
+            "error": sum(1 for c in runs if c.get("status") == "error"),
+            "loops_checked": sum(c.get("loops_checked", 0) for c in runs),
+            "conflicts": sum(len(c.get("races", [])) for c in runs),
+        }
+        for key, want in recount.items():
+            _expect(summary.get(key) == want, f"$.summary.{key}",
+                    f"stored {summary.get(key)!r} != recount {want}")
+
+
 def validate(payload) -> list[str]:
     """Return a list of violations (empty == valid)."""
     _errors.clear()
@@ -276,8 +402,12 @@ def validate(payload) -> list[str]:
     if tag == PROFILE_TAG:
         validate_profile(payload)
         return list(_errors)
+    if tag == VALIDATE_TAG:
+        validate_validation(payload)
+        return list(_errors)
     _expect(tag == SCHEMA_TAG, "$.schema",
-            f"expected {SCHEMA_TAG!r} or {PROFILE_TAG!r}, got {tag!r}")
+            f"expected {SCHEMA_TAG!r}, {PROFILE_TAG!r} or "
+            f"{VALIDATE_TAG!r}, got {tag!r}")
     experiments = payload.get("experiments")
     if _expect(isinstance(experiments, dict) and experiments,
                "$.experiments", "need a non-empty experiments object"):
@@ -305,6 +435,10 @@ def main(argv: list[str]) -> int:
     if payload.get("schema") == PROFILE_TAG:
         print(f"OK: {len(payload['runs'])} profiled run(s) conform to "
               f"{PROFILE_TAG}")
+    elif payload.get("schema") == VALIDATE_TAG:
+        s = payload["summary"]
+        print(f"OK: {s['configs_run']} validation run(s) over "
+              f"{s['workloads']} workload(s) conform to {VALIDATE_TAG}")
     else:
         n = len(payload["experiments"])
         print(f"OK: {n} experiment(s) conform to {SCHEMA_TAG}")

@@ -17,7 +17,7 @@ character data is not modelled.
 from __future__ import annotations
 
 import math
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
@@ -29,15 +29,67 @@ from repro.fortran.intrinsics import INTRINSICS
 from repro.fortran.symtab import SymbolTable, build_symbol_table
 from repro.execmodel.values import DTYPES, FArray, Scope
 
-#: numpy equivalents for intrinsics applied to array sections
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.execmodel.shadow import ShadowRecorder
+
+def _np_sign(a, b):
+    # Fortran SIGN: |a| carrying b's arithmetic sign, with SIGN(a, -0.0)
+    # = +|a| (np.copysign would propagate the negative zero).
+    return np.where(np.greater_equal(b, 0), np.abs(a), -np.abs(a))
+
+
+def _np_nint(x):
+    return np.where(np.greater_equal(x, 0), np.floor(x + 0.5),
+                    -np.floor(-x + 0.5)).astype(np.int64)
+
+
+def _np_min(*xs):
+    # n-ary, unlike np.minimum: np.minimum(a, b, c) treats c as out=.
+    out = xs[0]
+    for x in xs[1:]:
+        out = np.minimum(out, x)
+    return out
+
+
+def _np_max(*xs):
+    out = xs[0]
+    for x in xs[1:]:
+        out = np.maximum(out, x)
+    return out
+
+
+def _np_int(x):
+    return np.asarray(np.trunc(x)).astype(np.int64)
+
+
+def _np_float(x):
+    return np.asarray(x).astype(np.float64)
+
+
+#: numpy equivalents for intrinsics applied to array sections.  Every
+#: entry must agree elementwise with the scalar INTRINSICS callable —
+#: tests/execmodel/test_intrinsic_consistency.py cross-checks them.
 _NP_FUNCS = {
-    "sqrt": np.sqrt, "dsqrt": np.sqrt, "abs": np.abs, "dabs": np.abs,
-    "exp": np.exp, "dexp": np.exp, "log": np.log, "alog": np.log,
-    "sin": np.sin, "cos": np.cos, "tan": np.tan, "atan": np.arctan,
-    "min": np.minimum, "max": np.maximum, "amin1": np.minimum,
-    "amax1": np.maximum, "mod": np.mod, "sign": np.copysign,
-    "int": lambda x: x.astype(np.int64), "float": lambda x: x.astype(float),
-    "real": lambda x: x.astype(float), "dble": lambda x: x.astype(float),
+    "sqrt": np.sqrt, "dsqrt": np.sqrt,
+    "abs": np.abs, "dabs": np.abs, "iabs": np.abs,
+    "exp": np.exp, "dexp": np.exp,
+    "log": np.log, "alog": np.log, "dlog": np.log,
+    "log10": np.log10, "alog10": np.log10,
+    "sin": np.sin, "dsin": np.sin, "cos": np.cos, "dcos": np.cos,
+    "tan": np.tan, "atan": np.arctan, "datan": np.arctan,
+    "atan2": np.arctan2, "datan2": np.arctan2,
+    "asin": np.arcsin, "acos": np.arccos,
+    "min": _np_min, "max": _np_max, "min0": _np_min, "max0": _np_max,
+    "amin1": _np_min, "amax1": _np_max, "dmin1": _np_min, "dmax1": _np_max,
+    # Fortran MOD truncates toward zero (result carries the *dividend*'s
+    # sign); np.mod is floored division and follows the divisor instead.
+    "mod": np.fmod, "amod": np.fmod, "dmod": np.fmod,
+    "sign": _np_sign, "isign": _np_sign,
+    "dim": lambda a, b: np.maximum(a - b, 0),
+    "nint": _np_nint,
+    "int": _np_int, "ifix": _np_int, "idint": _np_int,
+    "float": _np_float, "real": _np_float, "dble": _np_float,
+    "sngl": _np_float,
     "tanh": np.tanh, "sinh": np.sinh, "cosh": np.cosh,
 }
 
@@ -60,7 +112,12 @@ class Interpreter:
     """Executes program units of one source file."""
 
     def __init__(self, sf: F.SourceFile, processors: int = 4,
-                 inputs: list[float] | None = None):
+                 inputs: list[float] | None = None,
+                 shadow: "ShadowRecorder | None" = None):
+        """``shadow`` is an optional
+        :class:`repro.execmodel.shadow.ShadowRecorder`; when given, every
+        shared-storage access inside parallel DOALL loops is logged and
+        cross-iteration conflicts are collected on ``shadow.conflicts``."""
         self.sf = sf
         self.units = {u.name: u for u in sf.units}
         self.tables: dict[str, SymbolTable] = {
@@ -69,6 +126,7 @@ class Interpreter:
         self.outputs: list[list[Any]] = []
         self.inputs = list(inputs or [])
         self.commons: dict[str, dict[str, Any]] = {}
+        self.shadow = shadow
 
     # ------------------------------------------------------------------
 
@@ -268,7 +326,15 @@ class Interpreter:
             return
         if isinstance(s, (C.AwaitStmt, C.AdvanceStmt, C.LockStmt,
                           C.UnlockStmt, C.PostWaitStmt)):
-            return  # synchronization: functional no-ops under simulation
+            # synchronization: functional no-ops under simulation, but the
+            # race detector tracks critical sections so lock-protected
+            # accesses are not reported as conflicts
+            if self.shadow is not None:
+                if isinstance(s, C.LockStmt):
+                    self.shadow.acquire(s.name)
+                elif isinstance(s, C.UnlockStmt):
+                    self.shadow.release(s.name)
+            return
         if isinstance(s, (F.TypeDecl, F.DimensionStmt, F.CommonStmt,
                           F.ParameterStmt, F.DataStmt, F.EquivalenceStmt,
                           F.ImplicitStmt, F.ExternalStmt, F.IntrinsicStmt,
@@ -296,7 +362,9 @@ class Interpreter:
         iters = list(self._loop_range(s, scope, unit))
         if s.order == "doacross":
             # ordered loop: run iterations in order under one worker scope
-            # per iteration batch; cascade sync is a no-op sequentially
+            # per iteration batch; cascade sync is a no-op sequentially.
+            # Not race-checked: carried dependences are covered by the
+            # await/advance synchronization by construction.
             wscope = self._worker_scope(s, scope, unit)
             self.exec_body(s.preamble, wscope, unit)
             for v in iters:
@@ -304,17 +372,44 @@ class Interpreter:
                 self.exec_body(s.body, wscope, unit)
             self.exec_body(s.postamble, wscope, unit)
             return
+        shadow = self.shadow
+        ctx = shadow.open_loop(self._loop_label(s)) if shadow is not None \
+            else None
         p = max(1, min(self.processors, len(iters) or 1))
-        for w in range(p):
-            mine = iters[w::p]
-            if not mine and not s.preamble and not s.postamble:
-                continue
-            wscope = self._worker_scope(s, scope, unit)
-            self.exec_body(s.preamble, wscope, unit)
-            for v in mine:
-                wscope.set(s.var, v)
-                self.exec_body(s.body, wscope, unit)
-            self.exec_body(s.postamble, wscope, unit)
+        try:
+            for w in range(p):
+                mine = iters[w::p]
+                if not mine and not s.preamble and not s.postamble:
+                    continue
+                wscope = self._worker_scope(s, scope, unit)
+                if ctx is not None:
+                    shadow.begin_worker(ctx, wscope)
+                    shadow.suspend(ctx)
+                try:
+                    self.exec_body(s.preamble, wscope, unit)
+                finally:
+                    if ctx is not None:
+                        shadow.resume(ctx)
+                for v in mine:
+                    if ctx is not None:
+                        shadow.begin_iteration(ctx, v)
+                    wscope.set(s.var, v)
+                    self.exec_body(s.body, wscope, unit)
+                if ctx is not None:
+                    shadow.suspend(ctx)
+                try:
+                    self.exec_body(s.postamble, wscope, unit)
+                finally:
+                    if ctx is not None:
+                        shadow.resume(ctx)
+        finally:
+            if ctx is not None:
+                shadow.close_loop(ctx)
+
+    @staticmethod
+    def _loop_label(s: C.ParallelDo) -> str:
+        where = f" @ line {s.line}" if s.line is not None else ""
+        return f"{s.keyword} do {s.var}{where}"
 
     def _worker_scope(self, s: C.ParallelDo, scope: Scope, unit: str) -> Scope:
         w = Scope(parent=scope)
@@ -480,10 +575,16 @@ class Interpreter:
             v = scope.get(e.name) if scope.has(e.name) else None
             if v is None:
                 raise InterpreterError(f"undefined variable {e.name!r}")
+            sh = self.shadow
             if isinstance(v, FArray):
+                if sh is not None and sh.recording:
+                    sh.record_array(v, e.name, "r",
+                                    idx=() if v.data.ndim == 0 else None)
                 if v.data.ndim == 0:  # COMMON scalar box
                     return v.data.item()
                 return v.data
+            if sh is not None and sh.recording:
+                sh.record_scalar(scope.lookup_scope(e.name), e.name, "r")
             return v
         if isinstance(e, (F.ArrayRef, F.Apply)):
             return self._ref_or_call(e, scope, unit)
@@ -506,10 +607,15 @@ class Interpreter:
         if scope.has(e.name):
             v = scope.get(e.name)
             if isinstance(v, FArray):
+                sh = self.shadow
                 if any(isinstance(x, F.RangeExpr) for x in subs):
-                    return v.slice_of([self._spec(x, scope, unit)
-                                       for x in subs])
+                    specs = [self._spec(x, scope, unit) for x in subs]
+                    if sh is not None and sh.recording:
+                        sh.record_array(v, e.name, "r", specs=specs)
+                    return v.slice_of(specs)
                 idx = tuple(int(self.eval(x, scope, unit)) for x in subs)
+                if sh is not None and sh.recording:
+                    sh.record_array(v, e.name, "r", idx=idx)
                 return v.get(idx)
         # not an array: function call
         return self._func_call(
@@ -614,9 +720,16 @@ class Interpreter:
     # assignment
 
     def _lvalue_view(self, target: F.Expr, scope: Scope, unit: str):
+        """A writable numpy view of the target (WHERE bodies, library
+        calls).  The shadow recorder logs the full section as a write —
+        a deliberate over-approximation for masked assignments."""
+        sh = self.shadow
         if isinstance(target, F.Var):
             v = scope.get(target.name)
             if isinstance(v, FArray):
+                if sh is not None and sh.recording:
+                    sh.record_array(v, target.name, "w",
+                                    idx=() if v.data.ndim == 0 else None)
                 return v.data
             raise InterpreterError("scalar has no view")
         if isinstance(target, (F.ArrayRef, F.Apply)):
@@ -625,16 +738,32 @@ class Interpreter:
                 raise InterpreterError(f"{target.name!r} is not an array")
             subs = (target.subscripts if isinstance(target, F.ArrayRef)
                     else target.args)
-            return v.slice_of([self._spec(x, scope, unit) for x in subs])
+            specs = [self._spec(x, scope, unit) for x in subs]
+            if sh is not None and sh.recording:
+                sh.record_array(v, target.name, "w", specs=specs)
+            return v.slice_of(specs)
         raise InterpreterError("invalid assignment target")
+
+    def _record_scalar_write(self, scope: Scope, name: str) -> None:
+        sh = self.shadow
+        if sh is not None and sh.recording:
+            # an undefined name is about to be created in the root scope
+            # (Scope.set semantics) — key it there so later reads match
+            containing = scope.lookup_scope(name) or scope._root()
+            sh.record_scalar(containing, name, "w")
 
     def _assign(self, target: F.Expr, value: Any, scope: Scope,
                 unit: str) -> None:
+        sh = self.shadow
         if isinstance(target, F.Var):
             cur = scope.get(target.name) if scope.has(target.name) else None
             if isinstance(cur, FArray):
+                if sh is not None and sh.recording:
+                    sh.record_array(cur, target.name, "w",
+                                    idx=() if cur.data.ndim == 0 else None)
                 cur.data[...] = value
                 return
+            self._record_scalar_write(scope, target.name)
             if isinstance(cur, (int, np.integer)) and not isinstance(
                     cur, (bool, np.bool_)):
                 scope.set(target.name, int(np.trunc(value)))
@@ -661,10 +790,15 @@ class Interpreter:
             subs = (target.subscripts if isinstance(target, F.ArrayRef)
                     else target.args)
             if any(isinstance(x, F.RangeExpr) for x in subs):
-                view = v.slice_of([self._spec(x, scope, unit) for x in subs])
+                specs = [self._spec(x, scope, unit) for x in subs]
+                if sh is not None and sh.recording:
+                    sh.record_array(v, target.name, "w", specs=specs)
+                view = v.slice_of(specs)
                 view[...] = value
             else:
                 idx = tuple(int(self.eval(x, scope, unit)) for x in subs)
+                if sh is not None and sh.recording:
+                    sh.record_array(v, target.name, "w", idx=idx)
                 v.set(idx, value)
             return
         raise InterpreterError("invalid assignment target")

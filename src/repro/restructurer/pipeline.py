@@ -30,6 +30,39 @@ from repro.restructurer.options import RestructurerOptions
 from repro.restructurer.planner import LoopPlanner, NestPlan
 from repro.trace.events import DecisionEvent, TeeSink, TraceRecorder
 
+#: The canonical, ordered list of restructurer passes: (stage label,
+#: option fields that enable it).  Stage order follows the pipeline —
+#: interprocedural preparation, then per-nest scalar analyses, then the
+#: version builders.  ``repro.validate`` bisects over prefixes of this
+#: list to name the pass that introduced an output divergence; keep new
+#: passes registered here when adding option switches.
+PASS_STAGES: list[tuple[str, tuple[str, ...]]] = [
+    ("inline-expansion", ("inline_expansion",)),
+    ("interprocedural", ("interprocedural",)),
+    ("loop-fusion", ("loop_fusion",)),
+    ("induction-substitution", ("basic_induction",)),
+    ("generalized-induction", ("generalized_induction",)),
+    ("recurrence-recognition", ("recurrence_recognition",)),
+    ("reduction-recognition", ("simple_reductions",)),
+    ("array-reductions", ("array_reductions", "multi_stmt_reductions")),
+    ("scalar-privatization", ("scalar_privatization",)),
+    ("array-privatization", ("array_privatization",)),
+    ("scalar-expansion", ("scalar_expansion",)),
+    ("stripmine-vectorize", ("stripmining",)),
+    ("if-to-where", ("if_to_where",)),
+    ("loop-interchange", ("loop_interchange",)),
+    ("doacross", ("doacross",)),
+    ("runtime-test", ("runtime_dependence_test",)),
+    ("critical-sections", ("critical_sections",)),
+    ("cluster-mapping", ("cluster_mapping",)),
+]
+
+
+def stages_for(options: RestructurerOptions) -> list[str]:
+    """The ``PASS_STAGES`` labels enabled by an options object."""
+    return [label for label, fields in PASS_STAGES
+            if all(getattr(options, f) for f in fields)]
+
 
 @dataclass
 class UnitReport:

@@ -62,6 +62,10 @@ class NestPlan:
     #: source line of the DO statement — disambiguates several nests over
     #: the same index variable in one unit
     line: Optional[int] = None
+    #: variables whose loop-carried dependences the planner explained
+    #: away, and how ("privatized", "reduction", "induction-substituted",
+    #: "monotonic-iv") — the claims the runtime race detector validates
+    discharged: dict[str, str] = field(default_factory=dict)
 
     @property
     def loop_id(self) -> str:
@@ -85,6 +89,7 @@ class NestPlan:
             "considered": [{"version": v, "predicted_cycles": s}
                            for v, s in self.considered],
             "notes": list(self.notes),
+            "discharged": dict(self.discharged),
         }
 
 
@@ -165,6 +170,7 @@ class LoopPlanner:
         notes: list[str] = []
         before: list[F.Stmt] = []
         after: list[F.Stmt] = []
+        discharged: dict[str, str] = {}
 
         # 1. induction variables
         substituted: list[str] = []
@@ -205,7 +211,7 @@ class LoopPlanner:
                                   "library routine")
                 return NestPlan(loop, before + lib + after,
                                 chosen="library", notes=notes,
-                                line=loop.line)
+                                line=loop.line, discharged=discharged)
 
         # 3. reductions
         reductions = self._allowed_reductions(loop)
@@ -244,6 +250,10 @@ class LoopPlanner:
                   | {r.var for r in reductions}
                   | set(substituted)
                   | mono_arrays)
+        discharged.update({n: "privatized" for n in ignorable})
+        discharged.update({r.var: "reduction" for r in reductions})
+        discharged.update({n: "induction-substituted" for n in substituted})
+        discharged.update({a: "monotonic-iv" for a in mono_arrays})
 
         outer_parallel = graph.is_parallel(0, ignore)
         if not outer_parallel:
@@ -263,7 +273,7 @@ class LoopPlanner:
         if not versions:
             return NestPlan(loop, before + [loop] + after, chosen="serial",
                             considered=[("serial", 0.0)], notes=notes,
-                            line=loop.line)
+                            line=loop.line, discharged=discharged)
         versions.sort(key=lambda v: v[1])
         considered = [(label, score) for label, score, _ in versions]
 
@@ -283,13 +293,19 @@ class LoopPlanner:
                                reason=f"predicted {oscore:.0f} cycles vs "
                                       f"{score:.0f} for {label}",
                                cost=oscore)
+            # stamp the source line onto the materialized parallel loops
+            # so runtime diagnostics (race reports) can name the nest
+            for node in F.stmts_walk(stmts):
+                if isinstance(node, ParallelDo) and node.line is None:
+                    node.line = loop.line
             return NestPlan(loop, before + stmts + after, chosen=label,
                             considered=considered, notes=notes,
-                            line=loop.line)
+                            line=loop.line, discharged=discharged)
         self._emit(loop, "serial", "accepted",
                    reason="every candidate version failed to materialize")
         return NestPlan(loop, before + [loop] + after, chosen="serial",
-                        considered=considered, notes=notes, line=loop.line)
+                        considered=considered, notes=notes, line=loop.line,
+                        discharged=discharged)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,42 @@
+"""Translation validation: differential execution + dynamic race detection.
+
+The restructurer is only trustworthy if every variant it emits computes
+what the serial original computes.  This package runs each workload's
+sequential baseline and the output of each staged pipeline configuration
+through the functional interpreter on seeded randomized inputs, compares
+results element-wise with dtype-aware tolerances, and — on divergence —
+bisects over the canonical pass list
+(:data:`repro.restructurer.pipeline.PASS_STAGES`) to name the pass that
+introduced the mismatch.  A shadow-access recorder
+(:class:`repro.execmodel.shadow.ShadowRecorder`) threaded through the
+interpreter's worker-by-worker parallel-loop execution simultaneously
+validates the dependence analysis's no-conflict claims at runtime.
+
+Run it as ``python -m repro.validate --all``; the JSON report follows
+the ``repro-validate/1`` schema (``schemas/validate.schema.json``,
+checked by ``scripts/validate_experiment_json.py``).
+"""
+
+from repro.execmodel.shadow import RaceConflict, ShadowRecorder
+from repro.validate.configs import (
+    PIPELINE_CONFIGS,
+    baseline_options,
+    options_for_stages,
+)
+from repro.validate.differential import (
+    ConfigResult,
+    Divergence,
+    WorkloadResult,
+    bisect_stages,
+    compare_outputs,
+    validate_workload,
+)
+from repro.validate.report import SCHEMA_TAG, build_report, render_text
+
+__all__ = [
+    "RaceConflict", "ShadowRecorder",
+    "PIPELINE_CONFIGS", "baseline_options", "options_for_stages",
+    "ConfigResult", "Divergence", "WorkloadResult",
+    "bisect_stages", "compare_outputs", "validate_workload",
+    "SCHEMA_TAG", "build_report", "render_text",
+]

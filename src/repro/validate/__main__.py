@@ -1,0 +1,112 @@
+"""Command-line translation validator.
+
+``python -m repro.validate --all``
+    Differentially validate every linalg and Perfect workload under the
+    automatic and manual pipeline configurations, with the dynamic race
+    detector attached.  Exit status 1 if any run diverges, races, or
+    errors.
+
+``python -m repro.validate tridag TRFD``
+    Validate a named subset.
+
+``python -m repro.validate --quick``
+    The fast CI subset.
+
+``--json`` writes the ``repro-validate/1`` payload to stdout (or
+``-o FILE``); the default output is a human-readable table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.validate.configs import PIPELINE_CONFIGS
+from repro.validate.differential import (
+    DEFAULT_ATOL,
+    DEFAULT_RTOL,
+    validate_workload,
+)
+from repro.validate.report import build_report, render_text
+from repro.workloads import validation_cases
+
+#: the CI smoke subset: one routine per obstacle family, all fast
+QUICK_WORKLOADS = ("tridag", "cg", "sparse", "TRFD", "MDG", "TRACK")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.validate",
+        description="differential translation validation with dynamic "
+                    "race detection")
+    ap.add_argument("workloads", nargs="*",
+                    help="workload names (default: --all)")
+    ap.add_argument("--all", action="store_true",
+                    help="validate every workload")
+    ap.add_argument("--quick", action="store_true",
+                    help=f"fast subset: {', '.join(QUICK_WORKLOADS)}")
+    ap.add_argument("--suite", choices=("linalg", "perfect"),
+                    help="restrict to one workload suite")
+    ap.add_argument("--config", action="append", dest="configs",
+                    choices=sorted(PIPELINE_CONFIGS),
+                    help="configuration(s) to validate (default: all)")
+    ap.add_argument("--seeds", type=int, nargs="+", default=[3],
+                    metavar="SEED", help="input seeds (default: 3)")
+    ap.add_argument("--processors", type=int, nargs="+", default=[2, 8],
+                    metavar="P",
+                    help="simulated processor counts (default: 2 8)")
+    ap.add_argument("--atol", type=float, default=DEFAULT_ATOL)
+    ap.add_argument("--rtol", type=float, default=DEFAULT_RTOL)
+    ap.add_argument("--no-bisect", action="store_true",
+                    help="skip pass bisection on divergence")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the repro-validate/1 JSON payload")
+    ap.add_argument("-o", "--output", metavar="FILE",
+                    help="write the JSON payload to FILE")
+    ns = ap.parse_args(argv)
+
+    cases = validation_cases()
+    if ns.workloads:
+        unknown = [w for w in ns.workloads if w not in cases]
+        if unknown:
+            ap.error(f"unknown workload(s): {', '.join(unknown)} "
+                     f"(known: {', '.join(sorted(cases))})")
+        selected = [cases[w] for w in ns.workloads]
+    elif ns.quick:
+        selected = [cases[w] for w in QUICK_WORKLOADS]
+    else:
+        selected = [cases[w] for w in sorted(cases)]
+    if ns.suite:
+        selected = [c for c in selected if c.suite == ns.suite]
+        if not selected:
+            ap.error(f"no selected workload in suite {ns.suite!r}")
+
+    config_names = ns.configs or sorted(PIPELINE_CONFIGS)
+    configs = {name: PIPELINE_CONFIGS[name] for name in config_names}
+
+    results = []
+    for case in selected:
+        if not ns.json:
+            print(f"validating {case.name} "
+                  f"({case.suite}, n={case.n}) ...", file=sys.stderr)
+        results.append(validate_workload(
+            case, configs, seeds=ns.seeds, processors=ns.processors,
+            atol=ns.atol, rtol=ns.rtol, bisect=not ns.no_bisect))
+
+    payload = build_report(results, configs=config_names, quick=ns.quick)
+    if ns.output:
+        with open(ns.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if ns.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_text(results))
+
+    return 0 if all(w.ok for w in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

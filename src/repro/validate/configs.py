@@ -1,0 +1,59 @@
+"""Staged restructurer configurations for translation validation.
+
+Every validated pipeline configuration is expressed as a set of enabled
+:data:`repro.restructurer.pipeline.PASS_STAGES` labels, so a divergence
+found under a configuration can be bisected over *prefixes* of its stage
+list: find the shortest prefix that still diverges, and the last stage
+of that prefix is the pass that introduced the bug (assuming divergence
+is monotone in the prefix, the usual bisection caveat).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.restructurer.options import RestructurerOptions
+from repro.restructurer.pipeline import PASS_STAGES, stages_for
+
+_STAGE_FIELDS = dict(PASS_STAGES)
+
+
+def baseline_options() -> RestructurerOptions:
+    """Options with every registered pass disabled.
+
+    The planner still runs — loops that are parallel with no help from
+    any pass still become DOALLs — so a divergence at this base point
+    implicates the core parallelization machinery, not a named pass.
+    """
+    opts = RestructurerOptions()
+    for fields in _STAGE_FIELDS.values():
+        for f in fields:
+            setattr(opts, f, False)
+    return opts
+
+
+def options_for_stages(stages: list[str]) -> RestructurerOptions:
+    """Options enabling exactly the given ``PASS_STAGES`` labels."""
+    opts = baseline_options()
+    for label in stages:
+        try:
+            fields = _STAGE_FIELDS[label]
+        except KeyError:
+            raise ValueError(f"unknown pass stage {label!r}") from None
+        for f in fields:
+            setattr(opts, f, True)
+    return opts
+
+
+def config_stages(options: RestructurerOptions) -> list[str]:
+    """The ordered stage labels a configuration enables."""
+    return stages_for(options)
+
+
+#: the staged pipeline configurations every workload is validated under:
+#: the paper's automatic (1991 KAP-equivalent) and manual (§4.1
+#: hand-technique) configurations; each value builds fresh options
+PIPELINE_CONFIGS: dict[str, Callable[[], RestructurerOptions]] = {
+    "automatic": RestructurerOptions.automatic,
+    "manual": RestructurerOptions.manual,
+}

@@ -1,0 +1,68 @@
+"""The ``repro-validate/1`` report: JSON payload + human rendering.
+
+The JSON document mirrors the trace (``repro-experiment/1``) and profile
+(``repro-profile/1``) payloads: a ``schema`` tag,
+``schemas/validate.schema.json`` describing the shape, and
+``scripts/validate_experiment_json.py`` enforcing the semantic
+invariants (status labels consistent with their evidence, summary counts
+equal to recounts over the body).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.validate.differential import WorkloadResult
+
+SCHEMA_TAG = "repro-validate/1"
+
+
+def build_report(results: Sequence[WorkloadResult], *,
+                 configs: Iterable[str],
+                 quick: bool = False) -> dict:
+    """Assemble the ``repro-validate/1`` payload."""
+    runs = [c for w in results for c in w.configs]
+    return {
+        "schema": SCHEMA_TAG,
+        "quick": quick,
+        "configs": list(configs),
+        "workloads": [w.to_dict() for w in results],
+        "summary": {
+            "workloads": len(results),
+            "configs_run": len(runs),
+            "ok": sum(1 for c in runs if c.status == "ok"),
+            "divergent": sum(1 for c in runs if c.status == "divergent"),
+            "race": sum(1 for c in runs if c.status == "race"),
+            "error": sum(1 for c in runs if c.status == "error"),
+            "loops_checked": sum(c.loops_checked for c in runs),
+            "conflicts": sum(len(c.races) for c in runs),
+        },
+    }
+
+
+def render_text(results: Sequence[WorkloadResult]) -> str:
+    """Terminal rendering: one line per workload × configuration."""
+    lines = []
+    width = max((len(w.workload) for w in results), default=8)
+    for w in results:
+        for c in w.configs:
+            tag = c.status.upper() if c.status != "ok" else "ok"
+            line = (f"{w.workload:<{width}}  {c.config:<9}  {tag:<9} "
+                    f"{c.parallel_loops:>3} parallel loop(s), "
+                    f"{c.loops_checked:>3} checked")
+            lines.append(line)
+            for d in c.divergences:
+                lines.append(f"{'':{width}}    {d.describe()}")
+            for r in c.races:
+                lines.append(f"{'':{width}}    RACE {r.describe()}")
+            if c.culprit_pass:
+                lines.append(f"{'':{width}}    introduced by pass: "
+                             f"{c.culprit_pass}")
+            if c.error:
+                lines.append(f"{'':{width}}    {c.error}")
+    total = sum(len(w.configs) for w in results)
+    bad = sum(1 for w in results for c in w.configs if not c.ok)
+    lines.append("")
+    lines.append(f"{total} validation run(s), {total - bad} clean, "
+                 f"{bad} failing")
+    return "\n".join(lines)

@@ -1,0 +1,296 @@
+"""Dynamic race detector tests.
+
+The detector must flag exactly the accesses the planner failed to
+discharge: a deliberately un-privatized scalar races, while privatized
+scalars, recognized reductions and lock-protected critical sections all
+stay quiet.
+"""
+
+import numpy as np
+
+from repro.api import restructure
+from repro.cedar.nodes import ParallelDo
+from repro.execmodel.interp import Interpreter
+from repro.execmodel.shadow import ShadowRecorder
+from repro.execmodel.values import Scope
+from repro.fortran.parser import parse_program
+from repro.restructurer.options import RestructurerOptions
+from repro.validate.configs import options_for_stages
+from repro.workloads import validation_cases
+
+
+def find_pdos(sf):
+    return [node for u in sf.units for s in u.body
+            for node in s.walk() if isinstance(node, ParallelDo)]
+
+
+def run_with_shadow(cedar, entry, *args, processors=4):
+    sh = ShadowRecorder()
+    Interpreter(cedar, processors=processors, shadow=sh).call(entry, *args)
+    return sh
+
+
+PRIVATE_SCALAR_SRC = """
+      subroutine s(n, a, b)
+      integer n
+      real a(n), b(n)
+      real t
+      integer i
+      do i = 1, n
+         t = a(i) * 2.0
+         b(i) = t + 1.0
+      end do
+      end
+"""
+
+
+class TestPrivatization:
+    def _restructured(self):
+        # privatization only: the loop stays element-wise (the full
+        # manual pipeline would vectorize and scalar-expand t instead)
+        opts = options_for_stages(["scalar-privatization"])
+        cedar, _ = restructure(parse_program(PRIVATE_SCALAR_SRC), opts)
+        pdos = find_pdos(cedar)
+        assert pdos, "the test loop must parallelize"
+        assert pdos[0].locals_, "t must be privatized"
+        return cedar, pdos[0]
+
+    def test_privatized_scalar_is_quiet(self):
+        cedar, _ = self._restructured()
+        sh = run_with_shadow(cedar, "s", 16, np.ones(16), np.zeros(16))
+        assert sh.loops_checked == 1
+        assert sh.conflicts == []
+
+    def test_unprivatized_scalar_is_flagged(self):
+        # Deliberately strip the privatization the planner proved
+        # necessary: t becomes shared and every iteration writes it.
+        cedar, pdo = self._restructured()
+        pdo.locals_.clear()
+        sh = run_with_shadow(cedar, "s", 16, np.ones(16), np.zeros(16))
+        assert sh.conflicts, "shared t must race"
+        c = sh.conflicts[0]
+        assert c.var == "t"
+        assert c.kind in ("write-write", "read-write")
+        assert c.iterations[0] != c.iterations[1]
+
+    def test_conflict_survives_into_report_dict(self):
+        cedar, pdo = self._restructured()
+        pdo.locals_.clear()
+        sh = run_with_shadow(cedar, "s", 16, np.ones(16), np.zeros(16))
+        d = sh.to_dict()
+        assert d["loops_checked"] == 1
+        assert d["conflicts"][0]["var"] == "t"
+
+
+REDUCTION_SRC = """
+      subroutine s(n, a, b, total)
+      integer n
+      real a(n), b(n), total
+      integer i
+      total = 0.0
+      do i = 1, n
+         b(i) = a(i) * a(i)
+         total = total + b(i)
+      end do
+      end
+"""
+
+
+class TestReduction:
+    def test_recognized_reduction_is_quiet(self):
+        # The partials live in worker-local storage; the lock-protected
+        # combine runs in the synchronized postamble.  Neither may be
+        # reported.  (A bare sum loop would become a library call, so
+        # the reduction rides along with independent per-element work.)
+        cedar, _ = restructure(parse_program(REDUCTION_SRC),
+                               RestructurerOptions.manual())
+        assert find_pdos(cedar), "the reduction loop must parallelize"
+        sh = run_with_shadow(cedar, "s", 64, np.ones(64), np.zeros(64), 0.0)
+        assert sh.loops_checked >= 1
+        assert sh.conflicts == []
+
+
+class TestCriticalSection:
+    def test_track_critical_section_is_quiet(self):
+        # TRACK's hits-list append runs under lock(crit): the counter
+        # updates conflict textually but share the lock.
+        case = validation_cases()["TRACK"]
+        cedar, _ = restructure(parse_program(case.source),
+                               RestructurerOptions.manual())
+        args, _ = case.make_args(256, np.random.default_rng(7))
+        sh = ShadowRecorder()
+        Interpreter(cedar, processors=4, shadow=sh).call(case.entry, *args)
+        assert sh.loops_checked >= 1
+        assert sh.conflicts == []
+
+
+class TestShadowRecorderUnit:
+    """Direct API tests pinning the cell-keying semantics."""
+
+    def _loop(self):
+        sh = ShadowRecorder()
+        root = Scope()
+        root.declare("m", 64)
+        root.declare("nhit", 0)
+        ctx = sh.open_loop("do i @ test")
+        sh.begin_worker(ctx, Scope(parent=root))
+        return sh, ctx, root
+
+    def test_scalars_in_one_scope_get_distinct_cells(self):
+        # Regression: cells used to be keyed by the containing scope
+        # alone, so a read-only loop bound (m) collapsed into the same
+        # cell as a lock-protected counter (nhit) and "raced" with it.
+        sh, ctx, root = self._loop()
+        for it in (1, 2):
+            sh.begin_iteration(ctx, it)
+            sh.record_scalar(root, "m", "r")       # unlocked read
+            sh.acquire("crit")
+            sh.record_scalar(root, "nhit", "w")    # locked write
+            sh.release("crit")
+        sh.close_loop(ctx)
+        assert sh.conflicts == []
+
+    def test_unlocked_scalar_write_still_races(self):
+        sh, ctx, root = self._loop()
+        for it in (1, 2):
+            sh.begin_iteration(ctx, it)
+            sh.record_scalar(root, "m", "r")
+            sh.record_scalar(root, "nhit", "w")    # no lock this time
+        sh.close_loop(ctx)
+        assert [c.var for c in sh.conflicts] == ["nhit"]
+        assert sh.conflicts[0].kind == "write-write"
+
+    def test_distinct_locks_do_not_serialize(self):
+        sh, ctx, root = self._loop()
+        for it, lock in ((1, "crit_a"), (2, "crit_b")):
+            sh.begin_iteration(ctx, it)
+            sh.acquire(lock)
+            sh.record_scalar(root, "nhit", "w")
+            sh.release(lock)
+        sh.close_loop(ctx)
+        assert [c.var for c in sh.conflicts] == ["nhit"]
+
+    def test_same_iteration_never_conflicts(self):
+        sh, ctx, root = self._loop()
+        sh.begin_iteration(ctx, 5)
+        sh.record_scalar(root, "nhit", "w")
+        sh.record_scalar(root, "nhit", "w")
+        sh.record_scalar(root, "nhit", "r")
+        sh.close_loop(ctx)
+        assert sh.conflicts == []
+
+    def test_worker_local_scalar_is_private(self):
+        sh, ctx, root = self._loop()
+        wscope = ctx.wscope
+        wscope.declare("t", 0.0)
+        for it in (1, 2):
+            sh.begin_iteration(ctx, it)
+            sh.record_scalar(wscope, "t", "w")
+        sh.close_loop(ctx)
+        assert sh.conflicts == []
+
+    def test_suspended_accesses_are_skipped(self):
+        sh, ctx, root = self._loop()
+        sh.begin_iteration(ctx, 1)
+        sh.suspend(ctx)
+        sh.record_scalar(root, "nhit", "w")
+        sh.resume(ctx)
+        sh.begin_iteration(ctx, 2)
+        sh.record_scalar(root, "nhit", "w")
+        sh.close_loop(ctx)
+        assert sh.conflicts == []
+
+
+class TestArrayCells:
+    def _arr(self, n=8):
+        from repro.execmodel.values import FArray
+        return FArray(data=np.zeros(n), lowers=(1,))
+
+    def _loop(self):
+        sh = ShadowRecorder()
+        ctx = sh.open_loop("do i @ test")
+        sh.begin_worker(ctx, Scope(parent=Scope()))
+        return sh, ctx
+
+    def test_same_element_different_iterations_race(self):
+        sh, ctx = self._loop()
+        a = self._arr()
+        sh.begin_iteration(ctx, 1)
+        sh.record_array(a, "a", "w", idx=(3,))
+        sh.begin_iteration(ctx, 2)
+        sh.record_array(a, "a", "w", idx=(3,))
+        sh.close_loop(ctx)
+        assert sh.conflicts and sh.conflicts[0].var == "a"
+        assert sh.conflicts[0].element == (3,)
+
+    def test_disjoint_elements_do_not_race(self):
+        sh, ctx = self._loop()
+        a = self._arr()
+        sh.begin_iteration(ctx, 1)
+        sh.record_array(a, "a", "w", idx=(1,))
+        sh.begin_iteration(ctx, 2)
+        sh.record_array(a, "a", "w", idx=(2,))
+        sh.close_loop(ctx)
+        assert sh.conflicts == []
+
+    def test_aliased_names_share_cells(self):
+        # two FArray views over the same storage must collide even when
+        # accessed under different names (argument aliasing)
+        from repro.execmodel.values import FArray
+        sh, ctx = self._loop()
+        data = np.zeros(8)
+        a = FArray(data=data, lowers=(1,))
+        b = FArray(data=data, lowers=(1,))
+        sh.begin_iteration(ctx, 1)
+        sh.record_array(a, "a", "w", idx=(3,))
+        sh.begin_iteration(ctx, 2)
+        sh.record_array(b, "b", "w", idx=(3,))
+        sh.close_loop(ctx)
+        assert len(sh.conflicts) == 1
+
+    def test_section_overlap_races(self):
+        sh, ctx = self._loop()
+        a = self._arr()
+        sh.begin_iteration(ctx, 1)
+        sh.record_array(a, "a", "w", specs=[(1, 4, None)])
+        sh.begin_iteration(ctx, 2)
+        sh.record_array(a, "a", "w", specs=[(4, 8, None)])
+        sh.close_loop(ctx)
+        assert sh.conflicts and sh.conflicts[0].element == (4,)
+
+    def test_wide_section_coarsens_to_supercell(self):
+        sh, ctx = self._loop()
+        from repro.execmodel.values import FArray
+        big = FArray(data=np.zeros(ShadowRecorder.expand_cap + 1),
+                     lowers=(1,))
+        sh.begin_iteration(ctx, 1)
+        sh.record_array(big, "big", "w")          # whole array, coarse
+        sh.begin_iteration(ctx, 2)
+        sh.record_array(big, "big", "w", idx=(5,))
+        sh.close_loop(ctx)
+        assert sh.conflicts, "a supercell write conflicts with any element"
+
+
+class TestDoacrossExcluded:
+    def test_doacross_loops_are_not_checked(self):
+        # ordered loops synchronize their carried dependences with
+        # await/advance; the detector must not second-guess them
+        src = """
+      subroutine s(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      integer i
+      do i = 2, n
+         b(i) = sqrt(abs(a(i))) + a(i) * a(i) + exp(a(i) * 0.01)
+         c(i) = c(i - 1) + b(i)
+      end do
+      end
+"""
+        cedar, _ = restructure(parse_program(src),
+                               options_for_stages(["doacross"]))
+        pdos = find_pdos(cedar)
+        assert [p.order for p in pdos] == ["doacross"]
+        sh = run_with_shadow(cedar, "s", 32, np.ones(32), np.zeros(32),
+                             np.zeros(32))
+        assert sh.loops_checked == 0
+        assert sh.conflicts == []
