@@ -9,7 +9,9 @@ Dispatches on the payload's ``schema`` tag:
 - ``repro-profile/1`` (``--profile`` output) against
   ``schemas/profile.schema.json``;
 - ``repro-validate/1`` (``python -m repro.validate --json``) against
-  ``schemas/validate.schema.json``.
+  ``schemas/validate.schema.json``;
+- ``repro-faults/1`` (``python -m repro.faults sweep --json``) against
+  ``schemas/faults.schema.json``.
 
 This is a hand-rolled checker — the environment deliberately carries no
 jsonschema dependency — plus semantic invariants the schema language
@@ -29,7 +31,16 @@ cannot express:
   conflicts but no divergences, ``error`` carries a message, ``ok``
   carries nothing), culprit passes must come from the configuration's
   own stage list (or be ``base-parallelization``), and the summary
-  counts must equal recounts over the body.
+  counts must equal recounts over the body;
+- for fault sweeps: summary counts must equal recounts over the runs,
+  every cell's ``ok`` flag must equal the conjunction of its checks,
+  degradation ratios must be consistent with the recorded cycle counts,
+  ok cells must degrade monotonically within their bound, and scenario
+  dicts must carry exactly the ``FaultPlan`` fields.
+
+Validation/experiment payloads produced under ``--keep-going`` /
+``--timeout`` may additionally carry a top-level ``faults`` array of
+structured harness-fault reports; it is checked everywhere it appears.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ import sys
 SCHEMA_TAG = "repro-experiment/1"
 PROFILE_TAG = "repro-profile/1"
 VALIDATE_TAG = "repro-validate/1"
+FAULTS_TAG = "repro-faults/1"
 ACTIONS = {"accepted", "rejected", "failed", "applied", "declined", "noted"}
 REL_TOL = 1e-6
 
@@ -393,6 +405,149 @@ def validate_validation(payload) -> None:
                     f"stored {summary.get(key)!r} != recount {want}")
 
 
+FAULT_REPORT_KINDS = {"timeout", "error", "internal"}
+FAULT_CHECKS = ("monotone", "attributed", "bounded", "numerics_identical",
+                "recovery_ok", "no_deadlock")
+FAULT_PLAN_KEYS = frozenset({
+    "name", "seed", "dead_ces", "death_cycle", "ce_slowdown",
+    "cluster_slowdown", "memory_degradation", "bandwidth_factor",
+    "prefetch_disabled", "lost_sync_rate", "helper_delay"})
+
+
+def check_fault_report(f, path: str) -> None:
+    if not _expect(isinstance(f, dict), path,
+                   "fault report must be an object"):
+        return
+    for key in ("label", "kind", "error_type", "message", "elapsed_s"):
+        _expect(key in f, path, f"fault report missing {key!r}")
+    _expect(f.get("kind") in FAULT_REPORT_KINDS, path,
+            f"unknown fault kind {f.get('kind')!r}")
+    es = f.get("elapsed_s")
+    if isinstance(es, (int, float)):
+        _expect(es >= 0, path, f"elapsed_s must be >= 0, got {es}")
+
+
+def check_harness_faults(payload) -> None:
+    """The optional top-level ``faults`` array (keep-going harness)."""
+    faults = payload.get("faults")
+    if faults is None:
+        return
+    if _expect(isinstance(faults, list), "$.faults",
+               "faults must be an array"):
+        for i, f in enumerate(faults):
+            check_fault_report(f, f"$.faults[{i}]")
+
+
+def check_fault_plan(plan, path: str) -> None:
+    if not _expect(isinstance(plan, dict), path,
+                   "scenario plan must be an object"):
+        return
+    _expect(set(plan) == FAULT_PLAN_KEYS, path,
+            f"plan must carry exactly the FaultPlan fields "
+            f"(got {sorted(plan)})")
+    if not set(plan) == FAULT_PLAN_KEYS:
+        return
+    _expect(plan["cluster_slowdown"] >= 1, path, "cluster_slowdown < 1")
+    _expect(plan["memory_degradation"] >= 1, path, "memory_degradation < 1")
+    _expect(0 < plan["bandwidth_factor"] <= 1, path,
+            "bandwidth_factor outside (0, 1]")
+    _expect(0 <= plan["lost_sync_rate"] <= 1, path,
+            "lost_sync_rate outside [0, 1]")
+    _expect(plan["death_cycle"] >= 0 and plan["helper_delay"] >= 0, path,
+            "death_cycle/helper_delay must be >= 0")
+    _expect(all(isinstance(w, int) and w >= 0 for w in plan["dead_ces"]),
+            path, "dead_ces must be worker indices >= 0")
+    _expect(all(isinstance(e, list) and len(e) == 2 and e[1] >= 1
+                for e in plan["ce_slowdown"]),
+            path, "ce_slowdown must be [worker, factor >= 1] pairs")
+
+
+def check_fault_run(r, path: str, scenarios) -> None:
+    if not _expect(isinstance(r, dict), path, "run must be an object"):
+        return
+    for key in ("workload", "scenario", "healthy_cycles", "faulted_cycles",
+                "fault_cycles", "degradation", "bound", "injected_faults",
+                "sync_retries", "survivors", "checks", "ok"):
+        if not _expect(key in r, path, f"run missing {key!r}"):
+            return
+    if isinstance(scenarios, dict):
+        _expect(r["scenario"] in scenarios, path,
+                f"scenario {r['scenario']!r} not in the sweep's matrix")
+    checks = r["checks"]
+    if not _expect(isinstance(checks, dict)
+                   and set(FAULT_CHECKS) <= set(checks), path,
+                   f"checks must cover {list(FAULT_CHECKS)}"):
+        return
+    _expect(r["ok"] == all(checks[c] for c in FAULT_CHECKS), path,
+            "ok flag does not equal the conjunction of the checks")
+    healthy, faulted = r["healthy_cycles"], r["faulted_cycles"]
+    ratio = faulted / max(healthy, 1e-9)
+    _expect(_rel_eq(r["degradation"], ratio), path,
+            f"degradation {r['degradation']} != faulted/healthy {ratio}")
+    _expect(r["survivors"] >= 1, path,
+            "survivors must be >= 1 (no-deadlock guarantee)")
+    _expect(r["fault_cycles"] >= 0, path, "fault_cycles must be >= 0")
+    if r["ok"]:
+        _expect(r["degradation"] >= 1.0 - REL_TOL, path,
+                f"ok cell degraded below healthy ({r['degradation']})")
+        _expect(faulted <= healthy * r["bound"] + 1.0, path,
+                f"ok cell exceeds its bound "
+                f"({faulted} > {healthy} * {r['bound']})")
+
+
+def validate_faults(payload) -> None:
+    _expect(isinstance(payload.get("machine"), str)
+            and payload.get("machine"),
+            "$.machine", "need a machine name")
+    workloads = payload.get("workloads")
+    _expect(isinstance(workloads, list) and workloads
+            and all(isinstance(w, str) for w in workloads),
+            "$.workloads", "need a non-empty list of workload names")
+    scenarios = payload.get("scenarios")
+    if _expect(isinstance(scenarios, dict) and scenarios, "$.scenarios",
+               "need a non-empty scenarios object"):
+        for name, plan in scenarios.items():
+            check_fault_plan(plan, f"$.scenarios.{name}")
+            if isinstance(plan, dict) and plan.get("name") not in (None,
+                                                                   name):
+                err(f"$.scenarios.{name}",
+                    f"plan name {plan.get('name')!r} != key {name!r}")
+    runs = payload.get("runs")
+    if not _expect(isinstance(runs, list), "$.runs",
+                   "need a runs array"):
+        runs = []
+    for i, r in enumerate(runs):
+        check_fault_run(r, f"$.runs[{i}]", scenarios)
+    cells = [(r.get("workload"), r.get("scenario")) for r in runs
+             if isinstance(r, dict)]
+    _expect(len(cells) == len(set(cells)), "$.runs",
+            "duplicate (workload, scenario) cells")
+    check_harness_faults(payload)
+    summary = payload.get("summary")
+    if _expect(isinstance(summary, dict), "$.summary",
+               "need a summary object"):
+        runs_d = [r for r in runs if isinstance(r, dict)]
+        n_ok = sum(1 for r in runs_d if r.get("ok"))
+        recount = {
+            "cells_run": len(runs_d),
+            "ok": n_ok,
+            "failed": len(runs_d) - n_ok,
+            "harness_faults": len(payload.get("faults") or []),
+        }
+        for key, want in recount.items():
+            _expect(summary.get(key) == want, f"$.summary.{key}",
+                    f"stored {summary.get(key)!r} != recount {want}")
+        cf = summary.get("checks_failed")
+        if _expect(isinstance(cf, dict) and set(FAULT_CHECKS) <= set(cf),
+                   "$.summary.checks_failed",
+                   f"must cover {list(FAULT_CHECKS)}"):
+            for c in FAULT_CHECKS:
+                want = sum(1 for r in runs_d
+                           if not r.get("checks", {}).get(c, False))
+                _expect(cf[c] == want, f"$.summary.checks_failed.{c}",
+                        f"stored {cf[c]!r} != recount {want}")
+
+
 def validate(payload) -> list[str]:
     """Return a list of violations (empty == valid)."""
     _errors.clear()
@@ -404,15 +559,20 @@ def validate(payload) -> list[str]:
         return list(_errors)
     if tag == VALIDATE_TAG:
         validate_validation(payload)
+        check_harness_faults(payload)
+        return list(_errors)
+    if tag == FAULTS_TAG:
+        validate_faults(payload)
         return list(_errors)
     _expect(tag == SCHEMA_TAG, "$.schema",
-            f"expected {SCHEMA_TAG!r}, {PROFILE_TAG!r} or "
-            f"{VALIDATE_TAG!r}, got {tag!r}")
+            f"expected {SCHEMA_TAG!r}, {PROFILE_TAG!r}, "
+            f"{VALIDATE_TAG!r} or {FAULTS_TAG!r}, got {tag!r}")
     experiments = payload.get("experiments")
     if _expect(isinstance(experiments, dict) and experiments,
                "$.experiments", "need a non-empty experiments object"):
         for name, t in experiments.items():
             check_table(t, f"$.experiments.{name}")
+    check_harness_faults(payload)
     return list(_errors)
 
 
@@ -439,6 +599,11 @@ def main(argv: list[str]) -> int:
         s = payload["summary"]
         print(f"OK: {s['configs_run']} validation run(s) over "
               f"{s['workloads']} workload(s) conform to {VALIDATE_TAG}")
+    elif payload.get("schema") == FAULTS_TAG:
+        s = payload["summary"]
+        print(f"OK: {s['cells_run']} oracle cell(s) "
+              f"({s['ok']} ok, {s['harness_faults']} harness fault(s)) "
+              f"conform to {FAULTS_TAG}")
     else:
         n = len(payload["experiments"])
         print(f"OK: {n} experiment(s) conform to {SCHEMA_TAG}")

@@ -52,3 +52,30 @@ class InterpreterError(ReproError):
 
 class MachineModelError(ReproError):
     """Raised for inconsistent machine configurations or timing queries."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for malformed or unsatisfiable fault-injection plans."""
+
+
+class BudgetExceededError(ReproError):
+    """A wall-clock or step budget ran out before the work completed.
+
+    Raised by the harness watchdog (:func:`repro.faults.harness.watchdog`)
+    and by the interpreter's step-budget guard, so runaway transformed
+    loops fail fast instead of hanging a sweep.
+    """
+
+
+class InterpreterBudgetError(InterpreterError, BudgetExceededError):
+    """The interpreter exhausted its statement budget (livelock guard).
+
+    Carries the source line of the statement being executed when the
+    budget ran out, which is normally inside the offending loop.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message += f" (executing statement at line {line})"
+        super().__init__(message)

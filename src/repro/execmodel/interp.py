@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.cedar import nodes as C
 from repro.cedar.library import CEDAR_LIBRARY
-from repro.errors import InterpreterError
+from repro.errors import InterpreterBudgetError, InterpreterError
 from repro.fortran import ast_nodes as F
 from repro.fortran.intrinsics import INTRINSICS
 from repro.fortran.symtab import SymbolTable, build_symbol_table
@@ -111,13 +111,24 @@ class _StopSignal(Exception):
 class Interpreter:
     """Executes program units of one source file."""
 
+    #: default global statement budget per :meth:`call` — generous enough
+    #: for every workload at validation sizes, small enough to stop a
+    #: livelocked program (e.g. a GOTO cycle) in bounded time
+    STEP_BUDGET = 50_000_000
+
     def __init__(self, sf: F.SourceFile, processors: int = 4,
                  inputs: list[float] | None = None,
-                 shadow: "ShadowRecorder | None" = None):
+                 shadow: "ShadowRecorder | None" = None,
+                 step_budget: int | None = STEP_BUDGET):
         """``shadow`` is an optional
         :class:`repro.execmodel.shadow.ShadowRecorder`; when given, every
         shared-storage access inside parallel DOALL loops is logged and
-        cross-iteration conflicts are collected on ``shadow.conflicts``."""
+        cross-iteration conflicts are collected on ``shadow.conflicts``.
+
+        ``step_budget`` caps the total statements one :meth:`call` may
+        execute (``None`` disables the guard); exhausting it raises
+        :class:`repro.errors.InterpreterBudgetError` carrying the source
+        line of the statement that tripped the budget."""
         self.sf = sf
         self.units = {u.name: u for u in sf.units}
         self.tables: dict[str, SymbolTable] = {
@@ -127,6 +138,8 @@ class Interpreter:
         self.inputs = list(inputs or [])
         self.commons: dict[str, dict[str, Any]] = {}
         self.shadow = shadow
+        self.step_budget = step_budget
+        self._steps = 0
 
     # ------------------------------------------------------------------
 
@@ -143,6 +156,7 @@ class Interpreter:
         if len(args) != len(unit.args):
             raise InterpreterError(
                 f"{name} expects {len(unit.args)} args, got {len(args)}")
+        self._steps = 0
         scope = self._unit_scope(unit)
         for dummy, actual in zip(unit.args, args):
             if isinstance(actual, np.ndarray):
@@ -260,11 +274,13 @@ class Interpreter:
         labels = {s.label: i for i, s in enumerate(stmts)
                   if s.label is not None}
         pc = 0
-        steps = 0
         while pc < len(stmts):
-            steps += 1
-            if steps > 10_000_000:
-                raise InterpreterError("statement budget exceeded (livelock?)")
+            self._steps += 1
+            if self.step_budget is not None and self._steps > self.step_budget:
+                raise InterpreterBudgetError(
+                    f"statement budget of {self.step_budget} exceeded in "
+                    f"{unit_name} (livelock?)",
+                    line=getattr(stmts[pc], "line", None))
             try:
                 self.exec_stmt(stmts[pc], scope, unit_name)
             except _GotoSignal as g:

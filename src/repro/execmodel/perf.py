@@ -31,6 +31,8 @@ from typing import Mapping, Optional
 from repro.cedar import nodes as C
 from repro.cedar.library import CEDAR_LIBRARY
 from repro.errors import MachineModelError
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.fortran import ast_nodes as F
 from repro.fortran.intrinsics import INTRINSICS
 from repro.fortran.symtab import SymbolTable, build_symbol_table
@@ -93,16 +95,26 @@ class PerfEstimator:
                  serial_data_placement: str = "cluster",
                  trace: bool = True,
                  profile: bool = False,
-                 timeline: Optional[TimelineRecorder] = None):
+                 timeline: Optional[TimelineRecorder] = None,
+                 faults: Optional[FaultPlan] = None):
         self.sf = sf
         self.cfg = config
         self.units = {u.name: u for u in sf.units}
         self.tables: dict[str, SymbolTable] = {
             u.name: build_symbol_table(u) for u in sf.units}
-        self.memory = MemorySystem(config)
+        # one injector per estimator: the machine models share its
+        # deterministic signal stream and injected-fault bookkeeping.
+        # An inactive plan injects nothing — estimates stay bit-identical
+        # to an estimator constructed without one.
+        self.fault_plan = faults
+        self.fault_injector = (FaultInjector(faults)
+                               if faults is not None and faults.active
+                               else None)
+        inj = self.fault_injector
+        self.memory = MemorySystem(config, faults=inj)
         self.vector = VectorUnit(config)
-        self.scheduler = LoopScheduler(config)
-        self.sync = SyncModel(config)
+        self.scheduler = LoopScheduler(config, faults=inj)
+        self.sync = SyncModel(config, faults=inj)
         self.paging = PagingModel(config)
         self.prefetch = prefetch
         self.profile = profile or timeline is not None

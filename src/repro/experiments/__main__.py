@@ -6,6 +6,18 @@ tables (plus cycle-attribution traces) as one JSON document on stdout;
 each table; ``--profile DIR`` additionally profiles every estimate and
 writes, per experiment, a Perfetto-loadable ``<name>.trace.json`` and a
 ``repro-profile/1`` ``<name>.profile.json`` into DIR.
+
+Resilience (repro.faults): ``--timeout SEC`` puts a wall-clock watchdog
+around each experiment; ``--keep-going`` isolates crashes so one broken
+experiment doesn't kill the run (failed experiments are reported as
+structured faults); ``--journal FILE`` checkpoints completed experiments
+to a JSONL file for resume.
+
+Exit status:
+    0  all requested experiments ran
+    1  (reserved: regression — used by ``repro.prof diff``)
+    2  usage error (unknown experiment/flag)
+    3  internal fault: an experiment crashed or exceeded its budget
 """
 
 from __future__ import annotations
@@ -38,6 +50,15 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--profile", metavar="DIR", default=None,
                     help="profile every estimate; write per-experiment "
                          "trace.json (Perfetto) + profile.json into DIR")
+    ap.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                    help="wall-clock budget per experiment (watchdog)")
+    ap.add_argument("--keep-going", action="store_true",
+                    help="isolate crashes: report a failed experiment as "
+                         "a structured fault and continue with the rest")
+    ap.add_argument("--journal", metavar="FILE", default=None,
+                    help="JSONL checkpoint of completed experiments; "
+                         "rerun with the same file to resume (implies "
+                         "result caching for finished names)")
     args = ap.parse_args(argv)
 
     names = args.names or list(ALL_EXPERIMENTS)
@@ -66,28 +87,64 @@ def main(argv: list[str] | None = None) -> int:
             fh.write("\n")
         return table
 
+    from repro.faults.harness import SweepJournal, run_isolated
+
+    journal = SweepJournal(args.journal)
+    fault_reports: list[dict] = []
+    table_dicts: dict[str, dict] = {}
+    tables: dict[str, object] = {}
+
+    for name in names:
+        if args.journal and name in journal:
+            table_dicts[name] = journal.payload(name)
+            print(f"{name}: resumed from journal", file=sys.stderr)
+            continue
+        if args.keep_going or args.timeout:
+            table, fault = run_isolated(lambda name=name: run_one(name),
+                                        label=f"experiment {name}",
+                                        timeout=args.timeout)
+            if fault is not None:
+                if not args.keep_going:
+                    print(f"{name}: FAULT ({fault.kind}) {fault.message}",
+                          file=sys.stderr)
+                    return 3
+                fault_reports.append(fault.to_dict())
+                print(f"{name}: FAULT ({fault.kind}) {fault.message} "
+                      f"-- continuing", file=sys.stderr)
+                continue
+        else:
+            table = run_one(name)
+        tables[name] = table
+        table_dicts[name] = table.to_dict()
+        journal.record(name, table_dicts[name])
+
     if args.as_json:
         payload = {
             "schema": JSON_SCHEMA,
             "quick": args.quick,
-            "experiments": {},
+            "experiments": table_dicts,
         }
-        for name in names:
-            payload["experiments"][name] = run_one(name).to_dict()
+        if fault_reports:
+            payload["faults"] = fault_reports
         json.dump(payload, sys.stdout, indent=2)
         sys.stdout.write("\n")
-        return 0
+        return 3 if fault_reports else 0
 
     for name in names:
-        table = run_one(name)
-        print(table.render())
-        if args.trace and table.meta.get("trace"):
-            from repro.trace.report import TraceReport
+        if name in tables:
+            table = tables[name]
+            print(table.render())
+            if args.trace and table.meta.get("trace"):
+                from repro.trace.report import TraceReport
 
+                print()
+                print(TraceReport(table.title, table.meta["trace"]).render())
             print()
-            print(TraceReport(table.title, table.meta["trace"]).render())
-        print()
-    return 0
+        elif name in table_dicts:
+            print(f"[{name}: resumed from journal — JSON payload only; "
+                  f"rerun without --journal for the rendered table]")
+            print()
+    return 3 if fault_reports else 0
 
 
 if __name__ == "__main__":

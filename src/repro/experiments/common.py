@@ -122,14 +122,20 @@ def restructured_estimate(source: str, entry: str,
                           options: RestructurerOptions | None = None,
                           prefetch: bool = True,
                           placements: Mapping[str, str] | None = None,
+                          faults=None,
                           ) -> tuple[PerfResult, F.SourceFile, object]:
-    """Restructure then estimate; returns (result, cedar AST, report)."""
+    """Restructure then estimate; returns (result, cedar AST, report).
+
+    ``faults`` is an optional :class:`repro.faults.FaultPlan` degrading
+    the simulated machine (timing only — the restructuring itself and
+    all numerics are untouched).
+    """
     sf = parse_program(source)
     opts = options or RestructurerOptions()
     cedar, report = Restructurer(opts).run(sf)
     prof_kwargs = _profiled_estimator_kwargs()
     est = PerfEstimator(cedar, machine, prefetch=prefetch,
-                        placements=placements, **prof_kwargs)
+                        placements=placements, faults=faults, **prof_kwargs)
     res = est.estimate(entry, bindings)
     if _ACTIVE_SESSION is not None:
         _ACTIVE_SESSION.add(entry, "parallel", machine, res,

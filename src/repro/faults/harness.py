@@ -1,0 +1,180 @@
+"""Hardened-harness toolkit: watchdogs, crash isolation, checkpoints.
+
+Three small pieces the experiment/validation sweeps compose so that one
+misbehaving workload — a crash, a livelock, a runaway estimate — degrades
+a sweep instead of killing it:
+
+- :func:`watchdog` — a wall-clock guard (SIGALRM where available) that
+  turns a hang into a :class:`~repro.errors.BudgetExceededError`;
+- :func:`run_isolated` — runs one workload, converting any exception or
+  timeout into a structured :class:`FaultReport` so the sweep continues;
+- :class:`SweepJournal` — an append-only JSONL checkpoint of completed
+  work items, letting an interrupted sweep resume where it stopped.
+
+Everything here is deliberately dependency-free (stdlib only) and safe on
+platforms without ``SIGALRM`` (the watchdog simply degrades to a no-op
+there — crash isolation still works).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import BudgetExceededError, ReproError
+
+#: exception classes the harness never swallows — programming errors and
+#: interpreter-session control flow must propagate
+_NEVER_ISOLATE = (KeyboardInterrupt, SystemExit, MemoryError)
+
+
+@dataclass
+class FaultReport:
+    """Structured record of one isolated workload failure."""
+
+    label: str                       # work-item name ("TRFD", "cg@config2")
+    kind: str                        # "timeout" | "error" | "internal"
+    error_type: str                  # exception class name
+    message: str
+    elapsed_s: float = 0.0
+    traceback: str = ""              # trimmed traceback text
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "elapsed_s": self.elapsed_s,
+            "traceback": self.traceback,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_exception(cls, label: str, exc: BaseException,
+                       elapsed_s: float = 0.0) -> "FaultReport":
+        if isinstance(exc, BudgetExceededError):
+            kind = "timeout"
+        elif isinstance(exc, ReproError):
+            kind = "error"       # a modelled, expected failure mode
+        else:
+            kind = "internal"    # unexpected: a bug in the harness/models
+        tb = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+        # keep the tail — the raising frame — and bound the payload
+        if len(tb) > 4000:
+            tb = "...\n" + tb[-4000:]
+        return cls(label=label, kind=kind, error_type=type(exc).__name__,
+                   message=str(exc), elapsed_s=elapsed_s, traceback=tb)
+
+
+@contextmanager
+def watchdog(seconds: Optional[float],
+             label: str = "work item") -> Iterator[None]:
+    """Raise :class:`BudgetExceededError` if the block runs too long.
+
+    Uses ``SIGALRM`` (main-thread, POSIX); where unavailable — Windows,
+    worker threads — the guard degrades to a no-op rather than failing.
+    ``seconds=None`` or ``<= 0`` disables the guard.  Nested watchdogs
+    restore the outer alarm on exit.
+    """
+    if not seconds or seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    deadline = f"{label} exceeded its {seconds:g}s wall-clock budget"
+
+    def _fire(signum, frame):
+        raise BudgetExceededError(deadline)
+
+    try:
+        prev_handler = signal.signal(signal.SIGALRM, _fire)
+        prev_delay = signal.getitimer(signal.ITIMER_REAL)[0]
+    except ValueError:          # not in the main thread
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, prev_handler)
+        if prev_delay > 0.0:    # re-arm an enclosing watchdog
+            signal.setitimer(signal.ITIMER_REAL, prev_delay)
+
+
+def run_isolated(fn: Callable[[], Any], label: str,
+                 timeout: Optional[float] = None,
+                 ) -> tuple[Any, Optional[FaultReport]]:
+    """Run ``fn`` under crash isolation and an optional watchdog.
+
+    Returns ``(result, None)`` on success and ``(None, FaultReport)`` on
+    any exception or timeout — the caller's sweep loop keeps going either
+    way.  ``KeyboardInterrupt``/``SystemExit``/``MemoryError`` always
+    propagate.
+    """
+    t0 = time.monotonic()
+    try:
+        with watchdog(timeout, label):
+            return fn(), None
+    except _NEVER_ISOLATE:
+        raise
+    except BaseException as exc:  # noqa: BLE001 — isolation is the point
+        return None, FaultReport.from_exception(
+            label, exc, elapsed_s=time.monotonic() - t0)
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of a sweep's completed work items.
+
+    Each line is ``{"key": ..., "payload": ...}``; on resume, items whose
+    key is already journaled are skipped and their payloads replayed.  A
+    corrupt trailing line (killed mid-write) is ignored, so resume is
+    always safe.  ``path=None`` disables journaling (every call is a
+    cheap no-op and nothing touches the filesystem).
+    """
+
+    def __init__(self, path: str | Path | None):
+        self.path = Path(path) if path else None
+        self._done: dict[str, Any] = {}
+        if self.path is not None and self.path.exists():
+            for raw in self.path.read_text().splitlines():
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    entry = json.loads(raw)
+                    self._done[entry["key"]] = entry.get("payload")
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue    # torn tail line from an interrupted run
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._done
+
+    def payload(self, key: str) -> Any:
+        return self._done.get(key)
+
+    @property
+    def completed(self) -> list[str]:
+        return list(self._done)
+
+    def record(self, key: str, payload: Any = None) -> None:
+        """Checkpoint one finished work item (flushed immediately)."""
+        self._done[key] = payload
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps({"key": key, "payload": payload}) + "\n")
+            fh.flush()
+
+    def clear(self) -> None:
+        self._done.clear()
+        if self.path is not None and self.path.exists():
+            self.path.unlink()

@@ -1,0 +1,336 @@
+"""The degradation oracle: sweep a fault matrix, assert graceful decay.
+
+For every (workload × fault scenario) pair the oracle runs the full
+stack — restructure, estimate under the injected :class:`FaultPlan`,
+interpret — and asserts the contract of the chaos layer:
+
+``monotone``
+    a faulted machine is never *faster* than the healthy one;
+``attributed``
+    the cycle ledger still sums to the estimate exactly, with the
+    degradation visible in the ``fault``/memory categories — injection
+    degrades attribution, it never breaks the accounting identity;
+``bounded``
+    the slowdown stays under the plan's analytic
+    :meth:`~repro.faults.plan.FaultPlan.degradation_bound` — degradation
+    is graceful, not a cliff;
+``numerics_identical``
+    interpreting the restructured program is bit-identical run-to-run
+    under fault configuration — faults live strictly in the timing
+    layer, they cannot perturb a single computed value;
+``recovery_ok``
+    interpreting with only the *surviving* processor count still matches
+    the sequential baseline within validation tolerances — the
+    self-scheduled work redistributes, results stay correct;
+``no_deadlock``
+    every faulted estimate completes to a finite total (each run is
+    additionally watchdogged — a hang becomes a harness fault, not a
+    stuck sweep).
+
+The result is a ``repro-faults/1`` JSON payload
+(``schemas/faults.schema.json``; semantic checks in
+``scripts/validate_experiment_json.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.execmodel.perf import PerfEstimator
+from repro.faults.harness import FaultReport, run_isolated
+from repro.faults.plan import FaultPlan, all_scenarios
+from repro.fortran.parser import parse_program
+from repro.machine.config import cedar_config1
+from repro.restructurer.options import RestructurerOptions
+from repro.restructurer.pipeline import Restructurer
+from repro.validate.differential import compare_outputs, run_baseline
+from repro.workloads import validation_cases
+
+SCHEMA_TAG = "repro-faults/1"
+
+#: workloads the oracle sweeps: loop-parallel linalg routines, Perfect
+#: proxies with critical-section obstacles, and the synthetic ``cascade``
+#: recurrence (the only case that restructures to DOACROSS, so the
+#: lost-sync fault class is exercised end-to-end)
+SWEEP_WORKLOADS = ("tridag", "cg", "sparse", "TRFD", "MDG", "cascade")
+QUICK_WORKLOADS = ("tridag", "cg", "TRFD", "cascade")
+
+#: estimator problem sizes (larger than the interpreter's VALIDATE_N so
+#: parallel loops have many chunks to redistribute)
+ESTIMATE_N = {"linalg": 64, "perfect": 24, "synthetic": 96}
+ESTIMATE_N_QUICK = {"linalg": 32, "perfect": 16, "synthetic": 48}
+
+#: worker counts a loop can actually run at (cluster/spread/cross
+#: levels, clipped by trip counts) — the analytic bound must hold at
+#: every one of them
+_BOUND_WORKER_COUNTS = (1, 2, 3, 4, 8, 16, 32)
+
+CHECKS = ("monotone", "attributed", "bounded", "numerics_identical",
+          "recovery_ok", "no_deadlock")
+
+
+@dataclass
+class FaultRun:
+    """Outcome of one workload × scenario oracle cell."""
+
+    workload: str
+    scenario: str
+    healthy_cycles: float = 0.0
+    faulted_cycles: float = 0.0
+    fault_cycles: float = 0.0         # ledger "fault" category
+    degradation: float = 1.0          # faulted / healthy
+    bound: float = 1.0                # analytic ceiling on degradation
+    injected_faults: int = 0
+    sync_retries: int = 0
+    survivors: int = 0                # surviving workers out of 8
+    checks: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(self.checks.get(c, False) for c in CHECKS)
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "scenario": self.scenario,
+            "healthy_cycles": self.healthy_cycles,
+            "faulted_cycles": self.faulted_cycles,
+            "fault_cycles": self.fault_cycles,
+            "degradation": self.degradation,
+            "bound": self.bound,
+            "injected_faults": self.injected_faults,
+            "sync_retries": self.sync_retries,
+            "survivors": self.survivors,
+            "checks": dict(self.checks),
+            "ok": self.ok,
+        }
+
+
+class _WorkloadHarness:
+    """Per-workload shared state: parsed+restructured once, baseline
+    interpreted once, faulted estimates run per scenario."""
+
+    def __init__(self, case, estimate_n: int, seed: int = 3):
+        self.case = case
+        self.seed = seed
+        self.cfg = cedar_config1()
+        sf = parse_program(case.source)
+        self.cedar, _ = Restructurer(RestructurerOptions()).run(sf)
+        registry = _bindings_registry(case)
+        self.bindings = registry(estimate_n)
+        self.healthy = self._estimate(None)
+        self.baseline_out = run_baseline(case, seed)
+        self._interp_cache: dict[int, dict] = {}
+
+    def _estimate(self, plan: Optional[FaultPlan]):
+        est = PerfEstimator(self.cedar, self.cfg, faults=plan)
+        res = est.estimate(self.case.entry, self.bindings)
+        return res, est.fault_injector
+
+    def estimate(self, plan: FaultPlan):
+        return self._estimate(plan if plan.active else None)
+
+    def interpret(self, processors: int) -> dict:
+        """Interpret the restructured program (cached per P)."""
+        if processors not in self._interp_cache:
+            from repro.execmodel.interp import Interpreter
+
+            rng = np.random.default_rng(self.seed)
+            args, _ = self.case.make_args(self.case.n, rng)
+            interp = Interpreter(self.cedar, processors=processors)
+            self._interp_cache[processors] = interp.call(
+                self.case.entry, *args)
+        return self._interp_cache[processors]
+
+    def interpret_fresh(self, processors: int) -> dict:
+        """Interpret again with a fresh interpreter (no cache)."""
+        from repro.execmodel.interp import Interpreter
+
+        rng = np.random.default_rng(self.seed)
+        args, _ = self.case.make_args(self.case.n, rng)
+        return Interpreter(self.cedar, processors=processors).call(
+            self.case.entry, *args)
+
+
+def _cascade_args(n, rng):
+    arrs = [rng.standard_normal(n) for _ in range(8)]
+    return (n, *arrs), None
+
+
+def _synthetic_cases() -> dict:
+    """Synthetic oracle-only cases (not part of the validation suite)."""
+    from repro.workloads import ValidationCase
+    from repro.workloads.synthetic import CASCADE
+
+    return {
+        "cascade": ValidationCase(
+            name="cascade", suite="synthetic", source=CASCADE,
+            entry="casc", make_args=_cascade_args, n=24),
+    }
+
+
+def _bindings_registry(case) -> Callable:
+    if case.suite == "linalg":
+        from repro.workloads import LINALG_ROUTINES
+
+        return LINALG_ROUTINES[case.name].bindings
+    if case.suite == "synthetic":
+        return lambda n: {"n": n}
+    from repro.workloads import PERFECT_PROGRAMS
+
+    return PERFECT_PROGRAMS[case.name].bindings
+
+
+def _outputs_identical(a: dict, b: dict) -> bool:
+    if set(a) != set(b):
+        return False
+    for k in a:
+        xa, xb = np.asarray(a[k]), np.asarray(b[k])
+        if xa.shape != xb.shape or not np.array_equal(xa, xb):
+            return False
+    return True
+
+
+def run_cell(harness: _WorkloadHarness, plan: FaultPlan) -> FaultRun:
+    """Run one oracle cell: estimate + interpret under one plan."""
+    case = harness.case
+    healthy_res, _ = harness.healthy
+    run = FaultRun(workload=case.name, scenario=plan.name)
+    run.healthy_cycles = healthy_res.total
+    run.bound = max(plan.degradation_bound(p)
+                    for p in _BOUND_WORKER_COUNTS)
+    survivors = plan.survivors(8)
+    run.survivors = len(survivors)
+
+    res, injector = harness.estimate(plan)
+    run.faulted_cycles = res.total
+    run.fault_cycles = res.ledger.fault if res.ledger is not None else 0.0
+    run.degradation = res.total / max(healthy_res.total, 1e-9)
+    if injector is not None:
+        run.injected_faults = injector.injected_faults
+        run.sync_retries = injector.sync_retries
+
+    # -- timing invariants --------------------------------------------------
+    run.checks["no_deadlock"] = math.isfinite(res.total) and res.total > 0.0
+    run.checks["monotone"] = (
+        res.total >= healthy_res.total * (1.0 - 1e-9))
+    ledger_ok = (res.ledger is not None
+                 and abs(res.ledger.total() - res.cycles)
+                 <= 1e-6 * max(res.cycles, 1.0))
+    if not plan.active:
+        # inactive plan: bit-identical cycles, zero fault attribution
+        ledger_ok = (ledger_ok and res.total == healthy_res.total
+                     and run.fault_cycles == 0.0)
+    run.checks["attributed"] = ledger_ok
+    run.checks["bounded"] = (
+        res.total <= healthy_res.total * run.bound + 1.0)
+
+    # -- functional invariants ----------------------------------------------
+    # faults are timing-only: two runs under the fault configuration must
+    # be *bit-identical* (nothing can leak from the plan into values)
+    out_a = harness.interpret(8)
+    out_b = harness.interpret_fresh(8)
+    run.checks["numerics_identical"] = _outputs_identical(out_a, out_b)
+    # recovery: with only the surviving CEs executing, results still
+    # match the sequential baseline within validation tolerances
+    out_surv = harness.interpret(max(len(survivors), 1))
+    divergences = compare_outputs(
+        harness.baseline_out, out_surv,
+        permutation_ok=case.permutation_ok,
+        processors=len(survivors), seed=harness.seed)
+    run.checks["recovery_ok"] = not divergences
+    return run
+
+
+def run_sweep(workloads: Sequence[str] | None = None,
+              scenarios: Sequence[str] | None = None, *,
+              quick: bool = False,
+              timeout: Optional[float] = None,
+              journal=None,
+              progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Run the fault matrix; returns the ``repro-faults/1`` payload.
+
+    Each cell runs crash-isolated under ``timeout``; a crashed or hung
+    cell becomes a :class:`FaultReport` in the payload (and fails the
+    sweep) instead of killing it.  ``journal`` is an optional
+    :class:`repro.faults.harness.SweepJournal` for checkpoint/resume.
+    """
+    say = progress or (lambda msg: None)
+    names = list(workloads if workloads is not None
+                 else (QUICK_WORKLOADS if quick else SWEEP_WORKLOADS))
+    plans = all_scenarios(quick=quick)
+    if scenarios is not None:
+        from repro.faults.plan import scenario as _scenario
+
+        plans = {s: _scenario(s) for s in scenarios}
+    sizes = ESTIMATE_N_QUICK if quick else ESTIMATE_N
+
+    cases = validation_cases()
+    cases.update(_synthetic_cases())
+    unknown = [n for n in names if n not in cases]
+    if unknown:
+        raise ReproError(f"unknown workload(s): {', '.join(unknown)}")
+
+    runs: list[dict] = []
+    faults: list[dict] = []
+    for wname in names:
+        case = cases[wname]
+        say(f"[{wname}] restructuring + healthy baseline ...")
+        harness, fr = run_isolated(
+            lambda case=case: _WorkloadHarness(
+                case, estimate_n=sizes[case.suite]),
+            label=f"{wname} baseline", timeout=timeout)
+        if fr is not None:
+            faults.append(fr.to_dict())
+            say(f"[{wname}] FAULT ({fr.kind}) {fr.message}")
+            continue
+        for sname, plan in plans.items():
+            key = f"{wname}:{sname}"
+            if journal is not None and key in journal:
+                runs.append(journal.payload(key))
+                say(f"[{key}] resumed from journal")
+                continue
+            cell, fr = run_isolated(
+                lambda harness=harness, plan=plan: run_cell(harness, plan),
+                label=key, timeout=timeout)
+            if fr is not None:
+                faults.append(fr.to_dict())
+                say(f"[{key}] FAULT ({fr.kind}) {fr.message}")
+                continue
+            rd = cell.to_dict()
+            if journal is not None:
+                journal.record(key, rd)
+            runs.append(rd)
+            status = "ok" if rd["ok"] else (
+                "FAIL " + ",".join(c for c in CHECKS
+                                   if not rd["checks"].get(c)))
+            say(f"[{key}] x{rd['degradation']:.3f} "
+                f"(bound x{rd['bound']:.2f}) {status}")
+
+    expected = len(names) * len(plans)
+    n_ok = sum(1 for r in runs if r["ok"])
+    return {
+        "schema": SCHEMA_TAG,
+        "quick": quick,
+        "machine": "cedar_config1",
+        "workloads": names,
+        "scenarios": {s: p.to_dict() for s, p in plans.items()},
+        "runs": runs,
+        "faults": faults,
+        "summary": {
+            "cells_expected": expected,
+            "cells_run": len(runs),
+            "ok": n_ok,
+            "failed": len(runs) - n_ok,
+            "harness_faults": len(faults),
+            "checks_failed": {
+                c: sum(1 for r in runs if not r["checks"].get(c, False))
+                for c in CHECKS
+            },
+        },
+    }

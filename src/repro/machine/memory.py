@@ -10,9 +10,13 @@ global transfer rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.machine.config import MachineConfig
 from repro.trace.ledger import NULL_LEDGER, CycleLedger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.inject import FaultInjector
 
 
 @dataclass
@@ -38,8 +42,28 @@ class AccessProfile:
 class MemorySystem:
     """Per-access costs plus the global-bandwidth saturation correction."""
 
-    def __init__(self, config: MachineConfig):
+    def __init__(self, config: MachineConfig,
+                 faults: Optional["FaultInjector"] = None):
         self.cfg = config
+        self.faults = faults
+
+    # -- fault injection ------------------------------------------------------
+
+    def _degraded(self, placement: str, healthy_cost: float,
+                  ledger: CycleLedger) -> float:
+        """Extra cycles a degraded memory bank adds on one access.
+
+        The *healthy* cost stays in its normal memory category — keeping
+        the counter×latency reconciliation exact — and only the inflation
+        lands in the ledger's ``fault`` category.
+        """
+        if self.faults is None:
+            return 0.0
+        extra = self.faults.memory_extra(placement, healthy_cost)
+        if extra > 0.0:
+            ledger.charge("fault", extra)
+            ledger.count("fault_events", 1.0)
+        return extra
 
     # -- single-access costs -------------------------------------------------
 
@@ -53,15 +77,19 @@ class MemorySystem:
         if placement == "cluster":
             ledger.charge("mem_cluster", self.cfg.lat_cluster)
             ledger.count("cluster_refs")
-            return self.cfg.lat_cluster
+            return (self.cfg.lat_cluster
+                    + self._degraded("cluster", self.cfg.lat_cluster, ledger))
         if placement == "global":
             if self.cfg.has_global_memory:
                 ledger.charge("mem_global", self.cfg.lat_global)
                 ledger.count("global_refs")
-                return self.cfg.lat_global
+                return (self.cfg.lat_global
+                        + self._degraded("global", self.cfg.lat_global,
+                                         ledger))
             ledger.charge("mem_cluster", self.cfg.lat_cluster)
             ledger.count("cluster_refs")
-            return self.cfg.lat_cluster
+            return (self.cfg.lat_cluster
+                    + self._degraded("cluster", self.cfg.lat_cluster, ledger))
         raise ValueError(placement)
 
     def vector_access(self, placement: str, length: float,
@@ -76,6 +104,11 @@ class MemorySystem:
         prof = AccessProfile()
         if length <= 0:
             return 0.0, prof
+        if self.faults is not None and self.faults.prefetch_disabled:
+            # prefetch unit offline: global streams fall back to the
+            # un-prefetched pipelined path (counters follow the fallback,
+            # so counter×latency reconciliation still holds)
+            prefetch = False
         if placement in ("private",):
             prof.cache_elems = length
             ledger.charge("mem_cache", self.cfg.lat_cache * length)
@@ -84,9 +117,10 @@ class MemorySystem:
         if placement == "cluster" or not self.cfg.has_global_memory:
             prof.cluster_elems = length
             # cluster streams run through the shared cache
-            ledger.charge("mem_cluster", self.cfg.lat_cluster * length)
+            cost = self.cfg.lat_cluster * length
+            ledger.charge("mem_cluster", cost)
             ledger.count("cluster_refs", length)
-            return self.cfg.lat_cluster * length, prof
+            return cost + self._degraded("cluster", cost, ledger), prof
         if placement == "global":
             if prefetch:
                 blocks = -(-length // self.cfg.prefetch_block)
@@ -97,12 +131,13 @@ class MemorySystem:
                 ledger.charge("prefetch", cost)
                 ledger.count("prefetch_triggers", blocks)
                 ledger.count("prefetch_elems", length)
-                return cost, prof
+                return cost + self._degraded("global", cost, ledger), prof
             prof.global_elems = length
             # un-prefetched global vector access still pipelines somewhat
-            ledger.charge("mem_global", length * (0.55 * self.cfg.lat_global))
+            cost = length * (0.55 * self.cfg.lat_global)
+            ledger.charge("mem_global", cost)
             ledger.count("global_stream_elems", length)
-            return length * (0.55 * self.cfg.lat_global), prof
+            return cost + self._degraded("global", cost, ledger), prof
         raise ValueError(placement)
 
     # -- saturation ----------------------------------------------------------
@@ -120,6 +155,9 @@ class MemorySystem:
             return 1.0
         demanded_rate = global_elems / busy_time
         capacity = self.cfg.global_bandwidth
+        if self.faults is not None:
+            # a partial bank outage lowers the Figure 8 ceiling
+            capacity = self.faults.bandwidth_capacity(capacity)
         if demanded_rate <= capacity:
             return 1.0
         return demanded_rate / capacity

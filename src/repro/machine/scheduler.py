@@ -30,11 +30,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.machine.config import MachineConfig
 from repro.prof.timeline import CONTROL_TRACK, Span, TimelineRecorder
 from repro.trace.ledger import NULL_LEDGER, CycleLedger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.inject import FaultInjector
 
 
 @dataclass
@@ -43,7 +46,11 @@ class LoopTiming:
 
     The ``*_cycles`` fields decompose the critical path:
     ``total_time == startup_cycles + dispatch_cycles + sync_cycles
-    + body_cycles + pre_post_cycles``.
+    + body_cycles + pre_post_cycles + fault_cycles``.
+    ``fault_cycles`` is the injected-fault degradation (zero on a healthy
+    machine): the self-scheduled recovery — surviving CEs draining the
+    chunk queue, DOACROSS re-signalling lost syncs — costs extra cycles
+    but never changes what is computed.
     """
 
     total_time: float
@@ -55,6 +62,7 @@ class LoopTiming:
     sync_cycles: float = 0.0
     body_cycles: float = 0.0       # iteration-body time on the critical path
     pre_post_cycles: float = 0.0   # one preamble+postamble on the path
+    fault_cycles: float = 0.0      # degradation added by injected faults
 
     @property
     def efficiency(self) -> float:
@@ -77,6 +85,9 @@ class LoopTiming:
         ledger.charge("sync", self.sync_cycles)
         ledger.count("loop_startups", 1.0)
         ledger.count("chunks_dispatched", float(self.chunks))
+        if self.fault_cycles > 0.0:
+            ledger.charge("fault", self.fault_cycles)
+            ledger.count("fault_events", 1.0)
 
 
 def _round_robin_counts(chunks: int, p: int) -> list[int]:
@@ -86,8 +97,10 @@ def _round_robin_counts(chunks: int, p: int) -> list[int]:
 
 
 class LoopScheduler:
-    def __init__(self, config: MachineConfig):
+    def __init__(self, config: MachineConfig,
+                 faults: Optional["FaultInjector"] = None):
         self.cfg = config
+        self.faults = faults
 
     # ------------------------------------------------------------------
 
@@ -156,13 +169,27 @@ class LoopScheduler:
             dispatch_cycles=per_worker_chunks * dispatch,
             body_cycles=crit_body,
             pre_post_cycles=preamble + postamble)
+        delta = 0.0
+        if self.faults is not None:
+            if self.faults.plan.degrades_workers:
+                chunk_costs = [chunk * per] * (chunks - 1) \
+                    + [last_chunk * per]
+                delta = self._fault_delta_selfsched(
+                    chunk_costs, p, dispatch, preamble, postamble,
+                    startup, total)
+            delta += self._helper_startup_delay(level)
+            self._apply_fault_delta(timing, delta)
         timing.charge_overhead(ledger)
         if timeline is not None:
             spans = self._spans_homogeneous(
                 p, chunks, chunk, last_chunk, per, dispatch, startup,
                 preamble, postamble, total,
                 max_chunk_spans=timeline.max_chunk_spans)
-            timeline.record(label, level, "doall", p, total, busy, spans)
+            if delta > 0.0:
+                spans.append(Span(CONTROL_TRACK, "fault", total,
+                                  total + delta, busy=False))
+            timeline.record(label, level, "doall", p, timing.total_time,
+                            busy, spans)
         return timing
 
     # ------------------------------------------------------------------
@@ -200,13 +227,27 @@ class LoopScheduler:
             total, busy, p, trips,
             startup_cycles=startup, dispatch_cycles=disp, sync_cycles=sync,
             body_cycles=body, pre_post_cycles=preamble + postamble)
+        delta, lost = 0.0, 0
+        if self.faults is not None:
+            if self.faults.degrades_scheduling:
+                delta, lost = self._fault_delta_doacross(
+                    trips, iter_cost, region_cost, signal, dispatch, startup,
+                    preamble, postamble, p, total)
+            delta += self._helper_startup_delay(level)
+            self._apply_fault_delta(timing, delta)
+            if lost:
+                ledger.count("sync_retries", float(lost))
         timing.charge_overhead(ledger)
         if timeline is not None:
             spans = self._spans_doacross(
                 p, trips, iter_cost, dispatch, signal, startup,
                 preamble, postamble, total,
                 max_chunk_spans=timeline.max_chunk_spans)
-            timeline.record(label, level, "doacross", p, total, busy, spans)
+            if delta > 0.0:
+                spans.append(Span(CONTROL_TRACK, "fault", total,
+                                  total + delta, busy=False))
+            timeline.record(label, level, "doacross", p, timing.total_time,
+                            busy, spans)
         return timing
 
     # ------------------------------------------------------------------
@@ -231,16 +272,22 @@ class LoopScheduler:
         chunk_spans: list[tuple[int, float, float]] = []  # (worker, t0, t1)
         keep_spans = (timeline is not None
                       and n_chunks <= timeline.max_chunk_spans)
+        faulted = (self.faults is not None
+                   and self.faults.plan.degrades_workers)
+        chunk_costs: list[float] = []
         while next_iter < n:
             t, w = heapq.heappop(heap)
             take = costs[next_iter:next_iter + chunk]
             next_iter += len(take)
-            dt = dispatch + sum(take)
+            body = sum(take)
+            dt = dispatch + body
             w_dispatch[w] += dispatch
-            w_body[w] += sum(take)
+            w_body[w] += body
             w_chunks[w] += 1
             if keep_spans:
                 chunk_spans.append((w, t, t + dt))
+            if faulted:
+                chunk_costs.append(body)
             busy += dt
             t += dt
             finish = max(finish, t)
@@ -256,14 +303,115 @@ class LoopScheduler:
             dispatch_cycles=w_dispatch[last_w],
             body_cycles=w_body[last_w],
             pre_post_cycles=preamble + postamble)
+        delta = 0.0
+        if self.faults is not None:
+            if faulted:
+                delta = self._fault_delta_selfsched(
+                    chunk_costs, p, dispatch, preamble, postamble,
+                    startup, total)
+            delta += self._helper_startup_delay(level)
+            self._apply_fault_delta(timing, delta)
         if timeline is not None:
             worker_end = {w: t for t, w in heap}
             spans = self._spans_simulated(
                 p, startup, preamble, postamble, total, dispatch,
                 chunk_spans if keep_spans else None,
                 w_dispatch, w_body, w_chunks, worker_end)
-            timeline.record(label, level, order, p, total, busy, spans)
+            if delta > 0.0:
+                spans.append(Span(CONTROL_TRACK, "fault", total,
+                                  total + delta, busy=False))
+            timeline.record(label, level, order, p, timing.total_time,
+                            busy, spans)
         return timing
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.faults) — timing-only graceful degradation
+
+    def _apply_fault_delta(self, timing: LoopTiming, delta: float) -> None:
+        if delta > 0.0:
+            timing.fault_cycles += delta
+            timing.total_time += delta
+            self.faults.note(delta)
+
+    def _helper_startup_delay(self, level: str) -> float:
+        """Late helper tasks stall spread/cross loop startup.
+
+        SDOALL/XDOALL loops are started by waking helper tasks through
+        global memory (``start_sdoall``/``start_xdoall``); a delayed
+        ``mtskstart`` adds the plan's ``helper_delay`` on top of that
+        startup.  CDOALL loops start over the concurrency bus and are
+        unaffected.
+        """
+        if level in ("S", "X"):
+            return self.faults.plan.helper_delay
+        return 0.0
+
+    def _fault_delta_selfsched(self, chunk_costs: list[float], p: int,
+                               dispatch: float, preamble: float,
+                               postamble: float, startup: float,
+                               healthy_total: float) -> float:
+        """Extra completion cycles of the self-scheduled deal under faults.
+
+        Re-runs the chunk-queue drain with the plan applied: a dying CE
+        finishes its in-flight chunk, then retires at ``death_cycle`` and
+        never grabs another; survivors keep draining the queue; slow CEs
+        stretch whatever they execute by their clock factor.  Deadlock is
+        impossible by construction — :meth:`FaultPlan.survivors` always
+        leaves at least one live worker (the OS restarts the cluster's
+        master CE), so every chunk is eventually dispatched and results
+        stay bit-identical to the healthy run; only time degrades.
+        """
+        plan = self.faults.plan
+        alive = set(plan.survivors(p))
+        death = plan.death_cycle
+        f = [plan.speed_factor(w) for w in range(p)]
+        heap = [(preamble * f[w], w) for w in range(p)]
+        heapq.heapify(heap)
+        i = 0
+        while i < len(chunk_costs):
+            t, w = heapq.heappop(heap)
+            if w not in alive and t >= death:
+                continue  # retired: in-flight chunk done, takes no more work
+            t += (dispatch + chunk_costs[i]) * f[w]
+            i += 1
+            heapq.heappush(heap, (t, w))
+        # survivors run the postamble; a dead CE's last chunk still has
+        # to land (its stores complete) before the loop can exit
+        finish = 0.0
+        for t, w in heap:
+            finish = max(finish,
+                         t + (postamble * f[w] if w in alive else 0.0))
+        return max(0.0, startup + finish - healthy_total)
+
+    def _fault_delta_doacross(self, trips: int, iter_cost: float,
+                              region_cost: float, signal: float,
+                              dispatch: float, startup: float,
+                              preamble: float, postamble: float, p: int,
+                              healthy_total: float) -> tuple[float, int]:
+        """Extra DOACROSS cycles under faults, plus lost-signal count.
+
+        The cascade re-forms over the surviving CEs: iterations redeal
+        round-robin across ``len(survivors)`` workers, every cycle may be
+        stretched by the worst surviving clock factor, and each lost
+        await/advance signal (deterministic per-index draw) is re-sent
+        exactly once, stalling the cascade by one extra signal cost.
+        """
+        plan, inj = self.faults.plan, self.faults
+        p_live = len(plan.survivors(p))
+        f = plan.max_speed_factor(p)
+        lost = 0
+        for _ in range(trips):
+            if plan.sync_lost(inj.sync_index):
+                lost += 1
+            inj.sync_index += 1
+        inj.sync_retries += lost
+        resend = lost * signal
+        serial_chain = trips * (region_cost * f + signal) + resend
+        k = -(-trips // p_live)
+        parallel_part = k * ((iter_cost + dispatch) * f + signal) + resend
+        degraded = (startup + (preamble + postamble) * f
+                    + max(parallel_part, serial_chain))
+        return max(0.0, degraded - healthy_total), lost
 
     # ------------------------------------------------------------------
     # span construction (profiling only — never touches the timing math)

@@ -13,9 +13,13 @@ Two thread-creation mechanisms:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import MachineModelError
 from repro.machine.config import MachineConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.inject import FaultInjector
 
 
 @dataclass
@@ -27,10 +31,17 @@ class TaskSpawn:
 
 
 class TaskingModel:
-    def __init__(self, config: MachineConfig, helper_tasks: int | None = None):
+    def __init__(self, config: MachineConfig, helper_tasks: int | None = None,
+                 faults: Optional["FaultInjector"] = None):
         self.cfg = config
         self.helpers = (helper_tasks if helper_tasks is not None
                         else config.total_processors - 1)
+        self.faults = faults
+        if faults is not None and faults.plan.dead_ces:
+            # dead CEs take their helper tasks with them; the master CE's
+            # helper pool shrinks but never empties (graceful degradation)
+            self.helpers = max(1, self.helpers
+                               - len(set(faults.plan.dead_ces)))
 
     def spawn_cost(self, spawn: TaskSpawn) -> float:
         if spawn.mechanism == "ctskstart":
@@ -40,7 +51,12 @@ class TaskingModel:
                 raise MachineModelError(
                     "synchronization is not allowed in mtskstart threads "
                     "(deadlock risk: helper tasks never context-switch)")
-            return self.cfg.cost_mtskstart
+            cost = self.cfg.cost_mtskstart
+            if self.faults is not None:
+                # late helpers: the picked-up thread starts helper_delay
+                # cycles after the request (injected-fault degradation)
+                cost += self.faults.helper_delay()
+            return cost
         raise MachineModelError(f"unknown mechanism {spawn.mechanism!r}")
 
     def can_run_concurrently(self, threads: int, mechanism: str) -> bool:

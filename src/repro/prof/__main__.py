@@ -11,6 +11,13 @@
 
 ``python -m repro.prof report PROFILE.json``
     Per-loop utilization/imbalance summary from a profile document.
+
+Exit status (shared CLI convention — see also ``repro.experiments``,
+``repro.validate``, ``repro.faults``):
+    0  success / no regression
+    1  regression beyond threshold (``diff``)
+    2  usage error (bad flags, malformed/mismatched payloads)
+    3  internal fault (unexpected exception — a harness bug)
 """
 
 from __future__ import annotations
@@ -143,6 +150,17 @@ def main(argv: list[str] | None = None) -> int:
         # output piped into head etc. — not an error
         sys.stderr.close()
         return 0
+    except OSError as exc:
+        # unreadable/missing input files are usage errors, not faults
+        print(f"repro.prof: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"repro.prof: malformed JSON payload: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # noqa: BLE001 — CLI boundary
+        print(f"repro.prof: internal fault: "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

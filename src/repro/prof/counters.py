@@ -46,6 +46,8 @@ COUNTERS = (
     "loop_startups",       # parallel-loop activations
     "chunks_dispatched",   # self-scheduling chunk grabs
     "sync_ops",            # await/advance pairs, locks, combine steps
+    "fault_events",        # injected faults that degraded this estimate
+    "sync_retries",        # lost-synchronization re-signals (repro.faults)
 )
 
 
@@ -71,6 +73,8 @@ class HwCounters:
     loop_startups: float = 0.0
     chunks_dispatched: float = 0.0
     sync_ops: float = 0.0
+    fault_events: float = 0.0
+    sync_retries: float = 0.0
 
     # -- composition ---------------------------------------------------------
 

@@ -35,6 +35,7 @@ CATEGORY_GLYPHS = {
     "wait": ".",
     "idle": ".",
     "postamble": "|",
+    "fault": "!",
 }
 
 #: track id used for loop-level (not per-worker) spans

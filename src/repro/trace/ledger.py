@@ -31,6 +31,9 @@ CATEGORIES = (
     "mem_cache",    # private/cached element traffic
     "prefetch",     # prefetched global vector streams (trigger + delivery)
     "page_fault",   # virtual-memory overhead (Table 1's mprove)
+    "fault",        # injected-fault degradation (dead/stalled CEs, bank
+    #                 outages, lost syncs — repro.faults); zero on a
+    #                 healthy machine
 )
 
 #: two-level grouping used by ``to_dict``/``render`` — maps the flat
@@ -40,6 +43,7 @@ HIERARCHY = {
     "parallel_overhead": ("startup", "dispatch", "sync"),
     "memory": ("mem_global", "mem_cluster", "mem_cache", "prefetch"),
     "paging": ("page_fault",),
+    "degradation": ("fault",),
 }
 
 
@@ -63,6 +67,7 @@ class CycleLedger:
     mem_cache: float = 0.0
     prefetch: float = 0.0
     page_fault: float = 0.0
+    fault: float = 0.0
 
     # -- composition ---------------------------------------------------------
 

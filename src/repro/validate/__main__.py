@@ -3,8 +3,7 @@
 ``python -m repro.validate --all``
     Differentially validate every linalg and Perfect workload under the
     automatic and manual pipeline configurations, with the dynamic race
-    detector attached.  Exit status 1 if any run diverges, races, or
-    errors.
+    detector attached.
 
 ``python -m repro.validate tridag TRFD``
     Validate a named subset.
@@ -14,6 +13,19 @@
 
 ``--json`` writes the ``repro-validate/1`` payload to stdout (or
 ``-o FILE``); the default output is a human-readable table.
+
+Resilience (repro.faults): each workload runs under crash isolation and
+an optional ``--timeout`` watchdog — one crashing or hanging workload is
+reported as a structured fault and the sweep continues.  ``--journal
+FILE`` checkpoints completed workloads to a JSONL file so an interrupted
+sweep resumes where it stopped.
+
+Exit status:
+    0  every run validated clean
+    1  at least one divergence, race, or modelled error
+    2  usage error (bad workload/flag — argparse)
+    3  internal fault: a workload crashed the harness or hit its
+       wall-clock/step budget (its FaultReport is in the payload)
 """
 
 from __future__ import annotations
@@ -28,11 +40,31 @@ from repro.validate.differential import (
     DEFAULT_RTOL,
     validate_workload,
 )
-from repro.validate.report import build_report, render_text
+from repro.validate.report import build_report_from_dicts, render_text_from_dicts
 from repro.workloads import validation_cases
 
 #: the CI smoke subset: one routine per obstacle family, all fast
 QUICK_WORKLOADS = ("tridag", "cg", "sparse", "TRFD", "MDG", "TRACK")
+
+
+def _crashed_workload_dict(case, config_names, fault) -> dict:
+    """Synthesize a schema-valid workload entry for a crashed run.
+
+    Every selected configuration gets an ``error`` ConfigResult carrying
+    the fault's message, so summary recounts and renderers need no
+    special case.
+    """
+    return {
+        "workload": case.name, "suite": case.suite, "entry": case.entry,
+        "n": case.n, "seeds": [], "processors": [],
+        "configs": [{
+            "config": name, "stages": [], "status": "error",
+            "divergences": [], "races": [],
+            "error": f"harness fault ({fault.kind}): {fault.message}",
+            "culprit_pass": None, "parallel_loops": 0, "loops_checked": 0,
+            "compared_keys": [], "discharged": {},
+        } for name in config_names],
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -60,6 +92,13 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--rtol", type=float, default=DEFAULT_RTOL)
     ap.add_argument("--no-bisect", action="store_true",
                     help="skip pass bisection on divergence")
+    ap.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                    help="wall-clock budget per workload (watchdog; "
+                         "a timed-out workload is isolated, not fatal)")
+    ap.add_argument("--journal", metavar="FILE", default=None,
+                    help="JSONL checkpoint of completed workloads; rerun "
+                         "with the same file to resume an interrupted "
+                         "sweep")
     ap.add_argument("--json", action="store_true",
                     help="emit the repro-validate/1 JSON payload")
     ap.add_argument("-o", "--output", metavar="FILE",
@@ -85,16 +124,40 @@ def main(argv: list[str] | None = None) -> int:
     config_names = ns.configs or sorted(PIPELINE_CONFIGS)
     configs = {name: PIPELINE_CONFIGS[name] for name in config_names}
 
-    results = []
+    from repro.faults.harness import SweepJournal, run_isolated
+
+    journal = SweepJournal(ns.journal)
+    wdicts: list[dict] = []
+    fault_reports: list[dict] = []
     for case in selected:
+        if ns.journal and case.name in journal:
+            wdicts.append(journal.payload(case.name))
+            if not ns.json:
+                print(f"{case.name}: resumed from journal",
+                      file=sys.stderr)
+            continue
         if not ns.json:
             print(f"validating {case.name} "
                   f"({case.suite}, n={case.n}) ...", file=sys.stderr)
-        results.append(validate_workload(
-            case, configs, seeds=ns.seeds, processors=ns.processors,
-            atol=ns.atol, rtol=ns.rtol, bisect=not ns.no_bisect))
+        result, fault = run_isolated(
+            lambda case=case: validate_workload(
+                case, configs, seeds=ns.seeds, processors=ns.processors,
+                atol=ns.atol, rtol=ns.rtol, bisect=not ns.no_bisect),
+            label=f"validate {case.name}", timeout=ns.timeout)
+        if fault is not None:
+            fault_reports.append(fault.to_dict())
+            wd = _crashed_workload_dict(case, config_names, fault)
+            if not ns.json:
+                print(f"{case.name}: FAULT ({fault.kind}) {fault.message}",
+                      file=sys.stderr)
+            # not journaled: a resumed sweep retries faulted workloads
+        else:
+            wd = result.to_dict()
+            journal.record(case.name, wd)
+        wdicts.append(wd)
 
-    payload = build_report(results, configs=config_names, quick=ns.quick)
+    payload = build_report_from_dicts(wdicts, configs=config_names,
+                                      quick=ns.quick, faults=fault_reports)
     if ns.output:
         with open(ns.output, "w") as fh:
             json.dump(payload, fh, indent=2)
@@ -103,9 +166,13 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(payload, sys.stdout, indent=2)
         print()
     else:
-        print(render_text(results))
+        print(render_text_from_dicts(wdicts))
 
-    return 0 if all(w.ok for w in results) else 1
+    if fault_reports:
+        return 3
+    all_ok = all(c["status"] == "ok"
+                 for w in wdicts for c in w["configs"])
+    return 0 if all_ok else 1
 
 
 if __name__ == "__main__":

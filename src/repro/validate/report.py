@@ -6,63 +6,108 @@ The JSON document mirrors the trace (``repro-experiment/1``) and profile
 ``scripts/validate_experiment_json.py`` enforcing the semantic
 invariants (status labels consistent with their evidence, summary counts
 equal to recounts over the body).
+
+Assembly and rendering operate on the *dict* form of
+:class:`~repro.validate.differential.WorkloadResult` so that the
+hardened CLI can splice in journaled (checkpoint/resume) results and
+synthesized crash entries without live result objects; the object-based
+:func:`build_report`/:func:`render_text` wrappers are unchanged API.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.validate.differential import WorkloadResult
 
 SCHEMA_TAG = "repro-validate/1"
 
 
+def build_report_from_dicts(wdicts: Sequence[dict], *,
+                            configs: Iterable[str],
+                            quick: bool = False,
+                            faults: Optional[Sequence[dict]] = None) -> dict:
+    """Assemble the ``repro-validate/1`` payload from workload dicts.
+
+    ``faults`` is an optional list of
+    :class:`repro.faults.harness.FaultReport` dicts from crash-isolated
+    workloads; when present it rides along under ``"faults"``.
+    """
+    runs = [c for w in wdicts for c in w["configs"]]
+    payload = {
+        "schema": SCHEMA_TAG,
+        "quick": quick,
+        "configs": list(configs),
+        "workloads": list(wdicts),
+        "summary": {
+            "workloads": len(wdicts),
+            "configs_run": len(runs),
+            "ok": sum(1 for c in runs if c["status"] == "ok"),
+            "divergent": sum(1 for c in runs if c["status"] == "divergent"),
+            "race": sum(1 for c in runs if c["status"] == "race"),
+            "error": sum(1 for c in runs if c["status"] == "error"),
+            "loops_checked": sum(c["loops_checked"] for c in runs),
+            "conflicts": sum(len(c["races"]) for c in runs),
+        },
+    }
+    if faults:
+        payload["faults"] = list(faults)
+    return payload
+
+
 def build_report(results: Sequence[WorkloadResult], *,
                  configs: Iterable[str],
                  quick: bool = False) -> dict:
     """Assemble the ``repro-validate/1`` payload."""
-    runs = [c for w in results for c in w.configs]
-    return {
-        "schema": SCHEMA_TAG,
-        "quick": quick,
-        "configs": list(configs),
-        "workloads": [w.to_dict() for w in results],
-        "summary": {
-            "workloads": len(results),
-            "configs_run": len(runs),
-            "ok": sum(1 for c in runs if c.status == "ok"),
-            "divergent": sum(1 for c in runs if c.status == "divergent"),
-            "race": sum(1 for c in runs if c.status == "race"),
-            "error": sum(1 for c in runs if c.status == "error"),
-            "loops_checked": sum(c.loops_checked for c in runs),
-            "conflicts": sum(len(c.races) for c in runs),
-        },
-    }
+    return build_report_from_dicts([w.to_dict() for w in results],
+                                   configs=configs, quick=quick)
 
 
-def render_text(results: Sequence[WorkloadResult]) -> str:
+def _describe_divergence(d: dict) -> str:
+    return (f"{d['key']}[{d['dtype']}]: {d['mismatches']} element(s) "
+            f"diverge (max abs {d['max_abs']:.3g}, max rel "
+            f"{d['max_rel']:.3g}) at P={d['processors']}, "
+            f"seed {d['seed']}")
+
+
+def _describe_race(r: dict) -> str:
+    element = r.get("element")
+    where = (f"{r['var']}({', '.join(map(str, element))})"
+             if element else r["var"])
+    i, j = r["iterations"]
+    return (f"{r['loop']}: {r['kind']} conflict on {where} between "
+            f"iterations {i} and {j}")
+
+
+def render_text_from_dicts(wdicts: Sequence[dict]) -> str:
     """Terminal rendering: one line per workload × configuration."""
     lines = []
-    width = max((len(w.workload) for w in results), default=8)
-    for w in results:
-        for c in w.configs:
-            tag = c.status.upper() if c.status != "ok" else "ok"
-            line = (f"{w.workload:<{width}}  {c.config:<9}  {tag:<9} "
-                    f"{c.parallel_loops:>3} parallel loop(s), "
-                    f"{c.loops_checked:>3} checked")
+    width = max((len(w["workload"]) for w in wdicts), default=8)
+    for w in wdicts:
+        for c in w["configs"]:
+            tag = c["status"].upper() if c["status"] != "ok" else "ok"
+            line = (f"{w['workload']:<{width}}  {c['config']:<9}  {tag:<9} "
+                    f"{c['parallel_loops']:>3} parallel loop(s), "
+                    f"{c['loops_checked']:>3} checked")
             lines.append(line)
-            for d in c.divergences:
-                lines.append(f"{'':{width}}    {d.describe()}")
-            for r in c.races:
-                lines.append(f"{'':{width}}    RACE {r.describe()}")
-            if c.culprit_pass:
+            for d in c["divergences"]:
+                lines.append(f"{'':{width}}    {_describe_divergence(d)}")
+            for r in c["races"]:
+                lines.append(f"{'':{width}}    RACE {_describe_race(r)}")
+            if c["culprit_pass"]:
                 lines.append(f"{'':{width}}    introduced by pass: "
-                             f"{c.culprit_pass}")
-            if c.error:
-                lines.append(f"{'':{width}}    {c.error}")
-    total = sum(len(w.configs) for w in results)
-    bad = sum(1 for w in results for c in w.configs if not c.ok)
+                             f"{c['culprit_pass']}")
+            if c["error"]:
+                lines.append(f"{'':{width}}    {c['error']}")
+    total = sum(len(w["configs"]) for w in wdicts)
+    bad = sum(1 for w in wdicts for c in w["configs"]
+              if c["status"] != "ok")
     lines.append("")
     lines.append(f"{total} validation run(s), {total - bad} clean, "
                  f"{bad} failing")
     return "\n".join(lines)
+
+
+def render_text(results: Sequence[WorkloadResult]) -> str:
+    """Terminal rendering: one line per workload × configuration."""
+    return render_text_from_dicts([w.to_dict() for w in results])

@@ -1,0 +1,60 @@
+"""Interpreter step-budget guard: livelocks fail fast with a location."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (BudgetExceededError, InterpreterBudgetError,
+                          InterpreterError)
+from repro.execmodel.interp import Interpreter
+from repro.fortran.parser import parse_program
+
+SPIN = """
+      subroutine spin(n)
+      integer n
+   10 n = n + 1
+      if (n .gt. 0) goto 10
+      end
+"""
+
+BOUNDED = """
+      subroutine work(n, a)
+      integer n
+      real a(n)
+      integer i
+      do i = 1, n
+         a(i) = a(i) * 2.0
+      end do
+      end
+"""
+
+
+def test_livelock_trips_budget_with_line():
+    interp = Interpreter(parse_program(SPIN), step_budget=5000)
+    with pytest.raises(InterpreterBudgetError) as exc:
+        interp.call("spin", 1)
+    assert "statement budget of 5000 exceeded" in str(exc.value)
+    assert "line" in str(exc.value)
+    assert exc.value.line is not None
+
+
+def test_budget_error_is_both_interpreter_and_budget_error():
+    assert issubclass(InterpreterBudgetError, InterpreterError)
+    assert issubclass(InterpreterBudgetError, BudgetExceededError)
+
+
+def test_budget_resets_between_calls():
+    # two calls of ~n statements each must not trip a budget that one
+    # call fits under — the counter is per-call, not per-interpreter
+    interp = Interpreter(parse_program(BOUNDED), step_budget=2000)
+    for _ in range(5):
+        out = interp.call("work", 100, np.ones(100))
+        assert np.all(out["a"] == 2.0)
+
+
+def test_budget_disabled_with_none():
+    interp = Interpreter(parse_program(BOUNDED), step_budget=None)
+    interp.call("work", 50, np.ones(50))
+
+
+def test_default_budget_is_generous():
+    assert Interpreter.STEP_BUDGET >= 10_000_000

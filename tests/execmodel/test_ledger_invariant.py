@@ -77,7 +77,7 @@ def test_breakdown_helper_shape():
     d = res.breakdown()
     assert d["total"] == pytest.approx(res.total, rel=REL_TOL)
     assert set(d["groups"]) == {"processor", "parallel_overhead",
-                                "memory", "paging"}
+                                "memory", "paging", "degradation"}
 
 
 def test_parallel_attribution_sees_overhead_categories():

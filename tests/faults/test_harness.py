@@ -1,0 +1,136 @@
+"""Hardened harness: watchdog, crash isolation, checkpoint journal."""
+
+import signal
+import time
+
+import pytest
+
+from repro.errors import BudgetExceededError, ReproError
+from repro.faults.harness import (FaultReport, SweepJournal, run_isolated,
+                                  watchdog)
+
+HAS_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+class TestWatchdog:
+    def test_disabled_is_a_noop(self):
+        for seconds in (None, 0, -1.0):
+            with watchdog(seconds):
+                pass
+
+    @pytest.mark.skipif(not HAS_SIGALRM, reason="needs SIGALRM")
+    def test_fires_on_timeout(self):
+        with pytest.raises(BudgetExceededError, match="wall-clock"):
+            with watchdog(0.05, label="sleepy"):
+                time.sleep(5.0)
+
+    @pytest.mark.skipif(not HAS_SIGALRM, reason="needs SIGALRM")
+    def test_no_fire_when_fast(self):
+        with watchdog(5.0):
+            x = sum(range(100))
+        assert x == 4950
+        # the alarm must be fully disarmed afterwards
+        assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+    @pytest.mark.skipif(not HAS_SIGALRM, reason="needs SIGALRM")
+    def test_nested_inner_fires_and_outer_restored(self):
+        with watchdog(30.0, label="outer"):
+            with pytest.raises(BudgetExceededError, match="inner"):
+                with watchdog(0.05, label="inner"):
+                    time.sleep(5.0)
+            # back under the outer guard: timer re-armed
+            assert signal.getitimer(signal.ITIMER_REAL)[0] > 0.0
+        assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+
+class TestRunIsolated:
+    def test_success_passes_result_through(self):
+        result, fault = run_isolated(lambda: 42, label="ok")
+        assert result == 42 and fault is None
+
+    def test_repro_error_is_kind_error(self):
+        def boom():
+            raise ReproError("modelled failure")
+
+        result, fault = run_isolated(boom, label="w")
+        assert result is None
+        assert fault.kind == "error"
+        assert fault.error_type == "ReproError"
+        assert "modelled failure" in fault.message
+
+    def test_unexpected_error_is_kind_internal(self):
+        result, fault = run_isolated(lambda: 1 / 0, label="w")
+        assert fault.kind == "internal"
+        assert fault.error_type == "ZeroDivisionError"
+        assert "ZeroDivisionError" in fault.traceback
+
+    @pytest.mark.skipif(not HAS_SIGALRM, reason="needs SIGALRM")
+    def test_timeout_is_kind_timeout(self):
+        result, fault = run_isolated(lambda: time.sleep(5.0),
+                                     label="slow", timeout=0.05)
+        assert fault.kind == "timeout"
+        assert fault.elapsed_s < 2.0
+
+    def test_never_isolates_system_exit(self):
+        with pytest.raises(SystemExit):
+            run_isolated(lambda: (_ for _ in ()).throw(SystemExit(3)),
+                         label="w")
+
+    def test_report_round_trips_to_dict(self):
+        _, fault = run_isolated(lambda: 1 / 0, label="w")
+        d = fault.to_dict()
+        assert set(d) == {"label", "kind", "error_type", "message",
+                          "elapsed_s", "traceback", "detail"}
+
+    def test_traceback_trimmed(self):
+        def deep(n=0):
+            if n > 400:
+                raise ValueError("bottom")
+            deep(n + 1)
+
+        _, fault = run_isolated(deep, label="w")
+        assert len(fault.traceback) <= 4100
+        assert "bottom" in fault.traceback  # the tail is what's kept
+
+
+class TestSweepJournal:
+    def test_none_path_is_noop(self):
+        j = SweepJournal(None)
+        j.record("a", {"x": 1})
+        assert "a" in j and j.payload("a") == {"x": 1}
+        j.clear()
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = SweepJournal(path)
+        j.record("tridag:chaos", {"ok": True})
+        j.record("cg:healthy", {"ok": False})
+        j2 = SweepJournal(path)
+        assert "tridag:chaos" in j2 and "cg:healthy" in j2
+        assert j2.payload("cg:healthy") == {"ok": False}
+        assert set(j2.completed) == {"tridag:chaos", "cg:healthy"}
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = SweepJournal(path)
+        j.record("done", {"n": 1})
+        with path.open("a") as fh:
+            fh.write('{"key": "half-writ')  # killed mid-write
+        j2 = SweepJournal(path)
+        assert "done" in j2
+        assert "half-writ" not in j2.completed
+
+    def test_clear_removes_file(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = SweepJournal(path)
+        j.record("a")
+        assert path.exists()
+        j.clear()
+        assert not path.exists() and "a" not in j
+
+
+class TestFaultReportClassification:
+    def test_budget_beats_repro(self):
+        # BudgetExceededError is a ReproError; timeout must win
+        fr = FaultReport.from_exception("w", BudgetExceededError("late"))
+        assert fr.kind == "timeout"

@@ -1,0 +1,141 @@
+"""FaultPlan: validation, determinism, no-deadlock, (de)serialization."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.plan import (FaultPlan, QUICK_SCENARIOS, SCENARIO_SPECS,
+                               all_scenarios, scenario)
+
+
+class TestValidation:
+    def test_defaults_are_inactive(self):
+        p = FaultPlan()
+        assert not p.active
+        assert not p.degrades_workers
+        assert not p.degrades_scheduling
+
+    @pytest.mark.parametrize("kwargs", [
+        {"cluster_slowdown": 0.5},
+        {"memory_degradation": 0.9},
+        {"bandwidth_factor": 0.0},
+        {"bandwidth_factor": 1.5},
+        {"lost_sync_rate": -0.1},
+        {"lost_sync_rate": 1.1},
+        {"death_cycle": -1.0},
+        {"helper_delay": -5.0},
+        {"dead_ces": (-1,)},
+        {"ce_slowdown": ((0, 0.5),)},
+        {"ce_slowdown": ((-2, 2.0),)},
+    ])
+    def test_malformed_plans_rejected(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(**kwargs)
+
+    def test_every_knob_activates(self):
+        for kwargs in [{"dead_ces": (1,)}, {"ce_slowdown": ((0, 2.0),)},
+                       {"cluster_slowdown": 1.5},
+                       {"memory_degradation": 2.0},
+                       {"bandwidth_factor": 0.5},
+                       {"prefetch_disabled": True},
+                       {"lost_sync_rate": 0.1}, {"helper_delay": 10.0}]:
+            assert FaultPlan(**kwargs).active, kwargs
+
+
+class TestSurvivors:
+    def test_no_deadlock_even_if_all_die(self):
+        p = FaultPlan(dead_ces=tuple(range(8)))
+        assert len(p.survivors(8)) >= 1
+        for n in range(1, 12):
+            assert len(FaultPlan(dead_ces=tuple(range(16))).survivors(n)) >= 1
+
+    def test_survivors_excludes_dead(self):
+        p = FaultPlan(dead_ces=(1, 3))
+        assert p.survivors(4) == [0, 2]
+        # dead index beyond p is irrelevant
+        assert FaultPlan(dead_ces=(9,)).survivors(4) == [0, 1, 2, 3]
+
+    def test_speed_factor_composes(self):
+        p = FaultPlan(cluster_slowdown=2.0, ce_slowdown=((1, 3.0),))
+        assert p.speed_factor(0) == 2.0
+        assert p.speed_factor(1) == 6.0
+        assert p.max_speed_factor(2) == 6.0
+
+
+class TestDeterminism:
+    def test_sync_lost_is_stateless_and_stable(self):
+        p = FaultPlan(lost_sync_rate=0.3, seed=42)
+        draws = [p.sync_lost(i) for i in range(200)]
+        assert draws == [p.sync_lost(i) for i in range(200)]
+        assert any(draws) and not all(draws)
+
+    def test_sync_lost_rate_extremes(self):
+        assert not any(FaultPlan(lost_sync_rate=0.0).sync_lost(i)
+                       for i in range(50))
+        assert all(FaultPlan(lost_sync_rate=1.0).sync_lost(i)
+                   for i in range(50))
+
+    def test_different_seeds_differ(self):
+        a = [FaultPlan(lost_sync_rate=0.5, seed=1).sync_lost(i)
+             for i in range(100)]
+        b = [FaultPlan(lost_sync_rate=0.5, seed=2).sync_lost(i)
+             for i in range(100)]
+        assert a != b
+
+    def test_sample_is_deterministic_and_valid(self):
+        for seed in range(20):
+            p = FaultPlan.sample(seed)
+            assert p == FaultPlan.sample(seed)
+            assert len(p.survivors(8)) >= 1
+            assert p.degradation_bound(8) >= 1.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        for name in SCENARIO_SPECS:
+            p = scenario(name)
+            assert FaultPlan.from_dict(p.to_dict()) == p
+
+    def test_unknown_field_rejected(self):
+        d = FaultPlan().to_dict()
+        d["cosmic_rays"] = True
+        with pytest.raises(FaultInjectionError, match="cosmic_rays"):
+            FaultPlan.from_dict(d)
+
+    def test_renamed(self):
+        p = scenario("chaos").renamed("chaos-2")
+        assert p.name == "chaos-2"
+        assert p.dead_ces == scenario("chaos").dead_ces
+
+
+class TestScenarios:
+    def test_unknown_scenario(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault"):
+            scenario("meteor-strike")
+
+    def test_quick_is_a_subset(self):
+        assert set(QUICK_SCENARIOS) <= set(SCENARIO_SPECS)
+        assert "healthy" in QUICK_SCENARIOS
+
+    def test_all_scenarios_shapes(self):
+        full = all_scenarios()
+        quick = all_scenarios(quick=True)
+        assert set(full) == set(SCENARIO_SPECS)
+        assert set(quick) == set(QUICK_SCENARIOS)
+        assert not full["healthy"].active
+        for name, plan in full.items():
+            if name != "healthy":
+                assert plan.active, name
+
+
+class TestBound:
+    def test_healthy_bound_is_slack_only(self):
+        assert FaultPlan().degradation_bound(8) == pytest.approx(1.25)
+
+    def test_bound_covers_each_knob(self):
+        base = FaultPlan().degradation_bound(8)
+        for kwargs in [{"dead_ces": (1, 2)}, {"cluster_slowdown": 2.0},
+                       {"memory_degradation": 3.0},
+                       {"bandwidth_factor": 0.5},
+                       {"prefetch_disabled": True},
+                       {"lost_sync_rate": 0.5}, {"helper_delay": 400.0}]:
+            assert FaultPlan(**kwargs).degradation_bound(8) > base, kwargs

@@ -1,0 +1,99 @@
+"""Degradation oracle: payload shape, invariants, schema conformance."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults.harness import SweepJournal
+from repro.faults.sweep import CHECKS, SCHEMA_TAG, run_sweep
+
+_REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _load_validator():
+    spec = importlib.util.spec_from_file_location(
+        "validate_experiment_json",
+        _REPO / "scripts" / "validate_experiment_json.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_sweep(["cg", "cascade"],
+                     ["healthy", "dead-ce", "lost-sync", "chaos"],
+                     quick=True, timeout=120.0)
+
+
+class TestPayload:
+    def test_all_cells_pass(self, payload):
+        s = payload["summary"]
+        assert s["cells_run"] == s["cells_expected"] == 8
+        assert s["failed"] == 0 and s["harness_faults"] == 0
+        assert all(r["ok"] for r in payload["runs"])
+
+    def test_schema_tag_and_shape(self, payload):
+        assert payload["schema"] == SCHEMA_TAG
+        assert set(payload["scenarios"]) == {"healthy", "dead-ce",
+                                             "lost-sync", "chaos"}
+        for r in payload["runs"]:
+            assert set(r["checks"]) == set(CHECKS)
+
+    def test_conforms_to_validator(self, payload):
+        validator = _load_validator()
+        assert validator.validate(payload) == []
+
+    def test_lost_sync_fires_on_cascade(self, payload):
+        cell = next(r for r in payload["runs"]
+                    if (r["workload"], r["scenario"]) == ("cascade",
+                                                          "lost-sync"))
+        assert cell["sync_retries"] > 0
+        assert cell["degradation"] > 1.0
+
+    def test_healthy_cells_are_bit_identical(self, payload):
+        for r in payload["runs"]:
+            if r["scenario"] == "healthy":
+                assert r["faulted_cycles"] == r["healthy_cycles"]
+                assert r["fault_cycles"] == 0.0
+                assert r["injected_faults"] == 0
+
+    def test_chaos_degrades_every_workload(self, payload):
+        # chaos includes memory degradation, which inflates every
+        # workload's memory traffic — no workload escapes it
+        for r in payload["runs"]:
+            if r["scenario"] == "chaos":
+                assert r["faulted_cycles"] > r["healthy_cycles"]
+                assert r["fault_cycles"] > 0.0
+                assert r["injected_faults"] > 0
+
+    def test_dead_ce_degrades_selfscheduled_doalls(self, payload):
+        # cg's multi-worker DOALLs redistribute over the survivors at a
+        # cost; cascade's DOACROSS is serial-chain bound, so losing one
+        # CE legitimately costs nothing there
+        cell = next(r for r in payload["runs"]
+                    if (r["workload"], r["scenario"]) == ("cg", "dead-ce"))
+        assert cell["faulted_cycles"] > cell["healthy_cycles"]
+        assert cell["fault_cycles"] > 0.0
+        assert cell["survivors"] == 7
+
+
+class TestSweepHarness:
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ReproError, match="unknown workload"):
+            run_sweep(["not-a-workload"], ["healthy"], quick=True)
+
+    def test_journal_resume_skips_completed(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        first = run_sweep(["tridag"], ["healthy", "dead-ce"], quick=True,
+                          journal=journal)
+        assert first["summary"]["cells_run"] == 2
+        resumed: list[str] = []
+        second = run_sweep(["tridag"], ["healthy", "dead-ce"], quick=True,
+                           journal=SweepJournal(tmp_path / "j.jsonl"),
+                           progress=resumed.append)
+        assert second["summary"]["cells_run"] == 2
+        assert second["runs"] == first["runs"]
+        assert any("resumed from journal" in m for m in resumed)
