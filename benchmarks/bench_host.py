@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Host wall-clock benchmark for the execution engine (repro.engine).
+
+Unlike the ``bench_*.py`` pytest harnesses — which measure *simulated
+Cedar cycles* — this script measures *host seconds*: what the compiled
+closure engine, the content-addressed compilation cache, and the
+``--jobs`` parallel executor actually buy on the machine running the
+sweep.  It drives ``python -m repro.validate`` as a subprocess matrix:
+
+``tree_cold``
+    tree-walk engine, cache disabled, serial — the pre-engine baseline
+    (every cell re-parses and re-restructures, every statement
+    tree-walks);
+``cold``
+    compiled engine, cache disabled, serial — closure compilation alone;
+``prime``
+    compiled engine, serial, ``--cache-dir`` on an empty store — pays
+    the misses that populate the disk cache;
+``warm``
+    same command again — every front-end artifact served from the store
+    (``REPRO_CACHE_STATS`` proves the hit rate is nonzero);
+``warm_jobsN``
+    same store, ``--jobs N`` — the parallel executor, whose payload must
+    be byte-identical to the serial ``warm`` payload.
+
+The result is a ``repro-bench-host/1`` JSON document
+(``schemas/bench_host.schema.json``) that ``scripts/bench_diff.py`` can
+diff run-over-run: ``host_seconds`` regresses upward, the ``*_speedup``
+ratios regress downward.  Absolute thresholds are deliberately not
+asserted here — CI runners vary wildly — only structural facts: every
+run exits 0, the warm run hits the cache, parallel output is
+byte-identical, and the end-to-end speedup is positive.
+
+Usage::
+
+    python benchmarks/bench_host.py [--quick | --full] [--jobs N]
+                                    [-o bench_host.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SCHEMA_TAG = "repro-bench-host/1"
+
+
+def run_validate(extra: list[str], out_file: Path, *,
+                 env_overrides: dict[str, str]) -> dict:
+    """Run one ``python -m repro.validate`` subprocess; time it."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.pop("REPRO_CACHE_DIR", None)
+    env.pop("REPRO_CACHE_DISABLE", None)
+    env.pop("REPRO_CACHE_STATS", None)
+    env.update(env_overrides)
+    argv = [sys.executable, "-m", "repro.validate",
+            *extra, "-o", str(out_file)]
+    t0 = time.perf_counter()
+    proc = subprocess.run(argv, cwd=ROOT, env=env,
+                          stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    seconds = time.perf_counter() - t0
+    return {
+        "argv": argv[1:],          # drop the interpreter path (host noise)
+        "env": dict(env_overrides),
+        "seconds": seconds,
+        "returncode": proc.returncode,
+        "stderr_tail": proc.stderr.decode(errors="replace")[-2000:],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="host wall-clock benchmark: compiled engine, "
+                    "compilation cache, parallel sweep executor")
+    ap.add_argument("--full", action="store_true",
+                    help="sweep every workload (--all); default is the "
+                         "--quick subset")
+    ap.add_argument("--jobs", type=int, default=2, metavar="N",
+                    help="worker count for the parallel run (default 2)")
+    ap.add_argument("-o", "--output", metavar="FILE",
+                    default="bench_host.json",
+                    help="write the repro-bench-host/1 payload here "
+                         "(default bench_host.json; '-' for stdout only)")
+    ns = ap.parse_args(argv)
+
+    subset = ["--all"] if ns.full else ["--quick"]
+    jobs = max(2, ns.jobs)
+    runs: dict[str, dict] = {}
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-host-") as tmp:
+        tmpdir = Path(tmp)
+        cache_dir = tmpdir / "cache"
+        stats_file = tmpdir / "cache_stats.json"
+
+        matrix = [
+            ("tree_cold", subset + ["--engine", "tree", "--jobs", "1"],
+             {"REPRO_CACHE_DISABLE": "1"}),
+            ("cold", subset + ["--jobs", "1"],
+             {"REPRO_CACHE_DISABLE": "1"}),
+            ("prime", subset + ["--jobs", "1",
+                                "--cache-dir", str(cache_dir)], {}),
+            ("warm", subset + ["--jobs", "1",
+                               "--cache-dir", str(cache_dir)],
+             {"REPRO_CACHE_STATS": str(stats_file)}),
+            (f"warm_jobs{jobs}", subset + ["--jobs", str(jobs),
+                                           "--cache-dir", str(cache_dir)],
+             {}),
+        ]
+        for name, extra, env_overrides in matrix:
+            print(f"[bench_host] {name}: validate {' '.join(extra)} ...",
+                  file=sys.stderr)
+            rec = run_validate(extra, tmpdir / f"{name}.json",
+                               env_overrides=env_overrides)
+            print(f"[bench_host] {name}: {rec['seconds']:.2f}s "
+                  f"(exit {rec['returncode']})", file=sys.stderr)
+            runs[name] = rec
+
+        cache_stats = {}
+        if stats_file.exists():
+            cache_stats = json.loads(stats_file.read_text())
+        serial_payload = (tmpdir / "warm.json").read_bytes() \
+            if (tmpdir / "warm.json").exists() else b""
+        par_payload = (tmpdir / f"warm_jobs{jobs}.json").read_bytes() \
+            if (tmpdir / f"warm_jobs{jobs}.json").exists() else b"!"
+
+    def sec(name: str) -> float:
+        return runs[name]["seconds"]
+
+    warm_speedup = sec("tree_cold") / max(sec("warm"), 1e-9)
+    compile_speedup = sec("tree_cold") / max(sec("cold"), 1e-9)
+    parallel_speedup = sec("warm") / max(sec(f"warm_jobs{jobs}"), 1e-9)
+
+    checks = {
+        "all_runs_ok": all(r["returncode"] == 0 for r in runs.values()),
+        # the warm run must be served by the store it just populated
+        "warm_cache_hit": (cache_stats.get("hits", 0) > 0
+                           and cache_stats.get("disk_hits", 0) > 0),
+        # the parallel executor's contract: merged output is
+        # byte-identical to the serial run over the same warm store
+        "byte_identical": serial_payload == par_payload,
+        # generous structural gate — real thresholds live in
+        # bench_diff.py comparisons against a recorded baseline
+        "speedup_positive": warm_speedup > 1.0,
+    }
+
+    payload = {
+        "schema": SCHEMA_TAG,
+        "quick": not ns.full,
+        "jobs": jobs,
+        "runs": {name: {k: v for k, v in rec.items()
+                        if k != "stderr_tail" or rec["returncode"] != 0}
+                 for name, rec in runs.items()},
+        "cache": {
+            "cold_seconds": sec("cold"),
+            "prime_seconds": sec("prime"),
+            "warm_seconds": sec("warm"),
+            "warm_speedup": warm_speedup,
+            "compile_speedup": compile_speedup,
+            "stats": cache_stats,
+        },
+        "parallel": {
+            "serial_seconds": sec("warm"),
+            "parallel_seconds": sec(f"warm_jobs{jobs}"),
+            "parallel_speedup": parallel_speedup,
+            "byte_identical": checks["byte_identical"],
+        },
+        "baseline": {
+            "tree_cold_seconds": sec("tree_cold"),
+            "end_to_end_speedup": warm_speedup,
+        },
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+
+    text = json.dumps(payload, indent=2) + "\n"
+    if ns.output and ns.output != "-":
+        Path(ns.output).write_text(text)
+    sys.stdout.write(text)
+
+    if not payload["ok"]:
+        bad = ", ".join(c for c, v in checks.items() if not v)
+        print(f"[bench_host] FAILED checks: {bad}", file=sys.stderr)
+        return 1
+    print(f"[bench_host] ok: engine+cache {warm_speedup:.2f}x vs "
+          f"tree/cold, --jobs {jobs} {parallel_speedup:.2f}x vs serial "
+          f"warm, byte-identical payloads", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,9 @@ Dispatches on the payload's ``schema`` tag:
 - ``repro-validate/1`` (``python -m repro.validate --json``) against
   ``schemas/validate.schema.json``;
 - ``repro-faults/1`` (``python -m repro.faults sweep --json``) against
-  ``schemas/faults.schema.json``.
+  ``schemas/faults.schema.json``;
+- ``repro-bench-host/1`` (``benchmarks/bench_host.py``) against
+  ``schemas/bench_host.schema.json``.
 
 This is a hand-rolled checker — the environment deliberately carries no
 jsonschema dependency — plus semantic invariants the schema language
@@ -36,7 +38,10 @@ cannot express:
   every cell's ``ok`` flag must equal the conjunction of its checks,
   degradation ratios must be consistent with the recorded cycle counts,
   ok cells must degrade monotonically within their bound, and scenario
-  dicts must carry exactly the ``FaultPlan`` fields.
+  dicts must carry exactly the ``FaultPlan`` fields;
+- for host benchmarks: the speedup ratios must be consistent with the
+  recorded wall-clock seconds and the top-level ``ok`` flag must equal
+  the conjunction of the structural checks.
 
 Validation/experiment payloads produced under ``--keep-going`` /
 ``--timeout`` may additionally carry a top-level ``faults`` array of
@@ -52,6 +57,7 @@ SCHEMA_TAG = "repro-experiment/1"
 PROFILE_TAG = "repro-profile/1"
 VALIDATE_TAG = "repro-validate/1"
 FAULTS_TAG = "repro-faults/1"
+BENCH_HOST_TAG = "repro-bench-host/1"
 ACTIONS = {"accepted", "rejected", "failed", "applied", "declined", "noted"}
 REL_TOL = 1e-6
 
@@ -548,6 +554,76 @@ def validate_faults(payload) -> None:
                         f"stored {cf[c]!r} != recount {want}")
 
 
+BENCH_HOST_CHECKS = ("all_runs_ok", "warm_cache_hit", "byte_identical",
+                     "speedup_positive")
+
+
+def validate_bench_host(payload) -> None:
+    _expect(isinstance(payload.get("jobs"), int)
+            and payload.get("jobs", 0) >= 2,
+            "$.jobs", "need an integer worker count >= 2")
+    runs = payload.get("runs")
+    if _expect(isinstance(runs, dict) and len(runs) >= 5, "$.runs",
+               "need the five-run host matrix"):
+        for name in ("tree_cold", "cold", "prime", "warm"):
+            _expect(name in runs, "$.runs", f"missing run {name!r}")
+        for name, r in runs.items():
+            path = f"$.runs.{name}"
+            if not _expect(isinstance(r, dict), path,
+                           "run must be an object"):
+                continue
+            _expect(isinstance(r.get("argv"), list) and r.get("argv"),
+                    path, "need the subprocess argv")
+            _expect(isinstance(r.get("seconds"), (int, float))
+                    and r.get("seconds", -1) >= 0,
+                    path, "need nonnegative seconds")
+            _expect(isinstance(r.get("returncode"), int), path,
+                    "need an integer returncode")
+    cache = payload.get("cache") or {}
+    par = payload.get("parallel") or {}
+    base = payload.get("baseline") or {}
+    for sect, keys in (("cache", ("cold_seconds", "prime_seconds",
+                                  "warm_seconds", "warm_speedup",
+                                  "compile_speedup")),
+                       ("parallel", ("serial_seconds", "parallel_seconds",
+                                     "parallel_speedup")),
+                       ("baseline", ("tree_cold_seconds",
+                                     "end_to_end_speedup"))):
+        d = payload.get(sect)
+        if not _expect(isinstance(d, dict), f"$.{sect}",
+                       "need an object"):
+            continue
+        for k in keys:
+            _expect(isinstance(d.get(k), (int, float))
+                    and d.get(k, -1) >= 0,
+                    f"$.{sect}.{k}", "need a nonnegative number")
+    # derived ratios must be consistent with the recorded seconds
+    def ratio_ok(num, den, got) -> bool:
+        if not all(isinstance(v, (int, float)) for v in (num, den, got)):
+            return True   # shape errors already reported above
+        want = num / max(den, 1e-9)
+        return abs(got - want) <= REL_TOL * max(abs(want), 1.0)
+
+    _expect(ratio_ok(base.get("tree_cold_seconds"),
+                     cache.get("warm_seconds"),
+                     cache.get("warm_speedup")),
+            "$.cache.warm_speedup",
+            "inconsistent with tree_cold/warm seconds")
+    _expect(ratio_ok(par.get("serial_seconds"),
+                     par.get("parallel_seconds"),
+                     par.get("parallel_speedup")),
+            "$.parallel.parallel_speedup",
+            "inconsistent with serial/parallel seconds")
+    checks = payload.get("checks")
+    if _expect(isinstance(checks, dict)
+               and set(BENCH_HOST_CHECKS) <= set(checks),
+               "$.checks", f"must cover {list(BENCH_HOST_CHECKS)}"):
+        _expect(all(isinstance(v, bool) for v in checks.values()),
+                "$.checks", "check values must be booleans")
+        _expect(payload.get("ok") == all(checks.values()), "$.ok",
+                "ok flag must equal the conjunction of the checks")
+
+
 def validate(payload) -> list[str]:
     """Return a list of violations (empty == valid)."""
     _errors.clear()
@@ -564,9 +640,13 @@ def validate(payload) -> list[str]:
     if tag == FAULTS_TAG:
         validate_faults(payload)
         return list(_errors)
+    if tag == BENCH_HOST_TAG:
+        validate_bench_host(payload)
+        return list(_errors)
     _expect(tag == SCHEMA_TAG, "$.schema",
             f"expected {SCHEMA_TAG!r}, {PROFILE_TAG!r}, "
-            f"{VALIDATE_TAG!r} or {FAULTS_TAG!r}, got {tag!r}")
+            f"{VALIDATE_TAG!r}, {FAULTS_TAG!r} or {BENCH_HOST_TAG!r}, "
+            f"got {tag!r}")
     experiments = payload.get("experiments")
     if _expect(isinstance(experiments, dict) and experiments,
                "$.experiments", "need a non-empty experiments object"):
@@ -604,6 +684,9 @@ def main(argv: list[str]) -> int:
         print(f"OK: {s['cells_run']} oracle cell(s) "
               f"({s['ok']} ok, {s['harness_faults']} harness fault(s)) "
               f"conform to {FAULTS_TAG}")
+    elif payload.get("schema") == BENCH_HOST_TAG:
+        print(f"OK: {len(payload['runs'])} host benchmark run(s) "
+              f"conform to {BENCH_HOST_TAG}")
     else:
         n = len(payload["experiments"])
         print(f"OK: {n} experiment(s) conform to {SCHEMA_TAG}")

@@ -1,0 +1,48 @@
+"""repro.engine — the performance layer: compiled execution, caching,
+parallel sweeps.
+
+Three pieces, composable and individually optional:
+
+- :mod:`repro.engine.cache` — a content-addressed compilation cache.
+  Parsing and restructuring are pure functions of (source text,
+  restructurer options, repro version); the cache keys on the SHA-256 of
+  exactly that triple and memoizes parse trees and restructured Cedar
+  programs in memory, with an optional on-disk store shared across
+  processes (``--cache-dir`` / ``REPRO_CACHE_DIR``).  The validate
+  harness's pass bisection and the experiments/faults matrices re-run
+  the same front-end work per cell; with the cache they pay it once.
+
+- :mod:`repro.execmodel.compiled` — the closure compiler behind
+  ``Interpreter(engine="compiled")``: statement lists are lowered once
+  to Python closures (flattened dispatch, hoisted intrinsic and symbol
+  lookups, precompiled index arithmetic, and a vectorized numpy fast
+  path for eligible innermost DOALL bodies), guaranteed
+  numerics-identical to the tree-walking interpreter.
+
+- :mod:`repro.engine.parallel` — an order-preserving multiprocessing
+  fan-out (``--jobs N``) used by ``repro.experiments``,
+  ``repro.validate --all``, and ``repro.faults sweep``.  Results are
+  merged in submission order, so parallel runs emit byte-identical JSON
+  payloads to serial runs.
+"""
+
+from repro.engine.cache import (
+    CompilationCache,
+    cache_stats,
+    cached_parse,
+    cached_restructure,
+    configure,
+    get_cache,
+)
+from repro.engine.parallel import WorkerCrash, parallel_map
+
+__all__ = [
+    "CompilationCache",
+    "WorkerCrash",
+    "cache_stats",
+    "cached_parse",
+    "cached_restructure",
+    "configure",
+    "get_cache",
+    "parallel_map",
+]

@@ -1,0 +1,274 @@
+"""Content-addressed compilation cache.
+
+Parsing and restructuring are deterministic functions of three inputs:
+the Fortran source text, the :class:`RestructurerOptions` in force, and
+the repro version.  The cache therefore keys every artifact on
+
+    SHA-256(repro version || artifact kind || options fingerprint || source)
+
+and stores two artifact kinds:
+
+``parse``
+    the pristine parse tree.  Consumers that go on to *mutate* the tree
+    (the restructurer transforms in place) receive a fresh clone per
+    call; read-only consumers (the interpreter, the estimator) may share
+    the cached instance.
+
+``restructure``
+    the restructured Cedar program plus its :class:`RestructureReport`.
+    Both are treated as immutable after construction — every downstream
+    consumer (interpreter, estimator, report renderers) only reads them,
+    so one cached instance serves all cells of a sweep.
+
+The in-memory store is per-process; pass ``cache_dir`` (CLI
+``--cache-dir``, env ``REPRO_CACHE_DIR``) for an on-disk pickle store
+shared across processes — that is what makes ``--jobs N`` workers and
+repeated harness invocations warm-start.  ``REPRO_CACHE_DISABLE=1``
+turns the whole layer into a transparent pass-through (every call
+recomputes), which is how host benchmarks measure the uncached baseline.
+``REPRO_CACHE_STATS=FILE`` writes a hit/miss stats JSON at process exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro._version import __version__
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fortran import ast_nodes as F
+    from repro.restructurer.options import RestructurerOptions
+
+#: bump to invalidate every cached artifact regardless of repro version
+_CACHE_FORMAT = 1
+
+
+def options_fingerprint(options: "RestructurerOptions | None") -> str:
+    """A stable, canonical text form of a restructurer configuration.
+
+    ``RestructurerOptions`` is a flat dataclass of primitives, so a
+    key-sorted JSON dump is canonical; ``None`` (library default options)
+    fingerprints as the default instance, which keeps
+    ``restructure(sf)`` and ``restructure(sf, RestructurerOptions())``
+    on the same cache line.
+    """
+    from repro.restructurer.options import RestructurerOptions
+
+    opts = options if options is not None else RestructurerOptions()
+    return json.dumps(asdict(opts), sort_keys=True)
+
+
+def content_key(kind: str, source: str, fingerprint: str = "") -> str:
+    """SHA-256 content address of one cacheable artifact."""
+    h = hashlib.sha256()
+    for part in (f"repro/{__version__}/format{_CACHE_FORMAT}", kind,
+                 fingerprint, source):
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class CompilationCache:
+    """In-memory + optional on-disk store of front-end artifacts."""
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None,
+                 enabled: bool = True):
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.enabled = enabled
+        self._mem: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.disk_writes = 0
+
+    # -- the two artifact kinds ----------------------------------------
+
+    def parse(self, source: str, *, mutable: bool = False) -> "F.SourceFile":
+        """Parse ``source``, memoized by content.
+
+        ``mutable=True`` returns a fresh clone of the cached tree (the
+        restructurer mutates its input); ``mutable=False`` returns the
+        shared pristine instance and the caller must not modify it.
+        """
+        from repro.fortran import ast_nodes as F
+        from repro.fortran.parser import parse_program
+
+        if not self.enabled:
+            return parse_program(source)
+        key = content_key("parse", source)
+        sf = self._load(key)
+        if sf is None:
+            sf = parse_program(source)
+            self._store(key, sf)
+        if mutable:
+            return F.SourceFile([u.clone() for u in sf.units])
+        return sf
+
+    def restructure(self, source: str,
+                    options: "RestructurerOptions | None" = None,
+                    ) -> tuple["F.SourceFile", object]:
+        """Parse + restructure ``source``, memoized by content.
+
+        Returns the shared ``(cedar program, RestructureReport)`` pair;
+        both are immutable by contract — interpret or estimate them, do
+        not transform them again.
+        """
+        from repro.restructurer.pipeline import Restructurer
+
+        if not self.enabled:
+            sf = self.parse(source, mutable=True)
+            return Restructurer(options).run(sf)
+        key = content_key("restructure", source, options_fingerprint(options))
+        pair = self._load(key)
+        if pair is None:
+            sf = self.parse(source, mutable=True)
+            pair = Restructurer(options).run(sf)
+            self._store(key, pair)
+        return pair
+
+    # -- stats ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "entries": len(self._mem),
+        }
+
+    def clear(self) -> None:
+        """Drop the in-memory store (the disk store is left alone)."""
+        self._mem.clear()
+
+    # -- storage -------------------------------------------------------
+
+    def _load(self, key: str):
+        hit = self._mem.get(key)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            try:
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+            except (OSError, pickle.PickleError, EOFError,
+                    AttributeError, ImportError):
+                pass  # missing or torn entry: recompute below
+            else:
+                self._mem[key] = value
+                self.hits += 1
+                self.disk_hits += 1
+                return value
+        self.misses += 1
+        return None
+
+    def _store(self, key: str, value: object) -> None:
+        self._mem[key] = value
+        if self.cache_dir is None:
+            return
+        path = self._disk_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # atomic publish: concurrent --jobs workers may race on the
+            # same key; each writes a private temp file and renames
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.disk_writes += 1
+        except (OSError, pickle.PickleError):
+            pass  # a read-only or full cache dir degrades to memory-only
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+
+# ---------------------------------------------------------------------------
+# the process-wide default cache
+
+
+_DEFAULT: Optional[CompilationCache] = None
+_STATS_PID: Optional[int] = None
+
+
+def _env_disabled() -> bool:
+    return os.environ.get("REPRO_CACHE_DISABLE", "") not in ("", "0")
+
+
+def get_cache() -> CompilationCache:
+    """The process-wide cache (created on first use from the env)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        configure(cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
+    return _DEFAULT
+
+
+def configure(cache_dir: str | None = None,
+              enabled: bool | None = None) -> CompilationCache:
+    """(Re)configure the process-wide cache.
+
+    ``cache_dir=None`` keeps the store memory-only; ``enabled`` defaults
+    to the ``REPRO_CACHE_DISABLE`` environment setting.  Harness CLIs
+    call this once from ``--cache-dir`` before fanning out work.
+    """
+    global _DEFAULT, _STATS_PID
+    if enabled is None:
+        enabled = not _env_disabled()
+    _DEFAULT = CompilationCache(cache_dir=cache_dir, enabled=enabled)
+    stats_file = os.environ.get("REPRO_CACHE_STATS")
+    if stats_file and _STATS_PID is None:
+        _STATS_PID = os.getpid()
+        atexit.register(_write_stats, stats_file)
+    return _DEFAULT
+
+
+def _write_stats(path: str) -> None:
+    # only the process that registered writes — forked --jobs workers
+    # inherit the registration but must not clobber the parent's file
+    if os.getpid() != _STATS_PID or _DEFAULT is None:
+        return
+    try:
+        doc = dict(_DEFAULT.stats(), pid=os.getpid(), t=time.time())
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    except OSError:
+        pass
+
+
+def cache_stats() -> dict:
+    """Hit/miss statistics of the process-wide cache."""
+    return get_cache().stats()
+
+
+def cached_parse(source: str, *, mutable: bool = False) -> "F.SourceFile":
+    """Parse through the process-wide cache."""
+    return get_cache().parse(source, mutable=mutable)
+
+
+def cached_restructure(source: str,
+                       options: "RestructurerOptions | None" = None,
+                       ) -> tuple["F.SourceFile", object]:
+    """Parse + restructure through the process-wide cache."""
+    return get_cache().restructure(source, options)

@@ -1,0 +1,111 @@
+"""The parallel sweep executor: order-preserving multiprocessing fan-out.
+
+Every repro harness iterates a matrix of independent cells (workload ×
+configuration × processors; experiment names; workload × fault
+scenario).  :func:`parallel_map` fans those cells out over ``--jobs N``
+worker processes while keeping the *result order equal to the
+submission order*, so a sweep that merges worker results emits JSON
+payloads byte-identical to its serial run — determinism is the
+contract, parallelism is just scheduling.
+
+Workers compose with the existing hardening in
+:mod:`repro.faults.harness`: each cell function is expected to do its
+own ``run_isolated``/watchdog internally and return a plain payload
+(dicts, lists — JSON-shaped data).  A worker process that *dies* anyway
+(segfault, OOM kill) surfaces as a :class:`WorkerCrash` result entry
+rather than an exception, so one lost worker degrades the sweep instead
+of killing it — the same graceful-degradation contract the fault layer
+gives the simulated machine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """A cell whose worker process died before returning a result."""
+
+    label: str
+    message: str
+    kind: str = "internal"
+
+    def to_fault_dict(self) -> dict:
+        """Shape-compatible with ``FaultReport.to_dict()``."""
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "error_type": "WorkerCrash",
+            "message": self.message,
+            "elapsed_s": 0.0,
+            "traceback": "",
+            "detail": {},
+        }
+
+
+def _mp_context():
+    # fork keeps workers cheap and lets them inherit warm in-memory
+    # state; fall back to the platform default where fork is unavailable
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int, *,
+                 labels: Sequence[str] | None = None,
+                 on_result: Callable[[int, "R | WorkerCrash"], None]
+                 | None = None,
+                 ) -> list["R | WorkerCrash"]:
+    """Apply ``fn`` to every item, ``jobs`` processes wide, in order.
+
+    ``jobs <= 1`` (or a single item) degrades to a plain in-process map
+    — the serial and parallel paths share one code path, which is what
+    keeps their outputs identical.  ``fn`` and the items must be
+    picklable (module-level functions and plain data).  ``labels`` names
+    cells in :class:`WorkerCrash` entries; defaults to ``str(item)``.
+
+    ``on_result(index, result)`` fires in the parent process, in
+    submission order, as each result becomes available — the hook for
+    incremental journaling and progress lines.
+    """
+    items = list(items)
+    if labels is None:
+        labels = [str(it) for it in items]
+    out: list[R | WorkerCrash] = []
+    if jobs <= 1 or len(items) <= 1:
+        for i, it in enumerate(items):
+            r = fn(it)
+            if on_result is not None:
+                on_result(i, r)
+            out.append(r)
+        return out
+
+    import concurrent.futures as cf
+
+    with cf.ProcessPoolExecutor(max_workers=min(jobs, len(items)),
+                                mp_context=_mp_context()) as ex:
+        futures = [ex.submit(fn, it) for it in items]
+        for i, (label, fut) in enumerate(zip(labels, futures)):
+            try:
+                r: R | WorkerCrash = fut.result()
+            except cf.process.BrokenProcessPool:
+                # the pool is gone: every not-yet-finished future fails;
+                # record each as a crash, preserving positions
+                r = WorkerCrash(
+                    label=label,
+                    message="worker process died before returning "
+                            "(broken process pool)")
+            except BaseException as exc:  # noqa: BLE001 — cell isolation
+                r = WorkerCrash(
+                    label=label,
+                    message=f"{type(exc).__name__}: {exc}")
+            if on_result is not None:
+                on_result(i, r)
+            out.append(r)
+    return out

@@ -119,7 +119,8 @@ class Interpreter:
     def __init__(self, sf: F.SourceFile, processors: int = 4,
                  inputs: list[float] | None = None,
                  shadow: "ShadowRecorder | None" = None,
-                 step_budget: int | None = STEP_BUDGET):
+                 step_budget: int | None = STEP_BUDGET,
+                 engine: str = "tree"):
         """``shadow`` is an optional
         :class:`repro.execmodel.shadow.ShadowRecorder`; when given, every
         shared-storage access inside parallel DOALL loops is logged and
@@ -128,7 +129,14 @@ class Interpreter:
         ``step_budget`` caps the total statements one :meth:`call` may
         execute (``None`` disables the guard); exhausting it raises
         :class:`repro.errors.InterpreterBudgetError` carrying the source
-        line of the statement that tripped the budget."""
+        line of the statement that tripped the budget.
+
+        ``engine`` selects ``"tree"`` (the reference tree-walk) or
+        ``"compiled"`` (:mod:`repro.execmodel.compiled` closures —
+        numerics-identical, several times faster).  A shadow recorder
+        forces the tree-walk: race instrumentation lives on that path."""
+        if engine not in ("tree", "compiled"):
+            raise InterpreterError(f"unknown engine {engine!r}")
         self.sf = sf
         self.units = {u.name: u for u in sf.units}
         self.tables: dict[str, SymbolTable] = {
@@ -140,6 +148,16 @@ class Interpreter:
         self.shadow = shadow
         self.step_budget = step_budget
         self._steps = 0
+        self.engine = engine if shadow is None else "tree"
+        self._compiler = None
+        if self.engine == "compiled":
+            from repro.execmodel.compiled import ClosureCompiler
+
+            self._compiler = ClosureCompiler(self)
+            # instance attribute shadows the method: every recursive
+            # self.exec_body — unit bodies, loop bodies, _invoke —
+            # routes through the compiler
+            self.exec_body = self._compiler.exec_body
 
     # ------------------------------------------------------------------
 
@@ -273,16 +291,19 @@ class Interpreter:
                   unit_name: str) -> None:
         labels = {s.label: i for i, s in enumerate(stmts)
                   if s.label is not None}
-        pc = 0
-        while pc < len(stmts):
+        # hot loop: hoist everything invariant out of the trip
+        exec_stmt = self.exec_stmt
+        budget = self.step_budget
+        pc, n = 0, len(stmts)
+        while pc < n:
             self._steps += 1
-            if self.step_budget is not None and self._steps > self.step_budget:
+            if budget is not None and self._steps > budget:
                 raise InterpreterBudgetError(
-                    f"statement budget of {self.step_budget} exceeded in "
+                    f"statement budget of {budget} exceeded in "
                     f"{unit_name} (livelock?)",
                     line=getattr(stmts[pc], "line", None))
             try:
-                self.exec_stmt(stmts[pc], scope, unit_name)
+                exec_stmt(stmts[pc], scope, unit_name)
             except _GotoSignal as g:
                 if g.label in labels:
                     pc = labels[g.label]
@@ -291,73 +312,71 @@ class Interpreter:
             pc += 1
 
     def exec_stmt(self, s: F.Stmt, scope: Scope, unit: str) -> None:
-        if isinstance(s, F.Assign):
-            self._assign(s.target, self.eval(s.value, scope, unit),
-                         scope, unit)
-            return
-        if isinstance(s, C.ParallelDo):
-            self._parallel_do(s, scope, unit)
-            return
-        if isinstance(s, F.DoLoop):
-            self._do_loop(s, scope, unit)
-            return
-        if isinstance(s, F.IfBlock):
-            for cond, body in s.arms:
-                if cond is None or self._truth(self.eval(cond, scope, unit)):
-                    self.exec_body(body, scope, unit)
-                    return
-            return
-        if isinstance(s, F.LogicalIf):
-            if self._truth(self.eval(s.cond, scope, unit)):
-                self.exec_stmt(s.stmt, scope, unit)
-            return
-        if isinstance(s, C.WhereStmt):
-            self._where(s, scope, unit)
-            return
-        if isinstance(s, F.Goto):
-            raise _GotoSignal(s.target)
-        if isinstance(s, F.ComputedGoto):
-            k = int(self.eval(s.index, scope, unit))
-            if 1 <= k <= len(s.targets):
-                raise _GotoSignal(s.targets[k - 1])
-            return
-        if isinstance(s, F.ContinueStmt):
-            return
-        if isinstance(s, F.CallStmt):
-            self._call_stmt(s, scope, unit)
-            return
-        if isinstance(s, F.ReturnStmt):
-            raise _ReturnSignal()
-        if isinstance(s, F.StopStmt):
-            raise _StopSignal(s.message)
-        if isinstance(s, F.PrintStmt):
-            self.outputs.append([self._scalarize(self.eval(i, scope, unit))
-                                 for i in s.items])
-            return
-        if isinstance(s, F.ReadStmt):
-            for item in s.items:
-                if not self.inputs:
-                    raise InterpreterError("input queue exhausted")
-                self._assign(item, self.inputs.pop(0), scope, unit)
-            return
-        if isinstance(s, (C.AwaitStmt, C.AdvanceStmt, C.LockStmt,
-                          C.UnlockStmt, C.PostWaitStmt)):
-            # synchronization: functional no-ops under simulation, but the
-            # race detector tracks critical sections so lock-protected
-            # accesses are not reported as conflicts
-            if self.shadow is not None:
-                if isinstance(s, C.LockStmt):
-                    self.shadow.acquire(s.name)
-                elif isinstance(s, C.UnlockStmt):
-                    self.shadow.release(s.name)
-            return
-        if isinstance(s, (F.TypeDecl, F.DimensionStmt, F.CommonStmt,
-                          F.ParameterStmt, F.DataStmt, F.EquivalenceStmt,
-                          F.ImplicitStmt, F.ExternalStmt, F.IntrinsicStmt,
-                          F.SaveStmt, C.GlobalDecl, C.ClusterDecl,
-                          C.ProcessCommonStmt)):
-            return  # declarations in executable position: no-ops
-        raise InterpreterError(f"cannot execute {type(s).__name__}")
+        # memoized type dispatch: the first statement of each concrete
+        # class walks the subclass-aware chain (ParallelDo before DoLoop
+        # — it *is* a DoLoop); every later one is a single dict hit
+        handler = _STMT_HANDLERS.get(type(s))
+        if handler is None:
+            handler = _resolve_handler(type(s), _STMT_CHAIN)
+            if handler is None:
+                raise InterpreterError(
+                    f"cannot execute {type(s).__name__}")
+            _STMT_HANDLERS[type(s)] = handler
+        handler(self, s, scope, unit)
+
+    # -- statement handlers (bound via _STMT_CHAIN) -------------------------
+
+    def _exec_assign(self, s: F.Assign, scope: Scope, unit: str) -> None:
+        self._assign(s.target, self.eval(s.value, scope, unit), scope, unit)
+
+    def _exec_if_block(self, s: F.IfBlock, scope: Scope, unit: str) -> None:
+        for cond, body in s.arms:
+            if cond is None or self._truth(self.eval(cond, scope, unit)):
+                self.exec_body(body, scope, unit)
+                return
+
+    def _exec_logical_if(self, s: F.LogicalIf, scope: Scope,
+                         unit: str) -> None:
+        if self._truth(self.eval(s.cond, scope, unit)):
+            self.exec_stmt(s.stmt, scope, unit)
+
+    def _exec_goto(self, s: F.Goto, scope: Scope, unit: str) -> None:
+        raise _GotoSignal(s.target)
+
+    def _exec_computed_goto(self, s: F.ComputedGoto, scope: Scope,
+                            unit: str) -> None:
+        k = int(self.eval(s.index, scope, unit))
+        if 1 <= k <= len(s.targets):
+            raise _GotoSignal(s.targets[k - 1])
+
+    def _exec_return(self, s: F.ReturnStmt, scope: Scope, unit: str) -> None:
+        raise _ReturnSignal()
+
+    def _exec_stop(self, s: F.StopStmt, scope: Scope, unit: str) -> None:
+        raise _StopSignal(s.message)
+
+    def _exec_print(self, s: F.PrintStmt, scope: Scope, unit: str) -> None:
+        self.outputs.append([self._scalarize(self.eval(i, scope, unit))
+                             for i in s.items])
+
+    def _exec_read(self, s: F.ReadStmt, scope: Scope, unit: str) -> None:
+        for item in s.items:
+            if not self.inputs:
+                raise InterpreterError("input queue exhausted")
+            self._assign(item, self.inputs.pop(0), scope, unit)
+
+    def _exec_sync(self, s: F.Stmt, scope: Scope, unit: str) -> None:
+        # synchronization: functional no-ops under simulation, but the
+        # race detector tracks critical sections so lock-protected
+        # accesses are not reported as conflicts
+        if self.shadow is not None:
+            if isinstance(s, C.LockStmt):
+                self.shadow.acquire(s.name)
+            elif isinstance(s, C.UnlockStmt):
+                self.shadow.release(s.name)
+
+    def _exec_noop(self, s: F.Stmt, scope: Scope, unit: str) -> None:
+        return  # declarations/CONTINUE in executable position
 
     # -- loops -------------------------------------------------------------
 
@@ -370,9 +389,19 @@ class Interpreter:
         return range(lo, hi + (1 if step > 0 else -1), step)
 
     def _do_loop(self, s: F.DoLoop, scope: Scope, unit: str) -> None:
-        for v in self._loop_range(s, scope, unit):
-            scope.set(s.var, v)
-            self.exec_body(s.body, scope, unit)
+        r = self._loop_range(s, scope, unit)
+        # resolve the index cell once: scope.set per iteration walks the
+        # scope chain; the containing scope cannot change mid-loop
+        var = s.var
+        sc = scope.lookup_scope(var)
+        if sc is None:
+            sc = scope._root()
+        cell = sc.vars
+        body = s.body
+        exec_body = self.exec_body
+        for v in r:
+            cell[var] = v
+            exec_body(body, scope, unit)
 
     def _parallel_do(self, s: C.ParallelDo, scope: Scope, unit: str) -> None:
         iters = list(self._loop_range(s, scope, unit))
@@ -579,43 +608,45 @@ class Interpreter:
     # expressions
 
     def eval(self, e: F.Expr, scope: Scope, unit: str) -> Any:
-        if isinstance(e, F.IntLit):
-            return e.value
-        if isinstance(e, F.RealLit):
-            return e.value
-        if isinstance(e, F.LogicalLit):
-            return e.value
-        if isinstance(e, F.StrLit):
-            return e.value
-        if isinstance(e, F.Var):
-            v = scope.get(e.name) if scope.has(e.name) else None
-            if v is None:
-                raise InterpreterError(f"undefined variable {e.name!r}")
-            sh = self.shadow
-            if isinstance(v, FArray):
-                if sh is not None and sh.recording:
-                    sh.record_array(v, e.name, "r",
-                                    idx=() if v.data.ndim == 0 else None)
-                if v.data.ndim == 0:  # COMMON scalar box
-                    return v.data.item()
-                return v.data
+        # same memoized type dispatch as exec_stmt — this is the hottest
+        # call site in the whole simulator
+        handler = _EVAL_HANDLERS.get(type(e))
+        if handler is None:
+            handler = _resolve_handler(type(e), _EVAL_CHAIN)
+            if handler is None:
+                raise InterpreterError(
+                    f"cannot evaluate {type(e).__name__}")
+            _EVAL_HANDLERS[type(e)] = handler
+        return handler(self, e, scope, unit)
+
+    def _eval_lit(self, e, scope: Scope, unit: str):
+        return e.value
+
+    def _eval_var(self, e: F.Var, scope: Scope, unit: str):
+        sc = scope.lookup_scope(e.name)
+        v = sc.vars[e.name] if sc is not None else None
+        if v is None:
+            raise InterpreterError(f"undefined variable {e.name!r}")
+        sh = self.shadow
+        if isinstance(v, FArray):
             if sh is not None and sh.recording:
-                sh.record_scalar(scope.lookup_scope(e.name), e.name, "r")
+                sh.record_array(v, e.name, "r",
+                                idx=() if v.data.ndim == 0 else None)
+            if v.data.ndim == 0:  # COMMON scalar box
+                return v.data.item()
+            return v.data
+        if sh is not None and sh.recording:
+            sh.record_scalar(sc, e.name, "r")
+        return v
+
+    def _eval_unop(self, e: F.UnOp, scope: Scope, unit: str):
+        v = self.eval(e.operand, scope, unit)
+        if e.op == "-":
+            return -v
+        if e.op == "+":
             return v
-        if isinstance(e, (F.ArrayRef, F.Apply)):
-            return self._ref_or_call(e, scope, unit)
-        if isinstance(e, F.FuncCall):
-            return self._func_call(e, scope, unit)
-        if isinstance(e, F.BinOp):
-            return self._binop(e, scope, unit)
-        if isinstance(e, F.UnOp):
-            v = self.eval(e.operand, scope, unit)
-            if e.op == "-":
-                return -v
-            if e.op == "+":
-                return v
-            if e.op == ".not.":
-                return ~np.asarray(v) if isinstance(v, np.ndarray) else not v
+        if e.op == ".not.":
+            return ~np.asarray(v) if isinstance(v, np.ndarray) else not v
         raise InterpreterError(f"cannot evaluate {type(e).__name__}")
 
     def _ref_or_call(self, e, scope: Scope, unit: str):
@@ -648,13 +679,15 @@ class Interpreter:
         return int(self.eval(x, scope, unit))
 
     def _func_call(self, e: F.FuncCall, scope: Scope, unit: str):
-        if e.name in CEDAR_LIBRARY:
-            routine = CEDAR_LIBRARY[e.name]
+        routine = CEDAR_LIBRARY.get(e.name)
+        if routine is not None:
             args = [self.eval(a, scope, unit) for a in e.args]
             return routine.fn(*args)
-        if e.name in self.units:
-            return self._invoke(self.units[e.name], e.args, scope, unit)
-        if e.name in INTRINSICS:
+        callee = self.units.get(e.name)
+        if callee is not None:
+            return self._invoke(callee, e.args, scope, unit)
+        info = INTRINSICS.get(e.name)  # one lookup, not membership + index
+        if info is not None:
             args = [self.eval(a, scope, unit) for a in e.args]
             if any(isinstance(a, np.ndarray) for a in args):
                 fn = _NP_FUNCS.get(e.name)
@@ -662,7 +695,7 @@ class Interpreter:
                     raise InterpreterError(
                         f"intrinsic {e.name!r} not vectorized")
                 return fn(*args)
-            return INTRINSICS[e.name].fn(*args)
+            return info.fn(*args)
         raise InterpreterError(f"unknown function {e.name!r}")
 
     def _binop(self, e: F.BinOp, scope: Scope, unit: str):
@@ -818,3 +851,55 @@ class Interpreter:
                 v.set(idx, value)
             return
         raise InterpreterError("invalid assignment target")
+
+
+# ---------------------------------------------------------------------------
+# dispatch tables
+#
+# exec_stmt/eval resolve handlers through these subclass-aware chains the
+# first time each concrete node class appears, then memoize the result in
+# a plain dict (_STMT_HANDLERS/_EVAL_HANDLERS).  The chain order mirrors
+# the original isinstance ladders — in particular C.ParallelDo precedes
+# F.DoLoop, which it subclasses.
+
+
+def _resolve_handler(t: type, chain):
+    for cls, handler in chain:
+        if issubclass(t, cls):
+            return handler
+    return None
+
+
+_STMT_CHAIN = [
+    (F.Assign, Interpreter._exec_assign),
+    (C.ParallelDo, Interpreter._parallel_do),
+    (F.DoLoop, Interpreter._do_loop),
+    (F.IfBlock, Interpreter._exec_if_block),
+    (F.LogicalIf, Interpreter._exec_logical_if),
+    (C.WhereStmt, Interpreter._where),
+    (F.Goto, Interpreter._exec_goto),
+    (F.ComputedGoto, Interpreter._exec_computed_goto),
+    (F.ContinueStmt, Interpreter._exec_noop),
+    (F.CallStmt, Interpreter._call_stmt),
+    (F.ReturnStmt, Interpreter._exec_return),
+    (F.StopStmt, Interpreter._exec_stop),
+    (F.PrintStmt, Interpreter._exec_print),
+    (F.ReadStmt, Interpreter._exec_read),
+    ((C.AwaitStmt, C.AdvanceStmt, C.LockStmt, C.UnlockStmt,
+      C.PostWaitStmt), Interpreter._exec_sync),
+    ((F.TypeDecl, F.DimensionStmt, F.CommonStmt, F.ParameterStmt,
+      F.DataStmt, F.EquivalenceStmt, F.ImplicitStmt, F.ExternalStmt,
+      F.IntrinsicStmt, F.SaveStmt, C.GlobalDecl, C.ClusterDecl,
+      C.ProcessCommonStmt), Interpreter._exec_noop),
+]
+_STMT_HANDLERS: dict[type, Any] = {}
+
+_EVAL_CHAIN = [
+    ((F.IntLit, F.RealLit, F.LogicalLit, F.StrLit), Interpreter._eval_lit),
+    (F.Var, Interpreter._eval_var),
+    ((F.ArrayRef, F.Apply), Interpreter._ref_or_call),
+    (F.FuncCall, Interpreter._func_call),
+    (F.BinOp, Interpreter._binop),
+    (F.UnOp, Interpreter._eval_unop),
+]
+_EVAL_HANDLERS: dict[type, Any] = {}

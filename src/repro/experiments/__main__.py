@@ -59,7 +59,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="JSONL checkpoint of completed experiments; "
                          "rerun with the same file to resume (implies "
                          "result caching for finished names)")
+    from repro.experiments.common import add_engine_args, configure_engine
+
+    add_engine_args(ap)
     args = ap.parse_args(argv)
+    jobs = configure_engine(args)
 
     names = args.names or list(ALL_EXPERIMENTS)
     for name in names:
@@ -70,53 +74,53 @@ def main(argv: list[str] | None = None) -> int:
     if args.profile:
         os.makedirs(args.profile, exist_ok=True)
 
-    def run_one(name: str):
-        """Run one experiment, profiling (and writing artifacts) if asked."""
-        if not args.profile:
-            return ALL_EXPERIMENTS[name](quick=args.quick)
-        from repro.experiments.common import profiled
-        from repro.prof.export import write_chrome_trace
-
-        with profiled(name) as session:
-            table = ALL_EXPERIMENTS[name](quick=args.quick)
-        write_chrome_trace(
-            session, os.path.join(args.profile, f"{name}.trace.json"))
-        with open(os.path.join(args.profile,
-                               f"{name}.profile.json"), "w") as fh:
-            json.dump(session.to_profile_doc(quick=args.quick), fh, indent=2)
-            fh.write("\n")
-        return table
-
-    from repro.faults.harness import SweepJournal, run_isolated
+    from repro.engine.parallel import WorkerCrash, parallel_map
+    from repro.experiments.worker import run_experiment_cell
+    from repro.faults.harness import SweepJournal
 
     journal = SweepJournal(args.journal)
     fault_reports: list[dict] = []
     table_dicts: dict[str, dict] = {}
-    tables: dict[str, object] = {}
+    texts: dict[str, str] = {}
+    jobs_list: list[dict] = []
 
     for name in names:
         if args.journal and name in journal:
             table_dicts[name] = journal.payload(name)
             print(f"{name}: resumed from journal", file=sys.stderr)
             continue
-        if args.keep_going or args.timeout:
-            table, fault = run_isolated(lambda name=name: run_one(name),
-                                        label=f"experiment {name}",
-                                        timeout=args.timeout)
-            if fault is not None:
-                if not args.keep_going:
-                    print(f"{name}: FAULT ({fault.kind}) {fault.message}",
-                          file=sys.stderr)
-                    return 3
-                fault_reports.append(fault.to_dict())
-                print(f"{name}: FAULT ({fault.kind}) {fault.message} "
-                      f"-- continuing", file=sys.stderr)
-                continue
-        else:
-            table = run_one(name)
-        tables[name] = table
-        table_dicts[name] = table.to_dict()
-        journal.record(name, table_dicts[name])
+        jobs_list.append({
+            "name": name, "quick": args.quick, "trace": args.trace,
+            "profile": args.profile, "timeout": args.timeout,
+            # a parallel run always isolates: a crashing worker must
+            # surface as a structured fault, not a broken pool
+            "isolate": args.keep_going or bool(args.timeout) or jobs > 1,
+        })
+
+    hard_fault = False
+
+    def merge(i: int, res) -> None:
+        nonlocal hard_fault
+        name = jobs_list[i]["name"]
+        fd = res.to_fault_dict() if isinstance(res, WorkerCrash) \
+            else res["fault"]
+        if fd is not None:
+            fault_reports.append(fd)
+            cont = " -- continuing" if args.keep_going else ""
+            print(f"{name}: FAULT ({fd['kind']}) {fd['message']}{cont}",
+                  file=sys.stderr)
+            if not args.keep_going:
+                hard_fault = True
+            return
+        texts[name] = res["text"]
+        table_dicts[name] = res["table_dict"]
+        journal.record(name, res["table_dict"])
+
+    parallel_map(run_experiment_cell, jobs_list, jobs,
+                 labels=[f"experiment {j['name']}" for j in jobs_list],
+                 on_result=merge)
+    if hard_fault:
+        return 3
 
     if args.as_json:
         payload = {
@@ -131,14 +135,8 @@ def main(argv: list[str] | None = None) -> int:
         return 3 if fault_reports else 0
 
     for name in names:
-        if name in tables:
-            table = tables[name]
-            print(table.render())
-            if args.trace and table.meta.get("trace"):
-                from repro.trace.report import TraceReport
-
-                print()
-                print(TraceReport(table.title, table.meta["trace"]).render())
+        if name in texts:
+            print(texts[name])
             print()
         elif name in table_dicts:
             print(f"[{name}: resumed from journal — JSON payload only; "

@@ -8,17 +8,18 @@ every table and figure of the paper plots.
 
 from __future__ import annotations
 
+import argparse
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from repro.engine import cached_parse, cached_restructure, configure
 from repro.execmodel.perf import PerfEstimator, PerfResult
 from repro.fortran import ast_nodes as F
-from repro.fortran.parser import parse_program
 from repro.machine.config import MachineConfig
 from repro.prof.session import ProfileSession
 from repro.restructurer.options import RestructurerOptions
-from repro.restructurer.pipeline import Restructurer
 
 #: the ProfileSession collecting estimates, when ``profiled()`` is active
 _ACTIVE_SESSION: Optional[ProfileSession] = None
@@ -105,7 +106,7 @@ def serial_estimate(source: str, entry: str,
                     placements: Mapping[str, str] | None = None) -> PerfResult:
     """Estimate the original serial/scalar program (data in cluster
     memory — the paper's baseline)."""
-    sf = parse_program(source)
+    sf = cached_parse(source)  # estimation never mutates the tree
     prof_kwargs = _profiled_estimator_kwargs()
     est = PerfEstimator(sf, machine, prefetch=False, placements=placements,
                         serial_data_placement="cluster", **prof_kwargs)
@@ -128,11 +129,10 @@ def restructured_estimate(source: str, entry: str,
 
     ``faults`` is an optional :class:`repro.faults.FaultPlan` degrading
     the simulated machine (timing only — the restructuring itself and
-    all numerics are untouched).
+    all numerics are untouched, so the cached front end is safe to share
+    across fault scenarios).
     """
-    sf = parse_program(source)
-    opts = options or RestructurerOptions()
-    cedar, report = Restructurer(opts).run(sf)
+    cedar, report = cached_restructure(source, options)
     prof_kwargs = _profiled_estimator_kwargs()
     est = PerfEstimator(cedar, machine, prefetch=prefetch,
                         placements=placements, faults=faults, **prof_kwargs)
@@ -164,3 +164,31 @@ def scale_bindings(bindings: Mapping[str, float], n: int,
         if k in out:
             out[k] = n
     return out
+
+
+# ---------------------------------------------------------------------------
+# shared engine CLI flags (experiments / validate / faults)
+
+
+def add_engine_args(ap: argparse.ArgumentParser) -> None:
+    """Install the performance-layer flags every sweep harness shares.
+
+    Defined once here so ``repro.experiments``, ``repro.validate`` and
+    ``repro.faults`` cannot drift: same names, same defaults, same help.
+    """
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="fan sweep cells out over N worker processes "
+                         "(results are merged in deterministic order, so "
+                         "JSON payloads are byte-identical to --jobs 1)")
+    ap.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="on-disk compilation cache shared across "
+                         "processes and invocations (default: "
+                         "$REPRO_CACHE_DIR, else memory-only)")
+
+
+def configure_engine(ns: argparse.Namespace) -> int:
+    """Apply the shared flags; returns the sanitized job count."""
+    cache_dir = getattr(ns, "cache_dir", None) \
+        or os.environ.get("REPRO_CACHE_DIR") or None
+    configure(cache_dir=cache_dir)
+    return max(1, int(getattr(ns, "jobs", 1) or 1))

@@ -43,9 +43,11 @@ def _cmd_list(ns: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(ns: argparse.Namespace) -> int:
+    from repro.experiments.common import configure_engine
     from repro.faults.harness import SweepJournal
     from repro.faults.sweep import run_sweep
 
+    jobs = configure_engine(ns)
     journal = SweepJournal(ns.journal) if ns.journal else None
     progress = (lambda msg: print(msg, file=sys.stderr)) \
         if not ns.as_json or ns.output else (lambda msg: None)
@@ -54,7 +56,7 @@ def _cmd_sweep(ns: argparse.Namespace) -> int:
             workloads=ns.workloads or None,
             scenarios=ns.scenarios or None,
             quick=ns.quick, timeout=ns.timeout,
-            journal=journal, progress=progress)
+            journal=journal, progress=progress, jobs=jobs)
     except ReproError as exc:
         print(f"repro.faults: {exc}", file=sys.stderr)
         return 2
@@ -108,6 +110,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="emit the repro-faults/1 JSON payload on stdout")
     p.add_argument("-o", "--output", metavar="FILE",
                    help="write the JSON payload to FILE")
+    from repro.experiments.common import add_engine_args
+
+    add_engine_args(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("list", help="print the fault-scenario matrix")

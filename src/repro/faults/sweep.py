@@ -40,14 +40,12 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.engine import cached_restructure
 from repro.errors import ReproError
 from repro.execmodel.perf import PerfEstimator
 from repro.faults.harness import FaultReport, run_isolated
 from repro.faults.plan import FaultPlan, all_scenarios
-from repro.fortran.parser import parse_program
 from repro.machine.config import cedar_config1
-from repro.restructurer.options import RestructurerOptions
-from repro.restructurer.pipeline import Restructurer
 from repro.validate.differential import compare_outputs, run_baseline
 from repro.workloads import validation_cases
 
@@ -119,8 +117,9 @@ class _WorkloadHarness:
         self.case = case
         self.seed = seed
         self.cfg = cedar_config1()
-        sf = parse_program(case.source)
-        self.cedar, _ = Restructurer(RestructurerOptions()).run(sf)
+        # default-options restructure through the compilation cache (the
+        # cedar program is read-only downstream — estimator + interpreter)
+        self.cedar, _ = cached_restructure(case.source)
         registry = _bindings_registry(case)
         self.bindings = registry(estimate_n)
         self.healthy = self._estimate(None)
@@ -247,28 +246,41 @@ def run_cell(harness: _WorkloadHarness, plan: FaultPlan) -> FaultRun:
     return run
 
 
+def _resolve_plans(quick: bool,
+                   scenarios: Sequence[str] | None) -> dict[str, FaultPlan]:
+    """The scenario matrix — shared by the driver and its workers so a
+    forked worker reconstructs exactly the parent's plan objects."""
+    if scenarios is not None:
+        from repro.faults.plan import scenario as _scenario
+
+        return {s: _scenario(s) for s in scenarios}
+    return all_scenarios(quick=quick)
+
+
 def run_sweep(workloads: Sequence[str] | None = None,
               scenarios: Sequence[str] | None = None, *,
               quick: bool = False,
               timeout: Optional[float] = None,
               journal=None,
-              progress: Optional[Callable[[str], None]] = None) -> dict:
+              progress: Optional[Callable[[str], None]] = None,
+              jobs: int = 1) -> dict:
     """Run the fault matrix; returns the ``repro-faults/1`` payload.
 
     Each cell runs crash-isolated under ``timeout``; a crashed or hung
     cell becomes a :class:`FaultReport` in the payload (and fails the
     sweep) instead of killing it.  ``journal`` is an optional
     :class:`repro.faults.harness.SweepJournal` for checkpoint/resume.
+
+    ``jobs`` fans workloads out over worker processes (the harness — one
+    restructure + healthy baseline per workload — is the natural unit of
+    shared state).  Serial and parallel runs share one code path and one
+    deterministic merge order, so payloads are byte-identical.
     """
     say = progress or (lambda msg: None)
     names = list(workloads if workloads is not None
                  else (QUICK_WORKLOADS if quick else SWEEP_WORKLOADS))
-    plans = all_scenarios(quick=quick)
-    if scenarios is not None:
-        from repro.faults.plan import scenario as _scenario
-
-        plans = {s: _scenario(s) for s in scenarios}
-    sizes = ESTIMATE_N_QUICK if quick else ESTIMATE_N
+    plans = _resolve_plans(quick, scenarios)
+    scenario_names = list(plans)
 
     cases = validation_cases()
     cases.update(_synthetic_cases())
@@ -276,33 +288,46 @@ def run_sweep(workloads: Sequence[str] | None = None,
     if unknown:
         raise ReproError(f"unknown workload(s): {', '.join(unknown)}")
 
+    from repro.engine.parallel import WorkerCrash, parallel_map
+    from repro.faults.worker import run_fault_workload
+
+    jobs_list = []
+    for wname in names:
+        done = [s for s in scenario_names
+                if journal is not None and f"{wname}:{s}" in journal]
+        jobs_list.append({
+            "workload": wname, "quick": quick, "timeout": timeout,
+            "scenario_override": (list(scenarios)
+                                  if scenarios is not None else None),
+            "skip": done,
+        })
+
     runs: list[dict] = []
     faults: list[dict] = []
-    for wname in names:
-        case = cases[wname]
-        say(f"[{wname}] restructuring + healthy baseline ...")
-        harness, fr = run_isolated(
-            lambda case=case: _WorkloadHarness(
-                case, estimate_n=sizes[case.suite]),
-            label=f"{wname} baseline", timeout=timeout)
-        if fr is not None:
-            faults.append(fr.to_dict())
-            say(f"[{wname}] FAULT ({fr.kind}) {fr.message}")
-            continue
-        for sname, plan in plans.items():
-            key = f"{wname}:{sname}"
-            if journal is not None and key in journal:
+
+    def merge(i: int, res) -> None:
+        wname = jobs_list[i]["workload"]
+        if isinstance(res, WorkerCrash):
+            faults.append(res.to_fault_dict())
+            say(f"[{wname}] FAULT (internal) {res.message}")
+            return
+        if res["baseline_fault"] is not None:
+            fd = res["baseline_fault"]
+            faults.append(fd)
+            say(f"[{wname}] FAULT ({fd['kind']}) {fd['message']}")
+            return
+        for cell in res["cells"]:
+            key = f"{wname}:{cell['scenario']}"
+            if cell.get("resumed"):
                 runs.append(journal.payload(key))
                 say(f"[{key}] resumed from journal")
                 continue
-            cell, fr = run_isolated(
-                lambda harness=harness, plan=plan: run_cell(harness, plan),
-                label=key, timeout=timeout)
-            if fr is not None:
-                faults.append(fr.to_dict())
-                say(f"[{key}] FAULT ({fr.kind}) {fr.message}")
+            if cell["fault"] is not None:
+                fd = cell["fault"]
+                faults.append(fd)
+                say(f"[{key}] FAULT ({fd['kind']}) {fd['message']}")
                 continue
-            rd = cell.to_dict()
+            rd = cell["run"]
             if journal is not None:
                 journal.record(key, rd)
             runs.append(rd)
@@ -311,6 +336,10 @@ def run_sweep(workloads: Sequence[str] | None = None,
                                    if not rd["checks"].get(c)))
             say(f"[{key}] x{rd['degradation']:.3f} "
                 f"(bound x{rd['bound']:.2f}) {status}")
+
+    parallel_map(run_fault_workload, jobs_list, jobs,
+                 labels=[f"{j['workload']} baseline" for j in jobs_list],
+                 on_result=merge)
 
     expected = len(names) * len(plans)
     n_ok = sum(1 for r in runs if r["ok"])

@@ -2,7 +2,9 @@
 
 Compares two performance payloads — ``repro-experiment/1`` documents
 (``BENCH_*.json`` artifacts or ``python -m repro.experiments --json``
-output) or ``repro-profile/1`` documents — workload by workload, reports
+output), ``repro-profile/1`` documents, or ``repro-bench-host/1`` host
+wall-clock documents (``benchmarks/bench_host.py``) — workload by
+workload (run by run for host benchmarks), reports
 per-experiment cycle deltas, and flags regressions beyond a threshold.
 ``scripts/bench_diff.py`` and ``python -m repro.prof diff`` front this as
 the CI regression gate against the committed baselines in
@@ -24,6 +26,11 @@ METRIC_REGRESSES_UP = {
     "serial_cycles": True,
     "total_cycles": True,
     "speedup": False,
+    # host wall-clock payloads (repro-bench-host/1)
+    "host_seconds": True,
+    "warm_speedup": False,
+    "compile_speedup": False,
+    "parallel_speedup": False,
 }
 
 
@@ -91,6 +98,20 @@ def extract_metrics(payload: dict) -> dict[str, dict[str, float]]:
             v = run.get("total_cycles")
             if isinstance(v, (int, float)):
                 out[key] = {"total_cycles": float(v)}
+        return out
+    if schema == "repro-bench-host/1":
+        for name, run in (payload.get("runs") or {}).items():
+            v = run.get("seconds") if isinstance(run, dict) else None
+            if isinstance(v, (int, float)):
+                out[f"host/{name}"] = {"host_seconds": float(v)}
+        for sect, metrics in (("cache", ("warm_speedup",
+                                         "compile_speedup")),
+                              ("parallel", ("parallel_speedup",))):
+            d = payload.get(sect) or {}
+            got = {m: float(d[m]) for m in metrics
+                   if isinstance(d.get(m), (int, float))}
+            if got:
+                out[f"host/{sect}"] = got
         return out
     raise ValueError(f"unsupported payload schema {schema!r}")
 

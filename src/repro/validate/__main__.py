@@ -34,20 +34,20 @@ import argparse
 import json
 import sys
 
+from repro.engine.parallel import WorkerCrash, parallel_map
+from repro.experiments.common import add_engine_args, configure_engine
 from repro.validate.configs import PIPELINE_CONFIGS
-from repro.validate.differential import (
-    DEFAULT_ATOL,
-    DEFAULT_RTOL,
-    validate_workload,
-)
+from repro.validate.differential import DEFAULT_ATOL, DEFAULT_RTOL
 from repro.validate.report import build_report_from_dicts, render_text_from_dicts
+from repro.validate.worker import run_workload_cell
 from repro.workloads import validation_cases
 
 #: the CI smoke subset: one routine per obstacle family, all fast
 QUICK_WORKLOADS = ("tridag", "cg", "sparse", "TRFD", "MDG", "TRACK")
 
 
-def _crashed_workload_dict(case, config_names, fault) -> dict:
+def _crashed_workload_dict(case, config_names, kind: str,
+                           message: str) -> dict:
     """Synthesize a schema-valid workload entry for a crashed run.
 
     Every selected configuration gets an ``error`` ConfigResult carrying
@@ -60,7 +60,7 @@ def _crashed_workload_dict(case, config_names, fault) -> dict:
         "configs": [{
             "config": name, "stages": [], "status": "error",
             "divergences": [], "races": [],
-            "error": f"harness fault ({fault.kind}): {fault.message}",
+            "error": f"harness fault ({kind}): {message}",
             "culprit_pass": None, "parallel_loops": 0, "loops_checked": 0,
             "compared_keys": [], "discharged": {},
         } for name in config_names],
@@ -99,11 +99,18 @@ def main(argv: list[str] | None = None) -> int:
                     help="JSONL checkpoint of completed workloads; rerun "
                          "with the same file to resume an interrupted "
                          "sweep")
+    ap.add_argument("--engine", choices=("tree", "compiled"),
+                    default="compiled",
+                    help="interpreter engine for baselines and bisection "
+                         "(default: compiled; race-checked variant runs "
+                         "always use the instrumented tree-walk)")
     ap.add_argument("--json", action="store_true",
                     help="emit the repro-validate/1 JSON payload")
     ap.add_argument("-o", "--output", metavar="FILE",
                     help="write the JSON payload to FILE")
+    add_engine_args(ap)
     ns = ap.parse_args(argv)
+    jobs = configure_engine(ns)
 
     cases = validation_cases()
     if ns.workloads:
@@ -122,13 +129,14 @@ def main(argv: list[str] | None = None) -> int:
             ap.error(f"no selected workload in suite {ns.suite!r}")
 
     config_names = ns.configs or sorted(PIPELINE_CONFIGS)
-    configs = {name: PIPELINE_CONFIGS[name] for name in config_names}
 
-    from repro.faults.harness import SweepJournal, run_isolated
+    from repro.faults.harness import SweepJournal
 
     journal = SweepJournal(ns.journal)
     wdicts: list[dict] = []
     fault_reports: list[dict] = []
+    jobs_list: list[dict] = []
+    positions: list[int] = []
     for case in selected:
         if ns.journal and case.name in journal:
             wdicts.append(journal.payload(case.name))
@@ -136,25 +144,49 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{case.name}: resumed from journal",
                       file=sys.stderr)
             continue
-        if not ns.json:
-            print(f"validating {case.name} "
-                  f"({case.suite}, n={case.n}) ...", file=sys.stderr)
-        result, fault = run_isolated(
-            lambda case=case: validate_workload(
-                case, configs, seeds=ns.seeds, processors=ns.processors,
-                atol=ns.atol, rtol=ns.rtol, bisect=not ns.no_bisect),
-            label=f"validate {case.name}", timeout=ns.timeout)
-        if fault is not None:
-            fault_reports.append(fault.to_dict())
-            wd = _crashed_workload_dict(case, config_names, fault)
+        wdicts.append({})                # placeholder, filled on merge
+        positions.append(len(wdicts) - 1)
+        jobs_list.append({
+            "workload": case.name, "configs": config_names,
+            "seeds": ns.seeds, "processors": ns.processors,
+            "atol": ns.atol, "rtol": ns.rtol,
+            "bisect": not ns.no_bisect, "timeout": ns.timeout,
+            "engine": ns.engine,
+        })
+    if jobs_list and not ns.json:
+        print(f"validating {len(jobs_list)} workload(s), "
+              f"jobs={jobs}, engine={ns.engine} ...", file=sys.stderr)
+
+    def merge(i: int, res) -> None:
+        # fires in submission order: results land in selection order and
+        # the journal/fault lists grow deterministically — byte-identical
+        # payloads whatever the job count
+        name = jobs_list[i]["workload"]
+        case = cases[name]
+        if isinstance(res, WorkerCrash):
+            fd = res.to_fault_dict()
+        else:
+            fd = res["fault"]
+        if fd is not None:
+            fault_reports.append(fd)
+            wd = _crashed_workload_dict(case, config_names,
+                                        fd["kind"], fd["message"])
             if not ns.json:
-                print(f"{case.name}: FAULT ({fault.kind}) {fault.message}",
+                print(f"{name}: FAULT ({fd['kind']}) {fd['message']}",
                       file=sys.stderr)
             # not journaled: a resumed sweep retries faulted workloads
         else:
-            wd = result.to_dict()
-            journal.record(case.name, wd)
-        wdicts.append(wd)
+            wd = res["dict"]
+            journal.record(name, wd)
+            if not ns.json:
+                ok = all(c["status"] == "ok" for c in wd["configs"])
+                print(f"{name}: {'ok' if ok else 'NOT OK'}",
+                      file=sys.stderr)
+        wdicts[positions[i]] = wd
+
+    parallel_map(run_workload_cell, jobs_list, jobs,
+                 labels=[f"validate {j['workload']}" for j in jobs_list],
+                 on_result=merge)
 
     payload = build_report_from_dicts(wdicts, configs=config_names,
                                       quick=ns.quick, faults=fault_reports)

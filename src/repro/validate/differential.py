@@ -21,11 +21,10 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.api import restructure
+from repro.engine import cached_parse, cached_restructure
 from repro.errors import ReproError
 from repro.execmodel.interp import Interpreter
 from repro.execmodel.shadow import RaceConflict, ShadowRecorder
-from repro.fortran.parser import parse_program
 from repro.restructurer.options import RestructurerOptions
 from repro.validate.configs import config_stages, options_for_stages
 from repro.workloads import ValidationCase
@@ -130,21 +129,37 @@ class WorkloadResult:
 # execution
 
 
-def run_baseline(case: ValidationCase, seed: int) -> dict:
-    """Interpret the sequential original; returns the result dict."""
+def run_baseline(case: ValidationCase, seed: int, *,
+                 engine: str = "tree") -> dict:
+    """Interpret the sequential original; returns the result dict.
+
+    The parse is served by the compilation cache — one parse per source
+    no matter how many seeds/configs/bisection steps revisit it (the
+    interpreter never mutates the tree, so the instance is shared).
+    """
     args, _ = case.make_args(case.n, np.random.default_rng(seed))
-    sf = parse_program(case.source)
-    return Interpreter(sf, processors=1).call(case.entry, *args)
+    sf = cached_parse(case.source)
+    return Interpreter(sf, processors=1, engine=engine).call(
+        case.entry, *args)
 
 
 def run_variant(case: ValidationCase, options: RestructurerOptions,
                 seed: int, processors: int,
-                shadow: Optional[ShadowRecorder] = None,
-                ) -> tuple[dict, object]:
-    """Restructure a fresh parse and interpret the Cedar program."""
-    cedar, report = restructure(parse_program(case.source), options)
+                shadow: Optional[ShadowRecorder] = None, *,
+                engine: str = "tree",
+                cedar=None, report=None) -> tuple[dict, object]:
+    """Interpret the restructured Cedar program.
+
+    The parse → restructure front end is served by the compilation
+    cache; callers looping over (seed × processors) cells may also pass
+    a pre-restructured ``cedar``/``report`` pair to skip even the cache
+    probe.  A shadow recorder forces the tree-walk engine.
+    """
+    if cedar is None:
+        cedar, report = cached_restructure(case.source, options)
     args, _ = case.make_args(case.n, np.random.default_rng(seed))
-    interp = Interpreter(cedar, processors=processors, shadow=shadow)
+    interp = Interpreter(cedar, processors=processors, shadow=shadow,
+                         engine=engine)
     return interp.call(case.entry, *args), report
 
 
@@ -214,21 +229,26 @@ def compare_outputs(baseline: dict, candidate: dict, *,
 def bisect_stages(case: ValidationCase, stages: list[str], *,
                   seed: int, processors: int,
                   atol: float = DEFAULT_ATOL,
-                  rtol: float = DEFAULT_RTOL) -> Optional[str]:
+                  rtol: float = DEFAULT_RTOL,
+                  engine: str = "tree",
+                  baseline: Optional[dict] = None) -> Optional[str]:
     """Name the pass stage that introduced a divergence.
 
     Binary-searches the shortest prefix of ``stages`` whose configuration
     still diverges from the baseline; returns its last stage label, or
     ``"base-parallelization"`` when even the empty prefix (all passes
     off, planner still active) diverges.  Returns None if the full list
-    unexpectedly converges (a flaky divergence).
+    unexpectedly converges (a flaky divergence).  Callers that already
+    hold the baseline result for this seed pass it in to avoid a re-run.
     """
-    baseline = run_baseline(case, seed)
+    if baseline is None:
+        baseline = run_baseline(case, seed, engine=engine)
 
     def diverges(k: int) -> bool:
         opts = options_for_stages(stages[:k])
         try:
-            result, _ = run_variant(case, opts, seed, processors)
+            result, _ = run_variant(case, opts, seed, processors,
+                                    engine=engine)
         except ReproError:
             return True  # crashing is as divergent as a wrong answer
         return bool(compare_outputs(
@@ -259,21 +279,35 @@ def validate_workload(case: ValidationCase,
                       processors: Sequence[int] = (2, 8),
                       atol: float = DEFAULT_ATOL,
                       rtol: float = DEFAULT_RTOL,
-                      bisect: bool = True) -> WorkloadResult:
-    """Differentially validate one workload under every configuration."""
+                      bisect: bool = True,
+                      engine: str = "tree") -> WorkloadResult:
+    """Differentially validate one workload under every configuration.
+
+    ``engine`` selects the interpreter engine for baselines and
+    bisection; the shadow-instrumented variant runs always use the
+    tree-walk (race detection lives there), so results are engine-
+    independent by the compiled engine's numerics-identity guarantee.
+    """
     wr = WorkloadResult(workload=case.name, suite=case.suite,
                         entry=case.entry, n=case.n,
                         seeds=list(seeds), processors=list(processors))
-    baselines = {seed: run_baseline(case, seed) for seed in seeds}
+    baselines = {seed: run_baseline(case, seed, engine=engine)
+                 for seed in seeds}
     for cname, factory in configs.items():
         opts = factory()
         cr = ConfigResult(config=cname, stages=config_stages(opts))
         try:
+            # one restructure per configuration — the (seed × processors)
+            # cells below reuse the pair instead of re-running the front
+            # end per cell (and the cache makes even this probe-cheap)
+            cedar, report0 = cached_restructure(case.source, opts)
             for seed in seeds:
                 for p in processors:
                     shadow = ShadowRecorder()
                     result, report = run_variant(case, opts, seed, p,
-                                                 shadow=shadow)
+                                                 shadow=shadow,
+                                                 cedar=cedar,
+                                                 report=report0)
                     cr.loops_checked += shadow.loops_checked
                     cr.races.extend(shadow.conflicts)
                     cr.divergences.extend(compare_outputs(
@@ -285,8 +319,12 @@ def validate_workload(case: ValidationCase,
                         cr.parallel_loops = sum(
                             u.parallelized_loops
                             for u in report.units.values())
+                        # sorted: the underlying map is built from set
+                        # iteration, which varies with hash randomization
+                        # — canonical order keeps payloads byte-stable
+                        # across processes and runs
                         cr.discharged = {
-                            pl.loop_id: dict(pl.discharged)
+                            pl.loop_id: dict(sorted(pl.discharged.items()))
                             for u in report.units.values()
                             for pl in u.plans if pl.discharged}
         except ReproError as exc:
@@ -301,6 +339,7 @@ def validate_workload(case: ValidationCase,
             first = cr.divergences[0]
             cr.culprit_pass = bisect_stages(
                 case, cr.stages, seed=first.seed,
-                processors=first.processors, atol=atol, rtol=rtol)
+                processors=first.processors, atol=atol, rtol=rtol,
+                engine=engine, baseline=baselines.get(first.seed))
         wr.configs.append(cr)
     return wr

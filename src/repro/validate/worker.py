@@ -1,0 +1,38 @@
+"""Picklable per-workload cell for the parallel validate sweep.
+
+Lives in its own importable module (not ``__main__``) so
+:func:`repro.engine.parallel.parallel_map` can ship it to worker
+processes.  One cell = one workload validated under every selected
+configuration, crash-isolated exactly like the serial path.
+"""
+
+from __future__ import annotations
+
+from repro.validate.configs import PIPELINE_CONFIGS
+from repro.validate.differential import validate_workload
+from repro.workloads import validation_cases
+
+
+def run_workload_cell(job: dict) -> dict:
+    """Validate one workload; returns a JSON-shaped merge record.
+
+    ``job`` keys: workload, configs (names), seeds, processors, atol,
+    rtol, bisect, timeout, engine.  Returns ``{"workload", "dict",
+    "fault"}`` where exactly one of ``dict`` (the WorkloadResult) and
+    ``fault`` (a FaultReport dict) is non-None.
+    """
+    from repro.faults.harness import run_isolated
+
+    case = validation_cases()[job["workload"]]
+    configs = {name: PIPELINE_CONFIGS[name] for name in job["configs"]}
+    result, fault = run_isolated(
+        lambda: validate_workload(
+            case, configs, seeds=job["seeds"],
+            processors=job["processors"], atol=job["atol"],
+            rtol=job["rtol"], bisect=job["bisect"],
+            engine=job["engine"]),
+        label=f"validate {case.name}", timeout=job["timeout"])
+    if fault is not None:
+        return {"workload": case.name, "dict": None,
+                "fault": fault.to_dict()}
+    return {"workload": case.name, "dict": result.to_dict(), "fault": None}

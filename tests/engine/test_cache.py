@@ -1,0 +1,186 @@
+"""The content-addressed compilation cache (repro.engine.cache)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import (
+    CompilationCache,
+    content_key,
+    options_fingerprint,
+)
+from repro.restructurer.options import RestructurerOptions
+
+SRC = """
+      subroutine axpy(n, a, x, y)
+      integer n, i
+      real a, x(n), y(n)
+      do 10 i = 1, n
+         y(i) = y(i) + a * x(i)
+   10 continue
+      return
+      end
+"""
+
+SRC2 = SRC.replace("axpy", "axpy2")
+
+
+class TestContentKey:
+    def test_deterministic(self):
+        assert content_key("parse", SRC) == content_key("parse", SRC)
+
+    def test_source_sensitive(self):
+        assert content_key("parse", SRC) != content_key("parse", SRC2)
+
+    def test_kind_sensitive(self):
+        assert content_key("parse", SRC) != content_key("restructure", SRC)
+
+    def test_fingerprint_sensitive(self):
+        fp = options_fingerprint(
+            RestructurerOptions(loop_interchange=False))
+        assert content_key("restructure", SRC) \
+            != content_key("restructure", SRC, fp)
+
+    def test_no_concatenation_collisions(self):
+        # the parts are length-delimited, not concatenated
+        assert content_key("ab", "c") != content_key("a", "bc")
+
+
+class TestOptionsFingerprint:
+    def test_none_equals_defaults(self):
+        assert options_fingerprint(None) \
+            == options_fingerprint(RestructurerOptions())
+
+    def test_distinguishes_options(self):
+        assert options_fingerprint(RestructurerOptions()) \
+            != options_fingerprint(
+                RestructurerOptions(loop_interchange=False))
+
+
+class TestMemoryCache:
+    def test_parse_memoized_and_shared(self):
+        c = CompilationCache()
+        a = c.parse(SRC)
+        b = c.parse(SRC)
+        assert a is b
+        assert c.hits == 1 and c.misses == 1
+
+    def test_mutable_parse_returns_fresh_clone(self):
+        c = CompilationCache()
+        a = c.parse(SRC, mutable=True)
+        b = c.parse(SRC, mutable=True)
+        assert a is not b
+        assert a.units[0] is not b.units[0]
+
+    def test_restructure_pair_shared(self):
+        c = CompilationCache()
+        pair_a = c.restructure(SRC)
+        pair_b = c.restructure(SRC)
+        assert pair_a[0] is pair_b[0] and pair_a[1] is pair_b[1]
+
+    def test_restructure_keyed_on_options(self):
+        c = CompilationCache()
+        a, _ = c.restructure(SRC)
+        b, _ = c.restructure(
+            SRC, RestructurerOptions(loop_interchange=False))
+        assert a is not b
+
+    def test_disabled_cache_recomputes(self):
+        c = CompilationCache(enabled=False)
+        assert c.parse(SRC) is not c.parse(SRC)
+        assert c.hits == 0 and c.misses == 0
+
+    def test_clear_drops_memory(self):
+        c = CompilationCache()
+        a = c.parse(SRC)
+        c.clear()
+        assert c.parse(SRC) is not a
+
+
+class TestDiskCache:
+    def test_second_instance_hits_disk(self, tmp_path):
+        c1 = CompilationCache(cache_dir=tmp_path)
+        c1.restructure(SRC)
+        assert c1.disk_writes >= 1
+        c2 = CompilationCache(cache_dir=tmp_path)
+        c2.restructure(SRC)
+        assert c2.disk_hits >= 1 and c2.misses == 0
+
+    def test_disk_artifact_is_usable(self, tmp_path):
+        from repro.execmodel.interp import Interpreter
+
+        CompilationCache(cache_dir=tmp_path).restructure(SRC)
+        cedar, report = CompilationCache(
+            cache_dir=tmp_path).restructure(SRC)
+        x = np.arange(1.0, 5.0)
+        y = np.ones(4)
+        out = Interpreter(cedar, processors=2).call(
+            "axpy", 4, 2.0, x, y)
+        assert np.allclose(out["y"], 1.0 + 2.0 * x)
+
+    def test_torn_disk_entry_recomputes(self, tmp_path):
+        c1 = CompilationCache(cache_dir=tmp_path)
+        c1.parse(SRC)
+        for p in tmp_path.rglob("*.pkl"):
+            p.write_bytes(b"not a pickle")
+        c2 = CompilationCache(cache_dir=tmp_path)
+        sf = c2.parse(SRC)      # must not raise
+        assert sf.units and c2.misses == 1
+
+    def test_readonly_dir_degrades_to_memory(self, tmp_path):
+        ro = tmp_path / "ro"
+        ro.mkdir()
+        ro.chmod(0o500)
+        try:
+            c = CompilationCache(cache_dir=ro)
+            a = c.parse(SRC)    # disk write fails silently
+            assert c.parse(SRC) is a
+        finally:
+            ro.chmod(0o700)
+
+
+class TestProcessWideConfiguration:
+    def test_configure_and_env(self, tmp_path, monkeypatch):
+        from repro.engine import cache as mod
+
+        monkeypatch.setattr(mod, "_DEFAULT", None)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        c = mod.get_cache()
+        assert c.cache_dir == tmp_path
+        assert mod.cached_parse(SRC) is mod.cached_parse(SRC)
+        assert mod.cache_stats()["hits"] == 1
+
+    def test_env_disable(self, monkeypatch):
+        from repro.engine import cache as mod
+
+        monkeypatch.setattr(mod, "_DEFAULT", None)
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        assert mod.get_cache().enabled is False
+
+    def test_configure_overrides(self, monkeypatch):
+        from repro.engine import cache as mod
+
+        monkeypatch.setattr(mod, "_DEFAULT", None)
+        c = mod.configure(enabled=True)
+        assert c.enabled and mod.get_cache() is c
+
+
+@pytest.mark.parametrize("opts", [None, RestructurerOptions(
+    scalar_expansion=False)])
+def test_cached_restructure_matches_uncached(opts):
+    """Cache hits must be semantically identical to recomputation."""
+    from repro.fortran.parser import parse_program
+    from repro.restructurer.pipeline import Restructurer
+
+    cache = CompilationCache()
+    cached, _ = cache.restructure(SRC, opts)
+    cached2, _ = cache.restructure(SRC, opts)   # the hit
+    fresh, _ = Restructurer(opts).run(parse_program(SRC))
+    assert cached is cached2
+    assert str(cached.units[0].name) == str(fresh.units[0].name)
+    from repro.execmodel.interp import Interpreter
+
+    x = np.arange(1.0, 7.0)
+    args = (6, 3.0, x, np.zeros(6))
+    out_c = Interpreter(cached, processors=4).call("axpy", *args)
+    out_f = Interpreter(fresh, processors=4).call("axpy", *args)
+    assert np.array_equal(out_c["y"], out_f["y"])

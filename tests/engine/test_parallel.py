@@ -1,0 +1,111 @@
+"""The order-preserving parallel executor (repro.engine.parallel)."""
+
+import os
+
+import pytest
+
+from repro.engine.parallel import WorkerCrash, parallel_map
+
+
+# --- module-level cell functions (must be picklable) -----------------------
+
+
+def square(x):
+    return x * x
+
+
+def slow_inverse_square(x):
+    # later items finish first: order preservation must not depend on
+    # completion order
+    import time
+
+    time.sleep(0.05 * (4 - x))
+    return x * x
+
+
+def pid_tag(x):
+    return (x, os.getpid())
+
+
+def boom(x):
+    if x == 2:
+        raise ValueError(f"cell {x} exploded")
+    return x
+
+
+def hard_exit(x):
+    if x == 1:
+        os._exit(17)      # simulates a segfault/OOM-killed worker
+    return x
+
+
+class TestSerialPath:
+    def test_maps_in_order(self):
+        assert parallel_map(square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_single_item_stays_in_process(self):
+        [(v, pid)] = parallel_map(pid_tag, [7], jobs=8)
+        assert v == 7 and pid == os.getpid()
+
+    def test_on_result_fires_in_order(self):
+        seen = []
+        parallel_map(square, [1, 2, 3], jobs=1,
+                     on_result=lambda i, r: seen.append((i, r)))
+        assert seen == [(0, 1), (1, 4), (2, 9)]
+
+    def test_serial_exception_propagates(self):
+        # jobs<=1 is a plain map: isolation is the cell's own job
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1, 2, 3], jobs=1)
+
+
+class TestParallelPath:
+    def test_results_in_submission_order(self):
+        assert parallel_map(slow_inverse_square, [1, 2, 3],
+                            jobs=3) == [1, 4, 9]
+
+    def test_runs_in_worker_processes(self):
+        out = parallel_map(pid_tag, [1, 2, 3, 4], jobs=2)
+        assert [v for v, _ in out] == [1, 2, 3, 4]
+        assert any(pid != os.getpid() for _, pid in out)
+
+    def test_on_result_fires_in_order(self):
+        seen = []
+        parallel_map(slow_inverse_square, [1, 2, 3], jobs=3,
+                     on_result=lambda i, r: seen.append(i))
+        assert seen == [0, 1, 2]
+
+    def test_cell_exception_becomes_worker_crash(self):
+        out = parallel_map(boom, [1, 2, 3], jobs=2,
+                           labels=["a", "b", "c"])
+        assert out[0] == 1 and out[2] == 3
+        crash = out[1]
+        assert isinstance(crash, WorkerCrash)
+        assert crash.label == "b"
+        assert "exploded" in crash.message
+
+    def test_dead_worker_becomes_worker_crash(self):
+        out = parallel_map(hard_exit, [0, 1, 2], jobs=2)
+        assert isinstance(out[1], WorkerCrash)
+        # positions of unaffected results are preserved (a broken pool
+        # may take siblings down with it — those also become crashes)
+        assert all(r == i or isinstance(r, WorkerCrash)
+                   for i, r in enumerate(out))
+
+    def test_crash_fault_dict_shape(self):
+        fd = WorkerCrash(label="cell", message="died").to_fault_dict()
+        assert fd["kind"] == "internal"
+        assert fd["error_type"] == "WorkerCrash"
+        assert fd["label"] == "cell" and fd["message"] == "died"
+        # shape-compatible with FaultReport.to_dict()
+        from repro.faults.harness import FaultReport
+
+        assert set(fd) == set(
+            FaultReport(label="x", kind="internal", error_type="E",
+                        message="m").to_dict())
+
+
+def test_serial_and_parallel_agree():
+    items = list(range(10))
+    assert parallel_map(square, items, jobs=1) \
+        == parallel_map(square, items, jobs=4)

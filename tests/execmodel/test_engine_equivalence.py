@@ -1,0 +1,121 @@
+"""Golden equivalence suite: the compiled closure engine must be
+*bit-identical* to the tree-walking interpreter — same dtypes, same
+bytes — on every workload, restructurer configuration, and processor
+count.  This is the contract that lets harnesses default to
+``engine="compiled"``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import cached_parse, cached_restructure
+from repro.execmodel.interp import Interpreter
+from repro.validate.configs import PIPELINE_CONFIGS
+from repro.workloads import validation_cases
+
+CASES = validation_cases()
+
+
+def assert_bit_identical(a: dict, b: dict, ctx: str) -> None:
+    assert set(a) == set(b), f"{ctx}: result keys differ"
+    for k in a:
+        xa, xb = np.asarray(a[k]), np.asarray(b[k])
+        assert xa.dtype == xb.dtype, \
+            f"{ctx}/{k}: dtype {xa.dtype} != {xb.dtype}"
+        assert xa.shape == xb.shape, \
+            f"{ctx}/{k}: shape {xa.shape} != {xb.shape}"
+        assert xa.tobytes() == xb.tobytes(), \
+            f"{ctx}/{k}: values differ bitwise"
+
+
+def _outputs(program, case, seed: int, processors: int,
+             engine: str) -> dict:
+    args, _ = case.make_args(case.n, np.random.default_rng(seed))
+    return Interpreter(program, processors=processors,
+                       engine=engine).call(case.entry, *args)
+
+
+@pytest.mark.parametrize("wname", sorted(CASES))
+def test_sequential_originals_identical(wname):
+    case = CASES[wname]
+    sf = cached_parse(case.source)
+    tree = _outputs(sf, case, seed=3, processors=1, engine="tree")
+    comp = _outputs(sf, case, seed=3, processors=1, engine="compiled")
+    assert_bit_identical(tree, comp, f"{wname}@sequential")
+
+
+@pytest.mark.parametrize("config", sorted(PIPELINE_CONFIGS))
+@pytest.mark.parametrize("wname", sorted(CASES))
+def test_restructured_programs_identical(wname, config):
+    case = CASES[wname]
+    cedar, _ = cached_restructure(case.source,
+                                  PIPELINE_CONFIGS[config]())
+    for processors in (2, 8):
+        tree = _outputs(cedar, case, seed=3, processors=processors,
+                        engine="tree")
+        comp = _outputs(cedar, case, seed=3, processors=processors,
+                        engine="compiled")
+        assert_bit_identical(tree, comp,
+                             f"{wname}@{config}/P={processors}")
+
+
+def test_track_multisets_match_baseline():
+    """TRACK's outputs are order-sensitive (permutation_ok): both
+    engines must produce the *same multiset* as the sequential original,
+    and the same bytes as each other."""
+    case = CASES["TRACK"]
+    assert case.permutation_ok
+    sf = cached_parse(case.source)
+    cedar, _ = cached_restructure(case.source)
+    base = _outputs(sf, case, seed=3, processors=1, engine="tree")
+    for engine in ("tree", "compiled"):
+        par = _outputs(cedar, case, seed=3, processors=8, engine=engine)
+        assert set(par) == set(base)
+        for k in base:
+            xb, xp = np.asarray(base[k]), np.asarray(par[k])
+            if xb.ndim:
+                np.testing.assert_allclose(
+                    np.sort(xp.ravel()), np.sort(xb.ravel()),
+                    rtol=1e-3, atol=1e-4,
+                    err_msg=f"TRACK[{engine}]/{k}: multiset diverged")
+
+
+def test_shadow_recorder_forces_tree_engine():
+    from repro.execmodel.shadow import ShadowRecorder
+
+    case = CASES["tridag"]
+    cedar, _ = cached_restructure(case.source)
+    interp = Interpreter(cedar, processors=2, shadow=ShadowRecorder(),
+                         engine="compiled")
+    assert interp.engine == "tree"
+
+
+def test_unknown_engine_rejected():
+    from repro.errors import InterpreterError
+
+    case = CASES["tridag"]
+    sf = cached_parse(case.source)
+    with pytest.raises(InterpreterError):
+        Interpreter(sf, engine="jit")
+
+
+# --- property test: equivalence holds across sampled inputs ----------------
+
+_PROPERTY_WORKLOADS = ("tridag", "cg", "sparse")
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       wname=st.sampled_from(_PROPERTY_WORKLOADS),
+       processors=st.sampled_from((1, 2, 5, 8)))
+def test_engines_identical_on_sampled_inputs(seed, wname, processors):
+    case = CASES[wname]
+    cedar, _ = cached_restructure(case.source)
+    tree = _outputs(cedar, case, seed=seed, processors=processors,
+                    engine="tree")
+    comp = _outputs(cedar, case, seed=seed, processors=processors,
+                    engine="compiled")
+    assert_bit_identical(tree, comp,
+                         f"{wname}@seed={seed}/P={processors}")

@@ -1,0 +1,82 @@
+"""Interpreter microbenchmarks: the compiled closure engine must beat
+the tree walk, and both must clear a statement-throughput floor that
+pins the memoized-dispatch fast path (a regression to per-statement
+isinstance ladders shows up here long before it shows up in CI wall
+clock)."""
+
+import time
+
+import numpy as np
+
+from repro.engine import cached_parse
+from repro.execmodel.interp import Interpreter
+
+# statement-heavy kernel: ~n^2 assignments with subscript arithmetic,
+# branches, and intrinsic calls — exactly the dispatch-bound shape the
+# closure compiler and the memoized handler tables target
+KERNEL = """
+      subroutine churn(n, a, b, s)
+      integer n, i, j
+      real a(n,n), b(n,n), s
+      s = 0.0
+      do 20 j = 1, n
+         do 10 i = 1, n
+            a(i,j) = b(i,j) * 2.0 + sqrt(abs(b(i,j)))
+            if (a(i,j) .gt. 1.0) then
+               a(i,j) = a(i,j) - 1.0
+            endif
+            s = s + a(i,j)
+   10    continue
+   20 continue
+      return
+      end
+"""
+
+N = 40
+
+
+def _run(engine: str) -> tuple[float, dict]:
+    sf = cached_parse(KERNEL)
+    rng = np.random.default_rng(7)
+    b = np.asarray(rng.standard_normal((N, N)), dtype=np.float64)
+    best = float("inf")
+    out = None
+    for _ in range(3):                      # best-of-3 damps host noise
+        a = np.zeros((N, N))
+        interp = Interpreter(sf, processors=1, engine=engine)
+        t0 = time.perf_counter()
+        out = interp.call("churn", N, a, b.copy(), 0.0)
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_compiled_engine_beats_tree_walk():
+    t_tree, out_tree = _run("tree")
+    t_comp, out_comp = _run("compiled")
+    # numerics first — a fast wrong answer is not a win
+    assert np.array_equal(out_tree["a"], out_comp["a"])
+    assert out_tree["s"] == out_comp["s"]
+    # the closure engine consistently measures ~2x here; 10% margin
+    # keeps the assertion robust on noisy CI hosts
+    assert t_comp < t_tree * 0.9, (
+        f"compiled engine not faster: {t_comp:.4f}s vs tree "
+        f"{t_tree:.4f}s")
+
+
+def test_tree_walk_throughput_floor():
+    """The memoized dispatch tables keep the tree walk above a
+    statements-per-second floor that the old isinstance ladder missed
+    by a wide margin on slow hosts; set generously (5x below current
+    measurements) to catch order-of-magnitude regressions only."""
+    t_tree, _ = _run("tree")
+    interp = Interpreter(cached_parse(KERNEL), processors=1,
+                         engine="tree")
+    rng = np.random.default_rng(7)
+    b = np.asarray(rng.standard_normal((N, N)), dtype=np.float64)
+    interp.call("churn", N, np.zeros((N, N)), b, 0.0)
+    steps = interp._steps
+    assert steps > N * N                    # the kernel really ran
+    rate = steps / t_tree
+    assert rate > 20_000, (
+        f"tree-walk throughput collapsed: {rate:,.0f} stmt/s "
+        f"({steps} steps in {t_tree:.4f}s)")

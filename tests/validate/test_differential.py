@@ -110,9 +110,10 @@ class TestBisection:
         assert guilty in stages
 
         monkeypatch.setattr(differential, "run_baseline",
-                            lambda case, seed: {"x": np.ones(4)})
+                            lambda case, seed, **kw: {"x": np.ones(4)})
 
-        def fake_variant(case, options, seed, processors, shadow=None):
+        def fake_variant(case, options, seed, processors, shadow=None,
+                         **kw):
             bad = options.loop_fusion
             out = {"x": np.full(4, 2.0) if bad else np.ones(4)}
             return out, None
@@ -125,10 +126,10 @@ class TestBisection:
         case = validation_cases()["tridag"]
         stages = stages_for(RestructurerOptions.manual())
         monkeypatch.setattr(differential, "run_baseline",
-                            lambda case, seed: {"x": np.ones(4)})
+                            lambda case, seed, **kw: {"x": np.ones(4)})
         monkeypatch.setattr(
             differential, "run_variant",
-            lambda case, options, seed, processors, shadow=None:
+            lambda case, options, seed, processors, shadow=None, **kw:
             ({"x": np.zeros(4)}, None))
         got = bisect_stages(case, stages, seed=3, processors=2)
         assert got == "base-parallelization"
