@@ -23,13 +23,19 @@ sweep.  It drives ``python -m repro.validate`` as a subprocess matrix:
     same store, ``--jobs N`` — the parallel executor, whose payload must
     be byte-identical to the serial ``warm`` payload.
 
-The result is a ``repro-bench-host/1`` JSON document
+The warm and parallel runs additionally run under ``REPRO_TELEMETRY``,
+so the payload records per-cell latency percentiles (p50/p95/p99 from
+the ``repro-metrics/1`` cell-latency histogram) for both — the
+per-request latency signal the service-layer roadmap item tracks.
+
+The result is a ``repro-bench-host/2`` JSON document
 (``schemas/bench_host.schema.json``) that ``scripts/bench_diff.py`` can
 diff run-over-run: ``host_seconds`` regresses upward, the ``*_speedup``
 ratios regress downward.  Absolute thresholds are deliberately not
 asserted here — CI runners vary wildly — only structural facts: every
 run exits 0, the warm run hits the cache, parallel output is
-byte-identical, and the end-to-end speedup is positive.
+byte-identical, latency percentiles were recorded, and the end-to-end
+speedup is positive.
 
 Usage::
 
@@ -49,7 +55,7 @@ import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-SCHEMA_TAG = "repro-bench-host/1"
+SCHEMA_TAG = "repro-bench-host/2"
 
 
 def run_validate(extra: list[str], out_file: Path, *,
@@ -61,6 +67,7 @@ def run_validate(extra: list[str], out_file: Path, *,
     env.pop("REPRO_CACHE_DIR", None)
     env.pop("REPRO_CACHE_DISABLE", None)
     env.pop("REPRO_CACHE_STATS", None)
+    env.pop("REPRO_TELEMETRY", None)
     env.update(env_overrides)
     argv = [sys.executable, "-m", "repro.validate",
             *extra, "-o", str(out_file)]
@@ -77,6 +84,26 @@ def run_validate(extra: list[str], out_file: Path, *,
     }
 
 
+def cell_latency(telem_dir: Path) -> dict:
+    """Pull per-cell latency percentiles from a merged telemetry dir.
+
+    The instrumented subprocess merges its shards into
+    ``<dir>/metrics.json`` (a ``repro-metrics/1`` document) on exit;
+    the ``repro_cell_seconds`` histogram in there is the per-cell
+    latency distribution of the whole sweep.
+    """
+    empty = {"cells": 0, "p50_s": None, "p95_s": None, "p99_s": None}
+    try:
+        payload = json.loads((telem_dir / "metrics.json").read_text())
+    except (OSError, json.JSONDecodeError):
+        return empty
+    for h in payload.get("metrics", {}).get("histograms", ()):
+        if h.get("name") == "repro_cell_seconds" and not h.get("labels"):
+            return {"cells": h.get("count", 0), "p50_s": h.get("p50"),
+                    "p95_s": h.get("p95"), "p99_s": h.get("p99")}
+    return empty
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         description="host wall-clock benchmark: compiled engine, "
@@ -88,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="worker count for the parallel run (default 2)")
     ap.add_argument("-o", "--output", metavar="FILE",
                     default="bench_host.json",
-                    help="write the repro-bench-host/1 payload here "
+                    help="write the repro-bench-host/2 payload here "
                          "(default bench_host.json; '-' for stdout only)")
     ns = ap.parse_args(argv)
 
@@ -110,10 +137,11 @@ def main(argv: list[str] | None = None) -> int:
                                 "--cache-dir", str(cache_dir)], {}),
             ("warm", subset + ["--jobs", "1",
                                "--cache-dir", str(cache_dir)],
-             {"REPRO_CACHE_STATS": str(stats_file)}),
+             {"REPRO_CACHE_STATS": str(stats_file),
+              "REPRO_TELEMETRY": str(tmpdir / "telem-warm")}),
             (f"warm_jobs{jobs}", subset + ["--jobs", str(jobs),
                                            "--cache-dir", str(cache_dir)],
-             {}),
+             {"REPRO_TELEMETRY": str(tmpdir / "telem-jobs")}),
         ]
         for name, extra, env_overrides in matrix:
             print(f"[bench_host] {name}: validate {' '.join(extra)} ...",
@@ -131,6 +159,10 @@ def main(argv: list[str] | None = None) -> int:
             if (tmpdir / "warm.json").exists() else b""
         par_payload = (tmpdir / f"warm_jobs{jobs}.json").read_bytes() \
             if (tmpdir / f"warm_jobs{jobs}.json").exists() else b"!"
+        latency = {
+            "warm": cell_latency(tmpdir / "telem-warm"),
+            f"warm_jobs{jobs}": cell_latency(tmpdir / "telem-jobs"),
+        }
 
     def sec(name: str) -> float:
         return runs[name]["seconds"]
@@ -150,6 +182,10 @@ def main(argv: list[str] | None = None) -> int:
         # generous structural gate — real thresholds live in
         # bench_diff.py comparisons against a recorded baseline
         "speedup_positive": warm_speedup > 1.0,
+        # both instrumented runs must have produced per-cell percentiles
+        "latency_recorded": all(
+            rec["cells"] > 0 and rec["p50_s"] is not None
+            for rec in latency.values()),
     }
 
     payload = {
@@ -173,6 +209,7 @@ def main(argv: list[str] | None = None) -> int:
             "parallel_speedup": parallel_speedup,
             "byte_identical": checks["byte_identical"],
         },
+        "latency": latency,
         "baseline": {
             "tree_cold_seconds": sec("tree_cold"),
             "end_to_end_speedup": warm_speedup,

@@ -6,7 +6,7 @@ Usage:
 
 Compares two benchmark payloads (``BENCH_*.json`` artifacts from the
 pytest-benchmark harness, ``python -m repro.experiments --json`` output,
-``repro-profile/1`` documents, or ``repro-bench-host/1`` host wall-clock
+``repro-profile/1`` documents, or ``repro-bench-host/*`` host wall-clock
 documents from ``benchmarks/bench_host.py``) and exits nonzero when any
 workload's cycle count — or host ``host_seconds`` / ``*_speedup``
 metric — regressed beyond the threshold.  CI runs this against the

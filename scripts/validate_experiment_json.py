@@ -12,8 +12,12 @@ Dispatches on the payload's ``schema`` tag:
   ``schemas/validate.schema.json``;
 - ``repro-faults/1`` (``python -m repro.faults sweep --json``) against
   ``schemas/faults.schema.json``;
-- ``repro-bench-host/1`` (``benchmarks/bench_host.py``) against
-  ``schemas/bench_host.schema.json``.
+- ``repro-bench-host/1`` and ``/2`` (``benchmarks/bench_host.py``)
+  against ``schemas/bench_host.schema.json``;
+- ``repro-metrics/1`` (``--telemetry`` session artifacts) against
+  ``schemas/metrics.schema.json``, by delegating to the canonical
+  checker in ``repro.telemetry.schema`` (the one place the histogram /
+  span / summary invariants live).
 
 This is a hand-rolled checker — the environment deliberately carries no
 jsonschema dependency — plus semantic invariants the schema language
@@ -41,7 +45,9 @@ cannot express:
   dicts must carry exactly the ``FaultPlan`` fields;
 - for host benchmarks: the speedup ratios must be consistent with the
   recorded wall-clock seconds and the top-level ``ok`` flag must equal
-  the conjunction of the structural checks.
+  the conjunction of the structural checks; ``/2`` payloads must
+  additionally carry monotone per-cell latency percentiles for both
+  instrumented runs.
 
 Validation/experiment payloads produced under ``--keep-going`` /
 ``--timeout`` may additionally carry a top-level ``faults`` array of
@@ -58,6 +64,8 @@ PROFILE_TAG = "repro-profile/1"
 VALIDATE_TAG = "repro-validate/1"
 FAULTS_TAG = "repro-faults/1"
 BENCH_HOST_TAG = "repro-bench-host/1"
+BENCH_HOST_TAG_V2 = "repro-bench-host/2"
+METRICS_TAG = "repro-metrics/1"
 ACTIONS = {"accepted", "rejected", "failed", "applied", "declined", "noted"}
 REL_TOL = 1e-6
 
@@ -614,14 +622,67 @@ def validate_bench_host(payload) -> None:
                      par.get("parallel_speedup")),
             "$.parallel.parallel_speedup",
             "inconsistent with serial/parallel seconds")
+    if payload.get("schema") == BENCH_HOST_TAG_V2:
+        check_bench_host_latency(payload)
+    required_checks = list(BENCH_HOST_CHECKS)
+    if payload.get("schema") == BENCH_HOST_TAG_V2:
+        required_checks.append("latency_recorded")
     checks = payload.get("checks")
     if _expect(isinstance(checks, dict)
-               and set(BENCH_HOST_CHECKS) <= set(checks),
-               "$.checks", f"must cover {list(BENCH_HOST_CHECKS)}"):
+               and set(required_checks) <= set(checks),
+               "$.checks", f"must cover {required_checks}"):
         _expect(all(isinstance(v, bool) for v in checks.values()),
                 "$.checks", "check values must be booleans")
         _expect(payload.get("ok") == all(checks.values()), "$.ok",
                 "ok flag must equal the conjunction of the checks")
+
+
+def check_bench_host_latency(payload) -> None:
+    """The /2 latency section: percentiles for both instrumented runs."""
+    latency = payload.get("latency")
+    if not _expect(isinstance(latency, dict) and len(latency) >= 2,
+                   "$.latency",
+                   "need latency entries for both instrumented runs"):
+        return
+    for name, rec in latency.items():
+        path = f"$.latency.{name}"
+        if not _expect(isinstance(rec, dict), path, "must be an object"):
+            continue
+        for k in ("cells", "p50_s", "p95_s", "p99_s"):
+            _expect(k in rec, path, f"missing {k!r}")
+        cells = rec.get("cells")
+        _expect(isinstance(cells, int) and cells >= 0, path,
+                "cells must be a nonnegative integer")
+        ps = [rec.get(k) for k in ("p50_s", "p95_s", "p99_s")]
+        if cells:
+            ok = all(isinstance(p, (int, float)) and p >= 0 for p in ps)
+            _expect(ok, path,
+                    "a populated run needs nonnegative percentiles")
+            if ok:
+                _expect(ps[0] <= ps[1] + REL_TOL
+                        and ps[1] <= ps[2] + REL_TOL, path,
+                        f"percentiles not monotone: p50={ps[0]} "
+                        f"p95={ps[1]} p99={ps[2]}")
+        else:
+            _expect(all(p is None for p in ps), path,
+                    "an empty run must have null percentiles")
+
+
+def validate_metrics_payload(payload) -> list[str]:
+    """Delegate to the canonical repro-metrics/1 checker.
+
+    The invariants live in ``repro.telemetry.schema`` (one code path);
+    this script only needs ``src`` importable, falling back to its own
+    repo-relative location when ``PYTHONPATH`` is not set.
+    """
+    try:
+        from repro.telemetry.schema import validate_metrics
+    except ImportError:
+        import os
+        sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"))
+        from repro.telemetry.schema import validate_metrics
+    return validate_metrics(payload)
 
 
 def validate(payload) -> list[str]:
@@ -640,13 +701,16 @@ def validate(payload) -> list[str]:
     if tag == FAULTS_TAG:
         validate_faults(payload)
         return list(_errors)
-    if tag == BENCH_HOST_TAG:
+    if tag in (BENCH_HOST_TAG, BENCH_HOST_TAG_V2):
         validate_bench_host(payload)
+        return list(_errors)
+    if tag == METRICS_TAG:
+        _errors.extend(validate_metrics_payload(payload))
         return list(_errors)
     _expect(tag == SCHEMA_TAG, "$.schema",
             f"expected {SCHEMA_TAG!r}, {PROFILE_TAG!r}, "
-            f"{VALIDATE_TAG!r}, {FAULTS_TAG!r} or {BENCH_HOST_TAG!r}, "
-            f"got {tag!r}")
+            f"{VALIDATE_TAG!r}, {FAULTS_TAG!r}, {BENCH_HOST_TAG!r}, "
+            f"{BENCH_HOST_TAG_V2!r} or {METRICS_TAG!r}, got {tag!r}")
     experiments = payload.get("experiments")
     if _expect(isinstance(experiments, dict) and experiments,
                "$.experiments", "need a non-empty experiments object"):
@@ -684,9 +748,14 @@ def main(argv: list[str]) -> int:
         print(f"OK: {s['cells_run']} oracle cell(s) "
               f"({s['ok']} ok, {s['harness_faults']} harness fault(s)) "
               f"conform to {FAULTS_TAG}")
-    elif payload.get("schema") == BENCH_HOST_TAG:
+    elif payload.get("schema") in (BENCH_HOST_TAG, BENCH_HOST_TAG_V2):
         print(f"OK: {len(payload['runs'])} host benchmark run(s) "
-              f"conform to {BENCH_HOST_TAG}")
+              f"conform to {payload['schema']}")
+    elif payload.get("schema") == METRICS_TAG:
+        s = payload["summary"]
+        print(f"OK: {len(payload['spans'])} span(s) over "
+              f"{s['cells']} cell(s) and {len(payload['pids'])} "
+              f"process(es) conform to {METRICS_TAG}")
     else:
         n = len(payload["experiments"])
         print(f"OK: {n} experiment(s) conform to {SCHEMA_TAG}")

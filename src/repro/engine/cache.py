@@ -26,7 +26,13 @@ shared across processes — that is what makes ``--jobs N`` workers and
 repeated harness invocations warm-start.  ``REPRO_CACHE_DISABLE=1``
 turns the whole layer into a transparent pass-through (every call
 recomputes), which is how host benchmarks measure the uncached baseline.
-``REPRO_CACHE_STATS=FILE`` writes a hit/miss stats JSON at process exit.
+
+Accounting routes through a :class:`repro.telemetry.MetricsRegistry` —
+one code path feeds the ``stats()`` dict, the ``REPRO_CACHE_STATS=FILE``
+atexit JSON (hit/miss/bytes per artifact kind), and, when ``--telemetry``
+is on, the ``repro-metrics/1`` artifact's cache hit rates.  Cache misses
+additionally open ``parse``/``restructure`` telemetry spans around the
+recomputation, so per-stage breakdowns attribute front-end wall-clock.
 """
 
 from __future__ import annotations
@@ -43,6 +49,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro._version import __version__
+from repro.telemetry import span
+from repro.telemetry.registry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fortran import ast_nodes as F
@@ -50,6 +58,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: bump to invalidate every cached artifact regardless of repro version
 _CACHE_FORMAT = 1
+
+#: the artifact kinds the cache accounts for, in stats order
+ARTIFACT_KINDS = ("parse", "restructure")
 
 
 def options_fingerprint(options: "RestructurerOptions | None") -> str:
@@ -81,14 +92,27 @@ class CompilationCache:
     """In-memory + optional on-disk store of front-end artifacts."""
 
     def __init__(self, cache_dir: str | os.PathLike | None = None,
-                 enabled: bool = True):
+                 enabled: bool = True,
+                 registry: MetricsRegistry | None = None):
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.enabled = enabled
         self._mem: dict[str, object] = {}
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.disk_writes = 0
+        # one accounting path: every counter lives in a MetricsRegistry
+        # (the process-wide telemetry registry for the default cache, a
+        # private one for directly constructed instances) — stats(),
+        # REPRO_CACHE_STATS and --telemetry all read the same numbers
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry()
+        self._ctr: dict[tuple[str, str], object] = {}
+        for kind in ARTIFACT_KINDS:
+            for result in ("hit", "miss"):
+                self._ctr[kind, result] = self.metrics.counter(
+                    "repro_cache_requests_total", kind=kind,
+                    result=result)
+            for what in ("disk_reads", "disk_writes",
+                         "disk_bytes_read", "disk_bytes_written"):
+                self._ctr[kind, what] = self.metrics.counter(
+                    f"repro_cache_{what}_total", kind=kind)
 
     # -- the two artifact kinds ----------------------------------------
 
@@ -103,12 +127,14 @@ class CompilationCache:
         from repro.fortran.parser import parse_program
 
         if not self.enabled:
-            return parse_program(source)
+            with span("parse", cached=False):
+                return parse_program(source)
         key = content_key("parse", source)
-        sf = self._load(key)
+        sf = self._load(key, "parse")
         if sf is None:
-            sf = parse_program(source)
-            self._store(key, sf)
+            with span("parse"):
+                sf = parse_program(source)
+            self._store(key, sf, "parse")
         if mutable:
             return F.SourceFile([u.clone() for u in sf.units])
         return sf
@@ -126,16 +152,37 @@ class CompilationCache:
 
         if not self.enabled:
             sf = self.parse(source, mutable=True)
-            return Restructurer(options).run(sf)
+            with span("restructure", cached=False):
+                return Restructurer(options).run(sf)
         key = content_key("restructure", source, options_fingerprint(options))
-        pair = self._load(key)
+        pair = self._load(key, "restructure")
         if pair is None:
             sf = self.parse(source, mutable=True)
-            pair = Restructurer(options).run(sf)
-            self._store(key, pair)
+            with span("restructure"):
+                pair = Restructurer(options).run(sf)
+            self._store(key, pair, "restructure")
         return pair
 
     # -- stats ---------------------------------------------------------
+
+    def _sum(self, what: str) -> int:
+        return sum(self._ctr[kind, what].value for kind in ARTIFACT_KINDS)
+
+    @property
+    def hits(self) -> int:
+        return self._sum("hit")
+
+    @property
+    def misses(self) -> int:
+        return self._sum("miss")
+
+    @property
+    def disk_hits(self) -> int:
+        return self._sum("disk_reads")
+
+    @property
+    def disk_writes(self) -> int:
+        return self._sum("disk_writes")
 
     def stats(self) -> dict:
         return {
@@ -146,48 +193,68 @@ class CompilationCache:
             "disk_hits": self.disk_hits,
             "disk_writes": self.disk_writes,
             "entries": len(self._mem),
+            "by_kind": {
+                kind: {
+                    "hits": self._ctr[kind, "hit"].value,
+                    "misses": self._ctr[kind, "miss"].value,
+                    "disk_hits": self._ctr[kind, "disk_reads"].value,
+                    "disk_writes": self._ctr[kind, "disk_writes"].value,
+                    "disk_bytes_read":
+                        self._ctr[kind, "disk_bytes_read"].value,
+                    "disk_bytes_written":
+                        self._ctr[kind, "disk_bytes_written"].value,
+                } for kind in ARTIFACT_KINDS
+            },
         }
 
     def clear(self) -> None:
         """Drop the in-memory store (the disk store is left alone)."""
         self._mem.clear()
 
+    def _zero_metrics(self) -> None:
+        """Start a fresh accounting epoch (counter objects stay valid)."""
+        for ctr in self._ctr.values():
+            ctr.value = 0
+
     # -- storage -------------------------------------------------------
 
-    def _load(self, key: str):
+    def _load(self, key: str, kind: str):
         hit = self._mem.get(key)
         if hit is not None:
-            self.hits += 1
+            self._ctr[kind, "hit"].inc()
             return hit
         if self.cache_dir is not None:
             path = self._disk_path(key)
             try:
                 with open(path, "rb") as fh:
-                    value = pickle.load(fh)
+                    data = fh.read()
+                value = pickle.loads(data)
             except (OSError, pickle.PickleError, EOFError,
                     AttributeError, ImportError):
                 pass  # missing or torn entry: recompute below
             else:
                 self._mem[key] = value
-                self.hits += 1
-                self.disk_hits += 1
+                self._ctr[kind, "hit"].inc()
+                self._ctr[kind, "disk_reads"].inc()
+                self._ctr[kind, "disk_bytes_read"].inc(len(data))
                 return value
-        self.misses += 1
+        self._ctr[kind, "miss"].inc()
         return None
 
-    def _store(self, key: str, value: object) -> None:
+    def _store(self, key: str, value: object, kind: str) -> None:
         self._mem[key] = value
         if self.cache_dir is None:
             return
         path = self._disk_path(key)
         try:
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             path.parent.mkdir(parents=True, exist_ok=True)
             # atomic publish: concurrent --jobs workers may race on the
             # same key; each writes a private temp file and renames
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(data)
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -195,7 +262,8 @@ class CompilationCache:
                 except OSError:
                     pass
                 raise
-            self.disk_writes += 1
+            self._ctr[kind, "disk_writes"].inc()
+            self._ctr[kind, "disk_bytes_written"].inc(len(data))
         except (OSError, pickle.PickleError):
             pass  # a read-only or full cache dir degrades to memory-only
 
@@ -210,6 +278,13 @@ class CompilationCache:
 
 _DEFAULT: Optional[CompilationCache] = None
 _STATS_PID: Optional[int] = None
+_COLLECTOR_REGISTERED = False
+
+
+def _entries_collector(registry) -> None:
+    """Snapshot-time gauge refresh for the process-wide cache."""
+    if _DEFAULT is not None:
+        registry.gauge("repro_cache_entries").set(len(_DEFAULT._mem))
 
 
 def _env_disabled() -> bool:
@@ -230,12 +305,22 @@ def configure(cache_dir: str | None = None,
 
     ``cache_dir=None`` keeps the store memory-only; ``enabled`` defaults
     to the ``REPRO_CACHE_DISABLE`` environment setting.  Harness CLIs
-    call this once from ``--cache-dir`` before fanning out work.
+    call this once from ``--cache-dir`` before fanning out work.  The
+    cache accounts into the process-wide telemetry registry; each
+    ``configure`` starts a fresh accounting epoch.
     """
     global _DEFAULT, _STATS_PID
+    from repro.telemetry import get_registry
+
     if enabled is None:
         enabled = not _env_disabled()
-    _DEFAULT = CompilationCache(cache_dir=cache_dir, enabled=enabled)
+    _DEFAULT = CompilationCache(cache_dir=cache_dir, enabled=enabled,
+                                registry=get_registry())
+    _DEFAULT._zero_metrics()
+    global _COLLECTOR_REGISTERED
+    if not _COLLECTOR_REGISTERED:
+        _COLLECTOR_REGISTERED = True
+        get_registry().add_collector(_entries_collector)
     stats_file = os.environ.get("REPRO_CACHE_STATS")
     if stats_file and _STATS_PID is None:
         _STATS_PID = os.getpid()

@@ -16,25 +16,50 @@ own ``run_isolated``/watchdog internally and return a plain payload
 rather than an exception, so one lost worker degrades the sweep instead
 of killing it — the same graceful-degradation contract the fault layer
 gives the simulated machine.
+
+Observability: every cell — serial or fanned out — runs inside a
+:func:`repro.telemetry.cell_span` keyed by its submission index, so a
+``--telemetry DIR`` sweep attributes wall-clock (and any crash) to a
+specific cell; workers flush their own telemetry shard as each cell
+completes.  :class:`WorkerCrash` entries are stamped with the cell
+index, the measured wall-clock duration, and the tail of the worker's
+traceback, so crashed cells are attributable in the telemetry report
+and in fault payloads.  With telemetry off none of this allocates, and
+result payloads are untouched either way.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
+import traceback
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
+
+from repro import telemetry
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: how many trailing traceback lines a crashed cell carries
+_TB_TAIL_LINES = 6
+
 
 @dataclass(frozen=True)
 class WorkerCrash:
-    """A cell whose worker process died before returning a result."""
+    """A cell whose worker process died before returning a result.
+
+    ``index`` is the cell's submission index (``-1`` when unknown) and
+    ``duration_s`` the wall-clock the cell ran before dying (``0.0``
+    when the worker vanished without reporting), so crashes remain
+    attributable in telemetry reports and fault payloads.
+    """
 
     label: str
     message: str
     kind: str = "internal"
+    index: int = -1
+    duration_s: float = 0.0
 
     def to_fault_dict(self) -> dict:
         """Shape-compatible with ``FaultReport.to_dict()``."""
@@ -43,10 +68,45 @@ class WorkerCrash:
             "kind": self.kind,
             "error_type": "WorkerCrash",
             "message": self.message,
-            "elapsed_s": 0.0,
+            "elapsed_s": self.duration_s,
             "traceback": "",
-            "detail": {},
+            "detail": {"cell_index": self.index} if self.index >= 0
+            else {},
         }
+
+
+@dataclass(frozen=True)
+class _CellFailure:
+    """Worker-side record of a cell that raised (picklable, with the
+    traceback tail the parent folds into :class:`WorkerCrash`)."""
+
+    index: int
+    label: str
+    message: str
+    duration_s: float
+
+
+def _tb_tail(exc: BaseException) -> str:
+    lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = "".join(lines[-_TB_TAIL_LINES:]).rstrip()
+    return tail
+
+
+def _run_cell(fn: Callable, item, index: int, label: str):
+    """Execute one cell inside its telemetry span (runs in the worker).
+
+    Exceptions become a :class:`_CellFailure` carrying the traceback
+    tail — raising across the process boundary would lose it.
+    """
+    t0 = time.perf_counter()
+    try:
+        with telemetry.cell_span(index, label):
+            return fn(item)
+    except BaseException as exc:  # noqa: BLE001 — cell isolation
+        return _CellFailure(
+            index=index, label=label,
+            message=f"{type(exc).__name__}: {exc}\n{_tb_tail(exc)}",
+            duration_s=time.perf_counter() - t0)
 
 
 def _mp_context():
@@ -80,7 +140,10 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int, *,
     out: list[R | WorkerCrash] = []
     if jobs <= 1 or len(items) <= 1:
         for i, it in enumerate(items):
-            r = fn(it)
+            # exceptions propagate on the serial path (isolation is the
+            # cell's own job); the cell span still flushes on the way out
+            with telemetry.cell_span(i, labels[i]):
+                r = fn(it)
             if on_result is not None:
                 on_result(i, r)
             out.append(r)
@@ -90,7 +153,8 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int, *,
 
     with cf.ProcessPoolExecutor(max_workers=min(jobs, len(items)),
                                 mp_context=_mp_context()) as ex:
-        futures = [ex.submit(fn, it) for it in items]
+        futures = [ex.submit(_run_cell, fn, it, i, labels[i])
+                   for i, it in enumerate(items)]
         for i, (label, fut) in enumerate(zip(labels, futures)):
             try:
                 r: R | WorkerCrash = fut.result()
@@ -100,11 +164,16 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int, *,
                 r = WorkerCrash(
                     label=label,
                     message="worker process died before returning "
-                            "(broken process pool)")
+                            "(broken process pool)",
+                    index=i)
             except BaseException as exc:  # noqa: BLE001 — cell isolation
                 r = WorkerCrash(
                     label=label,
-                    message=f"{type(exc).__name__}: {exc}")
+                    message=f"{type(exc).__name__}: {exc}",
+                    index=i)
+            if isinstance(r, _CellFailure):
+                r = WorkerCrash(label=r.label, message=r.message,
+                                index=r.index, duration_s=r.duration_s)
             if on_result is not None:
                 on_result(i, r)
             out.append(r)

@@ -93,9 +93,12 @@ class ClosureCompiler:
                   unit_name: str) -> None:
         entry = self._bodies.get(id(stmts))
         if entry is None:
-            fns = [self._stmt(s, unit_name) for s in stmts]
-            labels = {s.label: i for i, s in enumerate(stmts)
-                      if s.label is not None}
+            from repro.telemetry import span
+
+            with span("compile", unit=unit_name, stmts=len(stmts)):
+                fns = [self._stmt(s, unit_name) for s in stmts]
+                labels = {s.label: i for i, s in enumerate(stmts)
+                          if s.label is not None}
             entry = (fns, labels, stmts)
             self._bodies[id(stmts)] = entry
         fns, labels, _ = entry

@@ -185,12 +185,15 @@ class Interpreter:
                 scope.declare(dummy, FArray(actual, lowers))
             else:
                 scope.declare(dummy, actual)
-        try:
-            self.exec_body(unit.body, scope, name)
-        except _ReturnSignal:
-            pass
-        except _StopSignal:
-            pass
+        from repro.telemetry import span
+
+        with span("execute", entry=name, engine=self.engine):
+            try:
+                self.exec_body(unit.body, scope, name)
+            except _ReturnSignal:
+                pass
+            except _StopSignal:
+                pass
         out = {d: self._export(scope.vars.get(d)) for d in unit.args}
         if isinstance(unit, F.Function):
             out["__result__"] = self._export(scope.vars.get(name))

@@ -162,10 +162,13 @@ class PerfEstimator:
                     env[sym.name] = float(v)
         env.update({k: float(v) for k, v in bindings.items()})
 
+        from repro.telemetry import span
+
         self._unit_stack = [unit_name]
         ctx = _Ctx(env=env)
-        cycles, prof, led = self._body(unit.body, ctx, unit_name)
-        page = self._paging_overhead(unit_name, env, prof, led)
+        with span("estimate", entry=unit_name):
+            cycles, prof, led = self._body(unit.body, ctx, unit_name)
+            page = self._paging_overhead(unit_name, env, prof, led)
         return PerfResult(cycles=cycles, compute_cycles=cycles,
                           page_overhead=page, profile=prof,
                           ledger=led if self.trace else None,

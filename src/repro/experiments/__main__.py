@@ -119,6 +119,9 @@ def main(argv: list[str] | None = None) -> int:
     parallel_map(run_experiment_cell, jobs_list, jobs,
                  labels=[f"experiment {j['name']}" for j in jobs_list],
                  on_result=merge)
+    from repro.experiments.common import finalize_telemetry
+
+    finalize_telemetry("repro.experiments")
     if hard_fault:
         return 3
 

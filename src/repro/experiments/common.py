@@ -184,11 +184,40 @@ def add_engine_args(ap: argparse.ArgumentParser) -> None:
                     help="on-disk compilation cache shared across "
                          "processes and invocations (default: "
                          "$REPRO_CACHE_DIR, else memory-only)")
+    ap.add_argument("--telemetry", default=None, metavar="DIR",
+                    help="host-side telemetry: write per-stage spans, "
+                         "metrics and latency histograms into DIR as a "
+                         "repro-metrics/1 artifact (default: "
+                         "$REPRO_TELEMETRY, else off; off is a true "
+                         "no-op and never changes sweep payloads)")
 
 
 def configure_engine(ns: argparse.Namespace) -> int:
     """Apply the shared flags; returns the sanitized job count."""
+    from repro import telemetry
+
+    telemetry_dir = getattr(ns, "telemetry", None) \
+        or os.environ.get("REPRO_TELEMETRY") or None
+    if telemetry_dir:
+        telemetry.configure(telemetry_dir)
     cache_dir = getattr(ns, "cache_dir", None) \
         or os.environ.get("REPRO_CACHE_DIR") or None
     configure(cache_dir=cache_dir)
     return max(1, int(getattr(ns, "jobs", 1) or 1))
+
+
+def finalize_telemetry(harness: str) -> None:
+    """Merge this run's telemetry session, if one is active.
+
+    The shared epilogue of every sweep CLI: flushes the parent shard,
+    folds per-worker shards into ``DIR/metrics.json`` (plus the merged
+    span log and Prometheus text), and prints a one-line stderr note.
+    A no-op when ``--telemetry`` is off.
+    """
+    import sys
+
+    from repro import telemetry
+
+    telemetry.finalize(
+        harness=harness,
+        echo=lambda msg: print(msg, file=sys.stderr))

@@ -60,6 +60,10 @@ def _cmd_sweep(ns: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"repro.faults: {exc}", file=sys.stderr)
         return 2
+    finally:
+        from repro.experiments.common import finalize_telemetry
+
+        finalize_telemetry("repro.faults sweep")
 
     if ns.output:
         with open(ns.output, "w") as fh:

@@ -2,7 +2,7 @@
 
 Compares two performance payloads — ``repro-experiment/1`` documents
 (``BENCH_*.json`` artifacts or ``python -m repro.experiments --json``
-output), ``repro-profile/1`` documents, or ``repro-bench-host/1`` host
+output), ``repro-profile/1`` documents, or ``repro-bench-host/*`` host
 wall-clock documents (``benchmarks/bench_host.py``) — workload by
 workload (run by run for host benchmarks), reports
 per-experiment cycle deltas, and flags regressions beyond a threshold.
@@ -26,11 +26,15 @@ METRIC_REGRESSES_UP = {
     "serial_cycles": True,
     "total_cycles": True,
     "speedup": False,
-    # host wall-clock payloads (repro-bench-host/1)
+    # host wall-clock payloads (repro-bench-host/1 and /2)
     "host_seconds": True,
     "warm_speedup": False,
     "compile_speedup": False,
     "parallel_speedup": False,
+    # /2 per-cell latency percentiles: latency regresses upward
+    "p50_s": True,
+    "p95_s": True,
+    "p99_s": True,
 }
 
 
@@ -99,7 +103,7 @@ def extract_metrics(payload: dict) -> dict[str, dict[str, float]]:
             if isinstance(v, (int, float)):
                 out[key] = {"total_cycles": float(v)}
         return out
-    if schema == "repro-bench-host/1":
+    if schema in ("repro-bench-host/1", "repro-bench-host/2"):
         for name, run in (payload.get("runs") or {}).items():
             v = run.get("seconds") if isinstance(run, dict) else None
             if isinstance(v, (int, float)):
@@ -112,6 +116,14 @@ def extract_metrics(payload: dict) -> dict[str, dict[str, float]]:
                    if isinstance(d.get(m), (int, float))}
             if got:
                 out[f"host/{sect}"] = got
+        # /2: per-cell latency percentiles diff like any other metric
+        for name, rec in (payload.get("latency") or {}).items():
+            if not isinstance(rec, dict):
+                continue
+            got = {m: float(rec[m]) for m in ("p50_s", "p95_s", "p99_s")
+                   if isinstance(rec.get(m), (int, float))}
+            if got:
+                out[f"host/latency/{name}"] = got
         return out
     raise ValueError(f"unsupported payload schema {schema!r}")
 

@@ -1,0 +1,117 @@
+"""Telemetry CLI: ``python -m repro.telemetry``.
+
+``python -m repro.telemetry report DIR|metrics.json [--top N]``
+    Render the per-stage breakdown, slowest cells, cache hit rates and
+    worker utilization of a ``repro-metrics/1`` artifact.  A directory
+    argument is merged first if unprocessed shards remain, so the
+    command works both on finished sessions and on the raw shard
+    directory of a crashed sweep.
+
+``python -m repro.telemetry validate DIR|metrics.json``
+    Check the artifact against the ``repro-metrics/1`` schema and its
+    semantic invariants (histogram percentile bounds, span linkage,
+    summary recounts).
+
+``python -m repro.telemetry merge DIR``
+    Fold per-process shards into ``metrics.json`` / ``spans.jsonl`` /
+    ``metrics.prom`` without rendering (what instrumented harnesses do
+    automatically at exit).
+
+Exit status: 0 ok; 1 validation violations; 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path_arg: str, *, merge_shards: bool = True) -> dict:
+    """Resolve a DIR or metrics.json argument to a payload dict."""
+    from repro.telemetry.export import merge_dir
+
+    path = Path(path_arg)
+    if path.is_dir():
+        if merge_shards and (list(path.glob("spans-*.jsonl"))
+                             or list(path.glob("metrics-*.json"))
+                             or not (path / "metrics.json").exists()):
+            return merge_dir(path)
+        return json.loads((path / "metrics.json").read_text())
+    return json.loads(path.read_text())
+
+
+def _cmd_report(ns: argparse.Namespace) -> int:
+    from repro.telemetry.report import render_report
+
+    payload = _load(ns.path)
+    print(render_report(payload, top=ns.top))
+    return 0
+
+
+def _cmd_validate(ns: argparse.Namespace) -> int:
+    from repro.telemetry.schema import validate_metrics
+
+    payload = _load(ns.path)
+    problems = validate_metrics(payload)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"{len(problems)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(payload['spans'])} span(s), "
+          f"{payload['summary']['cells']} cell(s) conform to "
+          f"{payload['schema']}")
+    return 0
+
+
+def _cmd_merge(ns: argparse.Namespace) -> int:
+    from repro.telemetry.export import merge_dir
+
+    payload = merge_dir(ns.path)
+    s = payload["summary"]
+    print(f"merged {ns.path}: {len(payload['spans'])} span(s), "
+          f"{s['cells']} cell(s), {len(payload['pids'])} process(es)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="host-side telemetry: metrics/span artifacts and "
+                    "reports")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="render a repro-metrics/1 artifact")
+    p.add_argument("path", help="session directory or metrics.json")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="slowest cells to list (default 10)")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("validate",
+                       help="check a repro-metrics/1 artifact")
+    p.add_argument("path", help="session directory or metrics.json")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("merge",
+                       help="fold per-process shards into the artifact")
+    p.add_argument("path", help="session directory")
+    p.set_defaults(func=_cmd_merge)
+
+    ns = ap.parse_args(argv)
+    try:
+        return ns.func(ns)
+    except BrokenPipeError:
+        sys.stderr.close()
+        return 0
+    except FileNotFoundError as exc:
+        print(f"repro.telemetry: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"repro.telemetry: invalid JSON: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

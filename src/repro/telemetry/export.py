@@ -1,0 +1,219 @@
+"""Exporters: shard merge, the ``repro-metrics/1`` artifact, Prometheus.
+
+A telemetry session directory accumulates per-process shards
+(``spans-<pid>.jsonl``, ``metrics-<pid>.json``) plus the parent's
+``meta.json``.  :func:`merge_dir` folds them into the session's three
+final outputs:
+
+``metrics.json``
+    the ``repro-metrics/1`` artifact: merged metrics (counters, gauges,
+    histograms with p50/p90/p95/p99), every span keyed by sweep-cell
+    index, and a computed summary (per-stage time breakdown, top-N
+    slowest cells, per-artifact-kind cache hit rates, per-worker
+    utilization);
+``spans.jsonl``
+    the merged span log, one JSON object per line, sorted by
+    (cell, start time, pid) — a coherent trace across all workers;
+``metrics.prom``
+    the merged registry in Prometheus text exposition format.
+
+Shard files are removed after a successful merge, leaving a clean
+artifact directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.telemetry.registry import MetricsRegistry
+
+SCHEMA_TAG = "repro-metrics/1"
+
+#: how many slowest cells the summary (and report) carries
+TOP_CELLS = 20
+
+
+def _read_shards(out_dir: Path) -> tuple[list[dict], MetricsRegistry,
+                                         list[int], list[Path]]:
+    spans: list[dict] = []
+    registry = MetricsRegistry()
+    pids: set[int] = set()
+    shard_files: list[Path] = []
+    for path in sorted(out_dir.glob("spans-*.jsonl")):
+        shard_files.append(path)
+        for raw in path.read_text().splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                rec = json.loads(raw)
+            except json.JSONDecodeError:
+                continue    # torn tail from a killed worker
+            spans.append(rec)
+            pids.add(rec.get("pid", -1))
+    for path in sorted(out_dir.glob("metrics-*.json")):
+        shard_files.append(path)
+        try:
+            shard = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            continue
+        registry.merge_snapshot(shard.get("metrics", {}))
+        pids.add(shard.get("pid", -1))
+    pids.discard(-1)
+    return spans, registry, sorted(pids), shard_files
+
+
+def _span_sort_key(rec: dict):
+    cell = rec.get("cell")
+    return (cell if cell is not None else -1,
+            rec.get("t0", 0.0), rec.get("pid", 0), rec.get("id", ""))
+
+
+def _summarize(spans: list[dict], metrics: dict) -> dict:
+    cells = [s for s in spans if s.get("name") == "cell"]
+    stages: dict[str, dict] = {}
+    for s in spans:
+        if s.get("name") == "cell":
+            continue
+        st = stages.setdefault(s["name"], {"count": 0, "total_s": 0.0,
+                                           "max_s": 0.0})
+        st["count"] += 1
+        st["total_s"] += s.get("duration_s", 0.0)
+        st["max_s"] = max(st["max_s"], s.get("duration_s", 0.0))
+
+    slowest = sorted(cells, key=lambda s: -s.get("duration_s", 0.0))
+    slowest_cells = [{
+        "cell": s.get("cell"),
+        "label": (s.get("attrs") or {}).get("label", ""),
+        "pid": s.get("pid"),
+        "duration_s": s.get("duration_s", 0.0),
+        "error": s.get("error"),
+    } for s in slowest[:TOP_CELLS]]
+
+    workers: dict[str, dict] = {}
+    for s in spans:
+        w = workers.setdefault(str(s.get("pid")), {
+            "spans": 0, "cells": 0, "busy_s": 0.0,
+            "first_t0": s.get("t0", 0.0), "last_end": s.get("t0", 0.0)})
+        w["spans"] += 1
+        end = s.get("t0", 0.0) + s.get("duration_s", 0.0)
+        w["first_t0"] = min(w["first_t0"], s.get("t0", 0.0))
+        w["last_end"] = max(w["last_end"], end)
+        if s.get("name") == "cell":
+            w["cells"] += 1
+            w["busy_s"] += s.get("duration_s", 0.0)
+    for w in workers.values():
+        window = w["last_end"] - w["first_t0"]
+        w["utilization"] = (w["busy_s"] / window) if window > 0 else 0.0
+
+    cache: dict[str, dict] = {}
+    for c in metrics.get("counters", ()):
+        if c["name"] != "repro_cache_requests_total":
+            continue
+        kind = c["labels"].get("kind", "?")
+        slot = cache.setdefault(kind, {"hits": 0, "misses": 0})
+        if c["labels"].get("result") == "hit":
+            slot["hits"] += c["value"]
+        else:
+            slot["misses"] += c["value"]
+    for slot in cache.values():
+        total = slot["hits"] + slot["misses"]
+        slot["hit_rate"] = (slot["hits"] / total) if total else 0.0
+
+    return {
+        "cells": len(cells),
+        "cell_errors": sum(1 for s in cells if s.get("error")),
+        "stages": dict(sorted(stages.items())),
+        "slowest_cells": slowest_cells,
+        "workers": dict(sorted(workers.items(), key=lambda kv: kv[0])),
+        "cache": dict(sorted(cache.items())),
+    }
+
+
+def build_payload(spans: list[dict], registry: MetricsRegistry,
+                  pids: list[int], meta: dict,
+                  harness: Optional[str] = None) -> dict:
+    spans = sorted(spans, key=_span_sort_key)
+    metrics = registry.snapshot()
+    payload = {
+        "schema": SCHEMA_TAG,
+        "trace_id": meta.get("trace_id", ""),
+        "harness": harness or " ".join(meta.get("argv", [])[:2]) or None,
+        "started_unix": meta.get("started_unix"),
+        "merged_unix": time.time(),
+        "pids": pids,
+        "metrics": metrics,
+        "spans": spans,
+        "summary": _summarize(spans, metrics),
+    }
+    return payload
+
+
+def merge_dir(out_dir: str | os.PathLike,
+              harness: Optional[str] = None) -> dict:
+    """Merge a session directory's shards into the final artifacts.
+
+    Returns the ``repro-metrics/1`` payload; writes ``metrics.json``,
+    ``spans.jsonl`` and ``metrics.prom`` next to the shards, then
+    removes the shard files.  Idempotent: re-merging a merged directory
+    (no shards left) rebuilds the outputs from ``metrics.json``.
+    """
+    out = Path(out_dir)
+    meta: dict = {}
+    meta_path = out / "meta.json"
+    if meta_path.exists():
+        try:
+            meta = json.loads(meta_path.read_text())
+        except json.JSONDecodeError:
+            meta = {}
+    spans, registry, pids, shard_files = _read_shards(out)
+    if not shard_files and (out / "metrics.json").exists():
+        prior = json.loads((out / "metrics.json").read_text())
+        spans = prior.get("spans", [])
+        registry = MetricsRegistry()
+        registry.merge_snapshot(prior.get("metrics", {}))
+        pids = prior.get("pids", [])
+        if harness is None:
+            harness = prior.get("harness")
+
+    payload = build_payload(spans, registry, pids, meta, harness=harness)
+    (out / "metrics.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    (out / "spans.jsonl").write_text(
+        "".join(json.dumps(s, sort_keys=True) + "\n"
+                for s in payload["spans"]))
+    (out / "metrics.prom").write_text(registry.to_prometheus())
+    for path in shard_files:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    return payload
+
+
+def finalize(harness: Optional[str] = None,
+             echo=None) -> Optional[dict]:
+    """Flush this process's shard and merge the session directory.
+
+    The standard epilogue of every instrumented CLI: a no-op returning
+    ``None`` when telemetry is off.  ``echo`` (e.g. a stderr printer)
+    receives a one-line summary of what was written.
+    """
+    from repro.telemetry import spans as spanmod
+
+    if not spanmod.enabled():
+        return None
+    out_dir = spanmod.current_dir()
+    spanmod.flush()
+    payload = merge_dir(out_dir, harness=harness)
+    spanmod.shutdown(flush_shard=False)
+    if echo is not None:
+        s = payload["summary"]
+        echo(f"[telemetry] {out_dir}/metrics.json: "
+             f"{len(payload['spans'])} span(s), {s['cells']} cell(s), "
+             f"{len(payload['pids'])} process(es)")
+    return payload

@@ -187,6 +187,9 @@ def main(argv: list[str] | None = None) -> int:
     parallel_map(run_workload_cell, jobs_list, jobs,
                  labels=[f"validate {j['workload']}" for j in jobs_list],
                  on_result=merge)
+    from repro.experiments.common import finalize_telemetry
+
+    finalize_telemetry("repro.validate")
 
     payload = build_report_from_dicts(wdicts, configs=config_names,
                                       quick=ns.quick, faults=fault_reports)

@@ -138,6 +138,46 @@ class TestDiskCache:
             ro.chmod(0o700)
 
 
+class TestPerKindAccounting:
+    """stats() breaks hits/misses down per artifact kind, backed by the
+    registry counters that also feed the telemetry artifact."""
+
+    def test_stats_by_kind_breakdown(self, tmp_path):
+        c = CompilationCache(cache_dir=tmp_path)
+        c.parse(SRC)
+        c.parse(SRC)
+        c.restructure(SRC)
+        st = c.stats()
+        by = st["by_kind"]
+        assert set(by) == {"parse", "restructure"}
+        assert by["parse"]["hits"] >= 1 and by["parse"]["misses"] == 1
+        assert by["restructure"]["misses"] == 1
+        assert by["restructure"]["disk_writes"] >= 1
+        assert by["restructure"]["disk_bytes_written"] > 0
+        # the aggregate properties are the per-kind sums
+        assert st["hits"] == sum(k["hits"] for k in by.values())
+        assert st["misses"] == sum(k["misses"] for k in by.values())
+
+    def test_disk_hit_counts_bytes_read(self, tmp_path):
+        CompilationCache(cache_dir=tmp_path).parse(SRC)
+        c2 = CompilationCache(cache_dir=tmp_path)
+        c2.parse(SRC)
+        by = c2.stats()["by_kind"]["parse"]
+        assert by["disk_hits"] == 1
+        assert by["disk_bytes_read"] > 0
+
+    def test_metrics_registry_sees_requests(self):
+        c = CompilationCache()
+        c.parse(SRC)
+        c.parse(SRC)
+        snap = c.metrics.snapshot()
+        got = {(m["labels"]["kind"], m["labels"]["result"]): m["value"]
+               for m in snap["counters"]
+               if m["name"] == "repro_cache_requests_total"}
+        assert got[("parse", "hit")] == 1
+        assert got[("parse", "miss")] == 1
+
+
 class TestProcessWideConfiguration:
     def test_configure_and_env(self, tmp_path, monkeypatch):
         from repro.engine import cache as mod

@@ -104,6 +104,31 @@ class TestParallelPath:
             FaultReport(label="x", kind="internal", error_type="E",
                         message="m").to_dict())
 
+    def test_crash_stamped_with_index_and_duration(self):
+        out = parallel_map(boom, [1, 2, 3], jobs=2)
+        crash = out[1]
+        assert isinstance(crash, WorkerCrash)
+        assert crash.index == 1
+        assert crash.duration_s >= 0.0
+        fd = crash.to_fault_dict()
+        assert fd["detail"] == {"cell_index": 1}
+        assert fd["elapsed_s"] == crash.duration_s
+
+    def test_crash_message_carries_traceback_tail(self):
+        out = parallel_map(boom, [1, 2, 3], jobs=2)
+        crash = out[1]
+        assert crash.message.startswith("ValueError: cell 2 exploded")
+        # the tail of the worker's traceback rides along for diagnosis
+        assert "in boom" in crash.message
+        assert "raise ValueError" in crash.message
+
+    def test_dead_worker_crash_stamped_with_index(self):
+        out = parallel_map(hard_exit, [0, 1, 2], jobs=2)
+        for i, r in enumerate(out):
+            if isinstance(r, WorkerCrash):
+                assert r.index == i
+                assert r.duration_s >= 0.0
+
 
 def test_serial_and_parallel_agree():
     items = list(range(10))

@@ -1,0 +1,16 @@
+"""Telemetry tests mutate process-global state (the active session and
+the process-wide registry); every test starts and ends with both clean."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    from repro import telemetry
+
+    telemetry.shutdown()
+    telemetry.get_registry().reset()
+    yield
+    telemetry.shutdown()
+    telemetry.get_registry().reset()

@@ -1,0 +1,131 @@
+"""The PR's acceptance scenario: a ``--jobs 2 --telemetry DIR`` sweep
+produces one merged ``repro-metrics/1`` artifact that passes both
+validators, carries spans from at least two worker processes with
+per-stage breakdowns and cache hit rates — while the sweep's own JSON
+payload stays byte-identical to a serial, telemetry-off run."""
+
+import contextlib
+import importlib.util
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_script_validator():
+    spec = importlib.util.spec_from_file_location(
+        "validate_experiment_json",
+        ROOT / "scripts" / "validate_experiment_json.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def sweep(tmp_path_factory):
+    """One serial/off + one parallel/on experiments sweep, shared by the
+    assertions below (the sweep is the expensive part)."""
+    import repro.experiments.__main__ as exp
+
+    def run(argv):
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = exp.main(argv)
+        assert rc == 0
+        return buf.getvalue()
+
+    tdir = tmp_path_factory.mktemp("telem")
+    off = run(["table1", "fig6", "--quick", "--json", "--jobs", "1"])
+    on = run(["table1", "fig6", "--quick", "--json", "--jobs", "2",
+              "--telemetry", str(tdir)])
+    payload = json.loads((tdir / "metrics.json").read_text())
+    return {"dir": tdir, "off": off, "on": on, "payload": payload}
+
+
+class TestAcceptance:
+    def test_sweep_json_byte_identical(self, sweep):
+        assert sweep["on"] == sweep["off"]
+
+    def test_artifact_passes_canonical_validator(self, sweep):
+        assert telemetry.validate_metrics(sweep["payload"]) == []
+
+    def test_artifact_passes_script_validator(self, sweep):
+        mod = _load_script_validator()
+        assert mod.validate(sweep["payload"]) == []
+
+    def test_spans_from_at_least_two_workers(self, sweep):
+        span_pids = {s["pid"] for s in sweep["payload"]["spans"]}
+        assert len(span_pids) >= 2
+        assert len(sweep["payload"]["pids"]) >= 2
+
+    def test_spans_keyed_by_cell_index(self, sweep):
+        cells = [s for s in sweep["payload"]["spans"]
+                 if s["name"] == "cell"]
+        assert cells
+        indices = {s["cell"] for s in cells}
+        assert indices == set(range(len(cells)))
+
+    def test_per_stage_breakdown_present(self, sweep):
+        stages = sweep["payload"]["summary"]["stages"]
+        # experiment cells drive the front end + the perf estimator
+        assert {"parse", "restructure", "estimate"} <= set(stages)
+        assert all(st["count"] > 0 and st["total_s"] >= 0.0
+                   for st in stages.values())
+
+    def test_cache_hit_rates_present(self, sweep):
+        cache = sweep["payload"]["summary"]["cache"]
+        assert cache, "no cache accounting in the artifact"
+        for slot in cache.values():
+            assert slot["hits"] + slot["misses"] > 0
+            assert 0.0 <= slot["hit_rate"] <= 1.0
+
+    def test_worker_utilization_present(self, sweep):
+        workers = sweep["payload"]["summary"]["workers"]
+        assert len(workers) >= 2
+        assert all(0.0 <= w["utilization"] <= 1.0
+                   for w in workers.values())
+
+    def test_session_dir_is_clean(self, sweep):
+        names = {p.name for p in sweep["dir"].iterdir()}
+        assert names == {"meta.json", "metrics.json", "spans.jsonl",
+                         "metrics.prom"}
+
+    def test_prometheus_export_written(self, sweep):
+        text = (sweep["dir"] / "metrics.prom").read_text()
+        assert "# TYPE repro_cell_seconds histogram" in text
+        assert "repro_cell_seconds_count" in text
+
+
+class TestEnvVarPath:
+    def test_env_var_enables_telemetry(self, tmp_path, monkeypatch,
+                                       capsys):
+        import repro.validate.__main__ as val
+
+        tdir = tmp_path / "telem"
+        monkeypatch.setenv("REPRO_TELEMETRY", str(tdir))
+        assert val.main(["tridag", "--no-bisect", "--json"]) == 0
+        payload = json.loads((tdir / "metrics.json").read_text())
+        assert telemetry.validate_metrics(payload) == []
+        assert payload["summary"]["cells"] == 1
+        # finalize popped the env var: the session does not leak
+        import os
+
+        assert "REPRO_TELEMETRY" not in os.environ
+
+    def test_faults_sweep_instrumented(self, tmp_path, capsys):
+        import repro.faults.__main__ as faults
+
+        tdir = tmp_path / "telem"
+        assert faults.main(["sweep", "--quick", "--workloads", "tridag",
+                            "--scenarios", "healthy", "dead-ce",
+                            "--json", "--telemetry", str(tdir)]) == 0
+        payload = json.loads((tdir / "metrics.json").read_text())
+        assert telemetry.validate_metrics(payload) == []
+        # the fault sweep fans out per workload: one cell here
+        assert payload["summary"]["cells"] == 1
+        assert payload["harness"] == "repro.faults sweep"

@@ -1,0 +1,70 @@
+"""The ``python -m repro.telemetry`` CLI: report, validate, merge."""
+
+import json
+
+from repro import telemetry
+from repro.telemetry.__main__ import main
+
+
+def _session(tmp_path, cells=2):
+    telemetry.configure(tmp_path)
+    for i in range(cells):
+        with telemetry.cell_span(i, f"validate w{i}"):
+            with telemetry.span("parse"):
+                pass
+            with telemetry.span("execute"):
+                pass
+    telemetry.flush()
+    telemetry.shutdown(flush_shard=False)
+    return tmp_path
+
+
+class TestMerge:
+    def test_merge_folds_shards(self, tmp_path, capsys):
+        _session(tmp_path)
+        assert main(["merge", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s)" in out
+        assert (tmp_path / "metrics.json").exists()
+        assert not list(tmp_path.glob("spans-*.jsonl"))
+
+
+class TestValidate:
+    def test_valid_artifact_passes(self, tmp_path, capsys):
+        _session(tmp_path)
+        assert main(["validate", str(tmp_path)]) == 0
+        assert "conform to repro-metrics/1" in capsys.readouterr().out
+
+    def test_corrupt_artifact_fails(self, tmp_path, capsys):
+        _session(tmp_path)
+        main(["merge", str(tmp_path)])
+        capsys.readouterr()
+        doc = json.loads((tmp_path / "metrics.json").read_text())
+        doc["summary"]["cells"] = 99
+        (tmp_path / "metrics.json").write_text(json.dumps(doc))
+        assert main(["validate", str(tmp_path)]) == 1
+        assert "violation" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope")]) == 2
+
+
+class TestReport:
+    def test_report_renders_sections(self, tmp_path, capsys):
+        _session(tmp_path)
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report — trace" in out
+        assert "cell latency: p50" in out
+        assert "per-stage time breakdown" in out
+        assert "parse" in out and "execute" in out
+        assert "slowest cell(s)" in out
+        assert "worker utilization" in out
+
+    def test_report_accepts_metrics_json_file(self, tmp_path, capsys):
+        _session(tmp_path)
+        main(["merge", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["report", str(tmp_path / "metrics.json"),
+                     "--top", "1"]) == 0
+        assert "top 1 slowest cell(s)" in capsys.readouterr().out

@@ -1,0 +1,204 @@
+"""Span recording, shard I/O, and the no-op-when-disabled contract."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import spans as spanmod
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        assert telemetry.span("parse") is telemetry.span("restructure")
+        assert telemetry.cell_span(0, "x") is telemetry.span("parse")
+        assert not telemetry.enabled()
+
+    def test_disabled_writes_nothing(self, tmp_path):
+        with telemetry.span("parse", workload="TRFD"):
+            pass
+        telemetry.flush()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_flush_and_shutdown_are_safe_when_off(self):
+        telemetry.flush()
+        telemetry.shutdown()
+
+
+class TestConfigure:
+    def test_configure_creates_session(self, tmp_path):
+        telemetry.configure(tmp_path / "t")
+        assert telemetry.enabled()
+        meta = json.loads((tmp_path / "t" / "meta.json").read_text())
+        assert meta["trace_id"] and meta["pid"]
+        import os
+
+        assert os.environ["REPRO_TELEMETRY"] == str(tmp_path / "t")
+
+    def test_shutdown_clears_env(self, tmp_path, monkeypatch):
+        telemetry.configure(tmp_path)
+        telemetry.shutdown()
+        import os
+
+        assert "REPRO_TELEMETRY" not in os.environ
+        assert not telemetry.enabled()
+
+    def test_configure_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", str(tmp_path / "s"))
+        assert telemetry.configure_from_env()
+        assert spanmod.current_dir() == tmp_path / "s"
+        # idempotent: joining the same session again keeps the state
+        state = spanmod._STATE
+        assert telemetry.configure_from_env()
+        assert spanmod._STATE is state
+
+    def test_configure_from_env_without_var(self):
+        assert not telemetry.configure_from_env()
+
+
+class TestSpanRecording:
+    def test_nesting_records_parent_linkage(self, tmp_path):
+        telemetry.configure(tmp_path)
+        with telemetry.span("restructure", workload="TRFD"):
+            with telemetry.span("parse"):
+                pass
+        inner, outer = spanmod._STATE.spans
+        assert inner["name"] == "parse"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+        assert outer["attrs"] == {"workload": "TRFD"}
+        assert inner["duration_s"] >= 0.0
+
+    def test_exception_marks_error_and_propagates(self, tmp_path):
+        telemetry.configure(tmp_path)
+        with pytest.raises(ValueError):
+            with telemetry.span("compile"):
+                raise ValueError("boom")
+        [rec] = spanmod._STATE.spans
+        assert rec["error"] == "ValueError"
+
+    def test_stage_latency_observed(self, tmp_path):
+        telemetry.configure(tmp_path)
+        with telemetry.span("execute"):
+            pass
+        h = telemetry.get_registry().histogram("repro_stage_seconds",
+                                               stage="execute")
+        assert h.count == 1
+
+    def test_cell_span_sets_context_and_flushes(self, tmp_path):
+        telemetry.configure(tmp_path)
+        with telemetry.cell_span(3, "validate tridag"):
+            with telemetry.span("execute"):
+                assert spanmod._STATE.cell == 3
+        assert spanmod._STATE.cell is None
+        # the cell flushed this process's shard on exit
+        import os
+
+        shard = tmp_path / f"spans-{os.getpid()}.jsonl"
+        recs = [json.loads(ln) for ln in
+                shard.read_text().splitlines()]
+        assert [r["name"] for r in recs] == ["execute", "cell"]
+        assert all(r["cell"] == 3 for r in recs)
+        assert recs[1]["attrs"] == {"label": "validate tridag"}
+        assert telemetry.get_registry().histogram(
+            "repro_cell_seconds").count == 1
+
+
+class TestShardIO:
+    def test_flush_appends_spans_and_snapshots_metrics(self, tmp_path):
+        telemetry.configure(tmp_path)
+        with telemetry.span("parse"):
+            pass
+        telemetry.flush()
+        with telemetry.span("parse"):
+            pass
+        telemetry.flush()
+        import os
+
+        pid = os.getpid()
+        lines = (tmp_path / f"spans-{pid}.jsonl").read_text().splitlines()
+        assert len(lines) == 2                      # appended, not replaced
+        snap = json.loads((tmp_path / f"metrics-{pid}.json").read_text())
+        assert snap["pid"] == pid
+        [h] = [m for m in snap["metrics"]["histograms"]
+               if m["name"] == "repro_stage_seconds"
+               and m["labels"] == {"stage": "parse"}]
+        assert h["count"] == 2                      # snapshot, not delta
+
+    def test_unwritable_dir_never_raises(self, tmp_path):
+        d = tmp_path / "ro"
+        d.mkdir()
+        telemetry.configure(d)
+        d.chmod(0o500)
+        try:
+            with telemetry.cell_span(0, "x"):
+                pass                                # flush swallows OSError
+        finally:
+            d.chmod(0o700)
+
+
+class TestMergeDir:
+    def _session(self, tmp_path, cells=3):
+        telemetry.configure(tmp_path)
+        for i in range(cells):
+            with telemetry.cell_span(i, f"cell {i}"):
+                with telemetry.span("execute"):
+                    pass
+        telemetry.flush()
+
+    def test_merge_builds_artifact_and_removes_shards(self, tmp_path):
+        self._session(tmp_path)
+        payload = telemetry.merge_dir(tmp_path, harness="test")
+        assert payload["schema"] == telemetry.SCHEMA_TAG
+        assert payload["summary"]["cells"] == 3
+        assert payload["summary"]["stages"]["execute"]["count"] == 3
+        assert not list(tmp_path.glob("spans-*.jsonl"))
+        assert not list(tmp_path.glob("metrics-*.json"))
+        for name in ("metrics.json", "spans.jsonl", "metrics.prom"):
+            assert (tmp_path / name).exists()
+        assert telemetry.validate_metrics(payload) == []
+
+    def test_remerge_is_idempotent(self, tmp_path):
+        self._session(tmp_path)
+        first = telemetry.merge_dir(tmp_path, harness="test")
+        again = telemetry.merge_dir(tmp_path, harness="test")
+        assert again["spans"] == first["spans"]
+        assert again["summary"] == first["summary"]
+
+    def test_spans_jsonl_sorted_by_cell(self, tmp_path):
+        self._session(tmp_path)
+        telemetry.merge_dir(tmp_path)
+        cells = [json.loads(ln)["cell"] for ln in
+                 (tmp_path / "spans.jsonl").read_text().splitlines()]
+        assert cells == sorted(cells)
+
+    def test_finalize_echoes_and_ends_session(self, tmp_path):
+        self._session(tmp_path, cells=1)
+        echoed = []
+        payload = telemetry.finalize(harness="t", echo=echoed.append)
+        assert payload["summary"]["cells"] == 1
+        assert "metrics.json" in echoed[0]
+        assert not telemetry.enabled()
+        # nothing left behind but the merged artifact + meta
+        leftovers = {p.name for p in tmp_path.iterdir()}
+        assert leftovers == {"meta.json", "metrics.json", "spans.jsonl",
+                             "metrics.prom"}
+
+    def test_finalize_is_noop_when_off(self):
+        assert telemetry.finalize(harness="t") is None
+
+
+class TestValidatorCatchesCorruption:
+    def test_doctored_artifact_fails_validation(self, tmp_path):
+        telemetry.configure(tmp_path)
+        with telemetry.cell_span(0, "x"):
+            pass
+        telemetry.flush()
+        payload = telemetry.merge_dir(tmp_path)
+        assert telemetry.validate_metrics(payload) == []
+        payload["summary"]["cells"] += 1
+        assert any("recount" in p for p in
+                   telemetry.validate_metrics(payload))
+        payload["spans"][0]["parent"] = "nope-1"
+        assert any("does not resolve" in p for p in
+                   telemetry.validate_metrics(payload))
