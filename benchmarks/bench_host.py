@@ -57,6 +57,12 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 SCHEMA_TAG = "repro-bench-host/2"
 
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+# provenance stamps shared with the bench history (repro.obs)
+from repro.obs.history import git_stamp, host_stamp  # noqa: E402
+
 
 def run_validate(extra: list[str], out_file: Path, *,
                  env_overrides: dict[str, str]) -> dict:
@@ -192,6 +198,11 @@ def main(argv: list[str] | None = None) -> int:
         "schema": SCHEMA_TAG,
         "quick": not ns.full,
         "jobs": jobs,
+        # provenance: which revision ran, on what machine — additive
+        # fields, so the /2 schema tag holds (consumers must tolerate
+        # unknown keys); the bench history keys its baselines on these
+        "git": git_stamp(ROOT),
+        "host": host_stamp(),
         "runs": {name: {k: v for k, v in rec.items()
                         if k != "stderr_tail" or rec["returncode"] != 0}
                  for name, rec in runs.items()},

@@ -14,6 +14,11 @@ Dispatches on the payload's ``schema`` tag:
   ``schemas/faults.schema.json``;
 - ``repro-bench-host/1`` and ``/2`` (``benchmarks/bench_host.py``)
   against ``schemas/bench_host.schema.json``;
+- ``repro-bench-history/1`` (one ``python -m repro.obs record`` entry,
+  i.e. one line of ``benchmarks/history/history.jsonl``) against
+  ``schemas/bench_history.schema.json``, by delegating to the canonical
+  checker in ``repro.obs.history`` (which also enforces that the stored
+  fingerprint matches the host stamp);
 - ``repro-metrics/1`` (``--telemetry`` session artifacts) against
   ``schemas/metrics.schema.json``, by delegating to the canonical
   checker in ``repro.telemetry.schema`` (the one place the histogram /
@@ -65,6 +70,7 @@ VALIDATE_TAG = "repro-validate/1"
 FAULTS_TAG = "repro-faults/1"
 BENCH_HOST_TAG = "repro-bench-host/1"
 BENCH_HOST_TAG_V2 = "repro-bench-host/2"
+BENCH_HISTORY_TAG = "repro-bench-history/1"
 METRICS_TAG = "repro-metrics/1"
 ACTIONS = {"accepted", "rejected", "failed", "applied", "declined", "noted"}
 REL_TOL = 1e-6
@@ -622,6 +628,7 @@ def validate_bench_host(payload) -> None:
                      par.get("parallel_speedup")),
             "$.parallel.parallel_speedup",
             "inconsistent with serial/parallel seconds")
+    check_bench_host_provenance(payload)
     if payload.get("schema") == BENCH_HOST_TAG_V2:
         check_bench_host_latency(payload)
     required_checks = list(BENCH_HOST_CHECKS)
@@ -635,6 +642,38 @@ def validate_bench_host(payload) -> None:
                 "$.checks", "check values must be booleans")
         _expect(payload.get("ok") == all(checks.values()), "$.ok",
                 "ok flag must equal the conjunction of the checks")
+
+
+def check_bench_host_provenance(payload) -> None:
+    """The optional git/host stamps (additive to the /2 shape)."""
+    git = payload.get("git")
+    if git is not None:
+        if _expect(isinstance(git, dict), "$.git", "must be an object"):
+            _expect(git.get("sha") is None or isinstance(git["sha"], str),
+                    "$.git.sha", "must be a string or null")
+            _expect(git.get("dirty") is None
+                    or isinstance(git["dirty"], bool),
+                    "$.git.dirty", "must be a boolean or null")
+    host = payload.get("host")
+    if host is not None:
+        if _expect(isinstance(host, dict), "$.host", "must be an object"):
+            for key in ("python", "platform", "cpu_count"):
+                _expect(key in host, "$.host", f"missing {key!r}")
+            cc = host.get("cpu_count")
+            _expect(cc is None or (isinstance(cc, int) and cc >= 1),
+                    "$.host.cpu_count", "must be an integer >= 1")
+
+
+def validate_bench_history_entry(payload) -> list[str]:
+    """Delegate to the canonical repro-bench-history/1 checker."""
+    try:
+        from repro.obs.history import validate_entry
+    except ImportError:
+        import os
+        sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"))
+        from repro.obs.history import validate_entry
+    return validate_entry(payload)
 
 
 def check_bench_host_latency(payload) -> None:
@@ -704,13 +743,17 @@ def validate(payload) -> list[str]:
     if tag in (BENCH_HOST_TAG, BENCH_HOST_TAG_V2):
         validate_bench_host(payload)
         return list(_errors)
+    if tag == BENCH_HISTORY_TAG:
+        _errors.extend(validate_bench_history_entry(payload))
+        return list(_errors)
     if tag == METRICS_TAG:
         _errors.extend(validate_metrics_payload(payload))
         return list(_errors)
     _expect(tag == SCHEMA_TAG, "$.schema",
             f"expected {SCHEMA_TAG!r}, {PROFILE_TAG!r}, "
             f"{VALIDATE_TAG!r}, {FAULTS_TAG!r}, {BENCH_HOST_TAG!r}, "
-            f"{BENCH_HOST_TAG_V2!r} or {METRICS_TAG!r}, got {tag!r}")
+            f"{BENCH_HOST_TAG_V2!r}, {BENCH_HISTORY_TAG!r} or "
+            f"{METRICS_TAG!r}, got {tag!r}")
     experiments = payload.get("experiments")
     if _expect(isinstance(experiments, dict) and experiments,
                "$.experiments", "need a non-empty experiments object"):
@@ -751,6 +794,9 @@ def main(argv: list[str]) -> int:
     elif payload.get("schema") in (BENCH_HOST_TAG, BENCH_HOST_TAG_V2):
         print(f"OK: {len(payload['runs'])} host benchmark run(s) "
               f"conform to {payload['schema']}")
+    elif payload.get("schema") == BENCH_HISTORY_TAG:
+        print(f"OK: history entry with {len(payload['metrics'])} "
+              f"metric(s) conforms to {BENCH_HISTORY_TAG}")
     elif payload.get("schema") == METRICS_TAG:
         s = payload["summary"]
         print(f"OK: {len(payload['spans'])} span(s) over "

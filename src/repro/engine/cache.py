@@ -49,8 +49,11 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro._version import __version__
+from repro.obs.log import get_logger
 from repro.telemetry import span
 from repro.telemetry.registry import MetricsRegistry
+
+_LOG = get_logger("engine.cache")
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fortran import ast_nodes as F
@@ -237,8 +240,11 @@ class CompilationCache:
                 self._ctr[kind, "hit"].inc()
                 self._ctr[kind, "disk_reads"].inc()
                 self._ctr[kind, "disk_bytes_read"].inc(len(data))
+                _LOG.debug("disk_hit", kind=kind, key=key[:12],
+                           bytes=len(data))
                 return value
         self._ctr[kind, "miss"].inc()
+        _LOG.debug("miss", kind=kind, key=key[:12])
         return None
 
     def _store(self, key: str, value: object, kind: str) -> None:
@@ -264,8 +270,12 @@ class CompilationCache:
                 raise
             self._ctr[kind, "disk_writes"].inc()
             self._ctr[kind, "disk_bytes_written"].inc(len(data))
-        except (OSError, pickle.PickleError):
-            pass  # a read-only or full cache dir degrades to memory-only
+            _LOG.debug("disk_write", kind=kind, key=key[:12],
+                       bytes=len(data))
+        except (OSError, pickle.PickleError) as exc:
+            # a read-only or full cache dir degrades to memory-only
+            _LOG.warning("disk_store_failed", kind=kind, key=key[:12],
+                         error_type=type(exc).__name__)
 
     def _disk_path(self, key: str) -> Path:
         assert self.cache_dir is not None

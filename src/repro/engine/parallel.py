@@ -37,12 +37,15 @@ from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
 from repro import telemetry
+from repro.obs.log import get_logger
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: how many trailing traceback lines a crashed cell carries
 _TB_TAIL_LINES = 6
+
+_LOG = get_logger("engine.parallel")
 
 
 @dataclass(frozen=True)
@@ -52,7 +55,9 @@ class WorkerCrash:
     ``index`` is the cell's submission index (``-1`` when unknown) and
     ``duration_s`` the wall-clock the cell ran before dying (``0.0``
     when the worker vanished without reporting), so crashes remain
-    attributable in telemetry reports and fault payloads.
+    attributable in telemetry reports and fault payloads.  ``flight``
+    is the worker's flight-recorder tail (recent log/span events) when
+    logging was enabled — the crash's last-moments context.
     """
 
     label: str
@@ -60,9 +65,15 @@ class WorkerCrash:
     kind: str = "internal"
     index: int = -1
     duration_s: float = 0.0
+    flight: tuple = ()
 
     def to_fault_dict(self) -> dict:
         """Shape-compatible with ``FaultReport.to_dict()``."""
+        detail: dict = {}
+        if self.index >= 0:
+            detail["cell_index"] = self.index
+        if self.flight:
+            detail["flight_recorder"] = list(self.flight)
         return {
             "label": self.label,
             "kind": self.kind,
@@ -70,20 +81,21 @@ class WorkerCrash:
             "message": self.message,
             "elapsed_s": self.duration_s,
             "traceback": "",
-            "detail": {"cell_index": self.index} if self.index >= 0
-            else {},
+            "detail": detail,
         }
 
 
 @dataclass(frozen=True)
 class _CellFailure:
     """Worker-side record of a cell that raised (picklable, with the
-    traceback tail the parent folds into :class:`WorkerCrash`)."""
+    traceback tail and flight-recorder context the parent folds into
+    :class:`WorkerCrash`)."""
 
     index: int
     label: str
     message: str
     duration_s: float
+    flight: tuple = ()
 
 
 def _tb_tail(exc: BaseException) -> str:
@@ -92,21 +104,31 @@ def _tb_tail(exc: BaseException) -> str:
     return tail
 
 
-def _run_cell(fn: Callable, item, index: int, label: str):
+def _run_cell(fn: Callable, item, index: int, label: str,
+              submit_t0: float | None = None):
     """Execute one cell inside its telemetry span (runs in the worker).
 
     Exceptions become a :class:`_CellFailure` carrying the traceback
-    tail — raising across the process boundary would lose it.
+    tail — raising across the process boundary would lose it — plus the
+    worker's flight-recorder tail when logging is enabled.
     """
+    from repro.obs import flight
+
     t0 = time.perf_counter()
     try:
-        with telemetry.cell_span(index, label):
-            return fn(item)
+        with telemetry.cell_span(index, label, submit_t0=submit_t0):
+            r = fn(item)
+        _LOG.debug("cell_done", index=index, label=label,
+                   duration_s=time.perf_counter() - t0)
+        return r
     except BaseException as exc:  # noqa: BLE001 — cell isolation
+        _LOG.error("cell_failed", index=index, label=label,
+                   error_type=type(exc).__name__, message=str(exc))
         return _CellFailure(
             index=index, label=label,
             message=f"{type(exc).__name__}: {exc}\n{_tb_tail(exc)}",
-            duration_s=time.perf_counter() - t0)
+            duration_s=time.perf_counter() - t0,
+            flight=tuple(flight.tail()))
 
 
 def _mp_context():
@@ -142,7 +164,8 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int, *,
         for i, it in enumerate(items):
             # exceptions propagate on the serial path (isolation is the
             # cell's own job); the cell span still flushes on the way out
-            with telemetry.cell_span(i, labels[i]):
+            with telemetry.cell_span(i, labels[i],
+                                     submit_t0=time.perf_counter()):
                 r = fn(it)
             if on_result is not None:
                 on_result(i, r)
@@ -151,9 +174,13 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int, *,
 
     import concurrent.futures as cf
 
+    _LOG.info("fan_out", jobs=min(jobs, len(items)), cells=len(items))
     with cf.ProcessPoolExecutor(max_workers=min(jobs, len(items)),
                                 mp_context=_mp_context()) as ex:
-        futures = [ex.submit(_run_cell, fn, it, i, labels[i])
+        # the submit stamp rides into the worker: the cell span records
+        # the submit->start gap as its queue delay
+        futures = [ex.submit(_run_cell, fn, it, i, labels[i],
+                             time.perf_counter())
                    for i, it in enumerate(items)]
         for i, (label, fut) in enumerate(zip(labels, futures)):
             try:
@@ -173,7 +200,12 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int, *,
                     index=i)
             if isinstance(r, _CellFailure):
                 r = WorkerCrash(label=r.label, message=r.message,
-                                index=r.index, duration_s=r.duration_s)
+                                index=r.index, duration_s=r.duration_s,
+                                flight=r.flight)
+            if isinstance(r, WorkerCrash):
+                _LOG.warning("worker_crash", index=i, label=label,
+                             message=r.message.splitlines()[0]
+                             if r.message else "")
             if on_result is not None:
                 on_result(i, r)
             out.append(r)

@@ -98,6 +98,9 @@ def main(argv: list[str] | None = None) -> int:
         })
 
     hard_fault = False
+    from repro.obs.log import get_logger
+
+    log = get_logger("experiments")
 
     def merge(i: int, res) -> None:
         nonlocal hard_fault
@@ -109,12 +112,15 @@ def main(argv: list[str] | None = None) -> int:
             cont = " -- continuing" if args.keep_going else ""
             print(f"{name}: FAULT ({fd['kind']}) {fd['message']}{cont}",
                   file=sys.stderr)
+            log.warning("experiment_fault", name=name, kind=fd["kind"],
+                        message=fd["message"])
             if not args.keep_going:
                 hard_fault = True
             return
         texts[name] = res["text"]
         table_dicts[name] = res["table_dict"]
         journal.record(name, res["table_dict"])
+        log.info("experiment_done", name=name)
 
     parallel_map(run_experiment_cell, jobs_list, jobs,
                  labels=[f"experiment {j['name']}" for j in jobs_list],

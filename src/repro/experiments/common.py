@@ -190,16 +190,36 @@ def add_engine_args(ap: argparse.ArgumentParser) -> None:
                          "repro-metrics/1 artifact (default: "
                          "$REPRO_TELEMETRY, else off; off is a true "
                          "no-op and never changes sweep payloads)")
+    ap.add_argument("--log-level", default=None, metavar="LEVEL",
+                    choices=("debug", "info", "warning", "error"),
+                    help="structured JSONL logging at LEVEL "
+                         "(debug/info/warning/error) to "
+                         "$REPRO_LOG_FILE, the telemetry dir's "
+                         "log.jsonl, or stderr; enables the crash "
+                         "flight recorder (default: $REPRO_LOG, else "
+                         "off; off is a true no-op and never changes "
+                         "sweep payloads)")
 
 
 def configure_engine(ns: argparse.Namespace) -> int:
     """Apply the shared flags; returns the sanitized job count."""
     from repro import telemetry
+    from repro.obs import log as obslog
 
     telemetry_dir = getattr(ns, "telemetry", None) \
         or os.environ.get("REPRO_TELEMETRY") or None
     if telemetry_dir:
         telemetry.configure(telemetry_dir)
+    log_level = getattr(ns, "log_level", None)
+    if log_level:
+        from repro.telemetry import spans as spanmod
+
+        log_file = os.environ.get("REPRO_LOG_FILE") or None
+        if log_file is None and spanmod.current_dir() is not None:
+            log_file = str(spanmod.current_dir() / "log.jsonl")
+        obslog.configure(log_level, path=log_file)
+    else:
+        obslog.configure_from_env()    # forked/spawned workers join
     cache_dir = getattr(ns, "cache_dir", None) \
         or os.environ.get("REPRO_CACHE_DIR") or None
     configure(cache_dir=cache_dir)
@@ -211,13 +231,18 @@ def finalize_telemetry(harness: str) -> None:
 
     The shared epilogue of every sweep CLI: flushes the parent shard,
     folds per-worker shards into ``DIR/metrics.json`` (plus the merged
-    span log and Prometheus text), and prints a one-line stderr note.
-    A no-op when ``--telemetry`` is off.
+    span log and Prometheus text), prints a one-line stderr note, and
+    ends the structured-logging session.  A no-op when both
+    ``--telemetry`` and ``--log-level`` are off.
     """
     import sys
 
     from repro import telemetry
+    from repro.obs import log as obslog
 
     telemetry.finalize(
         harness=harness,
         echo=lambda msg: print(msg, file=sys.stderr))
+    if obslog.enabled():
+        obslog.get_logger("harness").info("finalized", harness=harness)
+        obslog.shutdown()

@@ -28,10 +28,13 @@ from pathlib import Path
 from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import BudgetExceededError, ReproError
+from repro.obs.log import get_logger
 
 #: exception classes the harness never swallows — programming errors and
 #: interpreter-session control flow must propagate
 _NEVER_ISOLATE = (KeyboardInterrupt, SystemExit, MemoryError)
+
+_LOG = get_logger("faults.harness")
 
 
 @dataclass
@@ -71,8 +74,17 @@ class FaultReport:
         # keep the tail — the raising frame — and bound the payload
         if len(tb) > 4000:
             tb = "...\n" + tb[-4000:]
-        return cls(label=label, kind=kind, error_type=type(exc).__name__,
-                   message=str(exc), elapsed_s=elapsed_s, traceback=tb)
+        report = cls(label=label, kind=kind,
+                     error_type=type(exc).__name__,
+                     message=str(exc), elapsed_s=elapsed_s, traceback=tb)
+        # when the flight recorder is on (logging enabled), the report
+        # carries the last-N-events context of the dying process
+        from repro.obs import flight
+
+        events = flight.tail()
+        if events:
+            report.detail["flight_recorder"] = events
+        return report
 
 
 @contextmanager
@@ -126,8 +138,13 @@ def run_isolated(fn: Callable[[], Any], label: str,
     except _NEVER_ISOLATE:
         raise
     except BaseException as exc:  # noqa: BLE001 — isolation is the point
-        return None, FaultReport.from_exception(
+        report = FaultReport.from_exception(
             label, exc, elapsed_s=time.monotonic() - t0)
+        _LOG.warning("isolated_fault", label=label, kind=report.kind,
+                     error_type=report.error_type,
+                     message=report.message,
+                     elapsed_s=report.elapsed_s)
+        return None, report
 
 
 class SweepJournal:

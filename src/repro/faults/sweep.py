@@ -304,17 +304,25 @@ def run_sweep(workloads: Sequence[str] | None = None,
 
     runs: list[dict] = []
     faults: list[dict] = []
+    from repro.obs.log import get_logger
+
+    log = get_logger("faults.sweep")
 
     def merge(i: int, res) -> None:
         wname = jobs_list[i]["workload"]
         if isinstance(res, WorkerCrash):
             faults.append(res.to_fault_dict())
             say(f"[{wname}] FAULT (internal) {res.message}")
+            log.warning("workload_crash", workload=wname,
+                        message=res.message.splitlines()[0]
+                        if res.message else "")
             return
         if res["baseline_fault"] is not None:
             fd = res["baseline_fault"]
             faults.append(fd)
             say(f"[{wname}] FAULT ({fd['kind']}) {fd['message']}")
+            log.warning("baseline_fault", workload=wname,
+                        kind=fd["kind"], message=fd["message"])
             return
         for cell in res["cells"]:
             key = f"{wname}:{cell['scenario']}"
@@ -336,6 +344,9 @@ def run_sweep(workloads: Sequence[str] | None = None,
                                    if not rd["checks"].get(c)))
             say(f"[{key}] x{rd['degradation']:.3f} "
                 f"(bound x{rd['bound']:.2f}) {status}")
+            log.info("cell_done", workload=wname,
+                     scenario=cell["scenario"], ok=rd["ok"],
+                     degradation=rd["degradation"])
 
     parallel_map(run_fault_workload, jobs_list, jobs,
                  labels=[f"{j['workload']} baseline" for j in jobs_list],

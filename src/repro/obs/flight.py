@@ -1,0 +1,101 @@
+"""The flight recorder: a bounded ring of recent log/span events.
+
+Crash reports are only as useful as their context.  When logging is
+enabled (:func:`repro.obs.log.configure` enables the recorder as a side
+effect), every structured log record — at *any* level, including ones
+below the write threshold — and every completed telemetry span is
+pushed into a bounded in-memory ring buffer.  When a workload crashes
+or times out, :func:`repro.faults.harness.FaultReport.from_exception`
+and the :class:`repro.engine.parallel.WorkerCrash` path dump the ring's
+tail into the report's ``detail["flight_recorder"]``, so the report
+carries the last N things the process did before dying.
+
+While disabled (the default) the recorder is a module-level ``None``
+and :func:`record` is a single ``is None`` check — nothing allocates,
+so the zero-cost-when-off contract of the logging layer holds.
+
+Forked ``--jobs`` workers inherit the parent's ring contents; that is
+deliberate — the parent-side events leading up to the fan-out are
+exactly the context a worker crash wants to show.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+#: how many events the ring holds by default
+DEFAULT_CAPACITY = 64
+
+#: how many trailing events a crash report carries
+TAIL_EVENTS = 16
+
+_RING: Optional[deque] = None
+
+
+def enabled() -> bool:
+    return _RING is not None
+
+
+def enable(capacity: int = DEFAULT_CAPACITY) -> None:
+    """Start recording (idempotent; re-enabling keeps existing events
+    unless the capacity changed)."""
+    global _RING
+    if _RING is None or _RING.maxlen != capacity:
+        old = list(_RING) if _RING is not None else []
+        _RING = deque(old, maxlen=max(1, int(capacity)))
+    from repro.telemetry import spans as spanmod
+
+    spanmod.set_span_observer(_observe_span)
+
+
+def disable() -> None:
+    global _RING
+    _RING = None
+    from repro.telemetry import spans as spanmod
+
+    spanmod.set_span_observer(None)
+
+
+def record(event: dict) -> None:
+    """Push one event (a JSON-shaped dict); no-op while disabled."""
+    ring = _RING
+    if ring is not None:
+        ring.append(event)
+
+
+def tail(n: int = TAIL_EVENTS) -> list[dict]:
+    """The most recent ``n`` events, oldest first (empty if disabled)."""
+    ring = _RING
+    if ring is None:
+        return []
+    events = list(ring)
+    return events[-n:] if n and n > 0 else events
+
+
+def clear() -> None:
+    if _RING is not None:
+        _RING.clear()
+
+
+def _observe_span(rec: dict) -> None:
+    """Span-completion hook installed into :mod:`repro.telemetry.spans`.
+
+    Records a compact summary of the closed span — enough to see the
+    pipeline's recent shape in a crash tail without duplicating the
+    whole span log.
+    """
+    ring = _RING
+    if ring is None:
+        return
+    event: dict = {"kind": "span", "name": rec.get("name"),
+                   "span": rec.get("id"), "pid": rec.get("pid"),
+                   "duration_s": rec.get("duration_s")}
+    if rec.get("cell") is not None:
+        event["cell"] = rec["cell"]
+    if rec.get("error"):
+        event["error"] = rec["error"]
+    attrs = rec.get("attrs")
+    if attrs and "label" in attrs:
+        event["label"] = attrs["label"]
+    ring.append(event)

@@ -1,0 +1,219 @@
+"""Structured JSONL logging for the repro harnesses.
+
+One log record is one JSON object on one line::
+
+    {"t": 1754640000.1, "level": "info", "subsystem": "validate",
+     "event": "workload_done", "pid": 4242,
+     "trace_id": "9f0c...", "span": "4242-17", "cell": 3,
+     "fields": {"workload": "TRFD", "ok": true}}
+
+Design rules, in order of importance:
+
+- **Off is free.**  Logging is opt-in (``--log-level LEVEL`` on the
+  sweep CLIs, or ``REPRO_LOG=LEVEL``); while off, every logger method is
+  a single ``is None`` check — no allocation, no formatting, no I/O —
+  so instrumented code paths behave exactly as uninstrumented ones and
+  sweep JSON payloads stay byte-identical either way.
+- **Correlated with telemetry.**  When a telemetry session is active,
+  every record carries the session ``trace_id``, the innermost open
+  span id, and the current sweep-cell index — the exact same identifiers
+  the ``repro-metrics/1`` span log uses, so a log line joins against its
+  span with no guessing.
+- **Fork-safe.**  ``--jobs`` workers inherit the configured state; the
+  sink is opened in append mode and every record is one ``write()`` of
+  one line, so interleaved worker output stays line-atomic on POSIX.
+- **Crash-context capture.**  Every record (regardless of level
+  threshold) is also pushed into the :mod:`repro.obs.flight` ring
+  buffer, which crash reports dump as their last-N-events context.
+
+The default sink is ``<telemetry dir>/log.jsonl`` when a telemetry
+session is active, else stderr; ``REPRO_LOG_FILE`` overrides either.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Optional, TextIO
+
+#: level name -> numeric threshold (records below the configured
+#: threshold are ring-buffered but not written)
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _LogState:
+    """Per-process logging session (shared via fork with workers)."""
+
+    __slots__ = ("level", "levelno", "path", "fh", "owns_fh")
+
+    def __init__(self, level: str, levelno: int, path: Optional[str],
+                 fh: TextIO, owns_fh: bool):
+        self.level = level
+        self.levelno = levelno
+        self.path = path
+        self.fh = fh
+        self.owns_fh = owns_fh
+
+
+_STATE: Optional[_LogState] = None
+
+
+def enabled() -> bool:
+    """True when logging is configured in this process."""
+    return _STATE is not None
+
+
+def level() -> Optional[str]:
+    return _STATE.level if _STATE is not None else None
+
+
+def configure(level: str = "info", path: str | os.PathLike | None = None,
+              flight_capacity: int | None = None) -> None:
+    """Start a logging session at ``level``, writing to ``path``.
+
+    ``path=None`` writes to stderr.  Also enables the flight recorder
+    (ring buffer of recent events) — the two are one feature: when you
+    can log, crashes can explain themselves.  Raises :class:`ValueError`
+    on an unknown level name.
+    """
+    global _STATE
+    lvl = str(level).lower()
+    if lvl not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r} (choose from "
+            f"{', '.join(LEVELS)})")
+    shutdown()
+    if path is not None:
+        p = os.fspath(path)
+        os.makedirs(os.path.dirname(p) or ".", exist_ok=True)
+        fh = open(p, "a", buffering=1)
+        _STATE = _LogState(lvl, LEVELS[lvl], p, fh, owns_fh=True)
+    else:
+        _STATE = _LogState(lvl, LEVELS[lvl], None, sys.stderr,
+                           owns_fh=False)
+    os.environ["REPRO_LOG"] = lvl
+    from repro.obs import flight
+
+    if flight_capacity is not None:
+        flight.enable(flight_capacity)
+    else:
+        flight.enable()
+
+
+def configure_from_env() -> bool:
+    """Join/start the session named by ``REPRO_LOG``, if any.
+
+    An unknown level in the environment degrades to ``info`` (with a
+    stderr note) rather than killing the harness.
+    """
+    lvl = os.environ.get("REPRO_LOG")
+    if not lvl:
+        return False
+    if _STATE is not None and _STATE.level == lvl.lower():
+        return True
+    if lvl.lower() not in LEVELS:
+        print(f"[repro.obs.log] unknown REPRO_LOG level {lvl!r}; "
+              f"using 'info'", file=sys.stderr)
+        lvl = "info"
+    configure(lvl.lower(), os.environ.get("REPRO_LOG_FILE") or None)
+    return True
+
+
+def shutdown() -> None:
+    """End the session (close an owned sink, disable the recorder)."""
+    global _STATE
+    st = _STATE
+    _STATE = None
+    os.environ.pop("REPRO_LOG", None)
+    if st is not None and st.owns_fh:
+        try:
+            st.fh.close()
+        except OSError:
+            pass
+    from repro.obs import flight
+
+    flight.disable()
+
+
+# ---------------------------------------------------------------------------
+# loggers
+
+
+class Logger:
+    """A named, level-filtered emitter of structured records.
+
+    Instances are cheap and process-wide (see :func:`get_logger`); every
+    method is a no-op while logging is unconfigured.
+    """
+
+    __slots__ = ("subsystem",)
+
+    def __init__(self, subsystem: str):
+        self.subsystem = subsystem
+
+    def debug(self, event: str, **fields) -> None:
+        if _STATE is not None:
+            self._emit("debug", 10, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        if _STATE is not None:
+            self._emit("info", 20, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        if _STATE is not None:
+            self._emit("warning", 30, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        if _STATE is not None:
+            self._emit("error", 40, event, fields)
+
+    def _emit(self, level: str, levelno: int, event: str,
+              fields: dict) -> None:
+        st = _STATE
+        if st is None:  # raced a shutdown
+            return
+        rec: dict = {
+            "t": time.time(),
+            "level": level,
+            "subsystem": self.subsystem,
+            "event": event,
+            "pid": os.getpid(),
+        }
+        # correlation with the active telemetry session, if any: the
+        # same trace id / span id / cell index the span log carries
+        from repro.telemetry import spans as spanmod
+
+        ts = spanmod._STATE
+        if ts is not None:
+            rec["trace_id"] = ts.trace_id
+            if ts.stack:
+                rec["span"] = ts.stack[-1]
+            if ts.cell is not None:
+                rec["cell"] = ts.cell
+        if fields:
+            rec["fields"] = fields
+        from repro.obs import flight
+
+        flight.record(rec)
+        if levelno < st.levelno:
+            return
+        try:
+            st.fh.write(json.dumps(rec, sort_keys=True, default=str)
+                        + "\n")
+        except (OSError, ValueError):
+            pass    # a dead sink must never kill a sweep
+
+
+_LOGGERS: dict[str, Logger] = {}
+
+
+def get_logger(subsystem: str) -> Logger:
+    """The process-wide logger named ``subsystem`` (created on first
+    use).  Safe to call at import time: the logger itself holds no
+    session state, so it works across configure/shutdown cycles."""
+    lg = _LOGGERS.get(subsystem)
+    if lg is None:
+        lg = _LOGGERS[subsystem] = Logger(subsystem)
+    return lg

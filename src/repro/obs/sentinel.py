@@ -1,0 +1,367 @@
+"""The regression sentinel: a statistical gate over the bench history.
+
+``python -m repro.obs check`` compares the *candidate* (the newest
+history entry, or payloads given via ``--current``) against the
+*baseline* (every earlier same-fingerprint entry) one metric at a time:
+
+1. **Ratio gate** — the relative change of the candidate's center
+   (median of its samples) versus the baseline median must stay inside
+   the metric's threshold, signed by the metric's direction
+   (``host_seconds/*`` regress upward, ``*_speedup`` regress downward).
+2. **Statistical confirmation** — a tripped ratio gate alone does not
+   fail the check on a noisy wall clock.  With enough samples on both
+   sides the one-sided Mann-Whitney U test (normal approximation with
+   tie correction — the environment has no scipy) must reject "same
+   distribution" at ``alpha``; with a small candidate a seeded
+   bootstrap confidence interval of the baseline median must exclude
+   the candidate on the worse side.  Only a *confirmed* shift is a
+   regression; an unconfirmed trip is reported as ``suspect`` and does
+   not fail the gate.
+
+Thresholds are per-metric-pattern (fnmatch) and overridable from the
+CLI (``--threshold 'host_seconds/*=0.5'``).  Baselines are restricted
+to the candidate's machine fingerprint unless ``--all-hosts`` — you
+cannot regress by benchmarking on a slower laptop.
+"""
+
+from __future__ import annotations
+
+import math
+from fnmatch import fnmatchcase
+from typing import Iterable, Optional, Sequence
+
+from repro.obs import history as hist
+
+#: significance level of the confirmation tests
+DEFAULT_ALPHA = 0.05
+
+#: minimum per-side samples for the Mann-Whitney path
+MIN_MW_SAMPLES = 4
+
+#: minimum baseline samples for the bootstrap-CI path (below this the
+#: ratio gate alone decides)
+MIN_BOOTSTRAP_SAMPLES = 3
+
+#: (pattern, direction, relative threshold) — first match wins.
+#: Wall-clock metrics get generous thresholds (CI runners are noisy);
+#: ratios are tighter because they self-normalize.
+DEFAULT_GATES: tuple[tuple[str, str, float], ...] = (
+    ("host_seconds/*", "higher_worse", 0.30),
+    ("stage_seconds/*", "higher_worse", 0.35),
+    ("latency/*", "higher_worse", 0.35),
+    ("cell_seconds/*", "higher_worse", 0.35),
+    ("cache_hit_rate/*", "lower_worse", 0.10),
+    ("*_speedup", "lower_worse", 0.25),
+)
+
+_DIRECTIONS = ("higher_worse", "lower_worse")
+
+
+def gate_for(metric: str,
+             overrides: Optional[dict] = None) -> Optional[tuple[str, float]]:
+    """(direction, threshold) for one metric; ``None`` == ungated.
+
+    ``overrides`` maps patterns to thresholds; an override hits the
+    first matching *default* gate's direction (a metric no default gate
+    knows defaults to ``higher_worse``).
+    """
+    direction = None
+    threshold = None
+    for pattern, d, t in DEFAULT_GATES:
+        if fnmatchcase(metric, pattern):
+            direction, threshold = d, t
+            break
+    if overrides:
+        for pattern, t in overrides.items():
+            if fnmatchcase(metric, pattern):
+                threshold = t
+                if direction is None:
+                    direction = "higher_worse"
+                break
+    if direction is None or threshold is None:
+        return None
+    return direction, threshold
+
+
+# ---------------------------------------------------------------------------
+# statistics (stdlib/numpy only — no scipy in the environment)
+
+
+def median(xs: Sequence[float]) -> float:
+    s = sorted(xs)
+    n = len(s)
+    if n == 0:
+        return math.nan
+    mid = n // 2
+    return s[mid] if n % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def mann_whitney_p(baseline: Sequence[float], candidate: Sequence[float],
+                   worse_is_greater: bool) -> float:
+    """One-sided Mann-Whitney U p-value: "candidate shifted worse".
+
+    Normal approximation with tie correction and continuity correction
+    — adequate for the sample counts a bench history accumulates, and
+    dependency-free.  Returns 1.0 on degenerate inputs.
+    """
+    n1, n2 = len(baseline), len(candidate)
+    if n1 == 0 or n2 == 0:
+        return 1.0
+    # U = pairs where the candidate value is on the *worse* side
+    u = 0.0
+    for c in candidate:
+        for b in baseline:
+            if c == b:
+                u += 0.5
+            elif (c > b) == worse_is_greater:
+                u += 1.0
+    mu = n1 * n2 / 2.0
+    # tie correction over the pooled sample
+    pooled = sorted(list(baseline) + list(candidate))
+    n = n1 + n2
+    tie_term = 0.0
+    i = 0
+    while i < n:
+        j = i
+        while j < n and pooled[j] == pooled[i]:
+            j += 1
+        t = j - i
+        tie_term += t ** 3 - t
+        i = j
+    var = (n1 * n2 / 12.0) * ((n + 1) - tie_term / (n * (n - 1))) \
+        if n > 1 else 0.0
+    if var <= 0.0:
+        return 1.0 if u <= mu else 0.0
+    z = (u - mu - 0.5) / math.sqrt(var)
+    return max(0.0, min(1.0, 1.0 - _phi(z)))
+
+
+def bootstrap_ci(xs: Sequence[float], confidence: float = 0.95,
+                 n_boot: int = 500, seed: int = 0) -> tuple[float, float]:
+    """Seeded bootstrap CI of the median (deterministic run-to-run)."""
+    import numpy as np
+
+    arr = np.asarray(list(xs), dtype=float)
+    if arr.size == 0:
+        return (math.nan, math.nan)
+    if arr.size == 1:
+        return (float(arr[0]), float(arr[0]))
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    stats = np.sort(np.median(arr[idx], axis=1))
+    lo_q = (1.0 - confidence) / 2.0
+    lo = float(np.quantile(stats, lo_q))
+    hi = float(np.quantile(stats, 1.0 - lo_q))
+    return (lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# verdicts
+
+
+def check_metric(metric: str, baseline: Sequence[float],
+                 candidate: Sequence[float], direction: str,
+                 threshold: float,
+                 alpha: float = DEFAULT_ALPHA) -> dict:
+    """Gate one metric; returns the verdict record."""
+    if direction not in _DIRECTIONS:
+        raise ValueError(f"unknown direction {direction!r}")
+    v: dict = {
+        "metric": metric, "direction": direction,
+        "threshold": threshold,
+        "n_baseline": len(baseline), "n_candidate": len(candidate),
+        "baseline": median(baseline) if baseline else None,
+        "candidate": median(candidate) if candidate else None,
+    }
+    if not candidate:
+        v.update(status="no_candidate", method="none")
+        return v
+    if not baseline:
+        v.update(status="no_baseline", method="none")
+        return v
+    base_c, cand_c = v["baseline"], v["candidate"]
+    denom = abs(base_c)
+    change = (cand_c - base_c) / denom if denom > 1e-12 else 0.0
+    degradation = change if direction == "higher_worse" else -change
+    v["change"] = change
+    v["degradation"] = degradation
+    if degradation <= threshold:
+        v.update(status="improved" if degradation < -threshold else "ok",
+                 method="ratio")
+        return v
+    # the ratio gate tripped: demand statistical confirmation
+    worse_is_greater = direction == "higher_worse"
+    if len(baseline) >= MIN_MW_SAMPLES \
+            and len(candidate) >= MIN_MW_SAMPLES:
+        p = mann_whitney_p(baseline, candidate, worse_is_greater)
+        v.update(method="mann_whitney", p_value=p,
+                 status="regression" if p < alpha else "suspect")
+        return v
+    if len(baseline) >= MIN_BOOTSTRAP_SAMPLES:
+        lo, hi = bootstrap_ci(baseline)
+        v.update(method="bootstrap_ci", ci=[lo, hi])
+        outside = cand_c > hi if worse_is_greater else cand_c < lo
+        v["status"] = "regression" if outside else "suspect"
+        return v
+    # a one- or two-sample baseline: the ratio gate alone decides
+    v.update(method="ratio", status="regression")
+    return v
+
+
+def check_history(entries: Sequence[dict],
+                  current: Optional[dict] = None, *,
+                  thresholds: Optional[dict] = None,
+                  alpha: float = DEFAULT_ALPHA,
+                  metrics: Optional[Iterable[str]] = None,
+                  all_hosts: bool = False,
+                  last: Optional[int] = None) -> dict:
+    """Run the gate over a loaded history.
+
+    ``current`` names the candidate entry explicitly (e.g. built from
+    ``--current`` payloads); otherwise the newest entry is the
+    candidate and everything before it the baseline.  Baseline entries
+    are restricted to the candidate's fingerprint unless ``all_hosts``;
+    ``last`` keeps only the N newest baseline entries.
+    """
+    entries = list(entries)
+    if current is None:
+        if not entries:
+            return {"ok": True, "verdicts": [], "regressions": 0,
+                    "suspects": 0, "candidate_fingerprint": None,
+                    "baseline_entries": 0,
+                    "note": "empty history: nothing to check"}
+        candidate = entries[-1]
+        baseline_entries = entries[:-1]
+    else:
+        candidate = current
+        baseline_entries = entries
+    fp = candidate.get("fingerprint")
+    if not all_hosts:
+        baseline_entries = [e for e in baseline_entries
+                            if e.get("fingerprint") == fp]
+    if last is not None and last > 0:
+        baseline_entries = baseline_entries[-last:]
+
+    patterns = list(metrics) if metrics else None
+
+    def _selected(name: str) -> bool:
+        return patterns is None or any(
+            fnmatchcase(name, p) for p in patterns)
+
+    verdicts: list[dict] = []
+    for name in sorted((candidate.get("metrics") or {}).keys()):
+        if not _selected(name):
+            continue
+        gate = gate_for(name, thresholds)
+        if gate is None:
+            continue
+        direction, threshold = gate
+        base: list[float] = []
+        for e in baseline_entries:
+            base.extend(hist.samples(e, name))
+        verdicts.append(check_metric(
+            name, base, hist.samples(candidate, name),
+            direction, threshold, alpha=alpha))
+    regressions = sum(1 for v in verdicts if v["status"] == "regression")
+    suspects = sum(1 for v in verdicts if v["status"] == "suspect")
+    return {
+        "ok": regressions == 0,
+        "candidate_fingerprint": fp,
+        "candidate_git": candidate.get("git"),
+        "baseline_entries": len(baseline_entries),
+        "alpha": alpha,
+        "verdicts": verdicts,
+        "regressions": regressions,
+        "suspects": suspects,
+    }
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 100:
+            return f"{v:.0f}"
+        if abs(v) >= 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2e}"
+    return str(v)
+
+
+def render_check(report: dict) -> str:
+    """Human-readable verdict table."""
+    lines: list[str] = []
+    fp = report.get("candidate_fingerprint")
+    git = report.get("candidate_git") or {}
+    sha = (git.get("sha") or "")[:10] or "-"
+    lines.append(
+        f"regression check: candidate {sha}"
+        f"{' (dirty)' if git.get('dirty') else ''} on host {fp or '-'}, "
+        f"{report.get('baseline_entries', 0)} baseline entr"
+        f"{'y' if report.get('baseline_entries') == 1 else 'ies'}")
+    if report.get("note"):
+        lines.append(f"  note: {report['note']}")
+    verdicts = report.get("verdicts", [])
+    if not verdicts:
+        lines.append("  (no gated metrics to compare)")
+    else:
+        head = (f"  {'metric':<28} {'base':>9} {'cand':>9} "
+                f"{'change':>8} {'thresh':>7} {'method':<13} status")
+        lines.append(head)
+        order = {"regression": 0, "suspect": 1, "no_baseline": 3,
+                 "no_candidate": 3, "improved": 2, "ok": 4}
+        for v in sorted(verdicts,
+                        key=lambda v: (order.get(v["status"], 5),
+                                       v["metric"])):
+            change = v.get("change")
+            chg = f"{change * 100:+.1f}%" if change is not None else "-"
+            extra = ""
+            if v.get("p_value") is not None:
+                extra = f" p={v['p_value']:.3f}"
+            elif v.get("ci") is not None:
+                extra = (f" ci=[{_fmt(v['ci'][0])},"
+                         f"{_fmt(v['ci'][1])}]")
+            lines.append(
+                f"  {v['metric']:<28} {_fmt(v['baseline']):>9} "
+                f"{_fmt(v['candidate']):>9} {chg:>8} "
+                f"{v['threshold'] * 100:>6.0f}% {v['method']:<13} "
+                f"{v['status'].upper() if v['status'] == 'regression' else v['status']}"
+                f"{extra}")
+    tally = (f"{report.get('regressions', 0)} regression(s), "
+             f"{report.get('suspects', 0)} suspect(s), "
+             f"{len(verdicts)} metric(s) gated")
+    lines.append(f"  => {'FAIL' if not report.get('ok') else 'ok'}: "
+                 f"{tally}")
+    return "\n".join(lines)
+
+
+def parse_threshold_overrides(specs: Iterable[str]) -> dict:
+    """Parse ``PATTERN=FRACTION`` CLI specs into an overrides dict."""
+    out: dict = {}
+    for spec in specs:
+        pattern, sep, frac = spec.partition("=")
+        if not sep or not pattern:
+            raise ValueError(
+                f"bad --threshold {spec!r} (expected PATTERN=FRACTION, "
+                f"e.g. 'host_seconds/*=0.5')")
+        try:
+            value = float(frac)
+        except ValueError:
+            raise ValueError(
+                f"bad --threshold {spec!r}: {frac!r} is not a number")
+        if value < 0:
+            raise ValueError(
+                f"bad --threshold {spec!r}: must be >= 0")
+        out[pattern] = value
+    return out

@@ -1,0 +1,128 @@
+"""ASCII trend report over the bench history.
+
+``python -m repro.obs report`` renders one sparkline row per metric:
+the per-entry centers (median of each entry's samples) over time, scaled
+to the metric's own min..max band, newest on the right::
+
+    warm_speedup                  [.:==+*#%@]  3.71 -> 4.02  (+8.4%)
+    host_seconds/cold             [@%#*+=::.]  5.12 -> 4.60  (-10.2%)
+
+Pure text on purpose: it renders in CI logs, over ssh, and inside the
+uploaded trend artifact without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import time
+from fnmatch import fnmatchcase
+from typing import Iterable, Optional, Sequence
+
+from repro.obs import history as hist
+from repro.obs.sentinel import median
+
+#: the density ramp sparklines sample (terminal-safe ASCII, dark → bright;
+#: space is reserved for missing values)
+SPARK_RAMP = ".:-=+*#%@"
+
+#: widest a sparkline gets before entries are right-truncated
+MAX_WIDTH = 48
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render values as a density-ramp string, oldest first.
+
+    A flat series renders mid-ramp; NaNs render as spaces.  ``width``
+    caps the output by keeping the *newest* values.
+    """
+    vals = list(values)
+    if width is not None and width > 0 and len(vals) > width:
+        vals = vals[-width:]
+    if not vals:
+        return ""
+    finite = [v for v in vals if v == v]    # drop NaN
+    if not finite:
+        return " " * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    mid = SPARK_RAMP[len(SPARK_RAMP) // 2]
+    out = []
+    for v in vals:
+        if v != v:
+            out.append(" ")
+        elif span <= 0:
+            out.append(mid)
+        else:
+            idx = int((v - lo) / span * (len(SPARK_RAMP) - 1))
+            out.append(SPARK_RAMP[idx])
+    return "".join(out)
+
+
+def metric_series(entries: Sequence[dict], metric: str) -> list[float]:
+    """Per-entry centers of one metric, oldest first; entries without
+    the metric contribute NaN (a gap in the sparkline)."""
+    series: list[float] = []
+    for e in entries:
+        xs = hist.samples(e, metric)
+        series.append(median(xs) if xs else float("nan"))
+    return series
+
+
+def _fmt_val(v: float) -> str:
+    if v != v:
+        return "-"
+    if v == 0:
+        return "0"
+    if abs(v) >= 100:
+        return f"{v:.0f}"
+    if abs(v) >= 0.01:
+        return f"{v:.3g}"
+    return f"{v:.2e}"
+
+
+def render_trend(entries: Sequence[dict], *,
+                 metrics: Optional[Iterable[str]] = None,
+                 last: Optional[int] = None,
+                 all_hosts: bool = False) -> str:
+    """The full trend report: header + one sparkline row per metric."""
+    entries = list(entries)
+    if not entries:
+        return "bench history is empty — nothing to report"
+    fp = entries[-1].get("fingerprint")
+    if not all_hosts:
+        entries = [e for e in entries if e.get("fingerprint") == fp]
+    if last is not None and last > 0:
+        entries = entries[-last:]
+
+    patterns = list(metrics) if metrics else None
+    names = hist.metric_names(entries)
+    if patterns:
+        names = [n for n in names
+                 if any(fnmatchcase(n, p) for p in patterns)]
+
+    t0 = entries[0].get("recorded_unix")
+    t1 = entries[-1].get("recorded_unix")
+    span = ""
+    if isinstance(t0, (int, float)) and isinstance(t1, (int, float)):
+        def _day(t):
+            return time.strftime("%Y-%m-%d", time.gmtime(t))
+        span = f", {_day(t0)} .. {_day(t1)}"
+    host_note = "all hosts" if all_hosts else f"host {fp or '-'}"
+    lines = [f"bench trend: {len(entries)} entr"
+             f"{'y' if len(entries) == 1 else 'ies'} ({host_note}{span})"]
+    if not names:
+        lines.append("  (no matching metrics)")
+        return "\n".join(lines)
+    width = min(MAX_WIDTH, len(entries))
+    name_w = min(34, max(len(n) for n in names))
+    for name in names:
+        series = metric_series(entries, name)
+        spark = sparkline(series, width=width)
+        finite = [v for v in series if v == v]
+        first, latest = (finite[0], finite[-1]) if finite \
+            else (float("nan"), float("nan"))
+        delta = ""
+        if len(finite) >= 2 and abs(first) > 1e-12:
+            delta = f"  ({(latest - first) / abs(first) * 100:+.1f}%)"
+        lines.append(f"  {name:<{name_w}} [{spark}]  "
+                     f"{_fmt_val(first)} -> {_fmt_val(latest)}{delta}")
+    return "\n".join(lines)

@@ -37,30 +37,62 @@ SCHEMA_TAG = "repro-metrics/1"
 TOP_CELLS = 20
 
 
+def _shard_warn(msg: str) -> None:
+    """A damaged shard degrades the merge, never kills it — but the
+    degradation must be visible (stderr + the structured log)."""
+    import sys
+
+    print(f"[telemetry] warning: {msg}", file=sys.stderr)
+    from repro.obs.log import get_logger
+
+    get_logger("telemetry.export").warning("shard_damaged", detail=msg)
+
+
 def _read_shards(out_dir: Path) -> tuple[list[dict], MetricsRegistry,
                                          list[int], list[Path]]:
+    """Fold every per-process shard in ``out_dir``.
+
+    Tolerant by design: a worker killed mid-write leaves a missing,
+    unreadable, or truncated shard — each is warned about and skipped
+    (or read up to the torn tail), and the rest of the session merges
+    normally.
+    """
     spans: list[dict] = []
     registry = MetricsRegistry()
     pids: set[int] = set()
     shard_files: list[Path] = []
     for path in sorted(out_dir.glob("spans-*.jsonl")):
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            _shard_warn(f"span shard {path.name} unreadable "
+                        f"({exc}); merging without it")
+            continue
         shard_files.append(path)
-        for raw in path.read_text().splitlines():
+        torn = 0
+        for raw in text.splitlines():
             raw = raw.strip()
             if not raw:
                 continue
             try:
                 rec = json.loads(raw)
             except json.JSONDecodeError:
-                continue    # torn tail from a killed worker
+                torn += 1   # torn tail from a killed worker
+                continue
             spans.append(rec)
             pids.add(rec.get("pid", -1))
+        if torn:
+            _shard_warn(f"span shard {path.name} truncated: dropped "
+                        f"{torn} torn line(s), kept the rest")
     for path in sorted(out_dir.glob("metrics-*.json")):
-        shard_files.append(path)
         try:
             shard = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
+        except (json.JSONDecodeError, OSError) as exc:
+            shard_files.append(path)    # still cleaned up after merge
+            _shard_warn(f"metrics shard {path.name} damaged "
+                        f"({exc}); merging without it")
             continue
+        shard_files.append(path)
         registry.merge_snapshot(shard.get("metrics", {}))
         pids.add(shard.get("pid", -1))
     pids.discard(-1)

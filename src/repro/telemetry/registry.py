@@ -25,6 +25,7 @@ the test suite asserts with hypothesis.
 from __future__ import annotations
 
 import math
+import re
 import threading
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -36,6 +37,66 @@ LATENCY_BUCKETS_S = tuple(
     for base in (1.0, 2.5, 5.0))
 
 _LabelKey = tuple  # ((key, value), ...) sorted — hashable label identity
+
+#: ``# HELP`` text for the pipeline's well-known metrics, keyed by the
+#: exposition name; unknown metrics render without a HELP line
+HELP_TEXT = {
+    "repro_cache_requests_total":
+        "Artifact-cache requests by kind and result (hit/miss)",
+    "repro_cache_disk_reads_total":
+        "Artifact-cache disk store reads by kind",
+    "repro_cache_disk_writes_total":
+        "Artifact-cache disk store writes by kind",
+    "repro_cache_disk_bytes_read_total":
+        "Bytes read from the artifact-cache disk store by kind",
+    "repro_cache_disk_bytes_written_total":
+        "Bytes written to the artifact-cache disk store by kind",
+    "repro_cache_entries":
+        "Entries in the in-memory artifact cache",
+    "repro_stage_seconds":
+        "Wall-clock seconds per pipeline stage",
+    "repro_cell_seconds":
+        "Wall-clock seconds per sweep cell",
+}
+
+# Prometheus text-format identifiers: metric names allow [a-zA-Z0-9_:],
+# label names only [a-zA-Z0-9_]; neither may start with a digit.
+_METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_metric_name(name: str) -> str:
+    out = _METRIC_NAME_BAD.sub("_", str(name))
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_label_name(name: str) -> str:
+    out = _LABEL_NAME_BAD.sub("_", str(name))
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_escape_label(v) -> str:
+    """Label values escape backslash, double-quote, and newline."""
+    return str(v).replace("\\", r"\\").replace('"', r'\"') \
+        .replace("\n", r"\n")
+
+
+def _prom_escape_help(v: str) -> str:
+    """HELP text escapes backslash and newline (quotes stay literal)."""
+    return str(v).replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _prom_float(v: float) -> str:
+    """Upper bucket bounds and sample values in Go-parsable form."""
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    return repr(float(v))
 
 
 def _label_key(labels: dict) -> _LabelKey:
@@ -300,48 +361,63 @@ class MetricsRegistry:
             mine._merge(other)
 
     def to_prometheus(self) -> str:
-        """Render in the Prometheus text exposition format."""
+        """Render in the Prometheus text exposition format.
+
+        Spec conformance (audited against the text-format reference):
+        metric and label names are sanitized to the allowed character
+        classes, label values escape ``\\``/``"``/newline, HELP text
+        escapes ``\\``/newline, histogram buckets are cumulative and
+        always end in the mandatory ``+Inf`` bucket, and each metric
+        family gets exactly one HELP/TYPE header.
+        """
         def fmt_labels(labels: dict, extra: dict | None = None) -> str:
-            pairs = dict(labels)
+            pairs = {_prom_label_name(k): v for k, v in labels.items()}
             if extra:
                 pairs.update(extra)
             if not pairs:
                 return ""
             inner = ",".join(
-                f'{k}="{_escape(v)}"' for k, v in sorted(pairs.items()))
+                f'{k}="{_prom_escape_label(v)}"'
+                for k, v in sorted(pairs.items()))
             return "{" + inner + "}"
-
-        def _escape(v) -> str:
-            return str(v).replace("\\", r"\\").replace('"', r'\"') \
-                .replace("\n", r"\n")
 
         lines: list[str] = []
         seen_type: set[str] = set()
+
+        def header(name: str, ptype: str) -> None:
+            if name in seen_type:
+                return
+            seen_type.add(name)
+            help_text = HELP_TEXT.get(name)
+            if help_text:
+                lines.append(
+                    f"# HELP {name} {_prom_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {ptype}")
+
         snap = self.snapshot()
         for kind, ptype in (("counters", "counter"), ("gauges", "gauge")):
             for m in snap[kind]:
-                if m["name"] not in seen_type:
-                    lines.append(f"# TYPE {m['name']} {ptype}")
-                    seen_type.add(m["name"])
+                name = _prom_metric_name(m["name"])
+                header(name, ptype)
                 lines.append(
-                    f"{m['name']}{fmt_labels(m['labels'])} {m['value']}")
+                    f"{name}{fmt_labels(m['labels'])} {m['value']}")
         for h in snap["histograms"]:
-            if h["name"] not in seen_type:
-                lines.append(f"# TYPE {h['name']} histogram")
-                seen_type.add(h["name"])
+            name = _prom_metric_name(h["name"])
+            header(name, "histogram")
             cum = 0
             for bound, n in zip(h["bounds"], h["counts"]):
                 cum += n
                 lines.append(
-                    f"{h['name']}_bucket"
-                    f"{fmt_labels(h['labels'], {'le': repr(bound)})} {cum}")
+                    f"{name}_bucket"
+                    f"{fmt_labels(h['labels'], {'le': _prom_float(bound)})}"
+                    f" {cum}")
             lines.append(
-                f"{h['name']}_bucket"
+                f"{name}_bucket"
                 f"{fmt_labels(h['labels'], {'le': '+Inf'})} {h['count']}")
             lines.append(
-                f"{h['name']}_sum{fmt_labels(h['labels'])} {h['sum']}")
+                f"{name}_sum{fmt_labels(h['labels'])} {h['sum']}")
             lines.append(
-                f"{h['name']}_count{fmt_labels(h['labels'])} {h['count']}")
+                f"{name}_count{fmt_labels(h['labels'])} {h['count']}")
         return "\n".join(lines) + "\n"
 
 

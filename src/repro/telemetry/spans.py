@@ -60,6 +60,22 @@ class _TelemetryState:
 
 _STATE: Optional[_TelemetryState] = None
 
+#: completed-span hook (the repro.obs flight recorder); called with the
+#: finished record dict.  None (the default) costs one identity check.
+_OBSERVER = None
+
+
+def set_span_observer(fn) -> None:
+    """Install/remove the completed-span observer (``None`` removes).
+
+    The observer receives every finished span's record dict *after* it
+    is buffered — it must not mutate the record.  There is exactly one
+    slot: the last caller wins (the flight recorder is the only
+    intended client).
+    """
+    global _OBSERVER
+    _OBSERVER = fn
+
 
 def enabled() -> bool:
     """True when a telemetry session is active in this process."""
@@ -195,6 +211,8 @@ class _Span:
         if self.name != "cell":
             get_registry().histogram(
                 "repro_stage_seconds", stage=self.name).observe(dur)
+        if _OBSERVER is not None:
+            _OBSERVER(rec)
         return False
 
 
@@ -206,39 +224,81 @@ def span(name: str, **attrs):
     return _Span(st, name, attrs)
 
 
+def _cache_request_totals() -> tuple[float, float]:
+    """Current (hits, misses) across every artifact kind — the counters
+    :mod:`repro.engine.cache` accounts into the process registry."""
+    try:
+        from repro.engine.cache import ARTIFACT_KINDS
+    except ImportError:  # pragma: no cover — engine layer absent
+        ARTIFACT_KINDS = ("parse", "restructure")
+    reg = get_registry()
+    hits = misses = 0.0
+    for kind in ARTIFACT_KINDS:
+        hits += reg.counter("repro_cache_requests_total",
+                            kind=kind, result="hit").value
+        misses += reg.counter("repro_cache_requests_total",
+                              kind=kind, result="miss").value
+    return hits, misses
+
+
 class _CellSpan:
     """The per-sweep-cell root span: sets the cell context, observes the
     cell-latency histogram, and flushes this process's shard on exit (so
-    a worker's telemetry is durable the moment its result is)."""
+    a worker's telemetry is durable the moment its result is).
 
-    __slots__ = ("_span", "_state", "index")
+    The cell record additionally carries ``queue_delay_s`` (the
+    submit→start gap, when the executor stamped a submission time — both
+    sides read the same CLOCK_MONOTONIC, shared across fork) and a
+    ``cache`` hit/miss delta, attributing compilation-cache behaviour to
+    this specific cell.
+    """
 
-    def __init__(self, state: _TelemetryState, index: int, label: str):
+    __slots__ = ("_span", "_state", "index", "_submit_t0", "_cache0")
+
+    def __init__(self, state: _TelemetryState, index: int, label: str,
+                 submit_t0: Optional[float] = None):
         self._state = state
         self.index = index
+        self._submit_t0 = submit_t0
+        self._cache0 = (0.0, 0.0)
         self._span = _Span(state, "cell", {"label": label})
 
     def __enter__(self):
         self._state.cell = self.index
+        self._cache0 = _cache_request_totals()
         self._span.__enter__()
         return self
 
     def __exit__(self, exc_type, exc, tb):
         self._span.__exit__(exc_type, exc, tb)
         st = self._state
+        rec = st.spans[-1]
         get_registry().histogram("repro_cell_seconds").observe(
-            st.spans[-1]["duration_s"])
+            rec["duration_s"])
+        if self._submit_t0 is not None:
+            rec["queue_delay_s"] = max(
+                0.0, self._span.t0 - self._submit_t0)
+        hits, misses = _cache_request_totals()
+        rec["cache"] = {"hits": hits - self._cache0[0],
+                        "misses": misses - self._cache0[1]}
         st.cell = None
         flush()
         return False
 
 
-def cell_span(index: int, label: str):
-    """Open the root span of sweep cell ``index``; no-op when off."""
+def cell_span(index: int, label: str,
+              submit_t0: Optional[float] = None):
+    """Open the root span of sweep cell ``index``; no-op when off.
+
+    ``submit_t0`` is an optional ``time.perf_counter()`` stamp taken
+    when the cell was *submitted* to an executor; the recorded span then
+    carries the submit→start gap as ``queue_delay_s``.
+    """
     st = _STATE
     if st is None:
         return _NOOP
-    return _CellSpan(st, index, label)
+    return _CellSpan(st, index, label, submit_t0)
+
 
 
 # ---------------------------------------------------------------------------

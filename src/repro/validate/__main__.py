@@ -157,6 +157,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"validating {len(jobs_list)} workload(s), "
               f"jobs={jobs}, engine={ns.engine} ...", file=sys.stderr)
 
+    from repro.obs.log import get_logger
+
+    log = get_logger("validate")
+
     def merge(i: int, res) -> None:
         # fires in submission order: results land in selection order and
         # the journal/fault lists grow deterministically — byte-identical
@@ -174,14 +178,17 @@ def main(argv: list[str] | None = None) -> int:
             if not ns.json:
                 print(f"{name}: FAULT ({fd['kind']}) {fd['message']}",
                       file=sys.stderr)
+            log.warning("workload_fault", workload=name,
+                        kind=fd["kind"], message=fd["message"])
             # not journaled: a resumed sweep retries faulted workloads
         else:
             wd = res["dict"]
             journal.record(name, wd)
+            ok = all(c["status"] == "ok" for c in wd["configs"])
             if not ns.json:
-                ok = all(c["status"] == "ok" for c in wd["configs"])
                 print(f"{name}: {'ok' if ok else 'NOT OK'}",
                       file=sys.stderr)
+            log.info("workload_done", workload=name, ok=ok)
         wdicts[positions[i]] = wd
 
     parallel_map(run_workload_cell, jobs_list, jobs,

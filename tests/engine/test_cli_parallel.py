@@ -113,3 +113,60 @@ class TestParallelFailurePaths:
         with pytest.raises(SystemExit) as exc:
             main(["tridag", "--jobs", "many"])
         assert exc.value.code == 2
+
+
+class TestLoggingByteIdentity:
+    """Structured logging must be observational only: payload bytes do
+    not change whether it's off, on via --log-level, or on via
+    $REPRO_LOG, serial or parallel."""
+
+    def _logged(self, extra, tmp_path, name, env=None, monkeypatch=None):
+        if env:
+            for k, v in env.items():
+                monkeypatch.setenv(k, v)
+        try:
+            return _validate(extra, tmp_path, name)
+        finally:
+            if env and monkeypatch:
+                for k in env:
+                    monkeypatch.delenv(k, raising=False)
+
+    def test_validate_flag_logging_identical(self, tmp_path, capsys):
+        rc1, plain = _validate(["--jobs", "2"], tmp_path, "off.json")
+        rc2, logged = _validate(
+            ["--jobs", "2", "--log-level", "debug"], tmp_path, "on.json")
+        assert rc1 == rc2 == 0
+        assert plain == logged
+        assert plain, "payload unexpectedly empty"
+
+    def test_validate_env_logging_identical(self, tmp_path, capsys,
+                                            monkeypatch):
+        rc1, plain = _validate([], tmp_path, "off.json")
+        rc2, logged = self._logged(
+            [], tmp_path, "env.json", monkeypatch=monkeypatch,
+            env={"REPRO_LOG": "debug",
+                 "REPRO_LOG_FILE": str(tmp_path / "log.jsonl")})
+        assert rc1 == rc2 == 0
+        assert plain == logged
+        # the env run actually logged something
+        assert (tmp_path / "log.jsonl").read_text().strip()
+
+    def test_faults_logging_identical(self, tmp_path, capsys):
+        rc1, plain = _faults(["--jobs", "2"], tmp_path, "off.json")
+        rc2, logged = _faults(
+            ["--jobs", "2", "--log-level", "debug"], tmp_path, "on.json")
+        assert rc1 == rc2 == 0
+        assert plain == logged
+
+    def test_log_sink_lands_in_telemetry_dir(self, tmp_path, capsys):
+        telem = tmp_path / "telem"
+        rc, _ = _validate(["--log-level", "info",
+                           "--telemetry", str(telem)],
+                          tmp_path, "t.json")
+        assert rc == 0
+        assert (telem / "log.jsonl").exists()
+        import json as _json
+
+        events = [_json.loads(ln) for ln in
+                  (telem / "log.jsonl").read_text().splitlines()]
+        assert any(e["event"] == "workload_done" for e in events)

@@ -134,3 +134,38 @@ def test_serial_and_parallel_agree():
     items = list(range(10))
     assert parallel_map(square, items, jobs=1) \
         == parallel_map(square, items, jobs=4)
+
+
+def log_then_boom(x):
+    from repro.obs.log import get_logger
+
+    get_logger("worker").info("about_to_work", item=x)
+    if x == 2:
+        raise ValueError(f"cell {x} exploded")
+    return x
+
+
+class TestFlightRecorderInCrashes:
+    def test_worker_crash_carries_flight_tail(self, tmp_path):
+        from repro.obs import log
+
+        log.configure("debug", path=tmp_path / "log.jsonl")
+        try:
+            out = parallel_map(log_then_boom, [1, 2, 3], jobs=2,
+                               labels=["a", "b", "c"])
+        finally:
+            log.shutdown()
+        crash = out[1]
+        assert isinstance(crash, WorkerCrash)
+        events = crash.to_fault_dict()["detail"]["flight_recorder"]
+        # the worker's own last moments: the log line it emitted just
+        # before raising, and the cell_failed record itself
+        assert any(e.get("event") == "about_to_work"
+                   and e.get("fields", {}).get("item") == 2
+                   for e in events)
+        assert any(e.get("event") == "cell_failed" for e in events)
+
+    def test_no_flight_when_logging_off(self):
+        out = parallel_map(boom, [1, 2, 3], jobs=2)
+        fd = out[1].to_fault_dict()
+        assert "flight_recorder" not in fd["detail"]

@@ -1,0 +1,24 @@
+"""Obs tests mutate process-global state (the logging session, the
+flight-recorder ring, the telemetry session/registry); every test starts
+and ends with all of it clean."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    monkeypatch.delenv("REPRO_LOG_FILE", raising=False)
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    from repro import telemetry
+    from repro.obs import flight, log
+
+    log.shutdown()
+    flight.disable()
+    telemetry.shutdown()
+    telemetry.get_registry().reset()
+    yield
+    log.shutdown()
+    flight.disable()
+    telemetry.shutdown()
+    telemetry.get_registry().reset()

@@ -1,0 +1,147 @@
+"""One exit-code convention across every sweep-shaped CLI.
+
+``repro.experiments``, ``repro.validate``, ``repro.faults sweep`` and
+``repro.obs check`` all promise the same map::
+
+    0  ok
+    1  regression / failed validation / failed oracle check
+    2  usage error
+    3  internal fault (crashed tool, watchdog, lost worker)
+
+This test drives each tool through each outcome in-process.  The lone
+hole is deliberate: ``repro.experiments`` reserves 1 for
+``repro.prof diff`` and has no regression outcome of its own.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.sweep import CHECKS, FaultRun
+
+
+def _run(main, argv):
+    """An argparse usage error raises SystemExit(2); normalize it."""
+    try:
+        return main(argv)
+    except SystemExit as exc:
+        return exc.code
+
+
+# ---------------------------------------------------------------------------
+# per-tool drivers, one per (tool, outcome) pair
+
+
+def _experiments(outcome, tmp_path, monkeypatch):
+    from repro.experiments.__main__ import main
+
+    if outcome == "ok":
+        return _run(main, ["table1", "--quick", "--json"])
+    if outcome == "usage":
+        return _run(main, ["no-such-experiment"])
+    if outcome == "crash":
+        return _run(main, ["table1", "--quick", "--json",
+                           "--timeout", "0.000001"])
+    raise AssertionError(outcome)
+
+
+def _validate(outcome, tmp_path, monkeypatch):
+    import repro.validate.__main__ as vmain
+
+    out = str(tmp_path / "v.json")
+    if outcome == "ok":
+        return _run(vmain.main, ["tridag", "--no-bisect", "-o", out])
+    if outcome == "usage":
+        return _run(vmain.main, ["no-such-workload"])
+    if outcome == "crash":
+        return _run(vmain.main, ["tridag", "--no-bisect",
+                                 "--timeout", "0.000001", "-o", out])
+    # regression: a worker reporting divergent configs (no crash)
+    def fake_cell(job):
+        return {"workload": job["workload"], "fault": None, "dict": {
+            "workload": job["workload"],
+            "configs": [{"config": name, "status": "divergent",
+                         "parallel_loops": 1, "loops_checked": 1,
+                         "divergences": [], "races": [],
+                         "culprit_pass": None, "error": None}
+                        for name in job["configs"]],
+        }}
+
+    monkeypatch.setattr(vmain, "run_workload_cell", fake_cell)
+    return _run(vmain.main, ["tridag", "--no-bisect", "-o", out])
+
+
+def _faults(outcome, tmp_path, monkeypatch):
+    from repro.faults.__main__ import main
+
+    base = ["sweep", "--quick", "--workloads", "tridag",
+            "--scenarios", "healthy", "-o", str(tmp_path / "f.json")]
+    if outcome == "ok":
+        return _run(main, base)
+    if outcome == "usage":
+        return _run(main, ["sweep", "--workloads", "no-such-workload"])
+    if outcome == "crash":
+        return _run(main, base + ["--timeout", "0.000001"])
+    # regression: a cell whose oracle checks all fail (no crash)
+    import repro.faults.worker as worker
+
+    def fake_workload(job):
+        run = FaultRun(workload=job["workload"], scenario="healthy",
+                       checks={c: False for c in CHECKS}).to_dict()
+        return {"workload": job["workload"], "baseline_fault": None,
+                "cells": [{"scenario": "healthy", "run": run,
+                           "fault": None}]}
+
+    monkeypatch.setattr(worker, "run_fault_workload", fake_workload)
+    return _run(main, base)
+
+
+def _obs_check(outcome, tmp_path, monkeypatch):
+    from repro.obs.__main__ import main
+
+    hist_file = str(tmp_path / "history.jsonl")
+
+    def payload(warm):
+        p = tmp_path / f"p{warm}.json"
+        p.write_text(json.dumps({
+            "schema": "repro-bench-host/2",
+            "runs": {"warm": {"seconds": warm}}}))
+        return str(p)
+
+    if outcome == "usage":
+        return _run(main, ["check", "--history", hist_file,
+                           "--threshold", "nonsense"])
+    assert _run(main, ["record", payload(1.0),
+                       "--history", hist_file]) == 0
+    if outcome == "ok":
+        return _run(main, ["check", "--history", hist_file,
+                           "--current", payload(1.01)])
+    if outcome == "regression":
+        return _run(main, ["check", "--history", hist_file,
+                           "--current", payload(9.0)])
+    # crash: the sentinel itself blowing up
+    from repro.obs import sentinel
+
+    def boom(*a, **k):
+        raise RuntimeError("sentinel on fire")
+
+    monkeypatch.setattr(sentinel, "check_history", boom)
+    return _run(main, ["check", "--history", hist_file])
+
+
+TOOLS = {"experiments": _experiments, "validate": _validate,
+         "faults": _faults, "obs-check": _obs_check}
+
+EXPECTED = {"ok": 0, "regression": 1, "usage": 2, "crash": 3}
+
+
+@pytest.mark.parametrize("tool", sorted(TOOLS))
+@pytest.mark.parametrize("outcome", sorted(EXPECTED))
+def test_shared_exit_code_map(tool, outcome, tmp_path, monkeypatch,
+                              capsys):
+    if tool == "experiments" and outcome == "regression":
+        pytest.skip("repro.experiments reserves exit 1 for prof diff; "
+                    "it has no regression outcome")
+    rc = TOOLS[tool](outcome, tmp_path, monkeypatch)
+    assert rc == EXPECTED[outcome], \
+        f"{tool} {outcome}: expected {EXPECTED[outcome]}, got {rc}"

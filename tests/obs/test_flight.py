@@ -1,0 +1,93 @@
+"""repro.obs.flight: the crash-context ring buffer."""
+
+from repro.obs import flight, log
+
+
+class TestRing:
+    def test_disabled_by_default(self):
+        assert not flight.enabled()
+        flight.record({"event": "dropped"})      # no-op, no error
+        assert flight.tail() == []
+
+    def test_bounded_capacity_keeps_newest(self):
+        flight.enable(capacity=4)
+        for i in range(10):
+            flight.record({"i": i})
+        events = flight.tail(100)
+        assert [e["i"] for e in events] == [6, 7, 8, 9]
+
+    def test_tail_returns_oldest_first(self):
+        flight.enable()
+        for i in range(5):
+            flight.record({"i": i})
+        assert [e["i"] for e in flight.tail(3)] == [2, 3, 4]
+
+    def test_reenable_same_capacity_keeps_events(self):
+        flight.enable()
+        flight.record({"i": 1})
+        flight.enable()
+        assert [e["i"] for e in flight.tail()] == [1]
+
+    def test_clear(self):
+        flight.enable()
+        flight.record({"i": 1})
+        flight.clear()
+        assert flight.tail() == []
+
+
+class TestSpanObserver:
+    def test_completed_spans_are_summarized(self, tmp_path):
+        from repro import telemetry
+
+        telemetry.configure(tmp_path / "telem")
+        flight.enable()
+        with telemetry.cell_span(2, "validate tridag"):
+            with telemetry.span("parse"):
+                pass
+        events = flight.tail()
+        names = [e.get("name") for e in events if e.get("kind") == "span"]
+        assert "parse" in names and "cell" in names
+        cell_ev = next(e for e in events if e.get("name") == "cell")
+        assert cell_ev["cell"] == 2
+        assert cell_ev["label"] == "validate tridag"
+        assert isinstance(cell_ev["duration_s"], float)
+        telemetry.shutdown()
+
+    def test_observer_removed_on_disable(self, tmp_path):
+        from repro import telemetry
+        from repro.telemetry import spans as spanmod
+
+        flight.enable()
+        assert spanmod._OBSERVER is not None
+        flight.disable()
+        assert spanmod._OBSERVER is None
+        # spans still work with no observer installed
+        telemetry.configure(tmp_path / "telem")
+        with telemetry.span("parse"):
+            pass
+        telemetry.shutdown()
+
+
+class TestCrashContext:
+    def test_fault_report_carries_flight_tail(self, tmp_path):
+        from repro.faults.harness import run_isolated
+
+        log.configure("debug", path=tmp_path / "log.jsonl")
+        log.get_logger("t").info("before_the_crash")
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        _, report = run_isolated(boom, label="doomed")
+        assert report is not None
+        events = report.detail["flight_recorder"]
+        assert any(e.get("event") == "before_the_crash" for e in events)
+
+    def test_fault_report_clean_without_recorder(self):
+        from repro.faults.harness import run_isolated
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        _, report = run_isolated(boom, label="doomed")
+        assert "flight_recorder" not in report.detail

@@ -1,0 +1,144 @@
+"""repro.obs.history: entries, stamps, extraction, the JSONL file."""
+
+import json
+
+import pytest
+
+from repro.obs import history as hist
+
+
+def bench_payload(warm=1.0, cold=5.0):
+    return {
+        "schema": "repro-bench-host/2",
+        "runs": {"cold": {"seconds": cold}, "warm": {"seconds": warm}},
+        "cache": {"warm_speedup": cold / warm, "compile_speedup": 1.4},
+        "parallel": {"parallel_speedup": 1.8},
+        "baseline": {"end_to_end_speedup": 2.0},
+        "latency": {"warm": {"p50_s": 0.1, "p95_s": 0.2, "p99_s": 0.3}},
+    }
+
+
+def metrics_payload():
+    return {
+        "schema": "repro-metrics/1",
+        "summary": {
+            "stages": {"parse": {"total_s": 0.5},
+                       "restructure": {"total_s": 1.5}},
+            "cache": {"parse": {"hit_rate": 0.9}},
+        },
+        "metrics": {"histograms": [
+            {"name": "repro_cell_seconds", "labels": {},
+             "p50": 0.01, "p95": 0.05, "p99": 0.09},
+        ]},
+    }
+
+
+class TestStamps:
+    def test_git_stamp_in_repo(self):
+        g = hist.git_stamp()
+        assert isinstance(g["sha"], str) and len(g["sha"]) == 40
+        assert isinstance(g["dirty"], bool)
+
+    def test_git_stamp_outside_repo(self, tmp_path):
+        g = hist.git_stamp(tmp_path)
+        assert g == {"sha": None, "dirty": None}
+
+    def test_host_stamp_and_fingerprint(self):
+        h = hist.host_stamp()
+        for key in ("python", "implementation", "platform", "machine",
+                    "cpu_count"):
+            assert key in h
+        fp = hist.fingerprint(h)
+        assert len(fp) == 12
+        assert fp == hist.fingerprint(dict(h))     # stable
+        assert fp != hist.fingerprint({**h, "cpu_count": 999})
+
+
+class TestExtraction:
+    def test_bench_host_metrics(self):
+        m = hist.extract_metrics(bench_payload())
+        assert m["host_seconds/warm"] == 1.0
+        assert m["warm_speedup"] == 5.0
+        assert m["latency/warm/p95_s"] == 0.2
+        assert m["parallel_speedup"] == 1.8
+
+    def test_metrics_artifact(self):
+        m = hist.extract_metrics(metrics_payload())
+        assert m["stage_seconds/restructure"] == 1.5
+        assert m["cache_hit_rate/parse"] == 0.9
+        assert m["cell_seconds/p99"] == 0.09
+
+    def test_unknown_schema_contributes_nothing(self):
+        assert hist.extract_metrics({"schema": "whatever/9"}) == {}
+
+    def test_repeated_payloads_accumulate_samples(self):
+        m = {}
+        hist.extract_metrics(bench_payload(warm=1.0), m)
+        hist.extract_metrics(bench_payload(warm=1.2), m)
+        assert m["host_seconds/warm"] == [1.0, 1.2]
+
+    def test_non_numbers_rejected(self):
+        m = {}
+        hist._put(m, "x", "fast")
+        hist._put(m, "y", True)
+        assert m == {}
+
+
+class TestEntries:
+    def test_build_entry_shape(self):
+        e = hist.build_entry([bench_payload(), metrics_payload()],
+                             note="smoke")
+        assert e["schema"] == hist.SCHEMA_TAG
+        assert e["sources"] == ["repro-bench-host/2", "repro-metrics/1"]
+        assert e["fingerprint"] == hist.fingerprint(e["host"])
+        assert e["note"] == "smoke"
+        assert hist.validate_entry(e) == []
+
+    def test_build_entry_no_metrics_raises(self):
+        with pytest.raises(ValueError, match="no recordable metrics"):
+            hist.build_entry([{"schema": "garbage/1"}])
+
+    def test_validate_entry_catches_fingerprint_mismatch(self):
+        e = hist.build_entry([bench_payload()])
+        e["fingerprint"] = "000000000000"
+        assert any("fingerprint" in v for v in hist.validate_entry(e))
+
+    def test_validate_entry_catches_bad_metrics(self):
+        e = hist.build_entry([bench_payload()])
+        e["metrics"]["bad"] = "fast"
+        assert any("metrics.bad" in v for v in hist.validate_entry(e))
+
+    def test_samples(self):
+        e = hist.build_entry([bench_payload()])
+        assert hist.samples(e, "warm_speedup") == [5.0]
+        assert hist.samples(e, "missing") == []
+
+
+class TestFile:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "deep" / "history.jsonl"
+        e1 = hist.build_entry([bench_payload(1.0)], now=1.0)
+        e2 = hist.build_entry([bench_payload(1.1)], now=2.0)
+        hist.append_entry(path, e1)
+        hist.append_entry(path, e2)
+        loaded = hist.load_history(path)
+        assert loaded == [e1, e2]
+
+    def test_load_skips_torn_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        e = hist.build_entry([bench_payload()], now=1.0)
+        path.write_text(
+            json.dumps(e) + "\n"
+            + '{"schema": "other/1"}\n'
+            + json.dumps(e)[: len(json.dumps(e)) // 2])  # torn tail
+        assert hist.load_history(path) == [e]
+
+    def test_load_missing_file(self, tmp_path):
+        assert hist.load_history(tmp_path / "nope.jsonl") == []
+
+    def test_metric_names(self):
+        e1 = hist.build_entry([bench_payload()], now=1.0)
+        e2 = hist.build_entry([metrics_payload()], now=2.0)
+        names = hist.metric_names([e1, e2])
+        assert "warm_speedup" in names and "cell_seconds/p99" in names
+        assert names == sorted(names)

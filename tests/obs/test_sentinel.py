@@ -1,0 +1,215 @@
+"""repro.obs.sentinel: gates, statistics, and the check verdicts."""
+
+import math
+
+import pytest
+
+from repro.obs import history as hist
+from repro.obs import sentinel
+
+
+def entry(metrics, fp="aaaaaaaaaaaa", now=1.0, sha="cafe" * 10):
+    """A minimal history entry without shelling out to git."""
+    return {
+        "schema": hist.SCHEMA_TAG,
+        "recorded_unix": now,
+        "git": {"sha": sha, "dirty": False},
+        "host": {"cpu_count": 4},
+        "fingerprint": fp,
+        "sources": ["repro-bench-host/2"],
+        "metrics": metrics,
+    }
+
+
+class TestGates:
+    @pytest.mark.parametrize("metric,direction,threshold", [
+        ("host_seconds/warm", "higher_worse", 0.30),
+        ("stage_seconds/parse", "higher_worse", 0.35),
+        ("latency/warm/p95_s", "higher_worse", 0.35),
+        ("cell_seconds/p99", "higher_worse", 0.35),
+        ("cache_hit_rate/parse", "lower_worse", 0.10),
+        ("warm_speedup", "lower_worse", 0.25),
+        ("parallel_speedup", "lower_worse", 0.25),
+    ])
+    def test_default_gates(self, metric, direction, threshold):
+        assert sentinel.gate_for(metric) == (direction, threshold)
+
+    def test_unknown_metric_is_ungated(self):
+        assert sentinel.gate_for("made_up_counter") is None
+
+    def test_override_keeps_default_direction(self):
+        d, t = sentinel.gate_for("warm_speedup",
+                                 {"warm_speedup": 0.5})
+        assert (d, t) == ("lower_worse", 0.5)
+
+    def test_override_gates_unknown_metric_higher_worse(self):
+        assert sentinel.gate_for("made_up_counter",
+                                 {"made_up*": 0.2}) \
+            == ("higher_worse", 0.2)
+
+    def test_parse_threshold_overrides(self):
+        assert sentinel.parse_threshold_overrides(
+            ["host_seconds/*=0.5", "latency/*=1.0"]) \
+            == {"host_seconds/*": 0.5, "latency/*": 1.0}
+
+    @pytest.mark.parametrize("bad", ["nosep", "=0.5", "x=fast", "x=-1"])
+    def test_parse_threshold_rejects(self, bad):
+        with pytest.raises(ValueError, match="bad --threshold"):
+            sentinel.parse_threshold_overrides([bad])
+
+
+class TestStatistics:
+    def test_median(self):
+        assert sentinel.median([3.0, 1.0, 2.0]) == 2.0
+        assert sentinel.median([4.0, 1.0, 2.0, 3.0]) == 2.5
+        assert math.isnan(sentinel.median([]))
+
+    def test_mann_whitney_detects_clear_shift(self):
+        base = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02]
+        worse = [2.0, 2.1, 1.9, 2.05, 1.95, 2.02]
+        p = sentinel.mann_whitney_p(base, worse, worse_is_greater=True)
+        assert p < 0.01
+        # the same shift in the non-worse direction is not significant
+        p = sentinel.mann_whitney_p(worse, base, worse_is_greater=True)
+        assert p > 0.5
+
+    def test_mann_whitney_same_distribution(self):
+        xs = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02]
+        p = sentinel.mann_whitney_p(xs, xs, worse_is_greater=True)
+        assert p > 0.05
+
+    def test_mann_whitney_degenerate(self):
+        assert sentinel.mann_whitney_p([], [1.0], True) == 1.0
+        assert sentinel.mann_whitney_p([1.0, 1.0], [1.0, 1.0], True) == 1.0
+
+    def test_bootstrap_ci_is_deterministic_and_sane(self):
+        xs = [1.0, 1.1, 0.9, 1.05, 0.95]
+        lo, hi = sentinel.bootstrap_ci(xs)
+        assert (lo, hi) == sentinel.bootstrap_ci(xs)
+        assert lo <= sentinel.median(xs) <= hi
+        assert sentinel.bootstrap_ci([2.0]) == (2.0, 2.0)
+
+
+class TestCheckMetric:
+    def test_ok_inside_threshold(self):
+        v = sentinel.check_metric("host_seconds/warm", [1.0], [1.1],
+                                  "higher_worse", 0.30)
+        assert v["status"] == "ok" and v["method"] == "ratio"
+
+    def test_improved(self):
+        v = sentinel.check_metric("host_seconds/warm", [1.0], [0.5],
+                                  "higher_worse", 0.30)
+        assert v["status"] == "improved"
+
+    def test_confirmed_regression_mann_whitney(self):
+        base = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02]
+        v = sentinel.check_metric("host_seconds/warm", base,
+                                  [2.0, 2.1, 1.9, 2.05],
+                                  "higher_worse", 0.30)
+        assert v["status"] == "regression"
+        assert v["method"] == "mann_whitney"
+        assert v["p_value"] < 0.05
+
+    def test_noisy_trip_is_suspect_not_regression(self):
+        # ratio gate trips (medians 1.0 vs 1.5) but the distributions
+        # overlap so heavily the test cannot confirm the shift
+        base = [0.5, 1.0, 1.5, 0.6, 1.4, 1.1]
+        cand = [1.5, 0.5, 1.6, 1.7]
+        v = sentinel.check_metric("host_seconds/warm", base, cand,
+                                  "higher_worse", 0.30)
+        assert v["status"] == "suspect"
+
+    def test_small_candidate_uses_bootstrap(self):
+        base = [1.0, 1.05, 0.95, 1.02, 0.98]
+        v = sentinel.check_metric("host_seconds/warm", base, [2.0],
+                                  "higher_worse", 0.30)
+        assert v["status"] == "regression"
+        assert v["method"] == "bootstrap_ci"
+        assert v["ci"][0] <= v["ci"][1] < 2.0
+
+    def test_tiny_baseline_ratio_decides(self):
+        v = sentinel.check_metric("host_seconds/warm", [1.0], [2.0],
+                                  "higher_worse", 0.30)
+        assert v["status"] == "regression" and v["method"] == "ratio"
+
+    def test_lower_worse_direction(self):
+        v = sentinel.check_metric("warm_speedup", [4.0], [2.0],
+                                  "lower_worse", 0.25)
+        assert v["status"] == "regression"
+        assert v["degradation"] == pytest.approx(0.5)
+
+    def test_missing_sides(self):
+        assert sentinel.check_metric("m", [], [1.0], "higher_worse",
+                                     0.3)["status"] == "no_baseline"
+        assert sentinel.check_metric("m", [1.0], [], "higher_worse",
+                                     0.3)["status"] == "no_candidate"
+
+    def test_unknown_direction_raises(self):
+        with pytest.raises(ValueError, match="unknown direction"):
+            sentinel.check_metric("m", [1.0], [1.0], "sideways", 0.3)
+
+
+class TestCheckHistory:
+    def test_stable_history_passes(self):
+        entries = [entry({"host_seconds/warm": [1.0, 1.02]}, now=i)
+                   for i in range(4)]
+        report = sentinel.check_history(entries)
+        assert report["ok"]
+        assert report["baseline_entries"] == 3
+        assert report["regressions"] == 0
+
+    def test_degraded_candidate_fails(self):
+        entries = [entry({"host_seconds/warm": [1.0, 1.05, 0.95]},
+                         now=i) for i in range(3)]
+        entries.append(entry({"host_seconds/warm": [3.0, 3.1]}, now=9))
+        report = sentinel.check_history(entries)
+        assert not report["ok"]
+        [v] = [v for v in report["verdicts"]
+               if v["status"] == "regression"]
+        assert v["metric"] == "host_seconds/warm"
+
+    def test_other_host_baseline_excluded(self):
+        entries = [entry({"host_seconds/warm": [0.1]}, fp="fast-box-00",
+                         now=1.0),
+                   entry({"host_seconds/warm": [1.0]}, fp="slow-box-00",
+                         now=2.0)]
+        report = sentinel.check_history(entries)
+        assert report["ok"]
+        assert report["baseline_entries"] == 0
+        report = sentinel.check_history(entries, all_hosts=True)
+        assert not report["ok"]
+
+    def test_explicit_current_and_last(self):
+        entries = [entry({"host_seconds/warm": [1.0]}, now=i)
+                   for i in range(5)]
+        cur = entry({"host_seconds/warm": [1.0]}, now=9.0)
+        report = sentinel.check_history(entries, cur, last=2)
+        assert report["baseline_entries"] == 2
+
+    def test_metric_filter(self):
+        entries = [entry({"host_seconds/warm": [1.0],
+                          "warm_speedup": [4.0]}, now=i)
+                   for i in range(2)]
+        report = sentinel.check_history(entries,
+                                        metrics=["*_speedup"])
+        assert [v["metric"] for v in report["verdicts"]] \
+            == ["warm_speedup"]
+
+    def test_threshold_override_loosens_gate(self):
+        entries = [entry({"host_seconds/warm": [1.0]}, now=1.0),
+                   entry({"host_seconds/warm": [2.0]}, now=2.0)]
+        assert not sentinel.check_history(entries)["ok"]
+        assert sentinel.check_history(
+            entries, thresholds={"host_seconds/*": 2.0})["ok"]
+
+    def test_empty_history(self):
+        report = sentinel.check_history([])
+        assert report["ok"] and "empty history" in report["note"]
+
+    def test_render_check_mentions_verdicts(self):
+        entries = [entry({"host_seconds/warm": [1.0]}, now=1.0),
+                   entry({"host_seconds/warm": [2.0]}, now=2.0)]
+        text = sentinel.render_check(sentinel.check_history(entries))
+        assert "REGRESSION" in text and "FAIL" in text
+        assert "host_seconds/warm" in text
+        assert "cafecafe" in text     # short sha in the header

@@ -1,0 +1,102 @@
+"""repro.obs.trend: sparklines and the ASCII trend report."""
+
+from repro.obs import history as hist
+from repro.obs import trend
+
+from tests.obs.test_sentinel import entry
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = trend.sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(s) == 4
+        assert s[0] == trend.SPARK_RAMP[0]
+        assert s[-1] == trend.SPARK_RAMP[-1]
+        ranks = [trend.SPARK_RAMP.index(c) for c in s]
+        assert ranks == sorted(ranks)
+
+    def test_flat_series_renders_mid_ramp(self):
+        s = trend.sparkline([2.0, 2.0, 2.0])
+        mid = trend.SPARK_RAMP[len(trend.SPARK_RAMP) // 2]
+        assert s == mid * 3
+
+    def test_nan_renders_as_gap(self):
+        s = trend.sparkline([1.0, float("nan"), 3.0])
+        assert s[1] == " " and s[0] != " " and s[2] != " "
+
+    def test_minimum_is_visible(self):
+        # the series minimum must not look like a missing value
+        assert " " not in trend.sparkline([1.0, 2.0, 3.0])
+
+    def test_width_keeps_newest(self):
+        s = trend.sparkline([9.0, 1.0, 2.0, 3.0], width=3)
+        assert len(s) == 3
+        ranks = [trend.SPARK_RAMP.index(c) for c in s]
+        assert ranks == sorted(ranks)   # the 9.0 spike was dropped
+
+    def test_empty_and_all_nan(self):
+        assert trend.sparkline([]) == ""
+        assert trend.sparkline([float("nan")] * 3) == "   "
+
+
+class TestMetricSeries:
+    def test_medians_with_gaps(self):
+        entries = [entry({"m": [1.0, 3.0]}, now=1.0),
+                   entry({"other": 5.0}, now=2.0),
+                   entry({"m": 4.0}, now=3.0)]
+        series = trend.metric_series(entries, "m")
+        assert series[0] == 2.0
+        assert series[1] != series[1]   # NaN gap
+        assert series[2] == 4.0
+
+
+class TestRenderTrend:
+    def test_report_shape(self):
+        entries = [entry({"host_seconds/warm": [1.0 + 0.1 * i],
+                          "warm_speedup": 4.0}, now=86400.0 * i)
+                   for i in range(5)]
+        text = trend.render_trend(entries)
+        assert "5 entries" in text
+        assert "host_seconds/warm" in text and "warm_speedup" in text
+        assert "1970-01-01 .. 1970-01-05" in text
+        row = next(ln for ln in text.splitlines()
+                   if "host_seconds/warm" in ln)
+        assert "[" in row and "->" in row and "(+40.0%)" in row
+
+    def test_filters_to_newest_fingerprint(self):
+        entries = [entry({"m2": 1.0}, fp="other-box-000", now=1.0),
+                   entry({"host_seconds/warm": 1.0}, now=2.0)]
+        text = trend.render_trend(entries)
+        assert "1 entry" in text and "m2" not in text
+        assert "m2" in trend.render_trend(entries, all_hosts=True)
+
+    def test_metric_patterns_and_last(self):
+        entries = [entry({"host_seconds/warm": 1.0,
+                          "warm_speedup": 4.0}, now=i)
+                   for i in range(6)]
+        text = trend.render_trend(entries, metrics=["*_speedup"],
+                                  last=3)
+        assert "3 entries" in text
+        assert "warm_speedup" in text
+        assert "host_seconds/warm" not in text
+
+    def test_empty_history(self):
+        assert "empty" in trend.render_trend([])
+
+    def test_no_matching_metrics(self):
+        text = trend.render_trend([entry({"m": 1.0})],
+                                  metrics=["nope*"])
+        assert "no matching metrics" in text
+
+
+def test_real_entry_round_trips_through_trend():
+    """A real build_entry artifact renders without error."""
+    payload = {
+        "schema": "repro-bench-host/2",
+        "runs": {"warm": {"seconds": 1.0}},
+        "cache": {"warm_speedup": 4.0},
+    }
+    entries = [hist.build_entry([payload], now=float(i))
+               for i in range(3)]
+    text = trend.render_trend(entries)
+    assert "host_seconds/warm" in text and "warm_speedup" in text

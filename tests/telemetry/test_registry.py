@@ -180,3 +180,65 @@ class TestRegistryExport:
         assert 'lat_bucket{le="2.0"} 1' in text      # cumulative
         assert 'lat_bucket{le="+Inf"} 1' in text
         assert "lat_count 1" in text
+
+
+class TestPrometheusSpec:
+    """Exposition-format edge cases the scrape side chokes on: bad
+    names, unescaped label values, and missing +Inf buckets."""
+
+    def test_help_line_precedes_type_once_per_family(self):
+        r = MetricsRegistry()
+        r.counter("repro_cache_requests_total", kind="parse").inc()
+        r.counter("repro_cache_requests_total", kind="restructure").inc()
+        text = r.to_prometheus()
+        assert text.count(
+            "# HELP repro_cache_requests_total") == 1
+        assert text.count(
+            "# TYPE repro_cache_requests_total counter") == 1
+        help_at = text.index("# HELP repro_cache_requests_total")
+        type_at = text.index("# TYPE repro_cache_requests_total")
+        assert help_at < type_at
+
+    def test_metric_and_label_names_sanitized(self):
+        r = MetricsRegistry()
+        r.counter("stage.seconds-total", **{"work load": "a/b"}).inc()
+        text = r.to_prometheus()
+        assert 'stage_seconds_total{work_load="a/b"} 1' in text
+
+    def test_digit_first_name_prefixed(self):
+        r = MetricsRegistry()
+        r.counter("2fast").inc()
+        assert "_2fast 1" in r.to_prometheus()
+
+    def test_label_values_escaped(self):
+        r = MetricsRegistry()
+        r.counter("c", path='dir\\x', note='say "hi"\nbye').inc()
+        line = next(ln for ln in r.to_prometheus().splitlines()
+                    if ln.startswith("c{"))
+        assert '\\\\x' in line          # backslash doubled
+        assert '\\"hi\\"' in line       # quotes escaped
+        assert '\\nbye' in line         # literal newline escaped
+        assert "\n" not in line
+
+    def test_help_text_escaped(self):
+        from repro.telemetry.registry import _prom_escape_help
+
+        assert _prom_escape_help("a\\b\nc") == "a\\\\b\\nc"
+        assert _prom_escape_help('say "hi"') == 'say "hi"'  # quotes kept
+
+    def test_histogram_always_ends_with_inf_bucket(self):
+        r = MetricsRegistry()
+        r.histogram("lat", bounds=(0.5,)).observe(99.0)
+        text = r.to_prometheus()
+        assert 'lat_bucket{le="0.5"} 0' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        # +Inf bucket always equals the count (cumulative contract)
+        assert "lat_count 1" in text
+
+    def test_labelled_histogram_le_composes_with_labels(self):
+        r = MetricsRegistry()
+        r.histogram("lat", bounds=(1.0,), stage="parse").observe(0.5)
+        text = r.to_prometheus()
+        assert 'lat_bucket{le="1.0",stage="parse"} 1' in text
+        assert 'lat_bucket{le="+Inf",stage="parse"} 1' in text
+        assert 'lat_sum{stage="parse"}' in text

@@ -202,3 +202,48 @@ class TestValidatorCatchesCorruption:
         payload["spans"][0]["parent"] = "nope-1"
         assert any("does not resolve" in p for p in
                    telemetry.validate_metrics(payload))
+
+
+class TestShardTolerance:
+    """merge_dir survives damaged worker shards: a worker killed
+    mid-write must cost its torn tail, not the whole sweep's artifact."""
+
+    def _session(self, tmp_path, cells=3):
+        telemetry.configure(tmp_path)
+        for i in range(cells):
+            with telemetry.cell_span(i, f"cell {i}"):
+                with telemetry.span("execute"):
+                    pass
+        telemetry.flush()
+
+    def test_truncated_spans_shard_keeps_the_rest(self, tmp_path,
+                                                  capsys):
+        self._session(tmp_path)
+        [shard] = tmp_path.glob("spans-*.jsonl")
+        lines = shard.read_text().splitlines(keepends=True)
+        # a worker died mid-write: the last record is half a line
+        shard.write_text("".join(lines[:-1]) + lines[-1][:10])
+        payload = telemetry.merge_dir(tmp_path, harness="test")
+        err = capsys.readouterr().err
+        assert "truncated" in err and "torn line" in err
+        # everything before the tear survived
+        assert len(payload["spans"]) == len(lines) - 1
+        assert (tmp_path / "metrics.json").exists()
+        assert not list(tmp_path.glob("spans-*.jsonl"))
+
+    def test_corrupt_metrics_shard_is_skipped_with_warning(
+            self, tmp_path, capsys):
+        self._session(tmp_path)
+        [shard] = tmp_path.glob("metrics-*.json")
+        shard.write_text('{"counters": {"x')   # killed mid-dump
+        payload = telemetry.merge_dir(tmp_path, harness="test")
+        err = capsys.readouterr().err
+        assert "warning" in err
+        assert payload["summary"]["cells"] == 3
+        # the damaged shard is still cleaned up after the merge
+        assert not list(tmp_path.glob("metrics-*.json"))
+
+    def test_undamaged_merge_warns_nothing(self, tmp_path, capsys):
+        self._session(tmp_path)
+        telemetry.merge_dir(tmp_path, harness="test")
+        assert "warning" not in capsys.readouterr().err
