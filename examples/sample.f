@@ -1,0 +1,58 @@
+c     sample.f -- a small "real world" fixed-form Fortran 77 source
+c     used by the ingestion front door:
+c
+c         python -m repro.lint examples/sample.f
+c         python -m repro.experiments --source examples/sample.f
+c
+c     It exercises the statement surface the linter understands
+c     (common, data, save, labeled do loops, formats, goto) around a
+c     compute kernel the restructurer can actually parallelize.
+      program sample
+      integer n
+      parameter (n = 64)
+      real a(n), b(n), c(n)
+      real total
+      integer i
+      common /work/ a, b, c
+      data total /0.0/
+      do 10 i = 1, n
+         a(i) = 1.0 / (i + 1.0)
+         b(i) = a(i) * a(i)
+         c(i) = 0.0
+   10 continue
+      call smooth(n, a, b, c)
+      do 20 i = 1, n
+         total = total + c(i)
+   20 continue
+      if (total .lt. 0.0) goto 30
+      write (*, 100) total
+      goto 40
+   30 write (*, 110) total
+   40 continue
+  100 format ('total = ', f12.4)
+  110 format ('negative total = ', f12.4)
+      end
+
+      subroutine smooth(n, a, b, c)
+c     three-point smoothing followed by a scaled accumulate; every
+c     loop is a clean doall candidate except the recurrence, which
+c     the restructurer must keep serial.
+      integer n
+      real a(n), b(n), c(n)
+      real w
+      save w
+      integer i
+      w = 0.25
+      do 10 i = 2, n - 1
+         c(i) = w * (a(i-1) + 2.0 * a(i) + a(i+1))
+   10 continue
+      c(1) = a(1)
+      c(n) = a(n)
+      do 20 i = 1, n
+         c(i) = c(i) + w * b(i)
+   20 continue
+      do 30 i = 2, n
+         b(i) = b(i-1) + c(i)
+   30 continue
+      return
+      end

@@ -22,7 +22,9 @@ Dispatches on the payload's ``schema`` tag:
 - ``repro-metrics/1`` (``--telemetry`` session artifacts) against
   ``schemas/metrics.schema.json``, by delegating to the canonical
   checker in ``repro.telemetry.schema`` (the one place the histogram /
-  span / summary invariants live).
+  span / summary invariants live);
+- ``repro-lint/1`` (``python -m repro.lint --json``) against
+  ``schemas/lint.schema.json``.
 
 This is a hand-rolled checker — the environment deliberately carries no
 jsonschema dependency — plus semantic invariants the schema language
@@ -52,7 +54,12 @@ cannot express:
   recorded wall-clock seconds and the top-level ``ok`` flag must equal
   the conjunction of the structural checks; ``/2`` payloads must
   additionally carry monotone per-cell latency percentiles for both
-  instrumented runs.
+  instrumented runs;
+- for lint reports: every diagnostic must carry a 1-based line *and*
+  column (the front end's no-location-free-diagnostics invariant,
+  enforced at the artifact level too), codes must match ``[FW]NNN``
+  with severity agreeing with the prefix, per-file and top-level
+  ``ok``/counts must equal recounts over the diagnostics.
 
 Validation/experiment payloads produced under ``--keep-going`` /
 ``--timeout`` may additionally carry a top-level ``faults`` array of
@@ -72,6 +79,7 @@ BENCH_HOST_TAG = "repro-bench-host/1"
 BENCH_HOST_TAG_V2 = "repro-bench-host/2"
 BENCH_HISTORY_TAG = "repro-bench-history/1"
 METRICS_TAG = "repro-metrics/1"
+LINT_TAG = "repro-lint/1"
 ACTIONS = {"accepted", "rejected", "failed", "applied", "declined", "noted"}
 REL_TOL = 1e-6
 
@@ -724,6 +732,89 @@ def validate_metrics_payload(payload) -> list[str]:
     return validate_metrics(payload)
 
 
+LINT_SEVERITIES = {"error", "warning"}
+
+
+def check_lint_diag(d, path: str) -> None:
+    if not _expect(isinstance(d, dict), path,
+                   "diagnostic must be an object"):
+        return
+    code = d.get("code")
+    code_ok = _expect(
+        isinstance(code, str) and len(code) == 4 and code[0] in "FW"
+        and code[1:].isdigit(), path, f"malformed code {code!r}")
+    _expect(isinstance(d.get("slug"), str) and d.get("slug"), path,
+            "diagnostic needs a slug")
+    sev = d.get("severity")
+    _expect(sev in LINT_SEVERITIES, path, f"unknown severity {sev!r}")
+    if code_ok and sev in LINT_SEVERITIES:
+        want = "error" if code[0] == "F" else "warning"
+        _expect(sev == want, path,
+                f"severity {sev!r} disagrees with code prefix {code[0]!r}")
+    _expect(isinstance(d.get("message"), str) and d.get("message"), path,
+            "diagnostic needs a message")
+    # the front end's core invariant: no diagnostic without a location
+    for key in ("line", "col"):
+        v = d.get(key)
+        _expect(isinstance(v, int) and v >= 1, path,
+                f"{key} must be a 1-based integer, got {v!r}")
+
+
+def check_lint_file(f, path: str) -> None:
+    if not _expect(isinstance(f, dict), path, "file must be an object"):
+        return
+    for key in ("path", "ok", "error_count", "warning_count",
+                "suppressed_errors", "diagnostics"):
+        if not _expect(key in f, path, f"file missing {key!r}"):
+            return
+    _expect(isinstance(f["path"], str) and f["path"], path,
+            "file needs a path")
+    diags = f["diagnostics"]
+    if not _expect(isinstance(diags, list), f"{path}.diagnostics",
+                   "must be an array"):
+        return
+    for i, d in enumerate(diags):
+        check_lint_diag(d, f"{path}.diagnostics[{i}]")
+    n_err = sum(1 for d in diags if isinstance(d, dict)
+                and d.get("severity") == "error")
+    n_warn = sum(1 for d in diags if isinstance(d, dict)
+                 and d.get("severity") == "warning")
+    _expect(f["error_count"] == n_err, path,
+            f"error_count {f['error_count']!r} != recount {n_err}")
+    _expect(f["warning_count"] == n_warn, path,
+            f"warning_count {f['warning_count']!r} != recount {n_warn}")
+    _expect(isinstance(f["suppressed_errors"], int)
+            and f["suppressed_errors"] >= 0, path,
+            "suppressed_errors must be an integer >= 0")
+    want_ok = n_err == 0 and f.get("suppressed_errors") == 0
+    _expect(f["ok"] == want_ok, path,
+            f"ok flag {f['ok']!r} disagrees with the diagnostics")
+
+
+def validate_lint(payload) -> None:
+    files = payload.get("files")
+    if not _expect(isinstance(files, list) and files, "$.files",
+                   "need a non-empty files array"):
+        return
+    for i, f in enumerate(files):
+        check_lint_file(f, f"$.files[{i}]")
+    files_d = [f for f in files if isinstance(f, dict)]
+    _expect(payload.get("ok") == all(f.get("ok") is True for f in files_d),
+            "$.ok", "ok flag must equal the conjunction of the files")
+    for key in ("error_count", "warning_count"):
+        want = sum(f.get(key, 0) for f in files_d
+                   if isinstance(f.get(key), int))
+        _expect(payload.get(key) == want, f"$.{key}",
+                f"stored {payload.get(key)!r} != recount {want}")
+    names = [f.get("path") for f in files_d]
+    _expect(len(names) == len(set(names)), "$.files",
+            "duplicate file paths")
+    meta = payload.get("meta")
+    if _expect(isinstance(meta, dict), "$.meta", "need a meta object"):
+        _expect(meta.get("tool") == "repro.lint", "$.meta.tool",
+                f"expected 'repro.lint', got {meta.get('tool')!r}")
+
+
 def validate(payload) -> list[str]:
     """Return a list of violations (empty == valid)."""
     _errors.clear()
@@ -749,11 +840,14 @@ def validate(payload) -> list[str]:
     if tag == METRICS_TAG:
         _errors.extend(validate_metrics_payload(payload))
         return list(_errors)
+    if tag == LINT_TAG:
+        validate_lint(payload)
+        return list(_errors)
     _expect(tag == SCHEMA_TAG, "$.schema",
             f"expected {SCHEMA_TAG!r}, {PROFILE_TAG!r}, "
             f"{VALIDATE_TAG!r}, {FAULTS_TAG!r}, {BENCH_HOST_TAG!r}, "
-            f"{BENCH_HOST_TAG_V2!r}, {BENCH_HISTORY_TAG!r} or "
-            f"{METRICS_TAG!r}, got {tag!r}")
+            f"{BENCH_HOST_TAG_V2!r}, {BENCH_HISTORY_TAG!r}, "
+            f"{METRICS_TAG!r} or {LINT_TAG!r}, got {tag!r}")
     experiments = payload.get("experiments")
     if _expect(isinstance(experiments, dict) and experiments,
                "$.experiments", "need a non-empty experiments object"):
@@ -802,6 +896,11 @@ def main(argv: list[str]) -> int:
         print(f"OK: {len(payload['spans'])} span(s) over "
               f"{s['cells']} cell(s) and {len(payload['pids'])} "
               f"process(es) conform to {METRICS_TAG}")
+    elif payload.get("schema") == LINT_TAG:
+        print(f"OK: lint report over {len(payload['files'])} file(s) "
+              f"({payload['error_count']} error(s), "
+              f"{payload['warning_count']} warning(s)) conforms to "
+              f"{LINT_TAG}")
     else:
         n = len(payload["experiments"])
         print(f"OK: {n} experiment(s) conform to {SCHEMA_TAG}")

@@ -13,11 +13,19 @@ class ReproError(Exception):
 
 
 class SourceError(ReproError):
-    """An error tied to a position in Fortran source text."""
+    """An error tied to a position in Fortran source text.
+
+    ``raw_message`` keeps the location-free text (the diagnostics layer
+    re-renders locations itself); ``code`` optionally carries the
+    diagnostic code (e.g. ``F101``) the error maps to.
+    """
+
+    code: str | None = None
 
     def __init__(self, message: str, line: int | None = None, col: int | None = None):
         self.line = line
         self.col = col
+        self.raw_message = message
         loc = ""
         if line is not None:
             loc = f" at line {line}"

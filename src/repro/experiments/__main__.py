@@ -13,10 +13,16 @@ experiment doesn't kill the run (failed experiments are reported as
 structured faults); ``--journal FILE`` checkpoints completed experiments
 to a JSONL file for resume.
 
-Exit status:
-    0  all requested experiments ran
-    1  (reserved: regression — used by ``repro.prof diff``)
-    2  usage error (unknown experiment/flag)
+Real-world sources: ``--source FILE.f`` ingests an on-disk Fortran 77
+file instead of a named experiment — it is lint-gated through
+``repro.lint`` (errors reject the file) and then estimated per program
+unit, serial vs Cedar (see :mod:`repro.experiments.ingest`).
+
+Exit status (shared with ``python -m repro.lint``):
+    0  all requested experiments ran / source ingested clean
+    1  ``--source`` file rejected by the linter (also reserved for
+       regressions — used by ``repro.prof diff``)
+    2  usage error (unknown experiment/flag, unreadable source)
     3  internal fault: an experiment crashed or exceeded its budget
 """
 
@@ -59,11 +65,26 @@ def main(argv: list[str] | None = None) -> int:
                     help="JSONL checkpoint of completed experiments; "
                          "rerun with the same file to resume (implies "
                          "result caching for finished names)")
+    ap.add_argument("--source", metavar="FILE.f", default=None,
+                    help="ingest an on-disk Fortran 77 file instead of "
+                         "a named experiment: lint-gate it (exit 1 on "
+                         "errors, diagnostics on stderr), restructure "
+                         "it, and report per-unit serial vs Cedar "
+                         "estimates")
     from repro.experiments.common import add_engine_args, configure_engine
 
     add_engine_args(ap)
     args = ap.parse_args(argv)
     jobs = configure_engine(args)
+
+    if args.source is not None:
+        if args.names:
+            print("--source does not combine with experiment names",
+                  file=sys.stderr)
+            return 2
+        from repro.experiments.ingest import run_source
+
+        return run_source(args)
 
     names = args.names or list(ALL_EXPERIMENTS)
     for name in names:

@@ -9,19 +9,33 @@ Public entry points::
     from repro.fortran import parse_program, unparse
     unit_file = parse_program(source_text)
     text = unparse(unit_file)
+
+Error handling comes in two flavors: the calls above fail fast on the
+first error, while passing a :class:`DiagnosticSink` collects every
+problem as a :class:`Diagnostic` (with source location and stable code)
+and recovers at statement boundaries — the contract ``repro.lint``
+builds on.
 """
 
-from repro.fortran.lexer import Lexer, lex_source
+from repro.fortran.diagnostics import CODES, Diagnostic, DiagnosticSink
+from repro.fortran.ast_nodes import ast_diff, ast_equal
+from repro.fortran.lexer import Lexer, lex_source, strip_format_spec
 from repro.fortran.parser import Parser, parse_program
 from repro.fortran.unparse import unparse
 from repro.fortran.symtab import SymbolTable, build_symbol_table
 
 __all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticSink",
     "Lexer",
-    "lex_source",
     "Parser",
-    "parse_program",
-    "unparse",
     "SymbolTable",
+    "ast_diff",
+    "ast_equal",
     "build_symbol_table",
+    "lex_source",
+    "parse_program",
+    "strip_format_spec",
+    "unparse",
 ]

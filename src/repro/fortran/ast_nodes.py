@@ -178,6 +178,12 @@ class Var(Expr):
 
 
 @dataclass
+class Star(Expr):
+    """The ``*`` placeholder in I/O control lists (list-directed format,
+    default unit) — e.g. both stars of ``write(*, *)``."""
+
+
+@dataclass
 class RangeExpr(Expr):
     """An array-section subscript ``lo:hi[:stride]`` (Fortran 90 subset).
 
@@ -329,7 +335,28 @@ class IntrinsicStmt(Stmt):
 
 @dataclass
 class SaveStmt(Stmt):
+    """``SAVE [list]`` — entries may be names or ``/block/`` common names;
+    an empty list is the bare ``SAVE`` (save everything)."""
     names: list[str] = field(default_factory=list)
+
+
+@dataclass
+class EntryStmt(Stmt):
+    """``ENTRY name [(dummy-args)]`` — an alternate entry point.
+
+    Parsed into a typed node that unparses faithfully; the restructurer
+    treats units containing ENTRY as opaque (no entry-point splitting).
+    """
+    name: str = ""
+    args: list[str] = field(default_factory=list)
+
+
+@dataclass
+class FormatStmt(Stmt):
+    """``FORMAT (spec)`` — the spec is kept as raw text (including the
+    outer parentheses) with whitespace outside quotes removed, because
+    edit descriptors do not tokenize under expression rules."""
+    spec: str = "()"
 
 
 # ---------------------------------------------------------------------------
@@ -414,6 +441,47 @@ class ReadStmt(Stmt):
     items: list[Expr] = field(default_factory=list)
 
 
+@dataclass
+class IoControl(Node):
+    """One entry of an I/O control list: ``keyword=value`` or positional.
+
+    Label-valued controls (``ERR=``, ``END=``, ``FMT=100``) carry an
+    :class:`IntLit`; ``*`` carries :class:`Star`.
+    """
+    keyword: Optional[str]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IoStmt(Stmt):
+    """A general I/O statement, parsed faithfully but executed nowhere.
+
+    ``kind`` is one of open/close/read/write/print/rewind/backspace/
+    endfile/inquire.  The simple list-directed forms keep their legacy
+    nodes (``read *,`` → :class:`ReadStmt`, ``print *,``/``write(*,*)``
+    → :class:`PrintStmt`) so the interpreter's surface is unchanged;
+    everything else — unit numbers, format labels, ERR=/END=/IOSTAT=
+    branches — lands here as a typed node that unparses back exactly.
+    """
+    kind: str = "read"
+    controls: list[IoControl] = field(default_factory=list)
+    items: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class AssignLabelStmt(Stmt):
+    """``ASSIGN label TO var`` (F77 assigned-GOTO machinery)."""
+    target: int = 0
+    var: str = ""
+
+
+@dataclass
+class AssignedGoto(Stmt):
+    """``GOTO var [, (labels)]`` — jump through an ASSIGNed variable."""
+    var: str = ""
+    targets: list[int] = field(default_factory=list)
+
+
 # ---------------------------------------------------------------------------
 # program units
 # ---------------------------------------------------------------------------
@@ -492,3 +560,72 @@ def stmts_walk(stmts: list[Stmt]) -> Iterator[Node]:
     """Walk every node under a statement list."""
     for s in stmts:
         yield from s.walk()
+
+
+#: fields that are layout artifacts, not program structure
+_EQUAL_IGNORED = frozenset({"line"})
+
+
+def ast_equal(a: Any, b: Any) -> bool:
+    """Structural equality of two ASTs, ignoring source-line stamps.
+
+    Statement labels *are* compared (they are program structure: GOTO
+    targets, FORMAT references); the ``line`` field is not, since
+    unparsing renumbers every line.  This is the round-trip oracle's
+    comparison: ``ast_equal(parse(src), parse(unparse(parse(src))))``.
+    """
+    if isinstance(a, Node) or isinstance(b, Node):
+        if type(a) is not type(b):
+            return False
+        for f in dataclasses.fields(a):
+            if f.name in _EQUAL_IGNORED:
+                continue
+            if not ast_equal(getattr(a, f.name), getattr(b, f.name)):
+                return False
+        return True
+    if isinstance(a, (list, tuple)) or isinstance(b, (list, tuple)):
+        if isinstance(a, (list, tuple)) != isinstance(b, (list, tuple)):
+            return False
+        if len(a) != len(b):
+            return False
+        return all(ast_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)  # NaN-tolerant
+    return a == b
+
+
+def ast_diff(a: Any, b: Any, path: str = "$") -> Optional[str]:
+    """First structural difference between two ASTs, as a path string.
+
+    Returns ``None`` when :func:`ast_equal` would return True; otherwise
+    a human-readable pointer like ``$.units[0].body[2].value.op`` — the
+    fuzzer's round-trip oracle reports this on failure.
+    """
+    if isinstance(a, Node) or isinstance(b, Node):
+        if type(a) is not type(b):
+            return (f"{path}: {type(a).__name__} != {type(b).__name__}")
+        for f in dataclasses.fields(a):
+            if f.name in _EQUAL_IGNORED:
+                continue
+            d = ast_diff(getattr(a, f.name), getattr(b, f.name),
+                         f"{path}.{f.name}")
+            if d is not None:
+                return d
+        return None
+    if isinstance(a, (list, tuple)) or isinstance(b, (list, tuple)):
+        if isinstance(a, (list, tuple)) != isinstance(b, (list, tuple)):
+            return f"{path}: {type(a).__name__} != {type(b).__name__}"
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            d = ast_diff(x, y, f"{path}[{i}]")
+            if d is not None:
+                return d
+        return None
+    if isinstance(a, float) and isinstance(b, float):
+        if a == b or (a != a and b != b):
+            return None
+        return f"{path}: {a!r} != {b!r}"
+    if a != b:
+        return f"{path}: {a!r} != {b!r}"
+    return None

@@ -1,0 +1,200 @@
+"""Diagnostics for the Fortran front end: records, codes, and the sink.
+
+The linter-grade front end never loses an error's location and never
+stops at the first problem.  Both properties are enforced here:
+
+- :class:`Diagnostic` *requires* a 1-based line and column — constructing
+  one without a real location raises, so a location-free diagnostic is a
+  bug that cannot ship silently;
+- :class:`DiagnosticSink` collects the full stream.  Without a sink the
+  lexer/parser keep their historical fail-fast contract (raise
+  :class:`~repro.errors.LexError` / :class:`~repro.errors.ParseError` on
+  the first error); with one, errors are recorded and recovery continues
+  at the next statement boundary, so one bad card no longer hides the
+  rest of the file.
+
+Every code is registered in :data:`CODES` with a short slug; ``F``-codes
+are errors, ``W``-codes are warnings.  The numbering groups by origin:
+``F0xx`` lexical, ``F1xx`` syntactic, ``F2xx`` semantic lint rules,
+``W2xx`` fixed-form layout traps, ``W3xx`` style/portability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import LexError, ParseError
+
+#: every diagnostic code the front end can emit, with a short slug.
+#: F = error, W = warning.  The slug is stable and machine-matchable.
+CODES: dict[str, str] = {
+    # lexical (F0xx)
+    "F001": "unexpected-character",
+    "F002": "unterminated-literal",
+    "F003": "malformed-label",
+    "F004": "orphan-continuation",
+    "F005": "bad-dot-sequence",
+    # syntactic (F1xx)
+    "F101": "syntax-error",
+    "F102": "statement-outside-unit",
+    "F103": "missing-end",
+    "F104": "unbalanced-block",
+    "F105": "invalid-statement",
+    # semantic lint rules (F2xx)
+    "F201": "undefined-label",
+    "F202": "duplicate-label",
+    # fixed-form layout traps (W2xx)
+    "W201": "tab-in-label-field",
+    "W202": "text-past-column-72",
+    "W203": "unlabeled-format",
+    # style / portability (W3xx)
+    "W301": "do-ends-on-executable",
+    "W302": "unreferenced-format",
+}
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One front-end finding, always carrying a real source location."""
+
+    code: str
+    message: str
+    line: int
+    col: int
+    severity: str = "error"
+    #: the raw text of the offending source line, when available
+    source_line: Optional[str] = None
+
+    def __post_init__(self):
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"bad severity {self.severity!r}")
+        if not (isinstance(self.line, int) and self.line >= 1):
+            raise ValueError(
+                f"diagnostic {self.code} has no source line: {self.line!r}")
+        if not (isinstance(self.col, int) and self.col >= 1):
+            raise ValueError(
+                f"diagnostic {self.code} has no source column: {self.col!r}")
+
+    @property
+    def slug(self) -> str:
+        return CODES[self.code]
+
+    def render(self, path: str = "<source>") -> str:
+        """``path:line:col: severity: message [code]`` plus a caret excerpt."""
+        head = (f"{path}:{self.line}:{self.col}: {self.severity}: "
+                f"{self.message} [{self.code}]")
+        if self.source_line is None:
+            return head
+        excerpt = self.source_line.rstrip("\n")
+        caret = " " * (self.col - 1) + "^"
+        return f"{head}\n  {excerpt}\n  {caret}"
+
+    def to_dict(self) -> dict:
+        d = {
+            "code": self.code,
+            "slug": self.slug,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.line,
+            "col": self.col,
+        }
+        if self.source_line is not None:
+            d["excerpt"] = self.source_line.rstrip("\n")
+        return d
+
+
+class DiagnosticSink:
+    """Collects the diagnostic stream of one front-end run.
+
+    ``max_errors`` caps runaway cascades (a malformed file can derail
+    recovery into reporting every remaining line); past the cap further
+    *errors* are counted but not stored.  Warnings are never capped —
+    they are cheap and bounded by the line count.
+    """
+
+    def __init__(self, source: str = "", max_errors: int = 100):
+        self._source_lines = source.splitlines()
+        self.max_errors = max_errors
+        self.diagnostics: list[Diagnostic] = []
+        self.suppressed_errors = 0
+
+    # -- recording -----------------------------------------------------
+
+    def _source_line(self, line: int) -> Optional[str]:
+        if 1 <= line <= len(self._source_lines):
+            return self._source_lines[line - 1]
+        return None
+
+    def emit(self, diag: Diagnostic) -> None:
+        if diag.severity == "error" and self.error_count >= self.max_errors:
+            self.suppressed_errors += 1
+            return
+        self.diagnostics.append(diag)
+
+    def error(self, code: str, message: str, line: int, col: int) -> None:
+        self.emit(Diagnostic(code=code, message=message, line=line, col=col,
+                             severity="error",
+                             source_line=self._source_line(line)))
+
+    def warning(self, code: str, message: str, line: int, col: int) -> None:
+        self.emit(Diagnostic(code=code, message=message, line=line, col=col,
+                             severity="warning",
+                             source_line=self._source_line(line)))
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def error_count(self) -> int:
+        return len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        return self.error_count == 0 and self.suppressed_errors == 0
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.sorted())
+
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics in source order (line, then column)."""
+        return sorted(self.diagnostics,
+                      key=lambda d: (d.line, d.col, d.code))
+
+    def render(self, path: str = "<source>") -> str:
+        parts = [d.render(path) for d in self.sorted()]
+        if self.suppressed_errors:
+            parts.append(f"{path}: note: {self.suppressed_errors} further "
+                         f"error(s) suppressed after the first "
+                         f"{self.max_errors}")
+        return "\n".join(parts)
+
+
+class _RaisingSink(DiagnosticSink):
+    """Fail-fast adapter: the historical no-sink contract.
+
+    The lexer/parser report everything through a sink; when the caller
+    did not supply one, this adapter turns the *first error* back into
+    the matching exception (LexError for F0xx, ParseError otherwise)
+    while silently dropping warnings — exactly the pre-linter behavior.
+    """
+
+    def __init__(self, source: str = ""):
+        super().__init__(source)
+
+    def emit(self, diag: Diagnostic) -> None:
+        super().emit(diag)
+        if diag.severity == "error":
+            cls = LexError if diag.code.startswith("F0") else ParseError
+            raise cls(diag.message, diag.line, diag.col)

@@ -5,7 +5,11 @@ Handles the fixed-form card layout:
 - column 1 ``c``, ``C`` or ``*`` (or a blank line) marks a comment card;
 - columns 1-5 hold an optional numeric statement label;
 - a non-blank, non-zero character in column 6 marks a continuation card;
-- the statement body occupies columns 7-72 (text past 72 is ignored);
+- the statement body occupies columns 7-72; text past column 72 is
+  dropped *with a warning* (``W202``) when it is significant;
+- a tab in columns 1-6 advances to column 7 (the DEC tab convention,
+  warned as ``W201``); a digit 1-9 immediately after the tab marks a
+  continuation card;
 - ``!`` starts a trailing comment (common extension, honoured outside
   character literals).
 
@@ -17,11 +21,26 @@ recognition is the parser's job.
 
 Each logical statement is terminated by a ``NEWLINE`` token; a ``LABEL``
 token (if any) leads the statement.  The token stream ends with ``EOF``.
+
+Errors and warnings flow through a
+:class:`~repro.fortran.diagnostics.DiagnosticSink`.  Without one, the
+historical fail-fast contract holds: the first error raises
+:class:`~repro.errors.LexError` (always with line *and* column).  With a
+sink, errors are recorded and lexing recovers — by skipping the offending
+character, or the rest of the statement for unterminated literals — so a
+single bad card no longer hides the rest of the file.
+
+``FORMAT`` statements are special-cased at the logical-line level: their
+body after the keyword is captured verbatim (whitespace outside quotes
+removed) into one ``RAW`` token, because format edit descriptors
+(``2x``, ``i5``, ``f8.3``) do not tokenize under expression rules.
 """
 
 from __future__ import annotations
 
-from repro.errors import LexError
+from typing import Optional
+
+from repro.fortran.diagnostics import DiagnosticSink, _RaisingSink
 from repro.fortran.tokens import (
     DOT_CONSTANTS,
     DOT_OPERATORS,
@@ -32,11 +51,61 @@ from repro.fortran.tokens import (
 
 _COMMENT_CHARS = {"c", "C", "*", "!"}
 
+#: significant columns of a fixed-form statement body (7..72)
+_BODY_WIDTH = 66
+
 
 def _is_comment_card(line: str) -> bool:
     if not line.strip():
         return True
     return line[0] in _COMMENT_CHARS
+
+
+def _unquoted_bang(text: str) -> int:
+    """Index of the first ``!`` outside character literals, or -1."""
+    in_quote = False
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if in_quote and i + 1 < n and text[i + 1] == "'":
+                i += 2
+                continue
+            in_quote = not in_quote
+        elif ch == "!" and not in_quote:
+            return i
+        i += 1
+    return -1
+
+
+def strip_format_spec(spec: str) -> str:
+    """Remove whitespace outside quoted sections of a FORMAT body.
+
+    This is the canonical spelling stored in ``FormatStmt.spec``: with no
+    insignificant spaces, re-lexing unparsed output reproduces the spec
+    byte-for-byte even when the unparser had to split it across
+    continuation cards (card splits eat the spaces they cut at).
+    """
+    out: list[str] = []
+    in_quote = False
+    i = 0
+    n = len(spec)
+    while i < n:
+        ch = spec[i]
+        if ch == "'":
+            if in_quote and i + 1 < n and spec[i + 1] == "'":
+                out.append("''")
+                i += 2
+                continue
+            in_quote = not in_quote
+            out.append(ch)
+        elif ch in " \t" and not in_quote:
+            pass
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 class _LogicalLine:
@@ -58,46 +127,93 @@ class _LogicalLine:
             self.cols.append(col0 + i)
 
 
-def _split_logical_lines(source: str) -> list[_LogicalLine]:
-    """Assemble physical cards into logical statements."""
-    logical: list[_LogicalLine] = []
-    current: _LogicalLine | None = None
-    for lineno, raw in enumerate(source.splitlines(), start=1):
-        line = raw.rstrip("\n")
-        if _is_comment_card(line):
-            continue
-        # Fixed-form significance ends at column 72.
-        line = line[:72]
-        label_field = line[:5]
-        cont_field = line[5:6]
-        body = line[6:]
-        is_continuation = (
-            cont_field.strip() not in ("", "0") and not label_field.strip()
-        )
-        if is_continuation:
-            if current is None:
-                raise LexError("continuation card with no statement to continue",
-                               line=lineno)
-            current.extend(body, lineno, 7)
-            continue
-        # New statement card.
-        if current is not None:
-            logical.append(current)
-        label = label_field.strip() or None
-        if label is not None and not label.isdigit():
-            raise LexError(f"malformed statement label {label!r}", line=lineno)
-        current = _LogicalLine(label, lineno)
-        current.extend(body, lineno, 7)
-    if current is not None:
-        logical.append(current)
-    return logical
-
-
 class Lexer:
     """Tokenizes one logical statement at a time."""
 
-    def __init__(self, source: str):
-        self._logical = _split_logical_lines(source)
+    def __init__(self, source: str, sink: Optional[DiagnosticSink] = None):
+        self._sink = sink if sink is not None else _RaisingSink(source)
+        self._logical = self._split_logical_lines(source)
+
+    # -- card assembly -------------------------------------------------
+
+    def _card_layout(self, raw: str, lineno: int
+                     ) -> tuple[str, str, str, int]:
+        """Split one card into (label_field, cont_char, body, body_col).
+
+        Applies the DEC tab convention and the column-72 cutoff; emits
+        ``W201``/``W202`` warnings through the sink.
+        """
+        tab = raw.find("\t")
+        if 0 <= tab <= 5 and raw[:tab].find("!") < 0:
+            # DEC tab convention: the tab skips to column 7; a digit 1-9
+            # right after it marks a continuation card.
+            self._sink.warning(
+                "W201",
+                "tab in the label field: advancing to column 7 "
+                "(DEC tab convention)", lineno, tab + 1)
+            head = raw[:tab]
+            rest = raw[tab + 1:]
+            if rest[:1].isdigit() and rest[0] != "0":
+                label_field, cont, body, body_col = head, rest[0], rest[1:], 7
+            else:
+                label_field, cont, body, body_col = head, " ", rest, 7
+        else:
+            label_field = raw[:5]
+            cont = raw[5:6]
+            body = raw[6:]
+            body_col = 7
+        if len(body) > _BODY_WIDTH:
+            kept, dropped = body[:_BODY_WIDTH], body[_BODY_WIDTH:]
+            significant = (dropped.strip()
+                           and not dropped.lstrip().startswith("!")
+                           and _unquoted_bang(kept) < 0)
+            if significant:
+                self._sink.warning(
+                    "W202",
+                    f"text past column 72 is dropped: {dropped.strip()!r}",
+                    lineno, body_col + _BODY_WIDTH)
+            body = kept
+        return label_field, cont, body, body_col
+
+    def _split_logical_lines(self, source: str) -> list[_LogicalLine]:
+        """Assemble physical cards into logical statements."""
+        logical: list[_LogicalLine] = []
+        current: Optional[_LogicalLine] = None
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.rstrip("\n")
+            if _is_comment_card(line):
+                continue
+            label_field, cont_field, body, body_col = \
+                self._card_layout(line, lineno)
+            is_continuation = (
+                cont_field.strip() not in ("", "0")
+                and not label_field.strip()
+            )
+            if is_continuation:
+                if current is None:
+                    self._sink.error(
+                        "F004",
+                        "continuation card with no statement to continue",
+                        lineno, 6)
+                    continue
+                current.extend(body, lineno, body_col)
+                continue
+            # New statement card.
+            if current is not None:
+                logical.append(current)
+            label = label_field.strip() or None
+            if label is not None and not label.isdigit():
+                self._sink.error(
+                    "F003", f"malformed statement label {label!r}",
+                    lineno, 1 + label_field.index(label[0]))
+                label = None
+            current = _LogicalLine(label, lineno)
+            current.extend(body, lineno, body_col)
+        if current is not None:
+            logical.append(current)
+        return logical
+
+    # ------------------------------------------------------------------
 
     def tokens(self) -> list[Token]:
         """Lex the whole source into a flat token list."""
@@ -109,10 +225,34 @@ class Lexer:
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _format_split(text: str) -> Optional[int]:
+        """If ``text`` is a FORMAT statement body, index where the raw
+        spec starts (at its opening paren); else None.
+
+        The heuristic distinguishing the FORMAT keyword from an array
+        named ``format``: the statement must end with the closing paren
+        of the spec (``format(i) = 2`` keeps going after it).
+        """
+        stripped = text.lstrip()
+        low = stripped.lower()
+        if not low.startswith("format"):
+            return None
+        rest = stripped[6:]
+        if not rest.lstrip().startswith("("):
+            return None
+        bang = _unquoted_bang(text)
+        effective = text[:bang] if bang >= 0 else text
+        if not effective.rstrip().endswith(")"):
+            return None
+        offset = len(text) - len(stripped)
+        return offset + 6 + (len(rest) - len(rest.lstrip()))
+
     def _lex_logical(self, ll: _LogicalLine) -> list[Token]:
         toks: list[Token] = []
         if ll.label is not None:
-            toks.append(Token(TokenKind.LABEL, str(int(ll.label)), ll.first_line, 1))
+            toks.append(Token(TokenKind.LABEL, str(int(ll.label)),
+                              ll.first_line, 1))
         text = "".join(ll.text)
         n = len(text)
         i = 0
@@ -122,6 +262,20 @@ class Lexer:
             if not ll.lines:
                 return ll.first_line, 7
             return ll.lines[j], ll.cols[j]
+
+        fmt_at = self._format_split(text)
+        if fmt_at is not None:
+            kw_at = text.lower().index("format")
+            line, col = loc(kw_at)
+            toks.append(Token(TokenKind.IDENT, "format", line, col))
+            bang = _unquoted_bang(text)
+            raw = text[fmt_at:bang] if bang >= 0 else text[fmt_at:]
+            rline, rcol = loc(fmt_at)
+            toks.append(Token(TokenKind.RAW, strip_format_spec(raw),
+                              rline, rcol))
+            line = ll.lines[-1] if ll.lines else ll.first_line
+            toks.append(Token(TokenKind.NEWLINE, "", line, 73))
+            return toks
 
         while i < n:
             ch = text[i]
@@ -134,9 +288,14 @@ class Lexer:
             if ch == "'":
                 j = i + 1
                 buf = []
+                terminated = True
                 while True:
                     if j >= n:
-                        raise LexError("unterminated character literal", line, col)
+                        self._sink.error(
+                            "F002", "unterminated character literal",
+                            line, col)
+                        terminated = False
+                        break
                     if text[j] == "'":
                         if j + 1 < n and text[j + 1] == "'":
                             buf.append("'")
@@ -146,6 +305,9 @@ class Lexer:
                     buf.append(text[j])
                     j += 1
                 toks.append(Token(TokenKind.STRING, "".join(buf), line, col))
+                if not terminated:
+                    i = n     # recovery: the literal ate the rest of the card
+                    break
                 i = j + 1
                 continue
             if ch == ".":
@@ -171,7 +333,11 @@ class Lexer:
                     tok, i = self._lex_number(text, i, line, col)
                     toks.append(tok)
                     continue
-                raise LexError(f"unexpected '.' sequence {text[i:i+6]!r}", line, col)
+                self._sink.error(
+                    "F005", f"unexpected '.' sequence {text[i:i+6]!r}",
+                    line, col)
+                i += 1    # recovery: skip the dot
+                continue
             if ch.isdigit():
                 tok, i = self._lex_number(text, i, line, col)
                 toks.append(tok)
@@ -212,7 +378,9 @@ class Lexer:
                     break
             if matched:
                 continue
-            raise LexError(f"unexpected character {ch!r}", line, col)
+            self._sink.error("F001", f"unexpected character {ch!r}",
+                             line, col)
+            i += 1    # recovery: skip the character
         line = ll.lines[-1] if ll.lines else ll.first_line
         toks.append(Token(TokenKind.NEWLINE, "", line, 73))
         return toks
@@ -254,6 +422,7 @@ class Lexer:
         return Token(kind, value, line, col), j
 
 
-def lex_source(source: str) -> list[Token]:
+def lex_source(source: str,
+               sink: Optional[DiagnosticSink] = None) -> list[Token]:
     """Convenience: lex ``source`` into a token list (ending with EOF)."""
-    return Lexer(source).tokens()
+    return Lexer(source, sink).tokens()

@@ -8,6 +8,18 @@ label (``do 100 i`` / ``do 100 j`` / ``100 continue``).
 The parser produces :class:`repro.fortran.ast_nodes.SourceFile`; any
 ``name(...)`` form in an expression becomes the unresolved :class:`Apply`
 node, later resolved against the symbol table.
+
+Two error contracts coexist:
+
+- **fail-fast** (the default, no sink): the first error raises
+  :class:`~repro.errors.ParseError`, always carrying a source line and
+  column — the historical contract every existing caller relies on;
+- **panic-mode recovery** (a :class:`~repro.fortran.diagnostics.DiagnosticSink`
+  supplied): every error is recorded as a :class:`Diagnostic` and parsing
+  resumes at the next statement boundary, so one bad card no longer hides
+  the rest of the file.  Malformed program units are repaired where
+  possible (open blocks force-closed at END, a missing END closes the
+  unit at EOF) so a partial AST is still produced.
 """
 
 from __future__ import annotations
@@ -16,12 +28,26 @@ from typing import Optional
 
 from repro.errors import ParseError
 from repro.fortran import ast_nodes as F
+from repro.fortran.diagnostics import DiagnosticSink, _RaisingSink
 from repro.fortran.lexer import lex_source
 from repro.fortran.tokens import Token, TokenKind
 
 _TYPE_KEYWORDS = {"integer", "real", "logical", "character", "doubleprecision"}
 
 _RELATIONAL = {".lt.", ".le.", ".eq.", ".ne.", ".gt.", ".ge."}
+
+#: I/O statement keywords that take a parenthesized control list
+_IO_CONTROL_KEYWORDS = {"open", "close", "inquire"}
+#: file-positioning statements: control list or a bare unit expression
+_IO_POSITION_KEYWORDS = {"rewind", "backspace", "endfile"}
+
+
+def _fail(code: str, message: str, line: int | None,
+          col: int | None) -> None:
+    """Raise a :class:`ParseError` stamped with a diagnostic code."""
+    exc = ParseError(message, line, col)
+    exc.code = code
+    raise exc
 
 
 class _StmtTokens:
@@ -37,7 +63,7 @@ class _StmtTokens:
         i = self.pos + offset
         if i < len(self.toks):
             return self.toks[i]
-        last = self.toks[-1] if self.toks else Token(TokenKind.NEWLINE, "", 0, 0)
+        last = self.toks[-1] if self.toks else Token(TokenKind.NEWLINE, "", 1, 1)
         return Token(TokenKind.NEWLINE, "", last.line, last.col)
 
     def next(self) -> Token:
@@ -52,15 +78,16 @@ class _StmtTokens:
         t = self.peek()
         if t.kind is not kind or (value is not None and t.value != value):
             want = value or kind.name
-            raise ParseError(f"expected {want}, found {t.value!r}", t.line, t.col)
+            _fail("F101", f"expected {want}, found {t.value!r}",
+                  t.line, t.col)
         return self.next()
 
     def expect_ident(self, *names: str) -> Token:
         t = self.peek()
         if t.kind is not TokenKind.IDENT or (names and t.value not in names):
-            raise ParseError(
-                f"expected identifier {'/'.join(names) or ''}, found {t.value!r}",
-                t.line, t.col)
+            _fail("F101",
+                  f"expected identifier {'/'.join(names) or ''}, "
+                  f"found {t.value!r}", t.line, t.col)
         return self.next()
 
     def accept_ident(self, *names: str) -> Optional[Token]:
@@ -78,7 +105,7 @@ class _StmtTokens:
     def require_end(self) -> None:
         if not self.at_end():
             t = self.peek()
-            raise ParseError(f"trailing tokens: {t.value!r}", t.line, t.col)
+            _fail("F101", f"trailing tokens: {t.value!r}", t.line, t.col)
 
     # -- scanning helpers ---------------------------------------------------
 
@@ -218,8 +245,8 @@ class ExprParser:
                 self.ts.expect(TokenKind.RPAREN)
                 return F.Apply(t.value, args)
             return F.Var(t.value)
-        raise ParseError(f"unexpected token {t.value!r} in expression",
-                         t.line, t.col)
+        _fail("F101", f"unexpected token {t.value!r} in expression",
+              t.line, t.col)
 
     def _arg_list(self) -> list[F.Expr]:
         """Comma-separated args; each may be an expr or a section lo:hi[:st]."""
@@ -266,10 +293,19 @@ class _Frame:
 
 
 class Parser:
-    """Parses a whole source file into a :class:`SourceFile`."""
+    """Parses a whole source file into a :class:`SourceFile`.
 
-    def __init__(self, source: str):
-        self._stmts = self._split_statements(lex_source(source))
+    ``sink`` switches the error contract: ``None`` keeps the historical
+    fail-fast behavior (first error raises), a caller-supplied
+    :class:`DiagnosticSink` enables panic-mode recovery at statement
+    boundaries with every error recorded as a :class:`Diagnostic`.
+    """
+
+    def __init__(self, source: str, sink: Optional[DiagnosticSink] = None):
+        self._recover = sink is not None
+        self._sink = sink if sink is not None else _RaisingSink(source)
+        self._stmts = self._split_statements(
+            lex_source(source, self._sink))
 
     @staticmethod
     def _split_statements(tokens: list[Token]) -> list[tuple[Optional[int], _StmtTokens]]:
@@ -293,6 +329,20 @@ class Parser:
             out.append((label, _StmtTokens(cur)))
         return out
 
+    # -- error reporting ------------------------------------------------
+
+    def _error(self, code: str, message: str, line: int | None,
+               col: int | None) -> None:
+        """Report a structure-level error and, in recovery mode, continue.
+
+        Fail-fast mode raises; recovery mode records the diagnostic and
+        returns so the caller can apply a local repair (force-close a
+        block, skip a marker) instead of abandoning the statement.
+        """
+        if not self._recover:
+            _fail(code, message, line, col)
+        self._sink.error(code, message, max(line or 1, 1), max(col or 1, 1))
+
     # ------------------------------------------------------------------
 
     def parse(self) -> F.SourceFile:
@@ -300,20 +350,22 @@ class Parser:
         stack: list[_Frame] = []
         unit: Optional[F.ProgramUnit] = None
         in_specs = True
+        last_line = 1
 
-        def append(stmt: F.Stmt, label: Optional[int]) -> None:
+        def append(stmt: F.Stmt, label: Optional[int]) -> bool:
             nonlocal in_specs
             stmt.label = label
             if unit is None:
-                raise ParseError("statement outside any program unit",
-                                 stmt.line)
+                self._error("F102", "statement outside any program unit",
+                            stmt.line, 7)
+                return False
             is_spec = isinstance(stmt, (
                 F.TypeDecl, F.DimensionStmt, F.CommonStmt, F.ParameterStmt,
                 F.DataStmt, F.EquivalenceStmt, F.ImplicitStmt, F.ExternalStmt,
-                F.IntrinsicStmt, F.SaveStmt))
+                F.IntrinsicStmt, F.SaveStmt, F.FormatStmt))
             if in_specs and is_spec and len(stack) == 1:
                 unit.specs.append(stmt)
-                return
+                return True
             in_specs = False
             stack[-1].body.append(stmt)
             # close labeled DO loops terminated by this statement
@@ -323,76 +375,144 @@ class Parser:
                 loop: F.DoLoop = fr.node
                 loop.body = fr.body
                 stack[-1].body.append(loop)
+            return True
 
-        for label, ts in self._stmts:
-            first = ts.peek()
-            if first.kind is TokenKind.NEWLINE and label is not None:
-                append(F.ContinueStmt(line=first.line), label)
-                continue
-            if first.kind is not TokenKind.IDENT:
-                raise ParseError(f"statement cannot start with {first.value!r}",
-                                 first.line, first.col)
-            kw = first.value
-            line = first.line
-
-            # ---- unit boundaries ----
-            if unit is None:
-                unit = self._parse_unit_header(ts)
-                stack = [_Frame("unit", unit)]
-                in_specs = True
-                continue
-
-            if kw == "end" and len(ts.toks) == 1:
-                if len(stack) != 1:
-                    raise ParseError("END with unclosed DO or IF block", line)
-                unit.body = stack[0].body
-                units.append(unit)
-                unit = None
-                continue
-
-            stmt_or_marker = self._parse_statement(ts, kw, line)
-            if isinstance(stmt_or_marker, str):
-                marker = stmt_or_marker
-                if marker == "enddo":
-                    if not stack or stack[-1].kind != "do":
-                        raise ParseError("END DO without matching DO", line)
-                    fr = stack.pop()
+        def force_close(line: int) -> None:
+            """Repair an unclosed DO/IF stack down to the unit frame."""
+            while len(stack) > 1:
+                fr = stack.pop()
+                if fr.kind == "do":
                     loop = fr.node
                     loop.body = fr.body
                     stack[-1].body.append(loop)
-                elif marker in ("else", "endif") or marker.startswith("elseif"):
-                    if not stack or stack[-1].kind != "if":
-                        raise ParseError(f"{marker} without matching IF", line)
-                    fr = stack[-1]
+                else:  # 'if'
                     fr.arms.append((fr.node, fr.body))
-                    if marker == "endif":
-                        stack.pop()
-                        ifblock = F.IfBlock(arms=fr.arms, line=line)
-                        stack[-1].body.append(ifblock)
-                    else:
-                        fr.body = []
-                        fr.node = self._pending_cond if marker != "else" else None
-                continue
+                    stack[-1].body.append(F.IfBlock(arms=fr.arms, line=line))
 
-            stmt = stmt_or_marker
-            if isinstance(stmt, F.DoLoop):
-                in_specs = False
-                stmt.label = label
-                fr = _Frame("do", stmt)
-                fr.do_label = stmt.do_label
-                stack.append(fr)
+        def close_unit() -> None:
+            nonlocal unit
+            unit.body = stack[0].body
+            units.append(unit)
+            unit = None
+
+        for label, ts in self._stmts:
+            first = ts.peek()
+            if first.line:
+                last_line = first.line
+            try:
+                if first.kind is TokenKind.NEWLINE and label is not None:
+                    append(F.ContinueStmt(line=first.line), label)
+                    continue
+                if first.kind is not TokenKind.IDENT:
+                    _fail("F105",
+                          f"statement cannot start with {first.value!r}",
+                          first.line, first.col)
+                kw = first.value
+                line = first.line
+
+                # ---- unit boundaries ----
+                if unit is None:
+                    try:
+                        unit = self._parse_unit_header(ts)
+                    except ParseError:
+                        if not self._recover:
+                            raise
+                        # Recovery: treat the file as an implicit main
+                        # program so the remaining statements still parse
+                        # (once, quietly — the header error is reported).
+                        self._error(
+                            "F102",
+                            f"expected a program-unit header, found "
+                            f"{first.value!r} — treating as an implicit "
+                            f"PROGRAM", first.line, first.col)
+                        unit = F.MainProgram(name="main")
+                        stack = [_Frame("unit", unit)]
+                        in_specs = True
+                        ts.pos = 0
+                    else:
+                        stack = [_Frame("unit", unit)]
+                        in_specs = True
+                        continue
+
+                if kw == "end" and len(ts.toks) == 1:
+                    if len(stack) != 1:
+                        self._error("F104",
+                                    "END with unclosed DO or IF block",
+                                    line, first.col)
+                        force_close(line)
+                    close_unit()
+                    continue
+
+                stmt_or_marker = self._parse_statement(ts, kw, line)
+                if isinstance(stmt_or_marker, str):
+                    marker = stmt_or_marker
+                    if marker == "enddo":
+                        if not stack or stack[-1].kind != "do":
+                            self._error("F104", "END DO without matching DO",
+                                        line, first.col)
+                            continue
+                        fr = stack.pop()
+                        loop = fr.node
+                        loop.body = fr.body
+                        stack[-1].body.append(loop)
+                    elif marker in ("else", "endif") or marker.startswith("elseif"):
+                        if not stack or stack[-1].kind != "if":
+                            self._error("F104",
+                                        f"{marker} without matching IF",
+                                        line, first.col)
+                            continue
+                        fr = stack[-1]
+                        fr.arms.append((fr.node, fr.body))
+                        if marker == "endif":
+                            stack.pop()
+                            ifblock = F.IfBlock(arms=fr.arms, line=line)
+                            stack[-1].body.append(ifblock)
+                        else:
+                            fr.body = []
+                            fr.node = self._pending_cond if marker != "else" else None
+                    continue
+
+                stmt = stmt_or_marker
+                if isinstance(stmt, F.DoLoop):
+                    if unit is None:
+                        self._error("F102",
+                                    "statement outside any program unit",
+                                    line, 7)
+                        continue
+                    in_specs = False
+                    stmt.label = label
+                    fr = _Frame("do", stmt)
+                    fr.do_label = stmt.do_label
+                    stack.append(fr)
+                    continue
+                if isinstance(stmt, F.IfBlock) and not stmt.arms:
+                    # opening "if (c) then": condition stashed on _pending_cond
+                    if unit is None:
+                        self._error("F102",
+                                    "statement outside any program unit",
+                                    line, 7)
+                        continue
+                    in_specs = False
+                    fr = _Frame("if")
+                    fr.node = self._pending_cond
+                    stack.append(fr)
+                    continue
+                append(stmt, label)
+            except ParseError as exc:
+                if not self._recover:
+                    raise
+                self._sink.error(
+                    getattr(exc, "code", None) or "F101",
+                    getattr(exc, "raw_message", str(exc)),
+                    exc.line if exc.line else (first.line or 1),
+                    exc.col if exc.col else (first.col or 1))
                 continue
-            if isinstance(stmt, F.IfBlock) and not stmt.arms:
-                # opening "if (c) then": condition stashed on _pending_cond
-                in_specs = False
-                fr = _Frame("if")
-                fr.node = self._pending_cond
-                stack.append(fr)
-                continue
-            append(stmt, label)
 
         if unit is not None:
-            raise ParseError(f"missing END for unit {unit.name!r}")
+            self._error("F103", f"missing END for unit {unit.name!r}",
+                        last_line, 7)
+            force_close(last_line)
+            close_unit()
         return F.SourceFile(units)
 
     # ------------------------------------------------------------------
@@ -427,8 +547,9 @@ class Parser:
             args = self._parse_dummy_args(ts)
             ts.require_end()
             return F.Function(name=name, args=args, result_type=rettype)
-        raise ParseError(f"expected a program-unit header, found {t.value!r}",
-                         t.line, t.col)
+        _fail("F101",
+              f"expected a program-unit header, found {t.value!r}",
+              t.line, t.col)
 
     @staticmethod
     def _parse_dummy_args(ts: _StmtTokens) -> list[str]:
@@ -454,29 +575,46 @@ class Parser:
             return F.DimensionStmt(entities=self._parse_entity_list(ts), line=line)
         if kw == "common":
             return self._parse_common(ts, line)
-        if kw == "parameter":
+        if kw == "parameter" and ts.peek(1).kind is TokenKind.LPAREN:
             return self._parse_parameter(ts, line)
-        if kw == "data":
+        if kw == "data" and ts.peek(1).kind is TokenKind.IDENT:
             return self._parse_data(ts, line)
-        if kw == "equivalence":
+        if kw == "equivalence" and ts.peek(1).kind is TokenKind.LPAREN:
             return self._parse_equivalence(ts, line)
         if kw == "implicit":
             ts.next()
             ts.expect_ident("none")
             ts.require_end()
             return F.ImplicitStmt(none=True, line=line)
-        if kw in ("external", "intrinsic", "save"):
+        if kw == "save" and (
+                ts.peek(1).kind in (TokenKind.NEWLINE, TokenKind.IDENT)
+                or (ts.peek(1).kind is TokenKind.OP
+                    and ts.peek(1).value == "/")):
+            return self._parse_save(ts, line)
+        if kw in ("external", "intrinsic") \
+                and ts.peek(1).kind is TokenKind.IDENT:
             ts.next()
             names = [ts.expect(TokenKind.IDENT).value]
             while ts.accept(TokenKind.COMMA):
                 names.append(ts.expect(TokenKind.IDENT).value)
             ts.require_end()
-            cls = {"external": F.ExternalStmt, "intrinsic": F.IntrinsicStmt,
-                   "save": F.SaveStmt}[kw]
+            cls = {"external": F.ExternalStmt,
+                   "intrinsic": F.IntrinsicStmt}[kw]
             return cls(names=names, line=line)
+        if kw == "entry" and ts.peek(1).kind is TokenKind.IDENT:
+            ts.next()
+            name = ts.expect(TokenKind.IDENT).value
+            args = self._parse_dummy_args(ts)
+            ts.require_end()
+            return F.EntryStmt(name=name, args=args, line=line)
+        if kw == "format" and ts.peek(1).kind is TokenKind.RAW:
+            ts.next()
+            spec = ts.next().value
+            ts.require_end()
+            return F.FormatStmt(spec=spec, line=line)
 
         # control / executable
-        if kw == "do":
+        if kw == "do" and ts.peek(1).kind in (TokenKind.INT, TokenKind.IDENT):
             return self._parse_do(ts, line)
         if kw == "enddo" or (kw == "end" and ts.peek(1).is_ident("do")):
             return "enddo"
@@ -497,25 +635,17 @@ class Parser:
             ts.next()
             ts.require_end()
             return "else"
-        if kw == "if":
+        if kw == "if" and ts.peek(1).kind is TokenKind.LPAREN:
             return self._parse_if(ts, line)
         if kw == "goto" or (kw == "go" and ts.peek(1).is_ident("to")):
+            return self._parse_goto(ts, line)
+        if kw == "assign" and ts.peek(1).kind is TokenKind.INT:
             ts.next()
-            if ts.peek().is_ident("to"):
-                ts.next()
-            if ts.peek().kind is TokenKind.LPAREN:
-                ts.next()
-                targets = [int(ts.expect(TokenKind.INT).value)]
-                while ts.accept(TokenKind.COMMA):
-                    targets.append(int(ts.expect(TokenKind.INT).value))
-                ts.expect(TokenKind.RPAREN)
-                ts.accept(TokenKind.COMMA)
-                idx = ExprParser(ts).parse()
-                ts.require_end()
-                return F.ComputedGoto(targets=targets, index=idx, line=line)
             target = int(ts.expect(TokenKind.INT).value)
+            ts.expect_ident("to")
+            var = ts.expect(TokenKind.IDENT).value
             ts.require_end()
-            return F.Goto(target=target, line=line)
+            return F.AssignLabelStmt(target=target, var=var, line=line)
         if kw == "continue":
             ts.next()
             ts.require_end()
@@ -530,11 +660,12 @@ class Parser:
                     ts.expect(TokenKind.RPAREN)
             ts.require_end()
             return F.CallStmt(name=name, args=args, line=line)
-        if kw == "return":
+        if kw == "return" and ts.peek(1).kind is TokenKind.NEWLINE:
             ts.next()
-            ts.require_end()
             return F.ReturnStmt(line=line)
-        if kw == "stop":
+        if kw == "stop" and ts.peek(1).kind in (TokenKind.STRING,
+                                                TokenKind.INT,
+                                                TokenKind.NEWLINE):
             ts.next()
             msg = None
             t = ts.peek()
@@ -546,39 +677,51 @@ class Parser:
                 msg = t.value
             ts.require_end()
             return F.StopStmt(message=msg, line=line)
-        if kw == "print":
+        if kw == "print" and ts.peek(1).kind is not TokenKind.EQUALS:
+            return self._parse_print(ts, line)
+        if kw == "write" and ts.peek(1).kind is TokenKind.LPAREN \
+                and not self._looks_like_assignment(ts):
+            return self._parse_read_write(ts, "write", line)
+        if kw == "read" and ts.peek(1).kind is not TokenKind.EQUALS \
+                and not self._looks_like_assignment(ts):
+            return self._parse_read_write(ts, "read", line)
+        if kw in _IO_CONTROL_KEYWORDS \
+                and ts.peek(1).kind is TokenKind.LPAREN \
+                and not self._looks_like_assignment(ts):
             ts.next()
-            ts.expect(TokenKind.OP, "*")
-            items: list[F.Expr] = []
-            while ts.accept(TokenKind.COMMA):
-                items.append(ExprParser(ts).parse())
+            controls = self._parse_io_controls(ts)
             ts.require_end()
-            return F.PrintStmt(items=items, line=line)
-        if kw == "write":
+            return F.IoStmt(kind=kw, controls=controls, line=line)
+        if kw in _IO_POSITION_KEYWORDS \
+                and ts.peek(1).kind is not TokenKind.EQUALS \
+                and not self._looks_like_assignment(ts):
             ts.next()
-            ts.expect(TokenKind.LPAREN)
-            ts.expect(TokenKind.OP, "*")
-            ts.expect(TokenKind.COMMA)
-            ts.expect(TokenKind.OP, "*")
-            ts.expect(TokenKind.RPAREN)
-            items = []
-            if not ts.at_end():
-                items.append(ExprParser(ts).parse())
-                while ts.accept(TokenKind.COMMA):
-                    items.append(ExprParser(ts).parse())
+            if ts.peek().kind is TokenKind.LPAREN:
+                controls = self._parse_io_controls(ts)
+            else:
+                controls = [F.IoControl(None, ExprParser(ts).parse())]
             ts.require_end()
-            return F.PrintStmt(items=items, line=line)
-        if kw == "read":
-            ts.next()
-            ts.expect(TokenKind.OP, "*")
-            items = []
-            while ts.accept(TokenKind.COMMA):
-                items.append(ExprParser(ts).parse())
-            ts.require_end()
-            return F.ReadStmt(items=items, line=line)
+            return F.IoStmt(kind=kw, controls=controls, line=line)
 
         # otherwise: assignment
         return self._parse_assignment(ts, line)
+
+    @staticmethod
+    def _looks_like_assignment(ts: _StmtTokens) -> bool:
+        """True for ``name(...) = expr`` — an array-element assignment to
+        a variable that happens to share an I/O keyword's name."""
+        if ts.peek(1).kind is not TokenKind.LPAREN:
+            return ts.peek(1).kind is TokenKind.EQUALS
+        depth = 0
+        for i in range(1, len(ts.toks) - ts.pos):
+            t = ts.peek(i)
+            if t.kind is TokenKind.LPAREN:
+                depth += 1
+            elif t.kind is TokenKind.RPAREN:
+                depth -= 1
+                if depth == 0:
+                    return ts.peek(i + 1).kind is TokenKind.EQUALS
+        return False
 
     # -- declarations --------------------------------------------------
 
@@ -659,15 +802,32 @@ class Parser:
         ts.require_end()
         return F.ParameterStmt(defs=defs, line=line)
 
+    def _parse_save(self, ts: _StmtTokens, line: int) -> F.SaveStmt:
+        """``SAVE``, ``SAVE a, b``, ``SAVE /block/, c``."""
+        ts.next()
+        names: list[str] = []
+        if not ts.at_end():
+            while True:
+                if ts.accept(TokenKind.OP, "/"):
+                    nm = ts.expect(TokenKind.IDENT).value
+                    ts.expect(TokenKind.OP, "/")
+                    names.append(f"/{nm}/")
+                else:
+                    names.append(ts.expect(TokenKind.IDENT).value)
+                if not ts.accept(TokenKind.COMMA):
+                    break
+        ts.require_end()
+        return F.SaveStmt(names=names, line=line)
+
     def _parse_data(self, ts: _StmtTokens, line: int) -> F.DataStmt:
         # Names are variables/array elements (primaries); values are signed
-        # constants.  Full expression parsing would eat the '/' delimiters
-        # as division.
+        # constants with optional repeat counts (``3*0.0``).  Full
+        # expression parsing would eat the '/' delimiters as division.
+        # Several groups (``data a /1/, b /2/``) merge into one flat
+        # name/value pair — semantically identical in F77.
         ts.next()
-        names: list[F.Expr] = [ExprParser(ts)._primary()]
-        while ts.accept(TokenKind.COMMA):
-            names.append(ExprParser(ts)._primary())
-        ts.expect(TokenKind.OP, "/")
+        names: list[F.Expr] = []
+        values: list[F.Expr] = []
 
         def signed_constant() -> F.Expr:
             t = ts.peek()
@@ -676,10 +836,25 @@ class Parser:
                 return F.UnOp(t.value, ExprParser(ts)._primary())
             return ExprParser(ts)._primary()
 
-        values: list[F.Expr] = [signed_constant()]
-        while ts.accept(TokenKind.COMMA):
-            values.append(signed_constant())
-        ts.expect(TokenKind.OP, "/")
+        def value_item() -> F.Expr:
+            v = signed_constant()
+            if isinstance(v, F.IntLit) and ts.accept(TokenKind.OP, "*"):
+                # repeat count: 3*0.0 — kept as a BinOp, unparses as 3 * 0.0
+                return F.BinOp("*", v, signed_constant())
+            return v
+
+        while True:
+            names.append(ExprParser(ts)._primary())
+            while ts.accept(TokenKind.COMMA):
+                names.append(ExprParser(ts)._primary())
+            ts.expect(TokenKind.OP, "/")
+            values.append(value_item())
+            while ts.accept(TokenKind.COMMA):
+                values.append(value_item())
+            ts.expect(TokenKind.OP, "/")
+            if ts.at_end():
+                break
+            ts.accept(TokenKind.COMMA)  # optional separator between groups
         ts.require_end()
         return F.DataStmt(names=names, values=values, line=line)
 
@@ -719,6 +894,38 @@ class Parser:
         return F.DoLoop(var=var, start=start, end=end, step=step,
                         do_label=do_label, line=line)
 
+    def _parse_goto(self, ts: _StmtTokens, line: int):
+        """Plain, computed, and assigned GOTO."""
+        ts.next()
+        if ts.peek().is_ident("to"):
+            ts.next()
+        t = ts.peek()
+        if t.kind is TokenKind.LPAREN:
+            ts.next()
+            targets = [int(ts.expect(TokenKind.INT).value)]
+            while ts.accept(TokenKind.COMMA):
+                targets.append(int(ts.expect(TokenKind.INT).value))
+            ts.expect(TokenKind.RPAREN)
+            ts.accept(TokenKind.COMMA)
+            idx = ExprParser(ts).parse()
+            ts.require_end()
+            return F.ComputedGoto(targets=targets, index=idx, line=line)
+        if t.kind is TokenKind.IDENT:
+            # assigned GOTO: goto var [, (labels)]
+            ts.next()
+            targets: list[int] = []
+            ts.accept(TokenKind.COMMA)
+            if ts.accept(TokenKind.LPAREN):
+                targets.append(int(ts.expect(TokenKind.INT).value))
+                while ts.accept(TokenKind.COMMA):
+                    targets.append(int(ts.expect(TokenKind.INT).value))
+                ts.expect(TokenKind.RPAREN)
+            ts.require_end()
+            return F.AssignedGoto(var=t.value, targets=targets, line=line)
+        target = int(ts.expect(TokenKind.INT).value)
+        ts.require_end()
+        return F.Goto(target=target, line=line)
+
     _pending_cond: Optional[F.Expr] = None
 
     def _parse_if(self, ts: _StmtTokens, line: int):
@@ -731,24 +938,119 @@ class Parser:
             self._pending_cond = cond
             return F.IfBlock(arms=[], line=line)  # marker: opening of block IF
         # logical IF: one trailing statement
-        inner_kw = ts.peek().value
+        inner_tok = ts.peek()
+        inner_kw = inner_tok.value
         inner = self._parse_statement(ts, inner_kw, line)
         if isinstance(inner, str) or isinstance(inner, (F.DoLoop, F.IfBlock)):
-            raise ParseError("invalid statement in logical IF", line)
+            _fail("F105", "invalid statement in logical IF",
+                  line, inner_tok.col)
         return F.LogicalIf(cond=cond, stmt=inner, line=line)
+
+    # -- I/O -----------------------------------------------------------
+
+    def _parse_io_controls(self, ts: _StmtTokens) -> list[F.IoControl]:
+        """A parenthesized I/O control list: positional or KEYWORD=value
+        entries; ``*`` becomes :class:`Star`."""
+        ts.expect(TokenKind.LPAREN)
+        controls: list[F.IoControl] = []
+        if ts.accept(TokenKind.RPAREN):
+            return controls
+        while True:
+            keyword: Optional[str] = None
+            if ts.peek().kind is TokenKind.IDENT \
+                    and ts.peek(1).kind is TokenKind.EQUALS:
+                keyword = ts.next().value
+                ts.next()
+            if ts.peek().kind is TokenKind.OP and ts.peek().value == "*":
+                ts.next()
+                value: F.Expr = F.Star()
+            else:
+                value = ExprParser(ts).parse()
+            controls.append(F.IoControl(keyword, value))
+            if ts.accept(TokenKind.RPAREN):
+                break
+            ts.expect(TokenKind.COMMA)
+        return controls
+
+    def _parse_io_items(self, ts: _StmtTokens) -> list[F.Expr]:
+        items: list[F.Expr] = []
+        if not ts.at_end():
+            items.append(ExprParser(ts).parse())
+            while ts.accept(TokenKind.COMMA):
+                items.append(ExprParser(ts).parse())
+        ts.require_end()
+        return items
+
+    @staticmethod
+    def _is_star_star(controls: list[F.IoControl]) -> bool:
+        return (len(controls) == 2
+                and all(c.keyword is None and isinstance(c.value, F.Star)
+                        for c in controls))
+
+    def _parse_read_write(self, ts: _StmtTokens, kind: str, line: int):
+        ts.next()
+        if kind == "read" and ts.peek().kind is not TokenKind.LPAREN:
+            # read *, items   |   read 100, items
+            if ts.accept(TokenKind.OP, "*"):
+                items = []
+                while ts.accept(TokenKind.COMMA):
+                    items.append(ExprParser(ts).parse())
+                ts.require_end()
+                return F.ReadStmt(items=items, line=line)
+            fmt = ExprParser(ts).parse()
+            controls = [F.IoControl(None, fmt)]
+            items = []
+            while ts.accept(TokenKind.COMMA):
+                items.append(ExprParser(ts).parse())
+            ts.require_end()
+            return F.IoStmt(kind="read", controls=controls, items=items,
+                            line=line)
+        controls = self._parse_io_controls(ts)
+        items = self._parse_io_items(ts)
+        if self._is_star_star(controls):
+            # write(*,*) / read(*,*): the legacy list-directed nodes the
+            # interpreter executes
+            if kind == "write":
+                return F.PrintStmt(items=items, line=line)
+            return F.ReadStmt(items=items, line=line)
+        return F.IoStmt(kind=kind, controls=controls, items=items, line=line)
+
+    def _parse_print(self, ts: _StmtTokens, line: int):
+        ts.next()
+        if ts.accept(TokenKind.OP, "*"):
+            items: list[F.Expr] = []
+            while ts.accept(TokenKind.COMMA):
+                items.append(ExprParser(ts).parse())
+            ts.require_end()
+            return F.PrintStmt(items=items, line=line)
+        fmt = ExprParser(ts).parse()
+        controls = [F.IoControl(None, fmt)]
+        items = []
+        while ts.accept(TokenKind.COMMA):
+            items.append(ExprParser(ts).parse())
+        ts.require_end()
+        return F.IoStmt(kind="print", controls=controls, items=items,
+                        line=line)
 
     # -- assignment ----------------------------------------------------
 
     def _parse_assignment(self, ts: _StmtTokens, line: int) -> F.Assign:
+        first = ts.peek()
         target = ExprParser(ts)._primary()
         if not isinstance(target, (F.Var, F.Apply)):
-            raise ParseError("invalid assignment target", line)
+            _fail("F105", "invalid assignment target", line, first.col)
         ts.expect(TokenKind.EQUALS)
         value = ExprParser(ts).parse()
         ts.require_end()
         return F.Assign(target=target, value=value, line=line)
 
 
-def parse_program(source: str) -> F.SourceFile:
-    """Parse Fortran 77 source text into a :class:`SourceFile` AST."""
-    return Parser(source).parse()
+def parse_program(source: str,
+                  sink: Optional[DiagnosticSink] = None) -> F.SourceFile:
+    """Parse Fortran 77 source text into a :class:`SourceFile` AST.
+
+    With a ``sink``, errors are collected as diagnostics and parsing
+    recovers at statement boundaries (the returned AST covers whatever
+    parsed); without one, the first error raises :class:`ParseError`.
+    """
+    return Parser(source, sink).parse()

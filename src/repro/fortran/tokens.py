@@ -23,6 +23,7 @@ class TokenKind(Enum):
     EQUALS = auto()
     NEWLINE = auto()     # end of a logical statement line
     LABEL = auto()       # numeric statement label (columns 1-5)
+    RAW = auto()         # verbatim text (the body of a FORMAT statement)
     EOF = auto()
 
 

@@ -99,6 +99,9 @@ class ExprWriter:
             return "(" + text + ")"
         return text
 
+    def w_Star(self, e: F.Star, p: int) -> str:
+        return "*"
+
     def w_UnOp(self, e: F.UnOp, p: int) -> str:
         # Fortran unary +/- sits at additive precedence (the parser treats a
         # leading sign at the _additive level), so the operand must be
@@ -122,24 +125,63 @@ class UnparserBase:
 
     # -- physical layout -------------------------------------------------
 
+    #: statement body width, columns 7..72
+    _ROOM = 66
+
+    @staticmethod
+    def _quote_mask(s: str, start_inside: bool = False) -> tuple[list[bool], bool]:
+        """Per-char "inside a quoted literal" flags (quote chars count as
+        inside) and the quote state after the last char."""
+        mask: list[bool] = []
+        inq = start_inside
+        for ch in s:
+            if ch == "'":
+                mask.append(True)
+                inq = not inq
+            else:
+                mask.append(inq)
+        return mask, inq
+
+    @classmethod
+    def _split_card(cls, body: str, start_inside: bool) -> tuple[str, str]:
+        """Cut ``body`` for one continuation card: at a token boundary
+        outside quoted text when possible, never stripping quoted spaces.
+
+        Preference order: rightmost unquoted space (strippable on both
+        sides), then rightmost unquoted ``,``/``(``/``)`` (cut after it,
+        verbatim), else a hard cut at the card edge — only reachable
+        inside one giant token, where the fixed-form card join restores
+        the text exactly because neither side is stripped.
+        """
+        room = cls._ROOM
+        mask, _ = cls._quote_mask(body[:room + 1], start_inside)
+        for i in range(room - 1, 0, -1):
+            if body[i] == " " and not mask[i]:
+                # the remainder keeps the boundary space: dropping it
+                # would glue adjacent tokens ("goto" + "140" → "goto140")
+                # when the fixed-form join concatenates the cards
+                return body[:i].rstrip(), body[i:]
+        for i in range(room, 1, -1):
+            if body[i - 1] in ",()" and not mask[i - 1]:
+                return body[:i], body[i:]
+        return body[:room], body[room:]
+
     def emit(self, text: str, label: int | None = None, depth: int = 0) -> None:
         label_field = f"{label:>5}" if label is not None else "     "
         body = " " * (self.INDENT * depth) + text
         first = True
+        inq = False  # quote state at the start of the current chunk
         while True:
-            room = 66 - (0 if first else 0)  # columns 7..72
-            if len(body) <= room:
+            if len(body) <= self._ROOM:
                 chunk, body = body, ""
             else:
-                cut = body.rfind(" ", 40, room)
-                if cut < 0:
-                    cut = room
-                chunk, body = body[:cut], body[cut:].lstrip()
-            if first:
-                self.lines.append(f"{label_field} {chunk}".rstrip())
-                first = False
-            else:
-                self.lines.append(f"     &{chunk}".rstrip())
+                chunk, body = self._split_card(body, inq)
+            line = (f"{label_field} " if first else "     &") + chunk
+            mask, inq = self._quote_mask(chunk, inq)
+            if not (chunk.endswith(" ") and mask[-1]):
+                line = line.rstrip()  # trailing spaces are outside quotes
+            self.lines.append(line)
+            first = False
             if not body:
                 break
 
@@ -242,20 +284,52 @@ class UnparserBase:
         self.emit("intrinsic " + ", ".join(s.names), s.label, d)
 
     def s_SaveStmt(self, s: F.SaveStmt, d: int) -> None:
-        self.emit("save " + ", ".join(s.names), s.label, d)
+        text = "save " + ", ".join(s.names) if s.names else "save"
+        self.emit(text, s.label, d)
+
+    def s_EntryStmt(self, s: F.EntryStmt, d: int) -> None:
+        args = f"({', '.join(s.args)})" if s.args else ""
+        self.emit(f"entry {s.name}{args}", s.label, d)
+
+    def s_FormatStmt(self, s: F.FormatStmt, d: int) -> None:
+        self.emit(f"format {s.spec}", s.label, d)
 
     # -- executable statements ----------------------------------------------
 
     def s_Assign(self, s: F.Assign, d: int) -> None:
         self.emit(f"{self.e(s.target)} = {self.e(s.value)}", s.label, d)
 
+    @staticmethod
+    def _closes_own_label(s: F.DoLoop) -> bool:
+        """True if the loop's terminal statement carries ``do_label`` (the
+        classic ``do 100 i … 100 continue`` shape, including nested loops
+        sharing one terminal label), so the labeled spelling re-parses to
+        the identical AST."""
+        while True:
+            if s.do_label is None or not s.body:
+                return False
+            last = s.body[-1]
+            if isinstance(last, F.DoLoop):
+                if last.do_label != s.do_label:
+                    return False
+                s = last
+                continue
+            return last.label == s.do_label
+
     def s_DoLoop(self, s: F.DoLoop, d: int) -> None:
-        header = f"do {s.var} = {self.e(s.start)}, {self.e(s.end)}"
+        labeled = self._closes_own_label(s)
+        rng = f"{s.var} = {self.e(s.start)}, {self.e(s.end)}"
         if s.step is not None:
-            header += f", {self.e(s.step)}"
-        self.emit(header, s.label, d)
-        self.block(s.body, d + 1)
-        self.emit("end do", None, d)
+            rng += f", {self.e(s.step)}"
+        if labeled:
+            # terminal card (inside body, carrying the label) closes the
+            # loop — emitting "end do" as well would not re-parse
+            self.emit(f"do {s.do_label} {rng}", s.label, d)
+            self.block(s.body, d + 1)
+        else:
+            self.emit(f"do {rng}", s.label, d)
+            self.block(s.body, d + 1)
+            self.emit("end do", None, d)
 
     def s_IfBlock(self, s: F.IfBlock, d: int) -> None:
         for i, (cond, body) in enumerate(s.arms):
@@ -298,7 +372,12 @@ class UnparserBase:
         self.emit("return", s.label, d)
 
     def s_StopStmt(self, s: F.StopStmt, d: int) -> None:
-        text = "stop" if s.message is None else f"stop '{s.message}'"
+        if s.message is None:
+            text = "stop"
+        elif s.message.isdigit():
+            text = f"stop {s.message}"
+        else:
+            text = "stop '" + s.message.replace("'", "''") + "'"
         self.emit(text, s.label, d)
 
     def s_PrintStmt(self, s: F.PrintStmt, d: int) -> None:
@@ -307,7 +386,38 @@ class UnparserBase:
 
     def s_ReadStmt(self, s: F.ReadStmt, d: int) -> None:
         items = ", ".join(self.e(i) for i in s.items)
-        self.emit(f"read *, {items}", s.label, d)
+        self.emit(f"read *, {items}" if items else "read *", s.label, d)
+
+    def s_AssignLabelStmt(self, s: F.AssignLabelStmt, d: int) -> None:
+        self.emit(f"assign {s.target} to {s.var}", s.label, d)
+
+    def s_AssignedGoto(self, s: F.AssignedGoto, d: int) -> None:
+        text = f"goto {s.var}"
+        if s.targets:
+            text += " (" + ", ".join(str(t) for t in s.targets) + ")"
+        self.emit(text, s.label, d)
+
+    def _io_controls(self, controls: list[F.IoControl]) -> str:
+        parts = []
+        for c in controls:
+            val = self.e(c.value)
+            parts.append(f"{c.keyword} = {val}" if c.keyword else val)
+        return ", ".join(parts)
+
+    def s_IoStmt(self, s: F.IoStmt, d: int) -> None:
+        items = ", ".join(self.e(i) for i in s.items)
+        if s.kind == "print":
+            # print FMT [, items] — the parenthesized form does not exist
+            fmt = self.e(s.controls[0].value)
+            text = f"print {fmt}, {items}" if items else f"print {fmt}"
+        elif (s.kind in ("rewind", "backspace", "endfile")
+              and len(s.controls) == 1 and s.controls[0].keyword is None):
+            text = f"{s.kind} {self.e(s.controls[0].value)}"
+        else:
+            text = f"{s.kind} ({self._io_controls(s.controls)})"
+            if items:
+                text += f" {items}"
+        self.emit(text, s.label, d)
 
 
 class Unparser(UnparserBase):

@@ -1,0 +1,30 @@
+"""Linter-grade front door for real-world Fortran 77 files.
+
+``python -m repro.lint FILE.f`` lints fixed-form source with full error
+recovery: every lexical, syntactic, and semantic problem in the file is
+reported with a line, column, and stable diagnostic code, instead of the
+library's default first-error exception.
+
+Library use::
+
+    from repro.lint import lint_source
+    report = lint_source(text, path="bad.f")
+    if not report.ok:
+        print(report.render())
+
+The JSON form (``--json``) follows the ``repro-lint/1`` schema and is
+validated by ``scripts/validate_experiment_json.py`` like every other
+artifact this repo emits.
+"""
+
+from repro.lint.engine import JSON_SCHEMA, LintReport, lint_source, report_json
+from repro.lint.rules import ALL_RULES, run_rules
+
+__all__ = [
+    "ALL_RULES",
+    "JSON_SCHEMA",
+    "LintReport",
+    "lint_source",
+    "report_json",
+    "run_rules",
+]

@@ -1,0 +1,99 @@
+"""Command-line linter: ``python -m repro.lint FILE.f [FILE2.f ...]``.
+
+``--workloads`` lints the unparsed source of every in-repo validation
+workload instead of (or in addition to) files — the CI smoke job uses it
+to prove the linter is clean on everything the repo itself generates.
+
+Exit status (shared CLI map):
+    0  clean (no errors; warnings allowed unless ``--strict``)
+    1  findings: at least one error (or warning, with ``--strict``)
+    2  usage error (no inputs, unreadable file)
+    3  internal fault (the linter itself crashed)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lint.engine import LintReport, lint_source, report_json
+
+
+def _workload_reports(max_errors: int) -> list[LintReport]:
+    from repro.workloads import validation_cases
+    reports = []
+    for case in validation_cases().values():
+        reports.append(lint_source(case.source,
+                                   path=f"workload:{case.name}",
+                                   max_errors=max_errors))
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Lint fixed-form Fortran 77 with full error recovery")
+    ap.add_argument("files", nargs="*", metavar="FILE.f",
+                    help="fixed-form Fortran source files to lint")
+    ap.add_argument("--workloads", action="store_true",
+                    help="also lint every in-repo validation workload")
+    ap.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit a repro-lint/1 JSON report on stdout")
+    ap.add_argument("-o", "--output", metavar="FILE", default=None,
+                    help="write the report to FILE instead of stdout")
+    ap.add_argument("--strict", action="store_true",
+                    help="treat warnings as findings (exit 1)")
+    ap.add_argument("--max-errors", type=int, default=100, metavar="N",
+                    help="stop storing errors after N per file "
+                         "(default: %(default)s)")
+    try:
+        ns = ap.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+
+    if not ns.files and not ns.workloads:
+        print("error: no input files (pass FILE.f or --workloads)",
+              file=sys.stderr)
+        return 2
+
+    reports: list[LintReport] = []
+    try:
+        for path in ns.files:
+            try:
+                with open(path, "r", encoding="utf-8",
+                          errors="replace") as fh:
+                    text = fh.read()
+            except OSError as exc:
+                print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            reports.append(lint_source(text, path=path,
+                                       max_errors=ns.max_errors))
+        if ns.workloads:
+            reports.extend(_workload_reports(ns.max_errors))
+    except Exception as exc:  # the linter must never crash on bad input
+        print(f"internal error: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 3
+
+    if ns.as_json:
+        doc = report_json(reports, meta={"strict": bool(ns.strict)})
+        out = json.dumps(doc, indent=2, sort_keys=True)
+    else:
+        out = "\n".join(r.render() for r in reports)
+
+    if ns.output:
+        with open(ns.output, "w", encoding="utf-8") as fh:
+            fh.write(out + "\n")
+    else:
+        print(out)
+
+    errors = sum(r.error_count for r in reports)
+    warnings = sum(r.warning_count for r in reports)
+    if errors or (ns.strict and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

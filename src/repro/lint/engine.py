@@ -1,0 +1,89 @@
+"""The lint engine: one recovering parse plus the AST rule pack.
+
+:func:`lint_source` is the library entry point behind
+``python -m repro.lint`` and the ``--source`` ingestion path of
+``repro.experiments``: it runs the lexer and parser with a collecting
+:class:`DiagnosticSink` (so every problem in the file is reported, not
+just the first) and then the :mod:`repro.lint.rules` pack over whatever
+AST survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fortran import ast_nodes as F
+from repro.fortran.diagnostics import Diagnostic, DiagnosticSink
+from repro.fortran.parser import parse_program
+from repro.lint.rules import run_rules
+
+#: JSON report schema tag (validated by scripts/validate_experiment_json.py)
+JSON_SCHEMA = "repro-lint/1"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced: diagnostics plus the partial AST."""
+
+    path: str
+    sink: DiagnosticSink
+    ast: F.SourceFile = field(default_factory=lambda: F.SourceFile([]))
+
+    @property
+    def ok(self) -> bool:
+        return self.sink.ok
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        return self.sink.sorted()
+
+    @property
+    def error_count(self) -> int:
+        return self.sink.error_count
+
+    @property
+    def warning_count(self) -> int:
+        return len(self.sink.warnings)
+
+    def render(self) -> str:
+        if not self.sink.diagnostics and not self.sink.suppressed_errors:
+            return f"{self.path}: clean"
+        return self.sink.render(self.path)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "error_count": self.error_count,
+            "warning_count": self.warning_count,
+            "suppressed_errors": self.sink.suppressed_errors,
+            "units": len(self.ast.units),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def lint_source(source: str, path: str = "<source>",
+                max_errors: int = 100) -> LintReport:
+    """Lint Fortran 77 source text, returning the full diagnostic stream.
+
+    Never raises on malformed input: lexer and parser errors are
+    collected with recovery, and the AST rules run over the partial
+    parse.  The report's ``ast`` is usable whenever ``error_count`` is
+    zero (warnings do not impair it).
+    """
+    sink = DiagnosticSink(source, max_errors=max_errors)
+    ast = parse_program(source, sink)
+    run_rules(ast, sink)
+    return LintReport(path=path, sink=sink, ast=ast)
+
+
+def report_json(reports: list[LintReport], meta: dict | None = None) -> dict:
+    """Aggregate per-file reports into one ``repro-lint/1`` document."""
+    return {
+        "schema": JSON_SCHEMA,
+        "ok": all(r.ok for r in reports),
+        "error_count": sum(r.error_count for r in reports),
+        "warning_count": sum(r.warning_count for r in reports),
+        "files": [r.to_dict() for r in reports],
+        "meta": {"tool": "repro.lint", **(meta or {})},
+    }

@@ -1,0 +1,146 @@
+"""AST-level lint rules, run after the recovering parse.
+
+Each rule walks the (possibly partial) AST and reports through the same
+:class:`DiagnosticSink` the lexer and parser used, so the CLI presents
+one merged, source-ordered stream.  Layout-level traps (tab in the label
+field, text lost past column 72) are emitted by the lexer itself; the
+rules here need resolved statement structure:
+
+- **F201 undefined-label** — a GOTO/DO/I-O reference to a statement
+  label that no statement in the same program unit defines;
+- **F202 duplicate-label** — one label defined on two statements;
+- **W203 unlabeled-format** — a FORMAT statement without a label can
+  never be referenced;
+- **W301 do-ends-on-executable** — a labeled DO terminating on a
+  statement other than CONTINUE (legal, but a classic restructuring
+  trap: the paper's DO-loop transforms assume the terminal card can be
+  deleted);
+- **W302 unreferenced-format** — a labeled FORMAT no I/O statement uses.
+"""
+
+from __future__ import annotations
+
+from repro.fortran import ast_nodes as F
+from repro.fortran.diagnostics import DiagnosticSink
+
+#: I/O control keywords whose integer value names a statement label
+_LABEL_KEYWORDS = {"fmt", "err", "end"}
+
+
+def _line(stmt: F.Stmt) -> int:
+    return stmt.line if getattr(stmt, "line", 0) else 1
+
+
+def _label_refs(stmts: list[F.Stmt]) -> list[tuple[int, int]]:
+    """Every ``(label, source_line)`` reference in a statement list."""
+    refs: list[tuple[int, int]] = []
+    for node in F.stmts_walk(stmts):
+        line = _line(node) if isinstance(node, F.Stmt) else 1
+        if isinstance(node, F.Goto):
+            refs.append((node.target, line))
+        elif isinstance(node, F.ComputedGoto):
+            refs.extend((t, line) for t in node.targets)
+        elif isinstance(node, F.AssignedGoto):
+            refs.extend((t, line) for t in node.targets)
+        elif isinstance(node, F.AssignLabelStmt):
+            refs.append((node.target, line))
+        elif isinstance(node, F.DoLoop) and node.do_label is not None:
+            refs.append((node.do_label, line))
+        elif isinstance(node, F.IoStmt):
+            refs.extend((lbl, line) for lbl in _io_label_refs(node))
+    return refs
+
+
+def _io_label_refs(stmt: F.IoStmt) -> list[int]:
+    """Labels referenced by an I/O statement's control list."""
+    labels: list[int] = []
+    positional = 0
+    for c in stmt.controls:
+        is_label = False
+        if c.keyword is None:
+            positional += 1
+            # read/write (unit, fmt): the second positional control;
+            # print FMT: the first (and only) positional control
+            if stmt.kind == "print":
+                is_label = positional == 1
+            elif stmt.kind in ("read", "write"):
+                is_label = positional == 2 or len(stmt.controls) == 1
+        else:
+            is_label = c.keyword in _LABEL_KEYWORDS
+        if is_label and isinstance(c.value, F.IntLit):
+            labels.append(c.value.value)
+    return labels
+
+
+def _defined_labels(unit: F.ProgramUnit,
+                    sink: DiagnosticSink) -> dict[int, F.Stmt]:
+    """Label → defining statement; duplicates are reported (F202)."""
+    defined: dict[int, F.Stmt] = {}
+    for node in F.stmts_walk(unit.specs + unit.body):
+        if not isinstance(node, F.Stmt) or node.label is None:
+            continue
+        if node.label in defined:
+            first = defined[node.label]
+            sink.error(
+                "F202",
+                f"label {node.label} already defined at line "
+                f"{_line(first)}", _line(node), 1)
+        else:
+            defined[node.label] = node
+    return defined
+
+
+def check_labels(unit: F.ProgramUnit, sink: DiagnosticSink) -> None:
+    """F201/F202/W302: label definitions vs references, per unit."""
+    defined = _defined_labels(unit, sink)
+    refs = _label_refs(unit.specs + unit.body)
+    for label, line in refs:
+        if label not in defined:
+            sink.error("F201",
+                       f"label {label} is referenced but never defined",
+                       line, 7)
+    referenced = {label for label, _ in refs}
+    for label, stmt in defined.items():
+        if isinstance(stmt, F.FormatStmt) and label not in referenced:
+            sink.warning(
+                "W302",
+                f"format label {label} is never referenced",
+                _line(stmt), 1)
+
+
+def check_formats(unit: F.ProgramUnit, sink: DiagnosticSink) -> None:
+    """W203: a FORMAT without a label is unreachable."""
+    for node in F.stmts_walk(unit.specs + unit.body):
+        if isinstance(node, F.FormatStmt) and node.label is None:
+            sink.warning(
+                "W203",
+                "format statement has no label and can never be used",
+                _line(node), 7)
+
+
+def check_do_terminals(unit: F.ProgramUnit, sink: DiagnosticSink) -> None:
+    """W301: labeled DO whose terminal statement is not CONTINUE."""
+    for node in F.stmts_walk(unit.body):
+        if not isinstance(node, F.DoLoop) or node.do_label is None:
+            continue
+        if not node.body:
+            continue
+        last = node.body[-1]
+        if last.label == node.do_label and not isinstance(
+                last, F.ContinueStmt):
+            sink.warning(
+                "W301",
+                f"do loop ends on an executable statement at label "
+                f"{node.do_label}; terminate it with CONTINUE",
+                _line(last), 7)
+
+
+#: the rules `lint_source` runs, in report order
+ALL_RULES = (check_labels, check_formats, check_do_terminals)
+
+
+def run_rules(ast: F.SourceFile, sink: DiagnosticSink) -> None:
+    """Run every AST rule over every program unit."""
+    for unit in ast.units:
+        for rule in ALL_RULES:
+            rule(unit, sink)

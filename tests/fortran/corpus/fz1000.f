@@ -1,0 +1,83 @@
+c seeded fuzz program (surface mode, seed 1000)
+      subroutine fz1000(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(26)
+      real v(45)
+      common /blk/ t(50)
+      parameter (c1 = 8)
+      save x, y
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+      data i, x /3, 3.0/
+  100 format (1x,2f9.2)
+         if (v(j) .ne. v(j)) then
+            y = 0.25
+         else if (u(j + 2) .eq. 3.0 .or. u(k) .gt. z) then
+            do m = 3, 5
+               u(k + 2) = v(j + 2)
+            end do
+         end if
+         goto (110, 110), i
+         m = i
+         do j = 1, 5
+            do 120 j = 3, 8
+               u(k + 1) = 0.5
+               write (6, 100) v(j)
+  120       continue
+         end do
+         goto 110
+c marker 717
+         x = 0.5 - u(i + 2)
+         goto 130
+         if (v(i) .eq. z) then
+            if (v(k) .gt. 0.5) then
+               z = u(j + 2) + z + -y
+            end if
+         else if (z .ne. y .and. 1.5 .lt. u(i)) then
+            read (5, 100) z
+            do j = 2, 11
+               u(j) = x * y + -w
+            end do
+c marker 866
+         else
+            j = 6
+            m = 9 * j
+         end if
+         u(k + 2) = v(j) - 0.125 * 2.0
+         z = z * x - y + y
+         if (0.5 .ne. 2.0 .and. w .gt. v(m + 2)) continue
+         do i = 2, 9
+            inquire (unit = 9, opened = i)
+            do 140 m = 2, 7
+               u(j + 1) = z
+               u(m) = w + u(i) + u(i)
+  140       continue
+         end do
+c marker 358
+         k = k + 5
+      entry fz1000b(x)
+         call extsub(0.25, 2.0)
+         if (x .lt. z .or. v(k + 1) .lt. u(i)) then
+            read (5, 100) x
+            call extsub(u(i + 3), y)
+         else if (u(k) .ge. x) then
+            do i = 2, 11
+               read (5, 100) z
+               print *, u(m), x
+               goto 130
+            end do
+c marker 684
+            u(j + 1) = (2.0 + z) - v(k) * y
+         else
+            call extsub(v(m + 1), y)
+            do 150 j = 2, 11
+               x = u(i + 2) + w + y * u(m + 2)
+               i = i * 8 * j + k
+c marker 603
+  150       continue
+         end if
+  110 continue
+  130 continue
+      return
+      end

@@ -1,0 +1,73 @@
+c seeded fuzz program (surface mode, seed 1001)
+      program fz1001
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(32)
+      real v(25)
+      common /blk/ t(50)
+      parameter (c1 = 4)
+      external extsub
+      data i, x /9, 0.25/
+      data u /5*0.0/
+  100 format (a,i3)
+  110 format (a,i3)
+  120 format (3(i4,1x))
+         goto 130
+         do 140 i = 3, 10
+            w = 2.0
+c marker 894
+  140    continue
+         if (z .ge. 0.5) then
+            i = j + i * 3
+         end if
+         assign 130 to i
+         goto i (130)
+         write (6, 110) 1.5
+         if (z .gt. z) then
+            do 150 j = 1, 7
+               call extsub(0.25, 0.25)
+               goto 160
+c marker 524
+  150       continue
+            inquire (unit = 9, opened = j)
+         else if (1.5 .eq. v(m + 1)) then
+            if (v(i + 2) .ge. v(k + 3)) then
+               if (u(i + 3) .ge. z) y = 0.25
+               j = 3
+            end if
+            do 180 i = 3, 10
+               j = 8
+               backspace 9
+  180       continue
+         end if
+         do k = 3, 5
+            if (v(j + 2) .lt. w) then
+               call extsub(y, y)
+               k = 1 * i * 4 + k
+            else if (y .eq. v(i + 2)) then
+               k = j - i * j
+               if (0.125 .ne. v(m)) m = j
+            else
+               u(j) = (y * 0.5 * v(i + 1))
+               j = 5
+            end if
+         end do
+         goto (190, 190), j
+         if (1.5 .le. x .or. 0.25 .gt. x) then
+            rewind 9
+            x = y * z - z
+         else if (y .le. w) then
+            v(m) = 0.125
+c marker 632
+         else
+            goto (200, 130), m
+            goto 210
+         end if
+  130 continue
+  160 continue
+  170 continue
+  190 continue
+  200 continue
+  210 continue
+      stop
+      end

@@ -1,0 +1,65 @@
+c seeded fuzz program (surface mode, seed 1002)
+      real function fz1002(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(58)
+      real v(46)
+      parameter (c1 = 6)
+      external extsub
+      data i, x /0, 0.5/
+      data u /2*0.0/
+  100 format (i5)
+  110 format (3(i4,1x))
+         goto (120, 120), k
+c marker 877
+         endfile 9
+         y = -1.5 + -0.25
+         do 130 j = 1, 7
+            u(k + 2) = -3.0 * 2.0
+  130    continue
+         do k = 3, 10
+            k = m
+         end do
+         goto 120
+         goto (140, 150), m
+         if (v(k) .ne. u(k + 1)) then
+            if (x .le. 2.0) then
+               goto (150, 160), j
+            else if (u(k + 2) .le. z) then
+               x = (w - u(j)) * -1.5
+               w = 0.5
+            end if
+         else if (v(i + 3) .lt. w) then
+            y = 0.125 - 0.125 - 0.125
+c marker 379
+            if (y .ne. 0.125) then
+               write (6, fmt = 100) 1.5, x, 0.25
+               print 100, u(m + 1), u(i)
+            end if
+         else
+            j = 2 + j + k * 3
+            do 170 i = 3, 6
+               write (6, fmt = 100) 3.0, v(k), v(j + 2)
+               write (6, 110) 0.5, z
+c marker 507
+  170       continue
+         end if
+         if (x .gt. 0.25 .and. w .gt. w) goto 180
+         k = j
+c marker 123
+         open (unit = 9, file = 'scratch.dat', status = 'unknown')
+         if (u(k + 2) .ne. v(m)) then
+            goto 150
+         end if
+         if (v(j + 3) .le. v(k)) k = m - j
+         do 190 i = 1, 6
+            call extsub(1.5, z)
+  190    continue
+      fz1002 = x + y
+  120 continue
+  140 continue
+  150 continue
+  160 continue
+  180 continue
+      return
+      end

@@ -1,0 +1,38 @@
+c seeded fuzz program (surface mode, seed 1003)
+      subroutine fz1003(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(55)
+      real v(43)
+      common /blk/ t(50)
+      parameter (c1 = 9)
+      external extsub
+      intrinsic sqrt
+      data i, x /4, 1.5/
+  100 format (a,i3)
+  110 format (a,i3)
+  120 format (a,i3)
+         goto 130
+         if (x .ne. 1.5 .or. 2.0 .lt. v(m)) then
+            goto (140, 130), k
+            v(j + 2) = 3.0
+         end if
+c marker 442
+         open (unit = 9, file = 'scratch.dat', status = 'unknown')
+         m = k * j
+c marker 593
+         backspace 9
+         do i = 2, 12
+            if (w .lt. 1.5 .and. v(i + 3) .gt. v(i)) then
+               w = 0.5 * 1.5 - -u(m)
+               read (5, 120) w
+            end if
+            v(j) = 0.125 + u(k + 2) + v(m + 2)
+         end do
+      entry fz1003b(x)
+         backspace 9
+         k = j * m * 1
+  130 continue
+  140 continue
+      return
+      end

@@ -1,0 +1,52 @@
+c seeded fuzz program (surface mode, seed 1005)
+      subroutine fz1005(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(45)
+      real v(54)
+      common /blk/ t(50)
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+      data i, x /5, 1.5/
+  100 format (a,i3)
+         if (0.25 .lt. 0.25) then
+            if (v(i) .eq. v(k)) then
+               call extsub(u(k + 2), z)
+               if (0.25 .le. 2.0) goto 110
+            else if (w .gt. x) then
+               u(m + 3) = (w + u(k)) - 2.0 * y
+            else
+               goto 120
+               call extsub(x, u(j + 2))
+            end if
+            do k = 2, 7
+               u(m) = (0.125 * 3.0) - 2.0
+               k = i
+            end do
+         else if (u(k + 2) .eq. y) then
+            rewind 9
+            rewind 9
+         else
+            goto 130
+            call extsub(u(j + 3), 0.25)
+c marker 553
+         end if
+         write (6, fmt = 100) x, u(j)
+c marker 541
+         do 140 k = 2, 6
+            call extsub(z, w)
+  140    continue
+         if (.not. (z .le. v(i) .or. v(m + 1) .lt. y)) then
+            goto 130
+            if (v(j) .ge. 3.0) then
+               u(j) = 0.5 + x + 0.25 + 2.0
+            end if
+c marker 611
+         end if
+         y = 0.5 * x + z * u(k)
+         u(j) = (u(k) * x + (z - 1.5))
+  110 continue
+  120 continue
+  130 continue
+      return
+      end

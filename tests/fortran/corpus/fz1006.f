@@ -1,0 +1,35 @@
+c seeded fuzz program (surface mode, seed 1006)
+      subroutine fz1006(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(23)
+      real v(34)
+      common /blk/ t(50)
+      parameter (c1 = 7)
+      external extsub
+  100 format (i5)
+  110 format ('x = ',f10.4)
+  120 format (1x,2f9.2)
+         if (1.5 .gt. u(i)) then
+            do m = 1, 11
+               j = 9 - i - 3
+               z = 2.0 + y * v(m)
+            end do
+         else if (1.5 .ge. y) then
+            do 130 k = 1, 5
+               if (3.0 .ne. z) continue
+  130       continue
+c marker 763
+            do m = 1, 9
+               v(i + 3) = x - v(i) + u(i + 2)
+               inquire (unit = 9, opened = k)
+            end do
+         end if
+         v(m + 3) = w - u(k + 3) + 0.25
+         v(i) = u(i + 3)
+         y = v(i + 3) * x * y
+         call extsub(3.0, 0.25)
+         w = (v(i + 3) - u(j + 3) + 3.0)
+  140 continue
+      return
+      end

@@ -1,0 +1,82 @@
+c seeded fuzz program (surface mode, seed 1007)
+      program fz1007
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(58)
+      real v(31)
+      save
+      external extsub
+      data i, x /7, 0.125/
+      data u /2*0.0/
+  100 format ('x = ',f10.4)
+         if (u(i + 3) .ne. z) then
+            w = w
+            do 110 k = 2, 6
+               read (5, 100) z
+  110       continue
+         else if (u(k + 3) .eq. 0.5 .or. u(m) .lt. w) then
+            if (y .ne. u(m)) then
+               write (6, fmt = 100) 3.0
+               w = y
+            else
+               u(i + 3) = w * 1.5 * 0.25
+c marker 247
+            end if
+         end if
+         if (0.5 .ge. z) then
+            assign 120 to k
+            goto k (120)
+            do i = 1, 11
+               if (u(k) .ne. 3.0 .or. 2.0 .lt. y) v(m + 1) = v(i + 1)
+               z = 0.125
+            end do
+         else
+            if (u(k + 2) .ne. w) then
+               goto 130
+            else
+               print 100, v(i), 1.5
+            end if
+            do k = 2, 11
+               goto (120, 130), m
+               assign 120 to j
+               goto j (120)
+            end do
+         end if
+         print 100, y, v(k + 2), u(j + 2)
+         k = 7
+         call extsub(z, u(j + 3))
+         if (w .eq. y) then
+            u(i + 2) = u(m + 3) - w * 2.0
+         else if (u(k + 3) .eq. 1.5) then
+            k = 8 * 7 - 9
+            goto 120
+         end if
+         do k = 2, 10
+            inquire (unit = 9, opened = i)
+            do i = 3, 8
+               write (6, 100) v(j), u(k), v(j)
+               print *, x
+               assign 120 to i
+               goto i (120)
+            end do
+c marker 131
+            u(k + 1) = u(j) + v(i) * u(m)
+         end do
+         if (z .eq. v(m + 3)) then
+            v(j + 2) = u(k + 2)
+c marker 238
+         else if (x .eq. v(k + 2)) then
+            assign 140 to i
+            goto i (140)
+            goto (140, 120), i
+         end if
+         do m = 2, 6
+            y = x + y
+            backspace 9
+            goto 130
+         end do
+  120 continue
+  130 continue
+  140 continue
+      continue
+      end

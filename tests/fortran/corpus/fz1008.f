@@ -1,0 +1,56 @@
+c seeded fuzz program (surface mode, seed 1008)
+      real function fz1008(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(48)
+      real v(41)
+      common /blk/ t(50)
+      save x, y
+      external extsub
+      data i, x /9, 0.25/
+  100 format (i5)
+  110 format (3(i4,1x))
+  120 format (1x,2f9.2)
+         if (0.25 .ge. 3.0 .or. 0.25 .lt. 0.5) then
+            y = z * 0.125 * 0.5
+         end if
+         if (u(i + 2) .ne. 0.25 .or. z .lt. 0.125) then
+            do k = 1, 10
+               goto 130
+               v(m + 3) = 0.5 * y + v(i)
+            end do
+         else if (w .ne. u(i) .and. u(i + 1) .gt. v(k)) then
+            if (u(j) .lt. 1.5) then
+               goto (130, 130), m
+               m = 9
+            else if (0.25 .gt. 0.5) then
+               call extsub(3.0, u(j + 2))
+               if (3.0 .ne. 0.5 .or. 2.0 .gt. z) goto 130
+            end if
+            goto 140
+         end if
+c marker 890
+         u(j) = 1.5 * 3.0 + 3.0 - z
+         j = 5 * j + m
+         do j = 1, 6
+            if (y .eq. z) v(i) = v(m + 3)
+            do 150 k = 2, 5
+               goto 160
+  150       continue
+         end do
+         y = (3.0 * 1.5) * y
+         u(j + 1) = 3.0
+         if (u(k + 3) .ne. 1.5 .or. 0.25 .lt. 1.5) then
+            z = z
+         else
+            call extsub(x, u(m))
+         end if
+         write (6, 110) v(m), 2.0
+         goto 130
+         m = m - m
+      fz1008 = x + y
+  130 continue
+  140 continue
+  160 continue
+      return
+      end

@@ -1,0 +1,37 @@
+c seeded fuzz program (surface mode, seed 1010)
+      real function fz1010(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(58)
+      real v(35)
+      common /blk/ t(50)
+      parameter (c1 = 8)
+      save x, y
+      external extsub
+      data i, x /8, 3.0/
+  100 format (3(i4,1x))
+  110 format (a,i3)
+         close (9)
+         call extsub(x, 0.25)
+         x = 1.5
+         u(m) = x
+         assign 120 to k
+         goto k (120)
+c marker 47
+         write (6, 110) u(i + 2)
+         print *, u(m), 0.5, 2.0
+         if (.not. (w .le. w)) then
+            goto (130, 120), i
+            if (w .ne. 0.125) then
+               m = m
+c marker 558
+               v(m) = 0.125 * y + v(i)
+            end if
+         else if (x .ge. 0.25) then
+            u(k + 2) = w
+         end if
+      fz1010 = x + y
+  120 continue
+  130 continue
+      return
+      end

@@ -1,0 +1,71 @@
+c seeded fuzz program (surface mode, seed 1011)
+      subroutine fz1011(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(36)
+      real v(21)
+      common /blk/ t(50)
+      save x, y
+      external extsub
+      data i, x /1, 2.0/
+  100 format ('x = ',f10.4)
+  110 format (3(i4,1x))
+  120 format (i5)
+         if (v(m + 2) .ge. u(i + 3)) then
+            if (2.0 .ge. u(m + 1) .or. 0.25 .lt. w) then
+               u(i) = v(m + 1) - 0.5
+            else
+               x = w + 0.125 + 1.5
+            end if
+         else
+            v(j + 1) = z
+            do m = 3, 12
+               u(m) = -u(k) + 3.0 * 0.5
+c marker 690
+            end do
+c marker 782
+         end if
+         goto (130, 130), k
+         if (u(k + 2) .gt. 2.0) continue
+         do 140 k = 3, 9
+            assign 130 to i
+            goto i (130)
+            goto 150
+c marker 284
+  140    continue
+         do 160 i = 1, 10
+            x = x
+  160    continue
+         do j = 2, 7
+            y = v(i + 3) * v(k + 1) - u(i)
+            if (w .eq. 2.0) then
+               w = -v(k) * 0.5
+               k = i * 5 + 6
+            end if
+            if (.not. (u(j) .le. 0.25)) then
+               if (.not. (z .eq. z)) goto 130
+               u(j + 1) = (x + u(k + 1) + w)
+            else if (0.5 .lt. y) then
+               goto 130
+               u(m + 2) = u(i + 1)
+            else
+               y = u(j + 2) * 3.0 - x - y
+            end if
+         end do
+         goto (170, 180), j
+         write (6, 110) x
+c marker 377
+         if (y .gt. 3.0 .or. v(i + 3) .lt. 0.125) u(k + 2) = v(k + 1) -
+     & 0.5 + w
+         if (0.5 .eq. u(i)) then
+            if (v(i + 3) .eq. u(i)) goto 180
+            goto (170, 190), k
+         end if
+         m = 1 - 7 * 9
+  130 continue
+  150 continue
+  170 continue
+  180 continue
+  190 continue
+      return
+      end

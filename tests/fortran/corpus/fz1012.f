@@ -1,0 +1,100 @@
+c seeded fuzz program (surface mode, seed 1012)
+      subroutine fz1012(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(30)
+      real v(29)
+      common /blk/ t(50)
+      save x, y
+      external extsub
+      data i, x /2, 2.0/
+  100 format ('x = ',f10.4)
+  110 format (i5)
+         v(j) = u(m + 3)
+         do 120 j = 1, 8
+            y = u(j + 3)
+  120    continue
+         if (v(m + 2) .eq. u(k + 3) .and. u(i + 1) .lt. 1.5) then
+            goto 130
+            open (unit = 9, file = 'scratch.dat', status = 'unknown')
+         else if (u(j + 2) .le. y) then
+            u(k) = v(k + 3) + w - 0.25
+         end if
+         u(i + 3) = y + z - x + v(j)
+         do 140 m = 1, 12
+            do i = 2, 7
+               goto (130, 130), m
+               if (u(k) .gt. w .or. x .gt. v(i)) continue
+               read (5, 110) y
+            end do
+            do 150 m = 3, 8
+               goto 160
+  150       continue
+  140    continue
+         if (u(m + 1) .ge. v(i + 1) .or. u(j + 1) .lt. 0.125) u(j) = x
+         if (z .gt. v(j + 1)) then
+            if (1.5 .ge. x) then
+               assign 160 to m
+               goto m (160)
+               x = (u(m) * 3.0 - 0.5)
+            else if (0.125 .gt. v(m) .and. u(j + 2) .gt. 0.5) then
+               z = z + z + 3.0 + 0.5
+               z = z
+            end if
+         end if
+         goto (130, 180), i
+         if (0.25 .gt. u(k + 1)) goto 160
+         i = 3
+         do 190 j = 1, 6
+            u(k) = v(i + 1) + -u(m)
+            do 200 j = 2, 4
+               z = v(i + 2)
+  200       continue
+  190    continue
+         j = k - k - i
+c marker 382
+         do 210 j = 2, 11
+            if (v(m + 3) .ne. 3.0) then
+               backspace 9
+            end if
+            read (5, 110) x
+  210    continue
+      entry fz1012b(x)
+         u(i) = 1.5 + z - (0.25 - u(m))
+         if (y .gt. 2.0) then
+            if (.not. (z .ne. 2.0 .or. u(m + 3) .gt. 0.25)) continue
+            if (v(m) .gt. w) then
+               assign 130 to k
+               goto k (130)
+               assign 180 to k
+               goto k (180)
+            else if (z .ge. x) then
+               v(m + 2) = 0.25
+               z = -v(i)
+            else
+               rewind 9
+               print 100, 1.5, z, z
+            end if
+         else if (w .ne. x) then
+            do 230 j = 1, 9
+               print 110, y
+  230       continue
+         else
+            if (0.5 .ge. 0.25) continue
+            if (0.5 .lt. x .or. u(k + 3) .gt. 3.0) then
+               open (unit = 9, file = 'scratch.dat', status = 'unknown')
+               backspace 9
+            else
+               goto (250, 260), i
+            end if
+         end if
+  130 continue
+  160 continue
+  170 continue
+  180 continue
+  220 continue
+  240 continue
+  250 continue
+  260 continue
+      return
+      end

@@ -1,0 +1,48 @@
+c seeded fuzz program (surface mode, seed 1013)
+      subroutine fz1013(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(36)
+      real v(31)
+      common /blk/ t(50)
+      parameter (c1 = 2)
+      save x, y
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+      data i, x /9, 2.0/
+  100 format (2x,i5)
+         if (1.5 .ne. 3.0) then
+            y = z
+         end if
+         inquire (unit = 9, opened = i)
+         do k = 1, 9
+            k = 2
+            call extsub(u(k + 1), y)
+            x = 2.0 - 0.125 * 2.0
+         end do
+c marker 163
+         do 110 m = 2, 4
+            rewind 9
+            close (9)
+  110    continue
+         do 120 j = 3, 10
+            goto 130
+  120    continue
+         open (unit = 9, file = 'scratch.dat', status = 'unknown')
+c marker 464
+         goto (140, 130), k
+c marker 703
+         do 150 k = 2, 7
+            m = j
+  150    continue
+         v(k) = x
+         do 160 j = 2, 12
+            if (v(m) .le. 3.0 .or. 2.0 .lt. 3.0) v(m) = 1.5 * 0.25 - y
+     & + z
+            goto (170, 170), m
+  160    continue
+  130 continue
+  140 continue
+  170 continue
+      return
+      end

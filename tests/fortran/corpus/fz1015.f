@@ -1,0 +1,64 @@
+c seeded fuzz program (surface mode, seed 1015)
+      program fz1015
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(39)
+      real v(51)
+      common /blk/ t(50)
+      save
+      external extsub
+      data i, x /9, 0.25/
+  100 format (i5)
+  110 format (1x,2f9.2)
+  120 format ('x = ',f10.4)
+         print *, u(k), w, x
+         print 110, 0.5, 0.5, u(m)
+         goto (130, 140), i
+         w = -v(j + 1)
+         do m = 2, 4
+            do k = 1, 12
+               assign 150 to j
+               goto j (150)
+               goto (160, 170), m
+               call extsub(1.5, 0.125)
+            end do
+         end do
+         if (1.5 .gt. w .and. z .lt. 0.25) z = (u(k + 3) + 1.5) + w *
+     & u(j + 1)
+         call extsub(0.125, w)
+         do 180 m = 3, 9
+            rewind 9
+            if (u(m) .le. u(k + 3)) then
+               call extsub(1.5, v(k + 2))
+            else if (0.25 .gt. 0.125 .and. v(m + 2) .lt. 0.125) then
+               m = i - k + 9 * m
+            end if
+  180    continue
+         open (unit = 9, file = 'scratch.dat', status = 'unknown')
+         j = m
+         do m = 2, 5
+            backspace 9
+            if (u(k + 1) .ne. u(j)) then
+               u(m) = 1.5 * (w * 0.25)
+               i = 5
+            else if (0.25 .ne. 0.25) then
+               inquire (unit = 9, opened = i)
+               backspace 9
+            else
+               w = w
+               k = i + m - 9
+            end if
+         end do
+         goto (190, 200), m
+         do m = 2, 6
+            if (u(j) .ne. u(i + 3)) z = w
+         end do
+  130 continue
+  140 continue
+  150 continue
+  160 continue
+  170 continue
+  190 continue
+  200 continue
+      continue
+      end

@@ -1,0 +1,51 @@
+c seeded fuzz program (surface mode, seed 1016)
+      subroutine fz1016(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(44)
+      real v(54)
+      common /blk/ t(50)
+      external extsub
+      data i, x /7, 0.125/
+  100 format (2x,i5)
+  110 format (3(i4,1x))
+  120 format ('x = ',f10.4)
+         do k = 2, 9
+            v(i + 1) = 1.5
+            v(i + 3) = 0.25 * 2.0 - w - 3.0
+         end do
+         do m = 3, 10
+            do m = 2, 11
+               goto 130
+               assign 140 to j
+               goto j (140)
+               goto 150
+            end do
+            if (1.5 .lt. w .or. v(k + 3) .gt. 0.125) continue
+            u(i) = -v(j + 1)
+         end do
+c marker 371
+         w = 0.25
+         do 160 j = 1, 12
+            do j = 1, 11
+               endfile 9
+            end do
+  160    continue
+         rewind 9
+         if (.not. (x .gt. 0.25 .and. u(k + 2) .lt. u(j + 1))) then
+            u(i) = 0.25
+         end if
+         v(i + 3) = u(j + 2) - u(i) + -x
+c marker 487
+         open (unit = 9, file = 'scratch.dat', status = 'unknown')
+      entry fz1016b(x)
+         if (2.0 .le. x) continue
+         do k = 3, 5
+            rewind 9
+         end do
+  130 continue
+  140 continue
+  150 continue
+  170 continue
+      return
+      end

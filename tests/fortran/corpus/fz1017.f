@@ -1,0 +1,48 @@
+c seeded fuzz program (surface mode, seed 1017)
+      subroutine fz1017(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(60)
+      real v(47)
+      common /blk/ t(50)
+      parameter (c1 = 6)
+      save x, y
+      external extsub
+      intrinsic sqrt
+  100 format (1x,2f9.2)
+  110 format (1x,2f9.2)
+         backspace 9
+         do m = 1, 8
+            do m = 2, 8
+               u(j + 1) = w
+               w = x
+               goto 120
+            end do
+         end do
+         if (2.0 .eq. z) then
+            goto (120, 120), k
+         end if
+         rewind 9
+         do j = 3, 7
+            v(i + 1) = 1.5 + u(j + 3) - v(m)
+         end do
+         print *, v(m + 1)
+         v(k) = 1.5
+         assign 120 to j
+         goto j (120)
+         call extsub(u(m + 1), x)
+         k = 3 - j - 3
+         do j = 3, 12
+            if (.not. (0.125 .eq. w)) then
+               y = (v(k + 1) - y)
+c marker 853
+            else if (z .ne. u(m + 1) .or. y .lt. x) then
+               u(i + 2) = 3.0
+            end if
+         end do
+         i = 7 - k + 6
+         v(k + 2) = u(i + 2) + 1.5 * v(m)
+         m = 6 + 5 + i * 1
+  120 continue
+      return
+      end

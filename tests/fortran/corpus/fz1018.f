@@ -1,0 +1,42 @@
+c seeded fuzz program (surface mode, seed 1018)
+      subroutine fz1018(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(45)
+      real v(26)
+      save x, y
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+      data i, x /6, 0.5/
+  100 format (a,i3)
+         goto 110
+         print 100, w
+c marker 636
+         endfile 9
+         if (u(j) .lt. 1.5) then
+            do j = 3, 11
+               if (.not. (0.125 .gt. 0.25 .and. 2.0 .gt. u(i))) m = k
+            end do
+         else
+            if (3.0 .ne. z) then
+               if (u(j) .le. v(i + 3)) goto 120
+            end if
+            do 130 j = 1, 7
+               v(m + 1) = v(k) + x + 3.0
+  130       continue
+         end if
+         goto 120
+c marker 975
+         u(i + 3) = (u(j) * u(m)) * v(m + 2) * z
+         backspace 9
+         open (unit = 9, file = 'scratch.dat', status = 'unknown')
+         v(j) = x - y + u(j) + 2.0
+         j = j + j - 4
+         w = z
+         assign 140 to i
+         goto i (140)
+  110 continue
+  120 continue
+  140 continue
+      return
+      end

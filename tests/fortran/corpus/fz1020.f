@@ -1,0 +1,67 @@
+c seeded fuzz program (surface mode, seed 1020)
+      program fz1020
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(21)
+      real v(49)
+      save x, y
+      external extsub
+      intrinsic sqrt
+      equivalence (x, w), (u(1), v(1))
+      data i, x /8, 1.5/
+  100 format (i5)
+  110 format ('x = ',f10.4)
+         do 120 m = 1, 10
+            do m = 2, 12
+               u(j + 2) = x
+               y = -0.125
+            end do
+  120    continue
+         do 130 k = 1, 9
+            do 140 i = 3, 12
+               v(j + 3) = u(m)
+               w = 2.0
+  140       continue
+  130    continue
+         if (z .eq. v(i)) then
+            if (v(k) .eq. w .or. x .gt. w) then
+               assign 150 to i
+               goto i (150)
+            else
+               goto (150, 160), m
+            end if
+            do k = 1, 5
+               call extsub(u(k), 0.5)
+            end do
+         else
+            goto 170
+         end if
+         rewind 9
+         if (v(k + 1) .gt. v(j)) then
+            v(m) = u(i) + z * u(m + 1)
+         else if (u(j) .lt. z .and. y .gt. 2.0) then
+            do 180 k = 1, 4
+               goto 190
+  180       continue
+            v(m + 3) = 0.125
+         end if
+         z = u(j + 2)
+         do 200 j = 1, 9
+            do 210 i = 1, 7
+               u(j) = 3.0
+  210       continue
+            if (z .le. 0.125 .and. 0.125 .gt. 0.125) then
+               w = -x
+            else if (.not. (u(i) .lt. x .and. 3.0 .lt. y)) then
+               i = 2
+               read (5, 110) z
+            end if
+  200    continue
+         goto (150, 150), m
+c marker 702
+  150 continue
+  160 continue
+  170 continue
+  190 continue
+      stop 2
+      end

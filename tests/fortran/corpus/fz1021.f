@@ -1,0 +1,56 @@
+c seeded fuzz program (surface mode, seed 1021)
+      real function fz1021(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(52)
+      real v(31)
+      common /blk/ t(50)
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+      data i, x /7, 1.5/
+      data u /2*0.0/
+  100 format (a,i3)
+  110 format (i5)
+         rewind 9
+         do 120 j = 2, 12
+            do 130 k = 2, 9
+               goto 140
+  130       continue
+c marker 443
+  120    continue
+         write (6, 110) 0.25, 0.5, 0.125
+         goto (140, 150), i
+         do k = 1, 12
+            do 160 j = 3, 9
+               goto 170
+  160       continue
+            goto 140
+            goto 140
+         end do
+         do i = 1, 4
+            do 180 k = 2, 6
+               goto 140
+  180       continue
+            if (z .eq. u(m + 2)) then
+               goto 190
+               assign 200 to m
+               goto m (200)
+            else if (0.25 .ge. y .or. u(j) .gt. 0.125) then
+               x = (u(i) - u(k)) * z
+               goto (210, 140), i
+            else
+               call extsub(0.125, x)
+            end if
+         end do
+         x = y * x * x * 1.5
+         inquire (unit = 9, opened = m)
+         y = w
+      fz1021 = x + y
+  140 continue
+  150 continue
+  170 continue
+  190 continue
+  200 continue
+  210 continue
+      return
+      end

@@ -1,0 +1,50 @@
+c seeded fuzz program (surface mode, seed 1022)
+      program fz1022
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(46)
+      real v(58)
+      common /blk/ t(50)
+      external extsub
+      data i, x /0, 1.5/
+  100 format (1x,2f9.2)
+  110 format (a,i3)
+         if (w .le. u(j)) then
+            print 110, x, 0.25
+         else if (v(m + 2) .eq. z .or. 0.25 .lt. 0.125) then
+            inquire (unit = 9, opened = i)
+         else
+            if (v(j) .gt. 1.5) then
+               v(m + 3) = 0.25
+            else if (2.0 .ge. x) then
+               if (0.5 .gt. z) goto 120
+            end if
+         end if
+         w = x * x - u(i + 3)
+         if (w .ne. y) then
+            do m = 2, 8
+               v(i + 1) = y
+            end do
+         else
+            goto 130
+         end if
+         z = 1.5
+         do 140 m = 2, 12
+            rewind 9
+            print *, x, 0.5, v(k + 1)
+  140    continue
+         goto (120, 120), m
+c marker 607
+         u(k + 1) = w
+         goto 130
+         do k = 2, 5
+            v(k) = w + 0.25 * 3.0
+         end do
+         v(k) = u(i) - v(m) - 1.5 - 2.0
+         read (5, 110) x
+         if (u(j) .ne. y) goto 150
+  120 continue
+  130 continue
+  150 continue
+      continue
+      end

@@ -1,0 +1,32 @@
+c seeded fuzz program (surface mode, seed 1023)
+      subroutine fz1023(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(48)
+      real v(50)
+      parameter (c1 = 2)
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+      data i, x /4, 0.25/
+  100 format (f8.3,1x,e12.4)
+  110 format ('x = ',f10.4)
+  120 format (i5)
+         z = w
+         rewind 9
+         j = 7 + 3 + k - 3
+         y = v(k)
+         write (6, fmt = 100) 3.0
+c marker 23
+         goto (130, 130), j
+         goto (130, 130), i
+         print *, z
+         call extsub(0.125, 0.25)
+         assign 130 to k
+         goto k (130)
+         u(m) = v(j) + v(k + 3) * u(k + 1)
+         close (9)
+         call extsub(y, y)
+         call extsub(v(i), v(k + 3))
+  130 continue
+      return
+      end

@@ -1,0 +1,91 @@
+c seeded fuzz program (surface mode, seed 1025)
+      program fz1025
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(23)
+      real v(22)
+      common /blk/ t(50)
+      save
+      external extsub
+      data i, x /4, 3.0/
+      data u /2*0.0/
+  100 format (3(i4,1x))
+  110 format (a,i3)
+         goto 120
+         do 130 i = 3, 8
+            goto 120
+  130    continue
+         x = u(i + 3)
+         if (u(k + 1) .gt. 0.125) then
+            if (v(m + 2) .le. y) then
+               call extsub(x, x)
+               x = x + 2.0
+            else if (v(k + 3) .eq. v(j + 2)) then
+               goto 120
+               goto (120, 120), j
+            else
+               rewind 9
+               rewind 9
+c marker 735
+            end if
+         end if
+c marker 643
+         goto 120
+         w = (3.0 * w) * (2.0 * v(m + 3))
+         write (6, 110) 2.0
+         if (w .ge. z) then
+            if (w .lt. y) then
+               assign 140 to m
+               goto m (140)
+            else if (w .gt. x) then
+               z = 1.5 * u(m)
+               goto 140
+            else
+               v(j) = u(i + 3) * v(k) * z
+               assign 120 to i
+               goto i (120)
+            end if
+            goto (150, 160), i
+         else if (.not. (0.5 .le. 3.0)) then
+            if (.not. (v(i + 2) .ne. v(i))) then
+               k = i - 5
+            else if (w .eq. u(k + 1)) then
+               assign 170 to m
+               goto m (170)
+               if (u(j) .ge. 0.5 .and. 2.0 .lt. x) continue
+            else
+               x = z
+            end if
+         else
+            goto 190
+            if (x .eq. x) then
+               z = u(k + 1) * y
+               call extsub(1.5, 3.0)
+            end if
+         end if
+c marker 965
+         if (3.0 .ge. u(i)) then
+            do 200 m = 3, 12
+               y = -v(m + 1)
+               write (6, 100) u(k)
+  200       continue
+c marker 126
+            v(j) = (u(k + 2) + v(m) - u(j + 1))
+         else
+            goto 160
+            if (1.5 .lt. u(m + 3)) then
+               goto 170
+            else
+               read (5, 100) x
+               if (2.0 .eq. z) goto 190
+            end if
+         end if
+  120 continue
+  140 continue
+  150 continue
+  160 continue
+  170 continue
+  180 continue
+  190 continue
+      stop
+      end

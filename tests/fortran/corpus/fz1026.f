@@ -1,0 +1,83 @@
+c seeded fuzz program (surface mode, seed 1026)
+      program fz1026
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(50)
+      real v(37)
+      common /blk/ t(50)
+      parameter (c1 = 8)
+      external extsub
+      data i, x /7, 3.0/
+  100 format (2x,i5)
+  110 format (a,i3)
+  120 format (f8.3,1x,e12.4)
+         do i = 3, 11
+            do m = 1, 6
+               if (z .ne. z) goto 130
+               assign 130 to i
+               goto i (130)
+            end do
+            do 140 i = 1, 12
+               v(i) = x
+               rewind 9
+  140       continue
+            z = v(k)
+         end do
+         if (u(k) .gt. v(k + 1)) then
+            if (0.5 .eq. z) then
+               m = i
+            else
+               assign 130 to m
+               goto m (130)
+               inquire (unit = 9, opened = j)
+            end if
+         else if (.not. (z .le. 1.5 .and. z .gt. x)) then
+            do k = 2, 12
+               x = 0.5 * v(j + 1) - u(k)
+               backspace 9
+            end do
+            if (0.25 .lt. x) continue
+         else
+            v(j + 3) = -0.25 + (x * u(j))
+c marker 407
+            goto 150
+         end if
+         goto 130
+         do m = 3, 11
+            print 110, w
+            if (w .le. 0.5 .or. 0.125 .lt. w) then
+               z = u(m + 1) * 0.125 + u(k + 3) + v(k + 1)
+c marker 778
+            else
+               v(k + 3) = v(m + 1) * x
+            end if
+c marker 273
+         end do
+         do 160 j = 3, 6
+            do 170 k = 2, 6
+               if (3.0 .lt. 1.5) goto 180
+               u(m + 1) = x
+  170       continue
+            v(j + 3) = x
+  160    continue
+         do j = 1, 9
+            if (0.25 .gt. w .and. u(j + 2) .lt. w) then
+               v(m + 1) = z * v(k) * x * 0.5
+               close (9)
+            else if (x .gt. u(j + 2) .and. x .gt. u(m + 3)) then
+               assign 190 to k
+               goto k (190)
+            end if
+            j = k
+            x = u(i) * 0.5 + v(j)
+         end do
+         print 100, u(j), 3.0
+         u(i) = x + 1.5 * 1.5 * 1.5
+         m = j
+         i = m + 2 - 2
+  130 continue
+  150 continue
+  180 continue
+  190 continue
+      stop
+      end

@@ -1,0 +1,66 @@
+c seeded fuzz program (surface mode, seed 1027)
+      program fz1027
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(27)
+      real v(25)
+      common /blk/ t(50)
+      external extsub
+      intrinsic sqrt
+  100 format (1x,2f9.2)
+  110 format (i5)
+  120 format (3(i4,1x))
+         do 130 k = 2, 8
+            goto 140
+  130    continue
+         if (0.5 .ge. y) continue
+         j = j
+c marker 119
+         do i = 1, 11
+            if (.not. (z .ne. v(m + 3))) then
+               y = u(j + 3)
+               goto 150
+            else
+               close (9)
+               write (6, 100) 0.125, z
+            end if
+c marker 713
+            v(m + 3) = u(m)
+         end do
+         u(k) = 3.0
+         u(j) = 0.25 + 0.25 * -3.0
+         goto 160
+         if (z .eq. 0.125) then
+            open (unit = 9, file = 'scratch.dat', status = 'unknown')
+         end if
+         do 170 m = 2, 10
+            do 180 m = 1, 5
+               z = (u(m) - v(j + 1)) * y
+  180       continue
+            if (3.0 .ne. v(i + 1) .or. u(m + 1) .lt. v(m + 3)) then
+               u(i + 2) = w * 0.5 - y
+c marker 313
+               j = k - 5 - 6
+            else
+               goto (140, 150), i
+            end if
+c marker 899
+  170    continue
+         call extsub(v(m + 1), 1.5)
+         close (9)
+         do k = 3, 10
+            if (v(i) .gt. z) then
+               u(j + 3) = v(i)
+            else
+               v(m) = u(k + 2) * 0.25 + (v(k + 2) + v(j))
+            end if
+         end do
+c marker 177
+         u(m) = 0.125 + u(k + 2)
+c marker 591
+         goto 140
+  140 continue
+  150 continue
+  160 continue
+      continue
+      end

@@ -1,0 +1,36 @@
+c seeded fuzz program (surface mode, seed 1028)
+      subroutine fz1028(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(58)
+      real v(45)
+      save
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+      data i, x /0, 0.25/
+  100 format (a,i3)
+  110 format (i5)
+  120 format (1x,2f9.2)
+         v(i + 2) = z * x
+         do 130 i = 2, 6
+            u(k) = u(i)
+  130    continue
+         v(i) = w
+         u(i + 1) = u(k) + 0.125 * u(k)
+         y = u(i + 2)
+         if (z .lt. u(k) .or. u(i + 3) .lt. 0.25) u(k) = w + 3.0 - 3.0
+         call extsub(w, x)
+         v(k + 1) = (v(j) - v(k) * w * 0.5)
+         x = u(j) + x
+c marker 883
+      entry fz1028b(x)
+         do 150 j = 2, 9
+            do m = 3, 10
+               y = v(m) * 2.0 + v(i + 3)
+               call extsub(v(j + 2), 3.0)
+            end do
+  150    continue
+         y = u(k + 3) + 1.5
+  140 continue
+      return
+      end

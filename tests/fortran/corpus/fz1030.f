@@ -1,0 +1,54 @@
+c seeded fuzz program (surface mode, seed 1030)
+      program fz1030
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(47)
+      real v(58)
+      common /blk/ t(50)
+      external extsub
+      data i, x /1, 2.0/
+  100 format (i5)
+         do 110 k = 2, 10
+            do k = 2, 7
+               y = 1.5 + 0.125 + 0.25
+            end do
+            if (w .ne. u(m)) then
+               open (unit = 9, file = 'scratch.dat', status = 'unknown')
+               goto 120
+            else
+               print 100, 0.125
+               call extsub(3.0, v(k))
+            end if
+  110    continue
+         goto 130
+         m = 5
+         if (v(k) .gt. y) then
+            u(j) = u(k) - 0.5 - -0.125
+            if (2.0 .gt. 0.25) continue
+         end if
+         u(m) = -0.5
+c marker 586
+         j = j - j - m
+         if (0.5 .ne. u(m + 3)) then
+            inquire (unit = 9, opened = i)
+            do 150 k = 1, 10
+               goto (160, 170), k
+               u(k) = u(j + 2) * v(k + 1) - x * u(j)
+c marker 902
+  150       continue
+c marker 29
+         else if (y .le. x) then
+            assign 180 to j
+            goto j (180)
+            goto (180, 130), j
+         end if
+c marker 176
+         m = 7
+  120 continue
+  130 continue
+  140 continue
+  160 continue
+  170 continue
+  180 continue
+      continue
+      end

@@ -1,0 +1,81 @@
+c seeded fuzz program (surface mode, seed 1031)
+      real function fz1031(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(56)
+      real v(55)
+      common /blk/ t(50)
+      parameter (c1 = 7)
+      save x, y
+      external extsub
+  100 format (1x,2f9.2)
+  110 format ('x = ',f10.4)
+         if (y .lt. 0.5 .and. z .lt. 0.5) then
+            print 100, v(j + 2), x
+            assign 120 to j
+            goto j (120)
+         else
+            if (v(m) .ge. u(j)) then
+               u(j) = 2.0
+               goto (120, 120), i
+            else
+               goto (130, 140), i
+               goto 140
+            end if
+         end if
+         goto (150, 150), m
+         goto 160
+         z = (1.5 + y) + 0.25
+         if (.not. (3.0 .ne. v(k))) then
+            do 170 k = 2, 6
+               goto 160
+               goto (120, 180), m
+  170       continue
+            do k = 3, 9
+               x = u(k)
+            end do
+         else if (x .gt. u(k + 2)) then
+            w = y + u(j + 1) + u(k)
+            print *, u(k + 3), 0.5, x
+         else
+            w = v(m + 2)
+         end if
+         if (0.5 .eq. z) then
+            if (z .ge. v(j + 3)) continue
+         else if (x .ne. x) then
+            do 200 i = 3, 10
+               inquire (unit = 9, opened = i)
+               read (5, 100) w
+  200       continue
+         else
+            if (z .le. z) then
+               goto 140
+            else if (w .le. z) then
+               assign 120 to j
+               goto j (120)
+            else
+               read (5, 110) z
+               u(i) = x
+            end if
+         end if
+         call extsub(2.0, 0.5)
+c marker 361
+         w = -0.25 + 0.5 * 0.5
+         x = v(m)
+         v(j) = (w + u(j + 1) * x)
+c marker 524
+         call extsub(w, 0.5)
+         x = w + -z
+         do 210 k = 3, 7
+            goto 120
+  210    continue
+      fz1031 = x + y
+  120 continue
+  130 continue
+  140 continue
+  150 continue
+  160 continue
+  180 continue
+  190 continue
+      return
+      end

@@ -1,0 +1,23 @@
+c seeded fuzz program (surface mode, seed 1032)
+      subroutine fz1032(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(54)
+      real v(47)
+      parameter (c1 = 9)
+      save x, y
+      external extsub
+      intrinsic sqrt
+      data i, x /4, 2.0/
+  100 format (f8.3,1x,e12.4)
+  110 format (f8.3,1x,e12.4)
+  120 format (3(i4,1x))
+         z = 0.25
+         v(m + 3) = 0.125
+         w = x
+         j = k - m + 1
+         v(j + 2) = v(k)
+         goto 130
+  130 continue
+      return
+      end

@@ -1,0 +1,43 @@
+c seeded fuzz program (surface mode, seed 1033)
+      real function fz1033(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(33)
+      real v(37)
+      common /blk/ t(50)
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+      data u /3*0.0/
+  100 format (1x,2f9.2)
+         w = 1.5 + w + -0.25
+         z = z
+         assign 110 to k
+         goto k (110)
+         x = (y * 0.5) - v(i + 3)
+         do j = 1, 7
+            if (x .le. x) goto 110
+            open (unit = 9, file = 'scratch.dat', status = 'unknown')
+            v(j + 2) = (v(i) + z) * v(i + 2)
+         end do
+         y = 0.125
+         write (6, fmt = 100) v(i + 1)
+         if (x .ne. w) then
+            if (0.5 .ne. v(m + 3)) then
+               inquire (unit = 9, opened = k)
+c marker 734
+               j = 2
+c marker 129
+            end if
+         else if (u(j + 3) .le. u(k)) then
+            assign 120 to j
+            goto j (120)
+            goto 120
+         else
+            v(j) = u(j)
+c marker 173
+         end if
+      fz1033 = x + y
+  110 continue
+  120 continue
+      return
+      end

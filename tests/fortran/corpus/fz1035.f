@@ -1,0 +1,30 @@
+c seeded fuzz program (surface mode, seed 1035)
+      real function fz1035(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(48)
+      real v(28)
+      common /blk/ t(50)
+      parameter (c1 = 8)
+      save x, y
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+      data i, x /6, 1.5/
+  100 format (2x,i5)
+  110 format (a,i3)
+         goto (120, 120), j
+         u(i + 3) = y * y + v(i)
+         y = 1.5 - v(k) * x
+         inquire (unit = 9, opened = j)
+         do 130 k = 2, 5
+            write (6, 100) v(j + 2)
+  130    continue
+         v(m + 2) = 0.25 * z * x
+         z = z * z * 0.125
+         do 140 k = 1, 7
+            print 110, 0.125
+  140    continue
+      fz1035 = x + y
+  120 continue
+      return
+      end

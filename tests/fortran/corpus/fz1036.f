@@ -1,0 +1,44 @@
+c seeded fuzz program (surface mode, seed 1036)
+      subroutine fz1036(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(25)
+      real v(24)
+      common /blk/ t(50)
+      parameter (c1 = 4)
+      save x, y
+      external extsub
+      data i, x /4, 2.0/
+      data u /3*0.0/
+  100 format (3(i4,1x))
+  110 format (2x,i5)
+  120 format (1x,2f9.2)
+         do k = 3, 9
+            u(k) = u(j) + x * 0.5 * z
+            if (v(m + 2) .gt. x) then
+               y = 1.5
+               v(k) = u(i)
+            end if
+         end do
+         if (x .eq. 2.0) then
+            j = k - i
+            u(m + 2) = -3.0 * x + y
+         else
+            rewind 9
+c marker 603
+         end if
+         read (5, 120) y
+         do 130 i = 3, 6
+            write (6, fmt = 100) u(k + 1), w
+  130    continue
+         write (6, fmt = 120) v(m + 2), u(m + 2), x
+         do j = 2, 6
+            if (v(j) .ne. 0.25) then
+               u(k) = 0.125 + z * 0.25
+            else
+               i = 2
+               z = v(i)
+            end if
+         end do
+      return
+      end

@@ -1,0 +1,44 @@
+c seeded fuzz program (surface mode, seed 1037)
+      program fz1037
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(48)
+      real v(51)
+      parameter (c1 = 7)
+      external extsub
+  100 format (f8.3,1x,e12.4)
+  110 format (i5)
+  120 format (3(i4,1x))
+         assign 130 to i
+         goto i (130)
+         if (v(j) .lt. y) then
+            y = v(k + 2)
+         end if
+         if (w .le. 2.0) then
+            w = u(m + 3)
+            goto 130
+         else if (x .gt. w) then
+            call extsub(0.5, v(k + 2))
+c marker 851
+         else
+            if (0.5 .ge. 3.0 .and. x .lt. 1.5) then
+               goto 130
+            else if (.not. (x .eq. v(k))) then
+               u(k + 2) = 0.25
+               w = u(j + 2)
+c marker 845
+            else
+               u(j) = w - x * 0.25 + u(k)
+               i = 1 + m
+            end if
+            inquire (unit = 9, opened = i)
+         end if
+c marker 466
+         backspace 9
+         goto 130
+         write (6, 120) z, z
+         z = x
+c marker 283
+  130 continue
+      stop
+      end

@@ -1,0 +1,59 @@
+c seeded fuzz program (surface mode, seed 1038)
+      program fz1038
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(24)
+      real v(36)
+      common /blk/ t(50)
+      parameter (c1 = 2)
+      external extsub
+      intrinsic sqrt
+      equivalence (x, w), (u(1), v(1))
+      data u /2*0.0/
+  100 format (i5)
+  110 format ('x = ',f10.4)
+  120 format (a,i3)
+         if (0.5 .ne. z .or. v(k) .lt. v(j + 1)) goto 130
+         if (0.25 .lt. u(m + 2)) then
+            v(m) = x
+         end if
+         goto 140
+         v(m) = u(j + 2) * z * -0.125
+         do i = 1, 6
+            backspace 9
+            do 150 i = 2, 10
+               goto 140
+  150       continue
+         end do
+         write (6, 110) u(k + 1)
+         if (w .lt. v(k)) continue
+         call extsub(u(i), w)
+         assign 160 to i
+         goto i (160)
+         close (9)
+         do m = 2, 5
+            w = v(m) + u(j) * x + y
+         end do
+         if (u(m + 2) .ne. y .and. y .gt. v(k)) then
+            print *, u(k)
+         else if (y .ge. 0.5) then
+            if (w .ne. 1.5) then
+               i = 6 * 7 + 6
+               if (w .ge. u(j)) goto 130
+c marker 89
+            else if (2.0 .le. 1.5) then
+               y = v(m + 2)
+               goto 130
+            end if
+            do 170 k = 2, 7
+               u(k) = 3.0
+  170       continue
+         end if
+         x = x - 3.0
+         assign 130 to i
+         goto i (130)
+  130 continue
+  140 continue
+  160 continue
+      continue
+      end

@@ -1,0 +1,38 @@
+c seeded fuzz program (surface mode, seed 1040)
+      subroutine fz1040(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(31)
+      real v(56)
+      external extsub
+      intrinsic sqrt
+      equivalence (x, w), (u(1), v(1))
+      data i, x /9, 0.5/
+  100 format ('x = ',f10.4)
+  110 format (a,i3)
+  120 format (2x,i5)
+         goto (130, 130), m
+         close (9)
+         goto 140
+         do i = 3, 11
+            do 150 j = 1, 10
+               write (6, fmt = 120) z
+  150       continue
+            if (w .gt. 1.5) then
+               assign 160 to m
+               goto m (160)
+            end if
+         end do
+         open (unit = 9, file = 'scratch.dat', status = 'unknown')
+         goto 170
+         assign 160 to j
+         goto j (160)
+         rewind 9
+         goto 180
+  130 continue
+  140 continue
+  160 continue
+  170 continue
+  180 continue
+      return
+      end

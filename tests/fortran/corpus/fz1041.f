@@ -1,0 +1,50 @@
+c seeded fuzz program (surface mode, seed 1041)
+      subroutine fz1041(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(30)
+      real v(49)
+      common /blk/ t(50)
+      parameter (c1 = 3)
+      save x, y
+      external extsub
+      intrinsic sqrt
+      equivalence (x, w), (u(1), v(1))
+  100 format (1x,2f9.2)
+  110 format (2x,i5)
+  120 format (1x,2f9.2)
+         i = 9
+         v(k + 2) = v(i + 2) + 1.5
+         v(k + 2) = 0.125
+         open (unit = 9, file = 'scratch.dat', status = 'unknown')
+         assign 130 to j
+         goto j (130)
+         goto 130
+         assign 140 to j
+         goto j (140)
+         call extsub(z, z)
+      entry fz1041b(x)
+         if (z .ne. 1.5) then
+            goto 140
+            assign 150 to m
+            goto m (150)
+         else if (w .gt. y .and. 0.25 .gt. y) then
+            goto 160
+            z = (0.5 * y) * (v(m + 3) + w)
+         else
+            if (v(k + 2) .le. w) then
+               write (6, fmt = 110) v(k)
+            else if (1.5 .ne. 1.5 .and. 2.0 .gt. w) then
+               print *, 1.5
+            else
+               z = v(j)
+               goto 140
+            end if
+         end if
+         x = z + w * x
+  130 continue
+  140 continue
+  150 continue
+  160 continue
+      return
+      end

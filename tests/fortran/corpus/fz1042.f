@@ -1,0 +1,25 @@
+c seeded fuzz program (surface mode, seed 1042)
+      program fz1042
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(29)
+      real v(42)
+      common /blk/ t(50)
+      parameter (c1 = 6)
+      external extsub
+      data i, x /2, 3.0/
+  100 format (f8.3,1x,e12.4)
+  110 format (i5)
+         goto (120, 130), m
+         u(k + 3) = 1.5
+         v(j) = -u(j + 2)
+         y = -u(j)
+         assign 140 to k
+         goto k (140)
+         goto 140
+         write (6, 100) v(k)
+  120 continue
+  130 continue
+  140 continue
+      continue
+      end

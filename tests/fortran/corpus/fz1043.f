@@ -1,0 +1,32 @@
+c seeded fuzz program (surface mode, seed 1043)
+      real function fz1043(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(43)
+      real v(40)
+      common /blk/ t(50)
+      external extsub
+      data u /4*0.0/
+  100 format (1x,2f9.2)
+  110 format (i5)
+         v(k + 3) = -0.25
+         j = j + 5 + 2
+         x = y * 2.0 * 2.0
+         assign 120 to m
+         goto m (120)
+         assign 130 to m
+         goto m (130)
+         write (6, 110) v(k + 2)
+c marker 523
+         endfile 9
+c marker 999
+         write (6, 110) u(k), v(i)
+         u(j + 3) = x * u(j) + (z - 1.5)
+         open (unit = 9, file = 'scratch.dat', status = 'unknown')
+         goto 120
+         inquire (unit = 9, opened = i)
+      fz1043 = x + y
+  120 continue
+  130 continue
+      return
+      end

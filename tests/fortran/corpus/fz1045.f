@@ -1,0 +1,40 @@
+c seeded fuzz program (surface mode, seed 1045)
+      real function fz1045(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(22)
+      real v(47)
+      common /blk/ t(50)
+      save x, y
+      external extsub
+      intrinsic sqrt
+      data i, x /7, 3.0/
+      data u /3*0.0/
+  100 format (i5)
+  110 format (2x,i5)
+  120 format (i5)
+         i = 5
+         u(m) = (v(i + 1) + w)
+         inquire (unit = 9, opened = i)
+         goto 130
+         v(m) = u(m) * x * u(k) * y
+         v(i) = w
+         i = k * 4 - 8 * 8
+         assign 140 to m
+         goto m (140)
+         goto 130
+c marker 55
+         u(i) = 3.0 * 1.5
+         do 150 j = 3, 6
+            do i = 1, 12
+               goto 160
+               v(i) = z * 0.125
+            end do
+            v(k) = 3.0
+  150    continue
+      fz1045 = x + y
+  130 continue
+  140 continue
+  160 continue
+      return
+      end

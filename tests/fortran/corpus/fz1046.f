@@ -1,0 +1,55 @@
+c seeded fuzz program (surface mode, seed 1046)
+      subroutine fz1046(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(58)
+      real v(51)
+      common /blk/ t(50)
+      parameter (c1 = 5)
+      save x, y
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+  100 format (f8.3,1x,e12.4)
+         if (y .ge. w .and. x .lt. y) then
+            call extsub(0.5, v(k))
+            j = k
+         else
+            if (u(k) .le. y) then
+               u(j) = 0.25
+            end if
+c marker 878
+         end if
+         do m = 3, 5
+            do k = 1, 7
+               v(m + 2) = 0.25
+               read (5, 100) x
+               u(j + 2) = (0.5 + v(i + 1)) * x
+            end do
+            do 110 i = 1, 5
+               i = m
+  110       continue
+            w = (v(j + 1) * z)
+         end do
+         j = j
+         z = v(j) + y
+         do m = 2, 7
+            if (0.125 .eq. w .or. 1.5 .lt. v(m)) goto 120
+            u(j) = 3.0 * u(k + 3) + (z * 0.25)
+            u(k) = z
+         end do
+         z = w
+         call extsub(w, y)
+         do i = 3, 9
+            endfile 9
+            goto 130
+         end do
+         assign 120 to j
+         goto j (120)
+         if (u(i + 3) .eq. 0.125) then
+            v(j) = z
+            i = 3 * k + 1 + 3
+         end if
+  120 continue
+  130 continue
+      return
+      end

@@ -1,0 +1,54 @@
+c seeded fuzz program (surface mode, seed 1047)
+      program fz1047
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(36)
+      real v(44)
+      common /blk/ t(50)
+      parameter (c1 = 4)
+      save x, y
+      external extsub
+      intrinsic sqrt
+      data i, x /8, 0.25/
+  100 format ('x = ',f10.4)
+  110 format (3(i4,1x))
+         do 120 i = 1, 11
+            if (.not. (v(j) .gt. 0.5)) then
+               v(j) = z
+            else if (u(j) .ne. 2.0) then
+               assign 130 to i
+               goto i (130)
+            end if
+            v(i) = 0.25 * (x - x)
+  120    continue
+         if (u(k) .lt. 1.5) then
+            goto 130
+            print 100, x, 0.5
+         end if
+         assign 130 to i
+         goto i (130)
+         if (.not. (2.0 .le. z .and. z .lt. 3.0)) then
+            do 140 j = 1, 6
+               assign 130 to m
+               goto m (130)
+  140       continue
+            goto 150
+         else
+            assign 130 to i
+            goto i (130)
+            u(m + 1) = -u(m + 1) * y - u(i + 3)
+         end if
+         z = -3.0
+         m = 3 - j + 2 + j
+         goto 130
+         assign 150 to m
+         goto m (150)
+         do 160 i = 1, 9
+            call extsub(v(i + 3), 0.5)
+            x = v(i)
+  160    continue
+         goto 130
+  130 continue
+  150 continue
+      stop
+      end

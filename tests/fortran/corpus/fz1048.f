@@ -1,0 +1,48 @@
+c seeded fuzz program (surface mode, seed 1048)
+      subroutine fz1048(x, y)
+      integer i, j, k, m
+      real x, y, z, w
+      dimension u(37)
+      real v(30)
+      common /blk/ t(50)
+      parameter (c1 = 3)
+      save x, y
+      external extsub
+      equivalence (x, w), (u(1), v(1))
+      data i, x /1, 2.0/
+      data u /3*0.0/
+  100 format (2x,i5)
+  110 format ('x = ',f10.4)
+  120 format (1x,2f9.2)
+         if (0.25 .lt. v(i) .or. z .lt. v(i + 2)) then
+            inquire (unit = 9, opened = k)
+         else if (v(i + 2) .le. u(m)) then
+            x = v(j) * 1.5 * u(i) * w
+         end if
+         if (1.5 .le. u(j)) then
+            v(j) = 2.0 + 0.125 + 3.0
+            j = k - m - j - j
+         else
+            u(j) = 2.0 - 2.0 + v(j + 3) * 1.5
+c marker 389
+         end if
+         call extsub(v(k), u(i + 1))
+         print 120, v(k + 3), x, u(i + 2)
+         do 130 k = 3, 4
+            open (unit = 9, file = 'scratch.dat', status = 'unknown')
+  130    continue
+         if (0.125 .gt. u(k)) then
+            v(j) = -v(j) + u(i + 1) + v(i)
+            v(i + 3) = v(m)
+         else
+            inquire (unit = 9, opened = m)
+         end if
+         do m = 3, 6
+            u(m + 2) = 0.125
+         end do
+         assign 140 to k
+         goto k (140)
+         y = x + 0.5
+  140 continue
+      return
+      end

@@ -1,0 +1,18 @@
+c seeded fuzz program (executable mode, seed 1004)
+      subroutine fzx1004(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      real s
+      integer i
+      s = 0.0
+         do i = 2, n
+            c(i) = c(i - 1) * 0.5 + a(i)
+         end do
+         do i = 1, n
+            b(i) = a(i) * 3.0 + c(i)
+         end do
+         do i = 2, n
+            b(i) = b(i - 1) * 0.5 + a(i)
+         end do
+      b(1) = b(1) + s
+      end

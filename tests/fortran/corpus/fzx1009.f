@@ -1,0 +1,25 @@
+c seeded fuzz program (executable mode, seed 1009)
+      subroutine fzx1009(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      real s
+      integer i
+      s = 0.0
+         do i = 1, n
+            s = s + b(i) * 0.5
+         end do
+         do i = 1, n
+            if (b(i) .gt. 0.0) then
+               a(i) = b(i) * 0.25 + c(i)
+            else
+               a(i) = c(i) - 2.0
+            end if
+         end do
+         do i = 2, n
+            b(i) = b(i - 1) * 0.25 + a(i)
+         end do
+         do i = 1, n
+            s = s + c(i) * 0.25
+         end do
+      b(1) = b(1) + s
+      end

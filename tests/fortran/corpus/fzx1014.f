@@ -1,0 +1,25 @@
+c seeded fuzz program (executable mode, seed 1014)
+      subroutine fzx1014(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      real s
+      integer i
+      s = 0.0
+         do i = 1, n
+            if (b(i) .gt. 0.0) then
+               a(i) = b(i) * 0.25 + c(i)
+            else
+               a(i) = c(i) - 0.5
+            end if
+         end do
+         do i = 1, n
+            c(i) = a(i) * 2.0 + b(i)
+         end do
+         do i = 1, n - 1
+            b(i) = c(i + 1) * 0.5 + c(i)
+         end do
+         do i = 1, n
+            a(i) = b(i) * 0.5 + c(i)
+         end do
+      b(1) = b(1) + s
+      end

@@ -1,0 +1,15 @@
+c seeded fuzz program (executable mode, seed 1019)
+      subroutine fzx1019(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      real s
+      integer i
+      s = 0.0
+         do i = 1, n
+            c(i) = a(i) * 0.125 + b(i)
+         end do
+         do i = 1, n
+            a(i) = b(i) * 0.125 + c(i)
+         end do
+      b(1) = b(1) + s
+      end

@@ -1,0 +1,15 @@
+c seeded fuzz program (executable mode, seed 1024)
+      subroutine fzx1024(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      real s
+      integer i
+      s = 0.0
+         do i = 2, n
+            c(i) = c(i - 1) * 0.25 + a(i)
+         end do
+         do i = 1, n
+            s = s + b(i) * 2.0
+         end do
+      b(1) = b(1) + s
+      end

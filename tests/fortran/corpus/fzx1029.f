@@ -1,0 +1,25 @@
+c seeded fuzz program (executable mode, seed 1029)
+      subroutine fzx1029(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      real s
+      integer i
+      s = 0.0
+         do i = 2, n
+            c(i) = c(i - 1) * 0.25 + a(i)
+         end do
+         do i = 2, n
+            b(i) = b(i - 1) * 0.25 + c(i)
+         end do
+         do i = 1, n
+            if (a(i) .gt. 0.0) then
+               b(i) = a(i) * 3.0 + c(i)
+            else
+               b(i) = c(i) - 0.5
+            end if
+         end do
+         do i = 1, n
+            b(i) = a(i) * 1.5 + c(i)
+         end do
+      b(1) = b(1) + s
+      end

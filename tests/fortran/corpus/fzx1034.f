@@ -1,0 +1,18 @@
+c seeded fuzz program (executable mode, seed 1034)
+      subroutine fzx1034(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      real s
+      integer i
+      s = 0.0
+         do i = 2, n
+            a(i) = a(i - 1) * 0.25 + c(i)
+         end do
+         do i = 2, n
+            a(i) = a(i - 1) * 0.25 + c(i)
+         end do
+         do i = 1, n
+            c(i) = a(i) * 3.0 + b(i)
+         end do
+      b(1) = b(1) + s
+      end

@@ -1,0 +1,18 @@
+c seeded fuzz program (executable mode, seed 1039)
+      subroutine fzx1039(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      real s
+      integer i
+      s = 0.0
+         do i = 1, n
+            s = s + a(i) * 0.5
+         end do
+         do i = 1, n
+            a(i) = b(i) * 1.5 + c(i)
+         end do
+         do i = 1, n
+            s = s + b(i) * 1.5
+         end do
+      b(1) = b(1) + s
+      end

@@ -1,0 +1,21 @@
+c seeded fuzz program (executable mode, seed 1044)
+      subroutine fzx1044(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      real s
+      integer i
+      s = 0.0
+         do i = 2, n
+            b(i) = b(i - 1) * 0.5 + a(i)
+         end do
+         do i = 1, n
+            s = s + c(i) * 0.5
+         end do
+         do i = 1, n - 1
+            b(i) = a(i + 1) * 0.5 + a(i)
+         end do
+         do i = 1, n - 1
+            c(i) = b(i + 1) * 0.25 + b(i)
+         end do
+      b(1) = b(1) + s
+      end

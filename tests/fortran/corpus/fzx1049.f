@@ -1,0 +1,21 @@
+c seeded fuzz program (executable mode, seed 1049)
+      subroutine fzx1049(n, a, b, c)
+      integer n
+      real a(n), b(n), c(n)
+      real s
+      integer i
+      s = 0.0
+         do i = 1, n
+            s = s + b(i) * 0.5
+         end do
+         do i = 2, n
+            c(i) = c(i - 1) * 0.25 + b(i)
+         end do
+         do i = 2, n
+            c(i) = c(i - 1) * 0.25 + b(i)
+         end do
+         do i = 1, n - 1
+            a(i) = c(i + 1) * 0.5 + c(i)
+         end do
+      b(1) = b(1) + s
+      end

@@ -129,3 +129,35 @@ def test_line_and_column_positions():
 
 def test_blank_lines_are_comments():
     assert values("\n\n      x = 1\n\n") == ["x", "=", "1"]
+
+
+def test_dec_tab_convention_warns():
+    from repro.fortran.diagnostics import DiagnosticSink
+    src = "\tx = 1\n"
+    sink = DiagnosticSink(src)
+    toks = lex_source(src, sink)
+    assert [t.value for t in toks
+            if t.kind not in (TokenKind.EOF, TokenKind.NEWLINE)] \
+        == ["x", "=", "1"]
+    assert [d.code for d in sink.warnings] == ["W201"]
+
+
+def test_text_past_column_72_warns():
+    from repro.fortran.diagnostics import DiagnosticSink
+    body = "      x = 1"
+    src = body + " " * (72 - len(body)) + "junk\n"
+    sink = DiagnosticSink(src)
+    lex_source(src, sink)
+    w = [d for d in sink.warnings if d.code == "W202"]
+    assert len(w) == 1 and w[0].col == 73
+
+
+def test_lexer_recovery_collects_multiple_errors():
+    from repro.fortran.diagnostics import DiagnosticSink
+    src = "      x = 1 @ 2\n      y = 'open\n"
+    sink = DiagnosticSink(src)
+    lex_source(src, sink)
+    codes = [d.code for d in sink.errors]
+    assert "F001" in codes and "F002" in codes
+    for d in sink.errors:
+        assert d.line >= 1 and d.col >= 1

@@ -275,3 +275,143 @@ def test_walk_visits_all():
     u = sub_body("a(i) = b(i) + 1")
     names = [n.name for n in u.body[0].walk() if isinstance(n, F.Apply)]
     assert set(names) == {"a", "b"}
+
+
+# -- expanded statement surface --------------------------------------------
+
+
+def test_common_statement():
+    u = sub_body("x = 1", specs="common /blk/ a, b(10)\ncommon c")
+    commons = [s for s in u.specs if isinstance(s, F.CommonStmt)]
+    assert len(commons) == 2
+    assert commons[0].block == "blk"
+    assert commons[1].block == ""  # blank common
+    assert commons[0].entities[1].dims[0].upper.value == 10
+
+
+def test_save_statement_forms():
+    u = sub_body("x = 1", specs="save a, /blk/\nsave")
+    saves = [s for s in u.specs if isinstance(s, F.SaveStmt)]
+    assert saves[0].names == ["a", "/blk/"]
+    assert saves[1].names == []
+
+
+def test_external_intrinsic():
+    u = sub_body("x = f(1)", specs="external f, g\nintrinsic sqrt")
+    ext = [s for s in u.specs if isinstance(s, F.ExternalStmt)][0]
+    intr = [s for s in u.specs if isinstance(s, F.IntrinsicStmt)][0]
+    assert ext.names == ["f", "g"]
+    assert intr.names == ["sqrt"]
+
+
+def test_entry_statement():
+    u = sub_body("x = 1\nentry other(a, b)\nx = 2")
+    entries = [s for s in u.body if isinstance(s, F.EntryStmt)]
+    assert entries[0].name == "other"
+    assert entries[0].args == ["a", "b"]
+
+
+def test_data_repeat_counts():
+    u = sub_body("x = 1", specs="data a /3*0.0/, i /2/")
+    d = [s for s in u.specs if isinstance(s, F.DataStmt)][0]
+    assert [v.name for v in d.names] == ["a", "i"]
+    rep = d.values[0]  # 3*0.0 repeat count
+    assert isinstance(rep, F.BinOp) and rep.op == "*"
+    assert rep.left.value == 3
+    assert d.values[1].value == 2
+
+
+def test_format_statement_raw_spec():
+    u = sub_body("write (*, 10) x\n10 format (i6, 2x, f8.3)")
+    fmts = [s for s in u.body if isinstance(s, F.FormatStmt)]
+    assert len(fmts) == 1
+    assert fmts[0].label == 10
+    assert "i6" in fmts[0].spec
+
+
+def test_assigned_goto():
+    u = sub_body("assign 10 to lbl\ngoto lbl, (10, 20)\n"
+                 "10 continue\n20 continue")
+    asg = [s for s in u.body if isinstance(s, F.AssignLabelStmt)][0]
+    agt = [s for s in u.body if isinstance(s, F.AssignedGoto)][0]
+    assert (asg.target, asg.var) == (10, "lbl")
+    assert (agt.var, agt.targets) == ("lbl", [10, 20])
+
+
+def test_io_statements_full_set():
+    u = sub_body(
+        "open (unit=7, file='x.dat', err=90)\n"
+        "read (7, 10, end=90) a, b\n"
+        "write (7, fmt=10) a\n"
+        "rewind 7\n"
+        "backspace (7)\n"
+        "inquire (file='x.dat', exist=ok)\n"
+        "close (7)\n"
+        "10 format (2f8.2)\n"
+        "90 continue")
+    kinds = [s.kind for s in u.body if isinstance(s, F.IoStmt)]
+    assert kinds == ["open", "read", "write", "rewind", "backspace",
+                     "inquire", "close"]
+    rd = [s for s in u.body if isinstance(s, F.IoStmt)][1]
+    assert [c.keyword for c in rd.controls] == [None, None, "end"]
+    assert [v.name for v in rd.items] == ["a", "b"]
+
+
+def test_print_and_write_star_stay_legacy():
+    u = sub_body("print *, x\nwrite (*, *) y\nread *, z")
+    assert isinstance(u.body[0], F.PrintStmt)
+    assert isinstance(u.body[1], F.PrintStmt)
+    assert isinstance(u.body[2], F.ReadStmt)
+
+
+def test_print_with_format_label_is_iostmt():
+    u = sub_body("print 10, x\n10 format (i6)")
+    io = [s for s in u.body if isinstance(s, F.IoStmt)][0]
+    assert io.kind == "print"
+    assert io.controls[0].value.value == 10
+
+
+def test_write_vs_assignment_disambiguation():
+    # write(i) = ... is an assignment to an array named write
+    u = sub_body("write(i) = 1.0", specs="real write(10)")
+    assert isinstance(u.body[0], F.Assign)
+
+
+# -- recovery with a sink ---------------------------------------------------
+
+
+def test_recovery_continues_after_bad_statement():
+    from repro.fortran.diagnostics import DiagnosticSink
+    src = ("      subroutine s\n"
+           "      x = ((1\n"
+           "      y = 2\n"
+           "      end\n")
+    sink = DiagnosticSink(src)
+    sf = parse_program(src, sink)
+    assert sink.error_count == 1
+    # the statement after the bad one still parsed
+    assert any(isinstance(s, F.Assign) and s.target.name == "y"
+               for s in sf.units[0].body)
+
+
+def test_recovery_missing_end_f103():
+    from repro.fortran.diagnostics import DiagnosticSink
+    src = "      program p\n      x = 1\n"
+    sink = DiagnosticSink(src)
+    sf = parse_program(src, sink)
+    assert [d.code for d in sink.errors] == ["F103"]
+    assert sink.errors[0].line >= 1
+    assert len(sf.units) == 1
+
+
+def test_recovery_unbalanced_block_f104():
+    from repro.fortran.diagnostics import DiagnosticSink
+    src = ("      program p\n"
+           "      do i = 1, 5\n"
+           "      x = i\n"
+           "      end\n")
+    sink = DiagnosticSink(src)
+    sf = parse_program(src, sink)
+    assert "F104" in [d.code for d in sink.errors]
+    # the loop body was still attached
+    assert isinstance(sf.units[0].body[0], F.DoLoop)

@@ -163,3 +163,89 @@ def test_computed_goto_roundtrip():
    20 continue
       end
 """)
+
+
+def test_new_statement_surface_roundtrip():
+    roundtrip("""
+      subroutine s(n)
+      integer n
+      real a(10), b(10)
+      common /blk/ a
+      save b
+      external helper
+      intrinsic sqrt
+      data a /10*0.0/
+      open (unit=7, file='x.dat', err=90)
+      read (7, 10, end=90) a(1)
+      write (7, fmt=10) a(1)
+      rewind 7
+      backspace (7)
+      close (7)
+      assign 20 to lbl
+      goto lbl, (20)
+   20 continue
+   90 continue
+   10 format (f8.2)
+      end
+""")
+
+
+def test_labeled_do_roundtrip_exact():
+    """A labeled DO must unparse back as a labeled DO (do_label kept)."""
+    src = ("      subroutine s(n, a)\n"
+           "      integer n\n"
+           "      real a(n)\n"
+           "      do 10 i = 1, n\n"
+           "         a(i) = 0.0\n"
+           "   10 continue\n"
+           "      end\n")
+    from repro.fortran.ast_nodes import ast_equal
+    ast1 = parse_program(src)
+    text = unparse(ast1)
+    assert "do 10 i" in text and "end do" not in text
+    assert ast_equal(ast1, parse_program(text))
+
+
+def test_continuation_split_never_glues_tokens():
+    """Splitting a long card must not delete the space between tokens
+    (the lexer joins continuation bodies verbatim)."""
+    long_names = [f"verylongvariablename{i:02d}" for i in range(8)]
+    expr = long_names[0]
+    for nm in long_names[1:]:
+        expr = F.BinOp("+", expr, F.Var(nm)) if isinstance(expr, F.Expr) \
+            else F.BinOp("+", F.Var(expr), F.Var(nm))
+    sf = F.SourceFile(units=[F.Subroutine(
+        name="s", args=[],
+        body=[F.Assign(target=F.Var("result"), value=expr)])])
+    text = unparse(sf)
+    assert any(len(line) > 72 for line in text.splitlines()) is False
+    ast2 = parse_program(text)
+    names = {n.name for n in ast2.units[0].body[0].walk()
+             if isinstance(n, F.Var)}
+    assert set(long_names) <= names
+
+
+def test_continuation_split_respects_quotes():
+    """A long quoted literal must never be cut at an inner space in a
+    way that alters its characters."""
+    msg = "a long message with many words " * 4
+    sf = F.SourceFile(units=[F.Subroutine(
+        name="s", args=[],
+        body=[F.StopStmt(message=msg)])])
+    text = unparse(sf)
+    assert all(len(line) <= 72 for line in text.splitlines())
+    ast2 = parse_program(text)
+    assert ast2.units[0].body[0].message == msg
+
+
+def test_roundtrip_all_workloads():
+    """Property: every in-repo workload survives parse→unparse→reparse
+    with an identical AST (modulo line numbers)."""
+    from repro.fortran.ast_nodes import ast_diff
+    from repro.workloads import validation_cases
+    for name, case in sorted(validation_cases().items()):
+        ast1 = parse_program(case.source)
+        text = unparse(ast1)
+        ast2 = parse_program(text)
+        diff = ast_diff(ast1, ast2)
+        assert diff is None, f"{name}: {diff}"
