@@ -61,6 +61,13 @@ cannot express:
   with severity agreeing with the prefix, per-file and top-level
   ``ok``/counts must equal recounts over the diagnostics.
 
+- for server envelopes (``repro-server/1``): the status must be one of
+  the five classified outcomes, it decides which of ``result`` /
+  ``fault`` / ``reason`` must be present, ``retries`` must equal
+  ``attempts - 1``, and a successful ``/restructure`` result must embed
+  a full ``repro-experiment/1`` payload, checked recursively — the
+  service serves the same artifact the CLI emits.
+
 Validation/experiment payloads produced under ``--keep-going`` /
 ``--timeout`` may additionally carry a top-level ``faults`` array of
 structured harness-fault reports; it is checked everywhere it appears.
@@ -80,6 +87,12 @@ BENCH_HOST_TAG_V2 = "repro-bench-host/2"
 BENCH_HISTORY_TAG = "repro-bench-history/1"
 METRICS_TAG = "repro-metrics/1"
 LINT_TAG = "repro-lint/1"
+SERVER_TAG = "repro-server/1"
+
+#: the classified-outcome contract: every repro.server response carries
+#: exactly one of these
+SERVER_STATUSES = {"ok", "degraded", "shed", "invalid-input", "error"}
+SERVER_ENDPOINTS = {"restructure", "lint"}
 ACTIONS = {"accepted", "rejected", "failed", "applied", "declined", "noted"}
 REL_TOL = 1e-6
 
@@ -815,6 +828,94 @@ def validate_lint(payload) -> None:
                 f"expected 'repro.lint', got {meta.get('tool')!r}")
 
 
+def validate_server(payload) -> None:
+    """The ``repro-server/1`` response envelope.
+
+    Cross-field invariants: the status decides which of ``result`` /
+    ``fault`` / ``reason`` must be present, ``retries`` must equal
+    ``attempts - 1``, and a successful ``/restructure`` result must
+    embed a full ``repro-experiment/1`` payload (checked recursively —
+    the service serves the same artifact the CLI emits).
+    """
+    for key in ("schema", "request_id", "endpoint", "status", "attempts",
+                "retries", "degraded", "reason", "elapsed_s", "result",
+                "fault"):
+        _expect(key in payload, f"$.{key}", "required envelope key")
+    status = payload.get("status")
+    if not _expect(status in SERVER_STATUSES, "$.status",
+                   f"expected one of {sorted(SERVER_STATUSES)}, "
+                   f"got {status!r}"):
+        return
+    _expect(isinstance(payload.get("request_id"), str)
+            and payload.get("request_id"), "$.request_id",
+            "need a non-empty request id")
+    endpoint = payload.get("endpoint")
+    _expect(endpoint in SERVER_ENDPOINTS, "$.endpoint",
+            f"expected one of {sorted(SERVER_ENDPOINTS)}, "
+            f"got {endpoint!r}")
+    attempts = payload.get("attempts")
+    if _expect(isinstance(attempts, int) and attempts >= 1, "$.attempts",
+               f"need a positive attempt count, got {attempts!r}"):
+        _expect(payload.get("retries") == attempts - 1, "$.retries",
+                f"retries {payload.get('retries')!r} != attempts - 1 "
+                f"({attempts - 1})")
+    degraded = payload.get("degraded")
+    _expect(isinstance(degraded, list)
+            and all(isinstance(d, str) and d for d in degraded),
+            "$.degraded", "must be a list of non-empty strings")
+    elapsed = payload.get("elapsed_s")
+    _expect(isinstance(elapsed, (int, float)) and elapsed >= 0,
+            "$.elapsed_s", f"need a non-negative number, got {elapsed!r}")
+
+    result, fault = payload.get("result"), payload.get("fault")
+    if status in ("ok", "degraded"):
+        _expect(fault is None, "$.fault",
+                f"a {status} response must not carry a fault")
+        _expect(result is not None, "$.result",
+                f"a {status} response must carry a result")
+        if status == "ok":
+            _expect(not degraded, "$.degraded",
+                    "an ok response must have an empty degraded list")
+        else:
+            _expect(bool(degraded), "$.degraded",
+                    "a degraded response must say how it degraded")
+    elif status == "error":
+        _expect(result is None, "$.result",
+                "an error response must not carry a result")
+        if _expect(isinstance(fault, dict), "$.fault",
+                   "an error response must carry a fault object"):
+            for key in ("label", "kind", "error_type", "message"):
+                _expect(key in fault, f"$.fault.{key}",
+                        "required fault key")
+    else:                        # shed / invalid-input
+        _expect(result is None, "$.result",
+                f"a {status} response must not carry a result")
+        _expect(isinstance(payload.get("reason"), str)
+                and payload.get("reason"), "$.reason",
+                f"a {status} response must carry a reason")
+
+    if result is None or not isinstance(result, dict):
+        return
+    if endpoint == "restructure":
+        exp = result.get("experiment")
+        if _expect(isinstance(exp, dict), "$.result.experiment",
+                   "restructure results embed the experiment payload"):
+            _expect(exp.get("schema") == SCHEMA_TAG,
+                    "$.result.experiment.schema",
+                    f"expected {SCHEMA_TAG!r}, got {exp.get('schema')!r}")
+            experiments = exp.get("experiments")
+            if _expect(isinstance(experiments, dict) and experiments,
+                       "$.result.experiment.experiments",
+                       "need a non-empty experiments object"):
+                for name, t in experiments.items():
+                    check_table(t, f"$.result.experiment"
+                                   f".experiments.{name}")
+    elif endpoint == "lint":
+        _expect(result.get("schema") == LINT_TAG, "$.result.schema",
+                f"expected {LINT_TAG!r}, got {result.get('schema')!r}")
+        validate_lint(result)
+
+
 def validate(payload) -> list[str]:
     """Return a list of violations (empty == valid)."""
     _errors.clear()
@@ -843,11 +944,15 @@ def validate(payload) -> list[str]:
     if tag == LINT_TAG:
         validate_lint(payload)
         return list(_errors)
+    if tag == SERVER_TAG:
+        validate_server(payload)
+        return list(_errors)
     _expect(tag == SCHEMA_TAG, "$.schema",
             f"expected {SCHEMA_TAG!r}, {PROFILE_TAG!r}, "
             f"{VALIDATE_TAG!r}, {FAULTS_TAG!r}, {BENCH_HOST_TAG!r}, "
             f"{BENCH_HOST_TAG_V2!r}, {BENCH_HISTORY_TAG!r}, "
-            f"{METRICS_TAG!r} or {LINT_TAG!r}, got {tag!r}")
+            f"{METRICS_TAG!r}, {LINT_TAG!r} or {SERVER_TAG!r}, "
+            f"got {tag!r}")
     experiments = payload.get("experiments")
     if _expect(isinstance(experiments, dict) and experiments,
                "$.experiments", "need a non-empty experiments object"):

@@ -60,10 +60,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.restructurer.options import RestructurerOptions
 
 #: bump to invalidate every cached artifact regardless of repro version
-_CACHE_FORMAT = 1
+#: (2: disk entries carry a SHA-256 payload digest, verified on read)
+_CACHE_FORMAT = 2
 
 #: the artifact kinds the cache accounts for, in stats order
 ARTIFACT_KINDS = ("parse", "restructure")
+
+#: length of the hex digest line heading every on-disk entry
+_DIGEST_LEN = 64
 
 
 def options_fingerprint(options: "RestructurerOptions | None") -> str:
@@ -100,6 +104,10 @@ class CompilationCache:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.enabled = enabled
         self._mem: dict[str, object] = {}
+        #: optional observer of disk-store failures (not plain misses):
+        #: the server's store circuit breaker hooks in here so repeated
+        #: I/O errors trip it into in-memory mode
+        self.disk_error_hook = None
         # one accounting path: every counter lives in a MetricsRegistry
         # (the process-wide telemetry registry for the default cache, a
         # private one for directly constructed instances) — stats(),
@@ -113,7 +121,8 @@ class CompilationCache:
                     "repro_cache_requests_total", kind=kind,
                     result=result)
             for what in ("disk_reads", "disk_writes",
-                         "disk_bytes_read", "disk_bytes_written"):
+                         "disk_bytes_read", "disk_bytes_written",
+                         "corrupt"):
                 self._ctr[kind, what] = self.metrics.counter(
                     f"repro_cache_{what}_total", kind=kind)
 
@@ -206,6 +215,7 @@ class CompilationCache:
                         self._ctr[kind, "disk_bytes_read"].value,
                     "disk_bytes_written":
                         self._ctr[kind, "disk_bytes_written"].value,
+                    "corrupt": self._ctr[kind, "corrupt"].value,
                 } for kind in ARTIFACT_KINDS
             },
         }
@@ -228,24 +238,69 @@ class CompilationCache:
             return hit
         if self.cache_dir is not None:
             path = self._disk_path(key)
+            data = None
             try:
                 with open(path, "rb") as fh:
                     data = fh.read()
-                value = pickle.loads(data)
-            except (OSError, pickle.PickleError, EOFError,
-                    AttributeError, ImportError):
-                pass  # missing or torn entry: recompute below
-            else:
-                self._mem[key] = value
-                self._ctr[kind, "hit"].inc()
-                self._ctr[kind, "disk_reads"].inc()
-                self._ctr[kind, "disk_bytes_read"].inc(len(data))
-                _LOG.debug("disk_hit", kind=kind, key=key[:12],
-                           bytes=len(data))
-                return value
+            except FileNotFoundError:
+                pass                     # a plain miss, not a failure
+            except OSError as exc:
+                self._disk_error(exc, kind, key)
+            if data is not None:
+                value = self._verify(data, kind, key, path)
+                if value is not None:
+                    self._mem[key] = value
+                    self._ctr[kind, "hit"].inc()
+                    self._ctr[kind, "disk_reads"].inc()
+                    self._ctr[kind, "disk_bytes_read"].inc(len(data))
+                    _LOG.debug("disk_hit", kind=kind, key=key[:12],
+                               bytes=len(data))
+                    return value
         self._ctr[kind, "miss"].inc()
         _LOG.debug("miss", kind=kind, key=key[:12])
         return None
+
+    def _verify(self, data: bytes, kind: str, key: str, path: Path):
+        """Digest-check and unpickle one disk entry.
+
+        A torn or bit-rotted entry is *quarantined* — renamed aside so
+        it is never trusted again — and reported as a miss with a
+        warning and a ``repro_cache_corrupt_total`` count, instead of
+        either raising or silently serving garbage forever.
+        """
+        reason = None
+        payload = data[_DIGEST_LEN + 1:]
+        if len(data) < _DIGEST_LEN + 1 or data[_DIGEST_LEN:_DIGEST_LEN
+                                               + 1] != b"\n":
+            reason = "missing digest header"
+        elif hashlib.sha256(payload).hexdigest().encode() \
+                != data[:_DIGEST_LEN]:
+            reason = "payload digest mismatch"
+        else:
+            try:
+                return pickle.loads(payload)
+            except (pickle.PickleError, EOFError, AttributeError,
+                    ImportError, IndexError, ValueError) as exc:
+                reason = f"unpicklable payload ({type(exc).__name__})"
+        self._ctr[kind, "corrupt"].inc()
+        _LOG.warning("disk_entry_corrupt", kind=kind, key=key[:12],
+                     reason=reason)
+        try:
+            os.replace(path, path.with_suffix(".quarantine"))
+        except OSError:
+            pass                 # unlinkable entry: the digest check
+            # above still keeps it from ever being served
+        return None
+
+    def _disk_error(self, exc: BaseException, kind: str, key: str) -> None:
+        _LOG.warning("disk_store_failed", kind=kind, key=key[:12],
+                     error_type=type(exc).__name__)
+        hook = self.disk_error_hook
+        if hook is not None:
+            try:
+                hook(exc)
+            except Exception:    # an observer must never kill a request
+                pass
 
     def _store(self, key: str, value: object, kind: str) -> None:
         self._mem[key] = value
@@ -253,7 +308,11 @@ class CompilationCache:
             return
         path = self._disk_path(key)
         try:
-            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            # content-integrity header: SHA-256 of the payload, verified
+            # on every read so a torn or corrupted entry is detectable
+            data = hashlib.sha256(payload).hexdigest().encode() \
+                + b"\n" + payload
             path.parent.mkdir(parents=True, exist_ok=True)
             # atomic publish: concurrent --jobs workers may race on the
             # same key; each writes a private temp file and renames
@@ -274,8 +333,7 @@ class CompilationCache:
                        bytes=len(data))
         except (OSError, pickle.PickleError) as exc:
             # a read-only or full cache dir degrades to memory-only
-            _LOG.warning("disk_store_failed", kind=kind, key=key[:12],
-                         error_type=type(exc).__name__)
+            self._disk_error(exc, kind, key)
 
     def _disk_path(self, key: str) -> Path:
         assert self.cache_dir is not None

@@ -29,12 +29,15 @@ DEFAULT_SIZE = 100
 QUICK_SIZE = 24
 
 
-def ingest_source(text: str, path: str, quick: bool = False):
+def ingest_source(text: str, path: str, quick: bool = False,
+                  faults=None):
     """Lint-gate then estimate ``text``; returns ``(table, report)``.
 
     ``table`` is ``None`` when the linter found errors — the caller
     decides how to render the failure (CLI prints the diagnostic
-    stream and exits 1).
+    stream and exits 1).  ``faults`` optionally degrades the simulated
+    machine with a :class:`repro.faults.FaultPlan` (timing only; the
+    restructuring itself is untouched).
     """
     from repro.experiments.common import (SpeedupResult,
                                           restructured_estimate,
@@ -60,6 +63,10 @@ def ingest_source(text: str, path: str, quick: bool = False):
     t.meta["size"] = size
     t.meta["lint"] = report.to_dict()
     t.meta["trace"] = {}
+    if faults is not None and faults.active:
+        t.meta["fault_scenario"] = faults.name
+        t.notes.append(f"fault scenario {faults.name!r} active: "
+                       "cedar cycles reflect the degraded machine")
     if report.warning_count:
         t.notes.append(f"lint: {report.warning_count} warning(s) — "
                        f"run python -m repro.lint {path} for details")
@@ -70,7 +77,8 @@ def ingest_source(text: str, path: str, quick: bool = False):
         try:
             ser = serial_estimate(text, unit.name, bindings, machine)
             par, _, rep = restructured_estimate(
-                text, unit.name, bindings, machine, options)
+                text, unit.name, bindings, machine, options,
+                faults=faults)
         except Exception as exc:  # estimator limits, not user errors
             t.notes.append(f"unit {unit.name!r}: not estimable "
                            f"({type(exc).__name__}: {exc})")
@@ -79,6 +87,22 @@ def ingest_source(text: str, path: str, quick: bool = False):
         t.add(unit.name, unit.kind, ser.total, par.total, res.speedup)
         t.meta["trace"][unit.name] = res.trace_entry()
     return t, report
+
+
+def source_payload(table: Table, quick: bool) -> dict:
+    """The ``repro-experiment/1`` JSON payload for one ingested source.
+
+    Factored out so the ``--source --json`` CLI and the
+    ``repro.server`` ``/restructure`` endpoint build the *same* object
+    — their serialized outputs are byte-identical by construction.
+    """
+    from repro.experiments.__main__ import JSON_SCHEMA
+
+    return {
+        "schema": JSON_SCHEMA,
+        "quick": quick,
+        "experiments": {"source": table.to_dict()},
+    }
 
 
 def run_source(args) -> int:
@@ -104,14 +128,7 @@ def run_source(args) -> int:
               f"not ingested", file=sys.stderr)
         return 1
     if args.as_json:
-        from repro.experiments.__main__ import JSON_SCHEMA
-
-        payload = {
-            "schema": JSON_SCHEMA,
-            "quick": args.quick,
-            "experiments": {"source": table.to_dict()},
-        }
-        json.dump(payload, sys.stdout, indent=2)
+        json.dump(source_payload(table, args.quick), sys.stdout, indent=2)
         sys.stdout.write("\n")
     else:
         print(table.render())

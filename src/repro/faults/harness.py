@@ -4,22 +4,28 @@ Three small pieces the experiment/validation sweeps compose so that one
 misbehaving workload — a crash, a livelock, a runaway estimate — degrades
 a sweep instead of killing it:
 
-- :func:`watchdog` — a wall-clock guard (SIGALRM where available) that
-  turns a hang into a :class:`~repro.errors.BudgetExceededError`;
+- :func:`watchdog` — a wall-clock guard that turns a hang into a
+  :class:`~repro.errors.BudgetExceededError`: SIGALRM on the POSIX main
+  thread (interrupts even blocking C calls), a ``threading.Timer`` +
+  async-exception fallback everywhere else (worker threads, platforms
+  without SIGALRM), so timeouts fire in every calling context;
 - :func:`run_isolated` — runs one workload, converting any exception or
   timeout into a structured :class:`FaultReport` so the sweep continues;
 - :class:`SweepJournal` — an append-only JSONL checkpoint of completed
   work items, letting an interrupted sweep resume where it stopped.
 
-Everything here is deliberately dependency-free (stdlib only) and safe on
-platforms without ``SIGALRM`` (the watchdog simply degrades to a no-op
-there — crash isolation still works).
+Everything here is deliberately dependency-free (stdlib only).  The
+timer fallback delivers its timeout between Python bytecodes, so it
+cannot interrupt a single long-blocking C call the way SIGALRM can —
+but a Python-level livelock (the failure mode sweeps actually hit) is
+caught on every path.
 """
 
 from __future__ import annotations
 
 import json
 import signal
+import threading
 import time
 import traceback
 from contextlib import contextmanager
@@ -87,20 +93,94 @@ class FaultReport:
         return report
 
 
+def _async_exc_supported() -> bool:
+    """Whether the interpreter exposes ``PyThreadState_SetAsyncExc``."""
+    try:
+        import ctypes
+
+        return hasattr(ctypes, "pythonapi") \
+            and hasattr(ctypes.pythonapi, "PyThreadState_SetAsyncExc")
+    except Exception:  # pragma: no cover - non-CPython
+        return False
+
+
+_HAS_ASYNC_EXC = _async_exc_supported()
+
+
+@contextmanager
+def _timer_watchdog(seconds: float, deadline_msg: str) -> Iterator[None]:
+    """The ``threading.Timer`` fallback guard (any thread, any platform).
+
+    A daemon timer delivers :class:`BudgetExceededError` into the
+    *calling* thread via ``PyThreadState_SetAsyncExc``; the exception
+    surfaces at the next bytecode boundary.  Disarming is race-free: the
+    timer and the exit path share a lock, and a timeout that fires after
+    the block already completed is cleared before it can leak into
+    unrelated code.  Nested guards each own an independent timer, so an
+    inner timeout leaves the outer one armed.
+    """
+    import ctypes
+
+    tid = threading.get_ident()
+    lock = threading.Lock()
+    state = {"armed": True, "fired": False}
+    # the C API raises a *class* (it instantiates with no args), so the
+    # label/budget text rides in a per-guard subclass's __str__ — the
+    # error is self-describing wherever it is caught
+    exc_cls = type("WatchdogTimeout", (BudgetExceededError,), {
+        "__str__": lambda self: (Exception.__str__(self) if self.args
+                                 else deadline_msg)})
+
+    def _fire() -> None:
+        with lock:
+            if not state["armed"]:
+                return
+            state["fired"] = True
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(tid), ctypes.py_object(exc_cls))
+
+    timer = threading.Timer(seconds, _fire)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        timer.cancel()
+        with lock:
+            state["armed"] = False
+            if state["fired"]:
+                # fired after the block finished but (possibly) before
+                # delivery: clear the pending exception (None -> NULL)
+                ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                    ctypes.c_ulong(tid), None)
+
+
 @contextmanager
 def watchdog(seconds: Optional[float],
              label: str = "work item") -> Iterator[None]:
     """Raise :class:`BudgetExceededError` if the block runs too long.
 
-    Uses ``SIGALRM`` (main-thread, POSIX); where unavailable — Windows,
-    worker threads — the guard degrades to a no-op rather than failing.
+    Uses ``SIGALRM`` on the POSIX main thread (interrupts blocking C
+    calls); everywhere else — worker threads, platforms without SIGALRM
+    — a ``threading.Timer`` async-exception fallback fires at the next
+    bytecode boundary, so the guard is armed in every calling context.
     ``seconds=None`` or ``<= 0`` disables the guard.  Nested watchdogs
     restore the outer alarm on exit.
     """
-    if not seconds or seconds <= 0 or not hasattr(signal, "SIGALRM"):
+    if not seconds or seconds <= 0:
         yield
         return
     deadline = f"{label} exceeded its {seconds:g}s wall-clock budget"
+
+    use_alarm = (hasattr(signal, "SIGALRM")
+                 and threading.current_thread() is threading.main_thread())
+    if not use_alarm:
+        if _HAS_ASYNC_EXC:
+            with _timer_watchdog(seconds, deadline):
+                yield
+        else:  # pragma: no cover - non-CPython without SIGALRM
+            yield
+        return
 
     def _fire(signum, frame):
         raise BudgetExceededError(deadline)
@@ -108,8 +188,12 @@ def watchdog(seconds: Optional[float],
     try:
         prev_handler = signal.signal(signal.SIGALRM, _fire)
         prev_delay = signal.getitimer(signal.ITIMER_REAL)[0]
-    except ValueError:          # not in the main thread
-        yield
+    except ValueError:          # raced a main-thread check: fall back
+        if _HAS_ASYNC_EXC:
+            with _timer_watchdog(seconds, deadline):
+                yield
+        else:  # pragma: no cover - non-CPython without SIGALRM
+            yield
         return
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
@@ -160,8 +244,14 @@ class SweepJournal:
     def __init__(self, path: str | Path | None):
         self.path = Path(path) if path else None
         self._done: dict[str, Any] = {}
+        self._needs_newline = False
         if self.path is not None and self.path.exists():
-            for raw in self.path.read_text().splitlines():
+            text = self.path.read_text()
+            # a writer killed mid-line leaves no trailing newline; the
+            # next record must start on a fresh line or it would be
+            # glued onto (and lost with) the torn one
+            self._needs_newline = bool(text) and not text.endswith("\n")
+            for raw in text.splitlines():
                 raw = raw.strip()
                 if not raw:
                     continue
@@ -188,6 +278,9 @@ class SweepJournal:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as fh:
+            if self._needs_newline:     # seal a torn tail line first
+                fh.write("\n")
+                self._needs_newline = False
             fh.write(json.dumps({"key": key, "payload": payload}) + "\n")
             fh.flush()
 

@@ -1,0 +1,126 @@
+"""The HTTP front end: stdlib ``ThreadingHTTPServer``, JSON in/out.
+
+Routes::
+
+    POST /restructure   {"source": "...", "quick": bool, ...} -> envelope
+    POST /lint          {"source": "...", ...}                -> envelope
+    GET  /healthz       liveness + breaker states + orphans
+    GET  /readyz        admission readiness (503 while draining)
+    GET  /metrics       Prometheus exposition of the telemetry registry
+
+The envelope status maps onto HTTP codes — but the *envelope* is the
+contract; every response body (including 4xx/5xx) is a classified
+``repro-server/1`` document, never a bare stack trace:
+
+=================  ====
+``ok``             200
+``degraded``       200
+``invalid-input``  422
+``shed``           429
+``error``          500
+=================  ====
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.log import get_logger
+from repro.server.service import SERVER_SCHEMA, RestructurerService
+
+_LOG = get_logger("server.http")
+
+_STATUS_HTTP = {"ok": 200, "degraded": 200, "invalid-input": 422,
+                "shed": 429, "error": 500}
+
+#: request bodies past this size are refused up front (terminal)
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def _make_handler(service: RestructurerService):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # route stdlib request logging into the structured log
+        def log_message(self, fmt, *args):  # noqa: A003 - stdlib name
+            _LOG.debug("http", line=fmt % args)
+
+        def _send_json(self, code: int, payload: dict) -> None:
+            body = json.dumps(payload, indent=2).encode() + b"\n"
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_envelope(self, envelope: dict) -> None:
+            self._send_json(_STATUS_HTTP.get(envelope["status"], 500),
+                            envelope)
+
+        def do_GET(self):  # noqa: N802 - stdlib casing
+            if self.path == "/healthz":
+                self._send_json(200, service.healthz())
+            elif self.path == "/readyz":
+                ready = service.readyz()
+                self._send_json(200 if ready["ready"] else 503, ready)
+            elif self.path == "/metrics":
+                body = service.metrics_text().encode()
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._send_json(404, {"error": "not found",
+                                      "path": self.path})
+
+        def do_POST(self):  # noqa: N802 - stdlib casing
+            endpoint = self.path.lstrip("/")
+            if endpoint not in ("restructure", "lint"):
+                self._send_json(404, {"error": "not found",
+                                      "path": self.path})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                self._send_envelope(service.handle(endpoint, {
+                    "source": ""}))  # classified invalid-input
+                return
+            try:
+                request = json.loads(
+                    self.rfile.read(length).decode("utf-8", "replace"))
+            except (json.JSONDecodeError, ValueError):
+                request = None      # -> classified invalid-input
+            try:
+                envelope = service.handle(endpoint, request)
+            except Exception as exc:  # noqa: BLE001 - last-ditch guard
+                # the service classifies everything; this is belt and
+                # braces so a bug still yields an envelope, not a bare
+                # 500 traceback
+                _LOG.error("handler_internal", endpoint=endpoint,
+                           error_type=type(exc).__name__,
+                           message=str(exc))
+                envelope = {
+                    "schema": SERVER_SCHEMA, "request_id": "req-unknown",
+                    "endpoint": endpoint, "status": "error",
+                    "attempts": 1, "retries": 0, "degraded": [],
+                    "reason": f"{type(exc).__name__}: {exc}",
+                    "elapsed_s": 0.0, "result": None,
+                    "fault": {"label": endpoint, "kind": "internal",
+                              "error_type": type(exc).__name__,
+                              "message": str(exc), "elapsed_s": 0.0,
+                              "traceback": "", "detail": {}},
+                }
+            self._send_envelope(envelope)
+
+    return Handler
+
+
+def make_server(service: RestructurerService, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server for ``service`` (``port=0`` picks a
+    free port; read it back from ``server.server_address``)."""
+    server = ThreadingHTTPServer((host, port), _make_handler(service))
+    server.daemon_threads = True
+    return server

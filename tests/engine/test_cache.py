@@ -138,6 +138,92 @@ class TestDiskCache:
             ro.chmod(0o700)
 
 
+class TestDiskIntegrity:
+    """On-disk entries carry a SHA-256 payload digest verified on every
+    read; a corrupt entry is quarantined and reported, never trusted."""
+
+    def _entry(self, tmp_path):
+        [p] = list(tmp_path.rglob("*.pkl"))
+        return p
+
+    def test_entry_carries_verifiable_digest(self, tmp_path):
+        import hashlib
+
+        CompilationCache(cache_dir=tmp_path).parse(SRC)
+        data = self._entry(tmp_path).read_bytes()
+        digest, payload = data[:64], data[65:]
+        assert data[64:65] == b"\n"
+        assert hashlib.sha256(payload).hexdigest().encode() == digest
+
+    def test_flipped_bit_is_quarantined_not_served(self, tmp_path):
+        CompilationCache(cache_dir=tmp_path).parse(SRC)
+        p = self._entry(tmp_path)
+        data = bytearray(p.read_bytes())
+        data[-1] ^= 0xFF                  # bit rot in the payload
+        p.write_bytes(bytes(data))
+        c2 = CompilationCache(cache_dir=tmp_path)
+        sf = c2.parse(SRC)                # recomputes, must not raise
+        assert sf.units
+        st = c2.stats()["by_kind"]["parse"]
+        assert st["misses"] == 1 and st["corrupt"] == 1
+        # the damaged bytes were moved aside, and the recompute
+        # republished a fresh, verifiable entry at the original path
+        assert p.with_suffix(".quarantine").exists()
+        assert CompilationCache(
+            cache_dir=p.parents[1]).parse(SRC).units
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        CompilationCache(cache_dir=tmp_path).parse(SRC)
+        p = self._entry(tmp_path)
+        p.write_bytes(p.read_bytes()[:80])   # torn write
+        c2 = CompilationCache(cache_dir=tmp_path)
+        assert c2.parse(SRC).units
+        assert c2.stats()["by_kind"]["parse"]["corrupt"] == 1
+        assert p.with_suffix(".quarantine").exists()
+
+    def test_quarantined_entry_not_retried(self, tmp_path):
+        CompilationCache(cache_dir=tmp_path).parse(SRC)
+        p = self._entry(tmp_path)
+        p.write_bytes(b"garbage")
+        CompilationCache(cache_dir=tmp_path).parse(SRC)
+        # the rewrite after quarantine publishes a fresh valid entry
+        c3 = CompilationCache(cache_dir=tmp_path)
+        c3.parse(SRC)
+        st = c3.stats()["by_kind"]["parse"]
+        assert st["corrupt"] == 0 and st["disk_hits"] == 1
+
+    def test_corruption_counter_in_registry(self, tmp_path):
+        CompilationCache(cache_dir=tmp_path).parse(SRC)
+        p = self._entry(tmp_path)
+        p.write_bytes(b"garbage")
+        c2 = CompilationCache(cache_dir=tmp_path)
+        c2.parse(SRC)
+        snap = c2.metrics.snapshot()
+        got = [m["value"] for m in snap["counters"]
+               if m["name"] == "repro_cache_corrupt_total"
+               and m["labels"]["kind"] == "parse"]
+        assert got == [1]
+
+    def test_disk_error_hook_fires_on_io_failure(self, tmp_path):
+        # a path whose parent is a regular file fails with an OSError
+        # on every open/mkdir — even running as root (unlike chmod)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        seen = []
+        c = CompilationCache(cache_dir=blocker / "cache")
+        c.disk_error_hook = seen.append
+        a = c.parse(SRC)                  # store fails -> hook fires
+        assert c.parse(SRC) is a          # memory path still serves
+        assert seen and all(isinstance(e, OSError) for e in seen)
+
+    def test_hook_not_fired_on_plain_miss(self, tmp_path):
+        seen = []
+        c = CompilationCache(cache_dir=tmp_path)
+        c.disk_error_hook = seen.append
+        c.parse(SRC)                      # cold miss + clean write
+        assert seen == []
+
+
 class TestPerKindAccounting:
     """stats() breaks hits/misses down per artifact kind, backed by the
     registry counters that also feed the telemetry artifact."""

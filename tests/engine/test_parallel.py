@@ -39,6 +39,21 @@ def hard_exit(x):
     return x
 
 
+def sleep_then_boom(x):
+    import time
+
+    if x == 1:
+        time.sleep(0.15)
+        raise RuntimeError("slow death")
+    return x
+
+
+def exit_on_odd(x):
+    if x % 2 == 1:
+        os._exit(9)       # several workers die in one sweep
+    return x
+
+
 class TestSerialPath:
     def test_maps_in_order(self):
         assert parallel_map(square, [1, 2, 3], jobs=1) == [1, 4, 9]
@@ -128,6 +143,38 @@ class TestParallelPath:
             if isinstance(r, WorkerCrash):
                 assert r.index == i
                 assert r.duration_s >= 0.0
+
+    def test_crash_duration_measures_cell_runtime(self):
+        # a cell that runs before dying carries the measured wall-clock,
+        # not a zero placeholder — telemetry attributes the lost time
+        out = parallel_map(sleep_then_boom, [0, 1, 2], jobs=2)
+        crash = out[1]
+        assert isinstance(crash, WorkerCrash)
+        assert crash.duration_s >= 0.15
+        assert crash.to_fault_dict()["elapsed_s"] == crash.duration_s
+
+    def test_multiple_kills_preserve_positions_and_labels(self):
+        # several workers dying in one sweep must not shift surviving
+        # results or mislabel the crash entries
+        labels = [f"cell-{i}" for i in range(6)]
+        out = parallel_map(exit_on_odd, list(range(6)), jobs=3,
+                           labels=labels)
+        assert len(out) == 6
+        for i, r in enumerate(out):
+            if isinstance(r, WorkerCrash):
+                assert r.label == labels[i]
+            else:
+                assert r == i and i % 2 == 0
+
+    def test_on_result_sees_crashes_in_order(self):
+        # incremental journaling (the server's durability hook) must
+        # observe crash entries at their submission position
+        seen = []
+        parallel_map(hard_exit, [0, 1, 2], jobs=2,
+                     on_result=lambda i, r: seen.append(
+                         (i, isinstance(r, WorkerCrash))))
+        assert [i for i, _ in seen] == [0, 1, 2]
+        assert any(crashed for _, crashed in seen)
 
 
 def test_serial_and_parallel_agree():

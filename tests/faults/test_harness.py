@@ -1,6 +1,7 @@
 """Hardened harness: watchdog, crash isolation, checkpoint journal."""
 
 import signal
+import threading
 import time
 
 import pytest
@@ -10,6 +11,14 @@ from repro.faults.harness import (FaultReport, SweepJournal, run_isolated,
                                   watchdog)
 
 HAS_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+def _busy_wait(seconds: float) -> None:
+    """Spin in Python bytecodes (async-exception interruptible), unlike
+    ``time.sleep`` which blocks in C until it returns."""
+    end = time.monotonic() + seconds
+    while time.monotonic() < end:
+        pass
 
 
 class TestWatchdog:
@@ -41,6 +50,93 @@ class TestWatchdog:
             # back under the outer guard: timer re-armed
             assert signal.getitimer(signal.ITIMER_REAL)[0] > 0.0
         assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+
+class TestWatchdogThreadFallback:
+    """Watchdogs armed off the main thread use the timer fallback —
+    they must fire, not silently degrade to a no-op."""
+
+    def _in_thread(self, fn):
+        box = {}
+
+        def runner():
+            try:
+                box["result"] = fn()
+            except BaseException as exc:  # noqa: BLE001 - test capture
+                box["error"] = exc
+
+        t = threading.Thread(target=runner)
+        t.start()
+        t.join(30.0)
+        assert not t.is_alive(), "worker thread hung"
+        return box
+
+    def test_fires_in_worker_thread(self):
+        def work():
+            with watchdog(0.05, label="threaded"):
+                _busy_wait(10.0)
+
+        box = self._in_thread(work)
+        assert isinstance(box.get("error"), BudgetExceededError)
+        # the async-raised error is re-stamped with the label/budget text
+        assert "threaded" in str(box["error"])
+        assert "wall-clock" in str(box["error"])
+
+    def test_no_fire_when_fast_in_thread(self):
+        def work():
+            with watchdog(5.0, label="quick"):
+                return sum(range(1000))
+
+        box = self._in_thread(work)
+        assert box.get("result") == 499500 and "error" not in box
+
+    def test_late_fire_does_not_leak_into_later_code(self):
+        # the timer firing just as the block completes must never
+        # deliver the timeout into unrelated code after the watchdog
+        def work():
+            for _ in range(50):
+                with watchdog(0.001, label="racy"):
+                    pass        # completes ~when the timer fires
+                _busy_wait(0.002)   # pending exc would surface here
+            return "survived"
+
+        box = self._in_thread(work)
+        assert box.get("result") == "survived", box.get("error")
+
+    def test_nested_inner_fires_outer_still_armed(self):
+        def work():
+            events = []
+            with watchdog(0.5, label="outer"):
+                try:
+                    with watchdog(0.05, label="inner"):
+                        _busy_wait(10.0)
+                except BudgetExceededError as exc:
+                    events.append(("inner", str(exc)))
+                # the outer timer is independent: it must still fire
+                try:
+                    _busy_wait(10.0)
+                except BudgetExceededError as exc:
+                    events.append(("outer", str(exc)))
+            return events
+
+        box = self._in_thread(work)
+        events = box.get("result")
+        assert events is not None, box.get("error")
+        assert [name for name, _ in events] == ["inner", "outer"]
+        assert "inner" in events[0][1]
+        assert "outer" in events[1][1]
+
+    def test_run_isolated_timeout_in_thread(self):
+        # the composition sweeps/the server actually use: run_isolated
+        # off the main thread classifies a stall as kind "timeout"
+        def work():
+            return run_isolated(lambda: _busy_wait(10.0),
+                                label="stall", timeout=0.05)
+
+        box = self._in_thread(work)
+        result, fault = box["result"]
+        assert result is None
+        assert fault.kind == "timeout"
 
 
 class TestRunIsolated:
@@ -119,6 +215,36 @@ class TestSweepJournal:
         j2 = SweepJournal(path)
         assert "done" in j2
         assert "half-writ" not in j2.completed
+
+    def test_torn_middle_line_resume(self, tmp_path):
+        # a torn write is not always the tail: a crashed parallel writer
+        # can leave a mangled line *between* intact ones — resume must
+        # keep every intact entry on both sides
+        path = tmp_path / "journal.jsonl"
+        j = SweepJournal(path)
+        j.record("first", {"n": 1})
+        j.record("second", {"n": 2})
+        lines = path.read_text().splitlines()
+        lines.insert(1, '{"key": "torn-mid')    # mid-line torn write
+        path.write_text("\n".join(lines) + "\n")
+        j2 = SweepJournal(path)
+        assert "first" in j2 and "second" in j2
+        assert j2.payload("second") == {"n": 2}
+        assert set(j2.completed) == {"first", "second"}
+
+    def test_record_after_torn_resume(self, tmp_path):
+        # resuming over a torn line and then recording more work must
+        # append cleanly; a third load sees old and new entries
+        path = tmp_path / "journal.jsonl"
+        j = SweepJournal(path)
+        j.record("done", {"n": 1})
+        with path.open("a") as fh:
+            fh.write('{"key": "half')          # killed mid-write
+        j2 = SweepJournal(path)
+        j2.record("later", {"n": 2})
+        j3 = SweepJournal(path)
+        assert set(j3.completed) == {"done", "later"}
+        assert j3.payload("later") == {"n": 2}
 
     def test_clear_removes_file(self, tmp_path):
         path = tmp_path / "journal.jsonl"

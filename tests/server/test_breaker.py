@@ -1,0 +1,104 @@
+"""Circuit breaker state machine, driven by an injected clock."""
+
+from repro.telemetry import MetricsRegistry
+
+from repro.server.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, s):
+        self.now += s
+
+
+def make(threshold=3, reset=30.0, registry=None):
+    clock = FakeClock()
+    b = CircuitBreaker("dep", failure_threshold=threshold,
+                       reset_after_s=reset, clock=clock,
+                       registry=registry)
+    return b, clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b, _ = make()
+        assert b.state == "closed" and b.allow()
+
+    def test_opens_after_threshold_failures(self):
+        b, _ = make(threshold=3)
+        for _ in range(2):
+            b.record_failure()
+        assert b.state == "closed"
+        b.record_failure()
+        assert b.state == "open" and not b.allow()
+
+    def test_success_resets_the_failure_count(self):
+        b, _ = make(threshold=3)
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+
+    def test_half_open_after_cooldown(self):
+        b, clock = make(threshold=1, reset=30.0)
+        b.record_failure()
+        assert not b.allow()
+        clock.advance(30.0)
+        assert b.state == "half-open"
+
+    def test_half_open_allows_exactly_one_probe(self):
+        b, clock = make(threshold=1, reset=30.0)
+        b.record_failure()
+        clock.advance(30.0)
+        assert b.allow()          # the probe slot
+        assert not b.allow()      # a concurrent caller is refused
+
+    def test_probe_success_closes(self):
+        b, clock = make(threshold=1, reset=30.0)
+        b.record_failure()
+        clock.advance(30.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed" and b.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        b, clock = make(threshold=1, reset=30.0)
+        b.record_failure()
+        clock.advance(30.0)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == "open"
+        clock.advance(15.0)       # half the cool-down: still open
+        assert not b.allow()
+        clock.advance(15.0)
+        assert b.allow()          # a fresh probe
+
+
+class TestMetrics:
+    def test_state_gauge_tracks_transitions(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        b = CircuitBreaker("store", failure_threshold=1,
+                           reset_after_s=10.0, clock=clock, registry=reg)
+
+        def gauge_value():
+            return [g["value"] for g in reg.snapshot()["gauges"]
+                    if g["name"] == "repro_server_breaker_state"
+                    and g["labels"]["breaker"] == "store"][0]
+
+        assert gauge_value() == 0
+        b.record_failure()
+        assert gauge_value() == 2
+        clock.advance(10.0)
+        assert b.state == "half-open"
+        assert gauge_value() == 1
+        assert b.allow()
+        b.record_success()
+        assert gauge_value() == 0

@@ -1,0 +1,67 @@
+"""Retry policy: classification and deterministic backoff."""
+
+from repro.server.retry import RetryPolicy
+
+
+def fault(kind):
+    return {"label": "w", "kind": kind, "error_type": "E",
+            "message": "m", "elapsed_s": 0.0, "traceback": "",
+            "detail": {}}
+
+
+class TestClassification:
+    def test_timeout_and_internal_retry(self):
+        p = RetryPolicy()
+        assert p.classify(fault("timeout"))
+        assert p.classify(fault("internal"))
+
+    def test_modelled_error_is_terminal(self):
+        # a ReproError means the input itself is bad: retrying burns
+        # pool capacity on a request that can never succeed
+        assert not RetryPolicy().classify(fault("error"))
+
+    def test_no_fault_is_not_retryable(self):
+        p = RetryPolicy()
+        assert not p.classify(None)
+        assert not p.classify({})
+
+    def test_budget_exhaustion(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.should_retry(fault("timeout"), attempt=1)
+        assert p.should_retry(fault("timeout"), attempt=2)
+        assert not p.should_retry(fault("timeout"), attempt=3)
+
+    def test_terminal_never_retries_even_with_budget(self):
+        assert not RetryPolicy(max_attempts=10).should_retry(
+            fault("error"), attempt=1)
+
+
+class TestBackoff:
+    def test_deterministic_for_same_inputs(self):
+        p = RetryPolicy(seed=7)
+        assert p.backoff("req-1", 1) == p.backoff("req-1", 1)
+
+    def test_seed_and_request_change_the_jitter(self):
+        a = RetryPolicy(seed=1).backoff("req-1", 1)
+        b = RetryPolicy(seed=2).backoff("req-1", 1)
+        c = RetryPolicy(seed=1).backoff("req-2", 1)
+        assert a != b and a != c
+
+    def test_exponential_growth_capped(self):
+        p = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5, jitter=0.0)
+        assert p.backoff("r", 1) == 0.1
+        assert p.backoff("r", 2) == 0.2
+        assert p.backoff("r", 3) == 0.4
+        assert p.backoff("r", 10) == 0.5    # capped
+
+    def test_jitter_stays_within_bounds(self):
+        p = RetryPolicy(base_delay_s=0.1, max_delay_s=5.0, jitter=0.5)
+        for attempt in (1, 2, 3):
+            nominal = 0.1 * (2 ** (attempt - 1))
+            for rid in (f"req-{i}" for i in range(50)):
+                d = p.backoff(rid, attempt)
+                assert nominal * 0.75 <= d <= nominal * 1.25
+
+    def test_never_negative(self):
+        p = RetryPolicy(base_delay_s=0.001, jitter=1.0)
+        assert all(p.backoff(f"r{i}", 1) >= 0.0 for i in range(100))
