@@ -2,40 +2,56 @@
 """Host wall-clock benchmark for the execution engine (repro.engine).
 
 Unlike the ``bench_*.py`` pytest harnesses — which measure *simulated
-Cedar cycles* — this script measures *host seconds*: what the compiled
-closure engine, the content-addressed compilation cache, and the
-``--jobs`` parallel executor actually buy on the machine running the
-sweep.  It drives ``python -m repro.validate`` as a subprocess matrix:
+Cedar cycles* — this script measures *host seconds*: what the engine
+tiers (tree walk, compiled closures, cached source-JIT), the
+content-addressed compilation cache, and the ``--jobs`` parallel
+executor actually buy on the machine running the sweep.  It drives
+``python -m repro.validate`` as a subprocess matrix:
 
 ``tree_cold``
     tree-walk engine, cache disabled, serial — the pre-engine baseline
     (every cell re-parses and re-restructures, every statement
     tree-walks);
 ``cold``
-    compiled engine, cache disabled, serial — closure compilation alone;
+    compiled (closure) engine, cache disabled, serial — closure
+    compilation alone;
+``source_cold``
+    source-JIT engine, cache disabled, serial — module emission +
+    ``compile()`` paid on every cell;
 ``prime``
     compiled engine, serial, ``--cache-dir`` on an empty store — pays
     the misses that populate the disk cache;
 ``warm``
     same command again — every front-end artifact served from the store
     (``REPRO_CACHE_STATS`` proves the hit rate is nonzero);
+``source_prime``
+    source-JIT engine over the same store — front-end artifacts are
+    already warm, the run pays the ``jit-source`` module misses;
+``source_warm``
+    same command again — JIT modules byte-served from the store (its
+    own ``REPRO_CACHE_STATS`` proves ``jit-source`` disk hits), and the
+    sweep payload must be byte-identical to the compiled ``warm``
+    payload: the engine-tier bit-identity contract at the artifact
+    level;
 ``warm_jobsN``
-    same store, ``--jobs N`` — the parallel executor, whose payload must
-    be byte-identical to the serial ``warm`` payload.
+    compiled warm store, ``--jobs N`` — the parallel executor, whose
+    payload must be byte-identical to the serial ``warm`` payload.
 
-The warm and parallel runs additionally run under ``REPRO_TELEMETRY``,
-so the payload records per-cell latency percentiles (p50/p95/p99 from
-the ``repro-metrics/1`` cell-latency histogram) for both — the
-per-request latency signal the service-layer roadmap item tracks.
+The warm, source_warm and parallel runs additionally run under
+``REPRO_TELEMETRY``, so the payload records per-cell latency
+percentiles (p50/p95/p99 from the ``repro-metrics/1`` cell-latency
+histogram) for each — the per-request latency signal the service-layer
+roadmap item tracks.
 
-The result is a ``repro-bench-host/2`` JSON document
+The result is a ``repro-bench-host/3`` JSON document
 (``schemas/bench_host.schema.json``) that ``scripts/bench_diff.py`` can
 diff run-over-run: ``host_seconds`` regresses upward, the ``*_speedup``
 ratios regress downward.  Absolute thresholds are deliberately not
 asserted here — CI runners vary wildly — only structural facts: every
-run exits 0, the warm run hits the cache, parallel output is
-byte-identical, latency percentiles were recorded, and the end-to-end
-speedup is positive.
+run exits 0, the warm runs hit the cache (including ``jit-source``
+artifacts), parallel and cross-engine outputs are byte-identical,
+latency percentiles were recorded, and the end-to-end speedups are
+positive.
 
 Usage::
 
@@ -55,7 +71,7 @@ import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-SCHEMA_TAG = "repro-bench-host/2"
+SCHEMA_TAG = "repro-bench-host/3"
 
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
@@ -74,6 +90,7 @@ def run_validate(extra: list[str], out_file: Path, *,
     env.pop("REPRO_CACHE_DISABLE", None)
     env.pop("REPRO_CACHE_STATS", None)
     env.pop("REPRO_TELEMETRY", None)
+    env.pop("REPRO_ENGINE", None)
     env.update(env_overrides)
     argv = [sys.executable, "-m", "repro.validate",
             *extra, "-o", str(out_file)]
@@ -112,7 +129,7 @@ def cell_latency(telem_dir: Path) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
-        description="host wall-clock benchmark: compiled engine, "
+        description="host wall-clock benchmark: engine tiers, "
                     "compilation cache, parallel sweep executor")
     ap.add_argument("--full", action="store_true",
                     help="sweep every workload (--all); default is the "
@@ -121,7 +138,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="worker count for the parallel run (default 2)")
     ap.add_argument("-o", "--output", metavar="FILE",
                     default="bench_host.json",
-                    help="write the repro-bench-host/2 payload here "
+                    help="write the repro-bench-host/3 payload here "
                          "(default bench_host.json; '-' for stdout only)")
     ns = ap.parse_args(argv)
 
@@ -133,11 +150,15 @@ def main(argv: list[str] | None = None) -> int:
         tmpdir = Path(tmp)
         cache_dir = tmpdir / "cache"
         stats_file = tmpdir / "cache_stats.json"
+        source_stats_file = tmpdir / "source_cache_stats.json"
 
         matrix = [
             ("tree_cold", subset + ["--engine", "tree", "--jobs", "1"],
              {"REPRO_CACHE_DISABLE": "1"}),
             ("cold", subset + ["--jobs", "1"],
+             {"REPRO_CACHE_DISABLE": "1"}),
+            ("source_cold", subset + ["--engine", "source",
+                                      "--jobs", "1"],
              {"REPRO_CACHE_DISABLE": "1"}),
             ("prime", subset + ["--jobs", "1",
                                 "--cache-dir", str(cache_dir)], {}),
@@ -145,6 +166,12 @@ def main(argv: list[str] | None = None) -> int:
                                "--cache-dir", str(cache_dir)],
              {"REPRO_CACHE_STATS": str(stats_file),
               "REPRO_TELEMETRY": str(tmpdir / "telem-warm")}),
+            ("source_prime", subset + ["--engine", "source", "--jobs", "1",
+                                       "--cache-dir", str(cache_dir)], {}),
+            ("source_warm", subset + ["--engine", "source", "--jobs", "1",
+                                      "--cache-dir", str(cache_dir)],
+             {"REPRO_CACHE_STATS": str(source_stats_file),
+              "REPRO_TELEMETRY": str(tmpdir / "telem-source")}),
             (f"warm_jobs{jobs}", subset + ["--jobs", str(jobs),
                                            "--cache-dir", str(cache_dir)],
              {"REPRO_TELEMETRY": str(tmpdir / "telem-jobs")}),
@@ -161,12 +188,20 @@ def main(argv: list[str] | None = None) -> int:
         cache_stats = {}
         if stats_file.exists():
             cache_stats = json.loads(stats_file.read_text())
-        serial_payload = (tmpdir / "warm.json").read_bytes() \
-            if (tmpdir / "warm.json").exists() else b""
-        par_payload = (tmpdir / f"warm_jobs{jobs}.json").read_bytes() \
-            if (tmpdir / f"warm_jobs{jobs}.json").exists() else b"!"
+        source_cache_stats = {}
+        if source_stats_file.exists():
+            source_cache_stats = json.loads(source_stats_file.read_text())
+
+        def payload_bytes(name: str, missing: bytes) -> bytes:
+            f = tmpdir / f"{name}.json"
+            return f.read_bytes() if f.exists() else missing
+
+        serial_payload = payload_bytes("warm", b"")
+        par_payload = payload_bytes(f"warm_jobs{jobs}", b"!")
+        source_payload = payload_bytes("source_warm", b"!")
         latency = {
             "warm": cell_latency(tmpdir / "telem-warm"),
+            "source_warm": cell_latency(tmpdir / "telem-source"),
             f"warm_jobs{jobs}": cell_latency(tmpdir / "telem-jobs"),
         }
 
@@ -176,19 +211,36 @@ def main(argv: list[str] | None = None) -> int:
     warm_speedup = sec("tree_cold") / max(sec("warm"), 1e-9)
     compile_speedup = sec("tree_cold") / max(sec("cold"), 1e-9)
     parallel_speedup = sec("warm") / max(sec(f"warm_jobs{jobs}"), 1e-9)
+    source_warm_speedup = sec("tree_cold") / max(sec("source_warm"), 1e-9)
+    source_vs_compiled = sec("warm") / max(sec("source_warm"), 1e-9)
+
+    jit_kind = (source_cache_stats.get("by_kind") or {}) \
+        .get("jit-source") or {}
 
     checks = {
         "all_runs_ok": all(r["returncode"] == 0 for r in runs.values()),
         # the warm run must be served by the store it just populated
         "warm_cache_hit": (cache_stats.get("hits", 0) > 0
                            and cache_stats.get("disk_hits", 0) > 0),
+        # the source_warm run must be served its emitted JIT modules
+        # from the store source_prime populated (fresh process, so a
+        # served module shows up as a jit-source disk hit)
+        "source_cache_hit": jit_kind.get("disk_hits", 0) > 0,
         # the parallel executor's contract: merged output is
         # byte-identical to the serial run over the same warm store
         "byte_identical": serial_payload == par_payload,
-        # generous structural gate — real thresholds live in
-        # bench_diff.py comparisons against a recorded baseline
+        # the engine-tier contract: the source-JIT sweep payload is
+        # byte-identical to the compiled-engine sweep payload
+        "engine_byte_identical": serial_payload == source_payload,
+        # generous structural gates — real thresholds live in
+        # bench_diff.py / obs check comparisons against baselines.
+        # quick-size sweeps are subprocess/front-end dominated, so the
+        # source tier's end-to-end ratio hovers near 1.0 on any host;
+        # gate only catastrophic slowdowns here and let the obs
+        # sentinel's 0.6 ratio threshold do the real comparison.
         "speedup_positive": warm_speedup > 1.0,
-        # both instrumented runs must have produced per-cell percentiles
+        "source_speedup_positive": source_warm_speedup > 0.5,
+        # all instrumented runs must have produced per-cell percentiles
         "latency_recorded": all(
             rec["cells"] > 0 and rec["p50_s"] is not None
             for rec in latency.values()),
@@ -199,7 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         "quick": not ns.full,
         "jobs": jobs,
         # provenance: which revision ran, on what machine — additive
-        # fields, so the /2 schema tag holds (consumers must tolerate
+        # fields, so the /3 schema tag holds (consumers must tolerate
         # unknown keys); the bench history keys its baselines on these
         "git": git_stamp(ROOT),
         "host": host_stamp(),
@@ -213,6 +265,19 @@ def main(argv: list[str] | None = None) -> int:
             "warm_speedup": warm_speedup,
             "compile_speedup": compile_speedup,
             "stats": cache_stats,
+        },
+        "engines": {
+            "tree_cold_seconds": sec("tree_cold"),
+            "compiled_cold_seconds": sec("cold"),
+            "source_cold_seconds": sec("source_cold"),
+            "compiled_warm_seconds": sec("warm"),
+            "source_prime_seconds": sec("source_prime"),
+            "source_warm_seconds": sec("source_warm"),
+            "compiled_warm_speedup": warm_speedup,
+            "source_warm_speedup": source_warm_speedup,
+            "source_vs_compiled_speedup": source_vs_compiled,
+            "byte_identical": checks["engine_byte_identical"],
+            "jit_cache": source_cache_stats,
         },
         "parallel": {
             "serial_seconds": sec("warm"),
@@ -239,8 +304,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[bench_host] FAILED checks: {bad}", file=sys.stderr)
         return 1
     print(f"[bench_host] ok: engine+cache {warm_speedup:.2f}x vs "
-          f"tree/cold, --jobs {jobs} {parallel_speedup:.2f}x vs serial "
-          f"warm, byte-identical payloads", file=sys.stderr)
+          f"tree/cold, source-JIT {source_warm_speedup:.2f}x "
+          f"({source_vs_compiled:.2f}x vs compiled warm), --jobs {jobs} "
+          f"{parallel_speedup:.2f}x vs serial warm, byte-identical "
+          f"payloads", file=sys.stderr)
     return 0
 
 

@@ -84,6 +84,7 @@ VALIDATE_TAG = "repro-validate/1"
 FAULTS_TAG = "repro-faults/1"
 BENCH_HOST_TAG = "repro-bench-host/1"
 BENCH_HOST_TAG_V2 = "repro-bench-host/2"
+BENCH_HOST_TAG_V3 = "repro-bench-host/3"
 BENCH_HISTORY_TAG = "repro-bench-history/1"
 METRICS_TAG = "repro-metrics/1"
 LINT_TAG = "repro-lint/1"
@@ -592,15 +593,25 @@ def validate_faults(payload) -> None:
 BENCH_HOST_CHECKS = ("all_runs_ok", "warm_cache_hit", "byte_identical",
                      "speedup_positive")
 
+#: the /3 additions: the source-JIT engine lane of the host matrix
+BENCH_HOST_V3_CHECKS = ("source_cache_hit", "engine_byte_identical",
+                        "source_speedup_positive")
+BENCH_HOST_V3_RUNS = ("source_cold", "source_prime", "source_warm")
+
 
 def validate_bench_host(payload) -> None:
+    v3 = payload.get("schema") == BENCH_HOST_TAG_V3
     _expect(isinstance(payload.get("jobs"), int)
             and payload.get("jobs", 0) >= 2,
             "$.jobs", "need an integer worker count >= 2")
     runs = payload.get("runs")
-    if _expect(isinstance(runs, dict) and len(runs) >= 5, "$.runs",
-               "need the five-run host matrix"):
-        for name in ("tree_cold", "cold", "prime", "warm"):
+    min_runs = 8 if v3 else 5
+    if _expect(isinstance(runs, dict) and len(runs) >= min_runs, "$.runs",
+               f"need the {min_runs}-run host matrix"):
+        required_runs = ("tree_cold", "cold", "prime", "warm")
+        if v3:
+            required_runs += BENCH_HOST_V3_RUNS
+        for name in required_runs:
             _expect(name in runs, "$.runs", f"missing run {name!r}")
         for name, r in runs.items():
             path = f"$.runs.{name}"
@@ -649,12 +660,16 @@ def validate_bench_host(payload) -> None:
                      par.get("parallel_speedup")),
             "$.parallel.parallel_speedup",
             "inconsistent with serial/parallel seconds")
+    if v3:
+        check_bench_host_engines(payload, ratio_ok)
     check_bench_host_provenance(payload)
-    if payload.get("schema") == BENCH_HOST_TAG_V2:
+    if payload.get("schema") in (BENCH_HOST_TAG_V2, BENCH_HOST_TAG_V3):
         check_bench_host_latency(payload)
     required_checks = list(BENCH_HOST_CHECKS)
-    if payload.get("schema") == BENCH_HOST_TAG_V2:
+    if payload.get("schema") in (BENCH_HOST_TAG_V2, BENCH_HOST_TAG_V3):
         required_checks.append("latency_recorded")
+    if v3:
+        required_checks.extend(BENCH_HOST_V3_CHECKS)
     checks = payload.get("checks")
     if _expect(isinstance(checks, dict)
                and set(required_checks) <= set(checks),
@@ -663,6 +678,34 @@ def validate_bench_host(payload) -> None:
                 "$.checks", "check values must be booleans")
         _expect(payload.get("ok") == all(checks.values()), "$.ok",
                 "ok flag must equal the conjunction of the checks")
+
+
+def check_bench_host_engines(payload, ratio_ok) -> None:
+    """The /3 engines section: per-tier seconds and derived speedups."""
+    eng = payload.get("engines")
+    if not _expect(isinstance(eng, dict), "$.engines",
+                   "a /3 payload needs the per-engine section"):
+        return
+    for k in ("tree_cold_seconds", "compiled_cold_seconds",
+              "source_cold_seconds", "compiled_warm_seconds",
+              "source_prime_seconds", "source_warm_seconds",
+              "compiled_warm_speedup", "source_warm_speedup",
+              "source_vs_compiled_speedup"):
+        _expect(isinstance(eng.get(k), (int, float))
+                and eng.get(k, -1) >= 0,
+                f"$.engines.{k}", "need a nonnegative number")
+    _expect(isinstance(eng.get("byte_identical"), bool),
+            "$.engines.byte_identical", "need a boolean")
+    _expect(ratio_ok(eng.get("tree_cold_seconds"),
+                     eng.get("source_warm_seconds"),
+                     eng.get("source_warm_speedup")),
+            "$.engines.source_warm_speedup",
+            "inconsistent with tree_cold/source_warm seconds")
+    _expect(ratio_ok(eng.get("compiled_warm_seconds"),
+                     eng.get("source_warm_seconds"),
+                     eng.get("source_vs_compiled_speedup")),
+            "$.engines.source_vs_compiled_speedup",
+            "inconsistent with compiled_warm/source_warm seconds")
 
 
 def check_bench_host_provenance(payload) -> None:
@@ -932,7 +975,7 @@ def validate(payload) -> list[str]:
     if tag == FAULTS_TAG:
         validate_faults(payload)
         return list(_errors)
-    if tag in (BENCH_HOST_TAG, BENCH_HOST_TAG_V2):
+    if tag in (BENCH_HOST_TAG, BENCH_HOST_TAG_V2, BENCH_HOST_TAG_V3):
         validate_bench_host(payload)
         return list(_errors)
     if tag == BENCH_HISTORY_TAG:
@@ -950,7 +993,8 @@ def validate(payload) -> list[str]:
     _expect(tag == SCHEMA_TAG, "$.schema",
             f"expected {SCHEMA_TAG!r}, {PROFILE_TAG!r}, "
             f"{VALIDATE_TAG!r}, {FAULTS_TAG!r}, {BENCH_HOST_TAG!r}, "
-            f"{BENCH_HOST_TAG_V2!r}, {BENCH_HISTORY_TAG!r}, "
+            f"{BENCH_HOST_TAG_V2!r}, {BENCH_HOST_TAG_V3!r}, "
+            f"{BENCH_HISTORY_TAG!r}, "
             f"{METRICS_TAG!r}, {LINT_TAG!r} or {SERVER_TAG!r}, "
             f"got {tag!r}")
     experiments = payload.get("experiments")
@@ -990,7 +1034,8 @@ def main(argv: list[str]) -> int:
         print(f"OK: {s['cells_run']} oracle cell(s) "
               f"({s['ok']} ok, {s['harness_faults']} harness fault(s)) "
               f"conform to {FAULTS_TAG}")
-    elif payload.get("schema") in (BENCH_HOST_TAG, BENCH_HOST_TAG_V2):
+    elif payload.get("schema") in (BENCH_HOST_TAG, BENCH_HOST_TAG_V2,
+                                   BENCH_HOST_TAG_V3):
         print(f"OK: {len(payload['runs'])} host benchmark run(s) "
               f"conform to {payload['schema']}")
     elif payload.get("schema") == BENCH_HISTORY_TAG:

@@ -64,7 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover
 _CACHE_FORMAT = 2
 
 #: the artifact kinds the cache accounts for, in stats order
-ARTIFACT_KINDS = ("parse", "restructure")
+ARTIFACT_KINDS = ("parse", "restructure", "jit-source")
 
 #: length of the hex digest line heading every on-disk entry
 _DIGEST_LEN = 64
@@ -174,6 +174,44 @@ class CompilationCache:
                 pair = Restructurer(options).run(sf)
             self._store(key, pair, "restructure")
         return pair
+
+    def jit_source(self, source: str, *, fingerprint: str, emit) -> str:
+        """Module text for one source-JIT statement list, memoized.
+
+        ``source`` is the deterministic statement dump, ``fingerprint``
+        the codegen-relevant symbol facts plus emitter version, ``emit``
+        the zero-argument emitter invoked on a miss.  The stored artifact
+        is the emitted module *text* (never code objects), so a corrupt
+        or stale on-disk entry quarantines and re-emits like any other
+        kind — and the text is re-``compile()``d per process, keeping the
+        cache process-portable.
+        """
+        if not self.enabled:
+            with span("jit-emit", cached=False):
+                return emit()
+        key = content_key("jit-source", source, fingerprint)
+        text = self._load(key, "jit-source")
+        if not isinstance(text, str):
+            if text is not None:
+                # a non-text payload is a corrupt artifact that slipped
+                # past the digest (e.g. a stale pickle of another type)
+                self._quarantine_value(key, "jit-source")
+            with span("jit-emit"):
+                text = emit()
+            self._store(key, text, "jit-source")
+        return text
+
+    def _quarantine_value(self, key: str, kind: str) -> None:
+        """Drop a decoded-but-wrong-typed entry from both stores."""
+        self._mem.pop(key, None)
+        self._ctr[kind, "corrupt"].inc()
+        _LOG.warning("entry_wrong_type", kind=kind, key=key[:12])
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            try:
+                os.replace(path, path.with_suffix(".quarantine"))
+            except OSError:
+                pass
 
     # -- stats ---------------------------------------------------------
 

@@ -93,13 +93,7 @@ class ClosureCompiler:
                   unit_name: str) -> None:
         entry = self._bodies.get(id(stmts))
         if entry is None:
-            from repro.telemetry import span
-
-            with span("compile", unit=unit_name, stmts=len(stmts)):
-                fns = [self._stmt(s, unit_name) for s in stmts]
-                labels = {s.label: i for i, s in enumerate(stmts)
-                          if s.label is not None}
-            entry = (fns, labels, stmts)
+            entry = self._compile_entry(stmts, unit_name)
             self._bodies[id(stmts)] = entry
         fns, labels, _ = entry
         interp = self.interp
@@ -125,6 +119,22 @@ class ClosureCompiler:
 
     # ------------------------------------------------------------------
     # statement compilation
+
+    def _compile_entry(self, stmts: list[F.Stmt],
+                       unit_name: str) -> tuple[list[StmtFn], dict, list]:
+        """Compile one statement list to its execution entry.
+
+        The engine tiers hook in here: the source JIT subclass replaces
+        this step (cached module emission) while inheriting the
+        execution loop above unchanged.
+        """
+        from repro.telemetry import span
+
+        with span("compile", unit=unit_name, stmts=len(stmts)):
+            fns = [self._stmt(s, unit_name) for s in stmts]
+            labels = {s.label: i for i, s in enumerate(stmts)
+                      if s.label is not None}
+        return (fns, labels, stmts)
 
     def _stmt(self, s: F.Stmt, unit: str) -> StmtFn:
         interp = self.interp

@@ -17,6 +17,7 @@ character data is not modelled.
 from __future__ import annotations
 
 import math
+import os
 from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
@@ -108,6 +109,10 @@ class _StopSignal(Exception):
         self.message = message
 
 
+#: the three execution engine tiers, slowest (reference) first
+ENGINES = ("tree", "compiled", "source")
+
+
 class Interpreter:
     """Executes program units of one source file."""
 
@@ -120,7 +125,7 @@ class Interpreter:
                  inputs: list[float] | None = None,
                  shadow: "ShadowRecorder | None" = None,
                  step_budget: int | None = STEP_BUDGET,
-                 engine: str = "tree"):
+                 engine: str | None = None):
         """``shadow`` is an optional
         :class:`repro.execmodel.shadow.ShadowRecorder`; when given, every
         shared-storage access inside parallel DOALL loops is logged and
@@ -131,11 +136,20 @@ class Interpreter:
         :class:`repro.errors.InterpreterBudgetError` carrying the source
         line of the statement that tripped the budget.
 
-        ``engine`` selects ``"tree"`` (the reference tree-walk) or
+        ``engine`` selects ``"tree"`` (the reference tree-walk),
         ``"compiled"`` (:mod:`repro.execmodel.compiled` closures —
-        numerics-identical, several times faster).  A shadow recorder
-        forces the tree-walk: race instrumentation lives on that path."""
-        if engine not in ("tree", "compiled"):
+        numerics-identical, several times faster) or ``"source"``
+        (:mod:`repro.execmodel.source_jit` — cached Python/NumPy source
+        modules with generalized loop-nest vectorization; falls back
+        per loop to the closure tier, and from there to the tree walk).
+        A shadow recorder forces the tree-walk: race instrumentation
+        lives on that path.  ``engine=None`` (the default) resolves to
+        ``$REPRO_ENGINE`` when set, else ``"tree"`` — harnesses that
+        construct interpreters without an explicit engine inherit the
+        sweep-wide selection."""
+        if engine is None:
+            engine = os.environ.get("REPRO_ENGINE") or "tree"
+        if engine not in ENGINES:
             raise InterpreterError(f"unknown engine {engine!r}")
         self.sf = sf
         self.units = {u.name: u for u in sf.units}
@@ -157,6 +171,11 @@ class Interpreter:
             # instance attribute shadows the method: every recursive
             # self.exec_body — unit bodies, loop bodies, _invoke —
             # routes through the compiler
+            self.exec_body = self._compiler.exec_body
+        elif self.engine == "source":
+            from repro.execmodel.source_jit import SourceJit
+
+            self._compiler = SourceJit(self)
             self.exec_body = self._compiler.exec_body
 
     # ------------------------------------------------------------------

@@ -199,6 +199,17 @@ def add_engine_args(ap: argparse.ArgumentParser) -> None:
                          "flight recorder (default: $REPRO_LOG, else "
                          "off; off is a true no-op and never changes "
                          "sweep payloads)")
+    from repro.execmodel.interp import ENGINES
+
+    ap.add_argument("--engine", default=None, choices=ENGINES,
+                    help="interpreter engine tier for every run this "
+                         "harness executes: tree (reference walk), "
+                         "compiled (closure lowering), source (cached "
+                         "source-JIT; vectorizes eligible loop nests, "
+                         "falls back per loop).  All tiers are "
+                         "bit-identical on results (default: "
+                         "$REPRO_ENGINE, else each harness's own "
+                         "default)")
 
 
 def configure_engine(ns: argparse.Namespace) -> int:
@@ -223,6 +234,11 @@ def configure_engine(ns: argparse.Namespace) -> int:
     cache_dir = getattr(ns, "cache_dir", None) \
         or os.environ.get("REPRO_CACHE_DIR") or None
     configure(cache_dir=cache_dir)
+    engine = getattr(ns, "engine", None)
+    if engine:
+        # exported so sweep worker processes (and any Interpreter built
+        # without an explicit engine) inherit the selection
+        os.environ["REPRO_ENGINE"] = engine
     return max(1, int(getattr(ns, "jobs", 1) or 1))
 
 

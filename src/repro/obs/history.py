@@ -1,7 +1,7 @@
 """Append-only bench history: the ``repro-bench-history/1`` entry.
 
 One *entry* summarizes one benchmarking session — usually one
-``repro-bench-host/2`` payload, optionally joined by ``repro-metrics/1``
+``repro-bench-host/3`` payload, optionally joined by ``repro-metrics/1``
 telemetry artifacts from the same run — as a flat metric dict, stamped
 with the git revision and a machine fingerprint so samples from
 different commits/hosts never get silently compared::
@@ -12,7 +12,7 @@ different commits/hosts never get silently compared::
      "host": {"python": "3.11.7", "platform": "Linux-...",
               "machine": "x86_64", "cpu_count": 8},
      "fingerprint": "9ae2c41b17d4",
-     "sources": ["repro-bench-host/2"],
+     "sources": ["repro-bench-host/3"],
      "metrics": {"warm_speedup": 2.1,
                  "host_seconds/warm": [3.2, 3.3], ...}}
 
@@ -106,11 +106,11 @@ def _put(metrics: dict, name: str, value) -> None:
 def extract_metrics(payload: dict, metrics: Optional[dict] = None) -> dict:
     """Flatten one bench/telemetry payload into history metrics.
 
-    Understands ``repro-bench-host/1|2`` (run wall-clocks, cache and
-    parallel speedups, latency percentiles) and ``repro-metrics/1``
-    (per-stage totals, cell-latency percentiles, cache hit rates).
-    Unknown schemas contribute nothing (and an empty result is the
-    caller's cue to reject the file).
+    Understands ``repro-bench-host/1|2|3`` (run wall-clocks, cache,
+    parallel and per-engine-tier speedups, latency percentiles) and
+    ``repro-metrics/1`` (per-stage totals, cell-latency percentiles,
+    cache hit rates).  Unknown schemas contribute nothing (and an empty
+    result is the caller's cue to reject the file).
     """
     out = metrics if metrics is not None else {}
     tag = str(payload.get("schema", ""))
@@ -123,6 +123,11 @@ def extract_metrics(payload: dict, metrics: Optional[dict] = None) -> dict:
         _put(out, "compile_speedup", cache.get("compile_speedup"))
         par = payload.get("parallel") or {}
         _put(out, "parallel_speedup", par.get("parallel_speedup"))
+        # /3: the engine-tier speedups (source-JIT vs tree / vs the
+        # closure tier); the seconds already travel via host_seconds/*
+        for name, val in (payload.get("engines") or {}).items():
+            if name.endswith("_speedup"):
+                _put(out, name, val)
         base = payload.get("baseline") or {}
         _put(out, "end_to_end_speedup", base.get("end_to_end_speedup"))
         for run, lat in (payload.get("latency") or {}).items():
@@ -173,7 +178,7 @@ def build_entry(payloads: Iterable[dict], *, note: Optional[str] = None,
         tags = ", ".join(sources) or "none"
         raise ValueError(
             f"no recordable metrics in the given payload(s) "
-            f"(schemas: {tags}); expected repro-bench-host/2 or "
+            f"(schemas: {tags}); expected repro-bench-host/2|3 or "
             f"repro-metrics/1 documents")
     host = host if host is not None else host_stamp()
     entry = {

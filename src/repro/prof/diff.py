@@ -26,11 +26,15 @@ METRIC_REGRESSES_UP = {
     "serial_cycles": True,
     "total_cycles": True,
     "speedup": False,
-    # host wall-clock payloads (repro-bench-host/1 and /2)
+    # host wall-clock payloads (repro-bench-host/1, /2 and /3)
     "host_seconds": True,
     "warm_speedup": False,
     "compile_speedup": False,
     "parallel_speedup": False,
+    # /3 engine-tier ratios: higher is better
+    "compiled_warm_speedup": False,
+    "source_warm_speedup": False,
+    "source_vs_compiled_speedup": False,
     # /2 per-cell latency percentiles: latency regresses upward
     "p50_s": True,
     "p95_s": True,
@@ -103,14 +107,19 @@ def extract_metrics(payload: dict) -> dict[str, dict[str, float]]:
             if isinstance(v, (int, float)):
                 out[key] = {"total_cycles": float(v)}
         return out
-    if schema in ("repro-bench-host/1", "repro-bench-host/2"):
+    if schema in ("repro-bench-host/1", "repro-bench-host/2",
+                  "repro-bench-host/3"):
         for name, run in (payload.get("runs") or {}).items():
             v = run.get("seconds") if isinstance(run, dict) else None
             if isinstance(v, (int, float)):
                 out[f"host/{name}"] = {"host_seconds": float(v)}
         for sect, metrics in (("cache", ("warm_speedup",
                                          "compile_speedup")),
-                              ("parallel", ("parallel_speedup",))):
+                              ("parallel", ("parallel_speedup",)),
+                              # /3: the engine-tier ratios
+                              ("engines", ("compiled_warm_speedup",
+                                           "source_warm_speedup",
+                                           "source_vs_compiled_speedup"))):
             d = payload.get(sect) or {}
             got = {m: float(d[m]) for m in metrics
                    if isinstance(d.get(m), (int, float))}

@@ -53,6 +53,16 @@ _SUPERVISOR_SLACK_S = 5.0
 _LOG = get_logger("server.service")
 
 
+class _InflightRequest:
+    """One leader computation that identical concurrent requests join."""
+
+    __slots__ = ("done", "envelope")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.envelope: Optional[dict] = None
+
+
 class RestructurerService:
     """One engine, served: orchestration behind every endpoint."""
 
@@ -80,6 +90,11 @@ class RestructurerService:
         self._id_lock = threading.Lock()
         self._id_n = 0
         self._sleep = time.sleep
+        # identical concurrent /restructure bodies coalesce onto one
+        # in-flight computation, keyed by the engine cache's content
+        # address (see _dedup_key)
+        self._inflight_lock = threading.Lock()
+        self._inflight: dict[str, _InflightRequest] = {}
         # requests that were in flight when a previous incarnation died
         self.lost_on_restart = self._recover_orphans()
         # disk-store failures anywhere in the cache feed the breaker
@@ -171,6 +186,7 @@ class RestructurerService:
             "path": request.get("path") or "<request>",
             "quick": bool(request.get("quick")),
             "fault_scenario": request.get("fault_scenario") or None,
+            "engine": request.get("engine") or None,
             "timeout_s": timeout_s,
             "server_pid": os.getpid(),
             "attempt": 1,
@@ -196,6 +212,13 @@ class RestructurerService:
             if scenario_name not in SCENARIO_SPECS:
                 return (f"unknown fault scenario {scenario_name!r} "
                         f"(known: {', '.join(sorted(SCENARIO_SPECS))})")
+        engine = request.get("engine")
+        if engine is not None:
+            from repro.execmodel.interp import ENGINES
+
+            if engine not in ENGINES:
+                return (f"unknown engine {engine!r} "
+                        f"(known: {', '.join(ENGINES)})")
         return None
 
     # -- execution ---------------------------------------------------------
@@ -224,6 +247,25 @@ class RestructurerService:
                 "error_type": type(exc).__name__, "message": str(exc),
                 "elapsed_s": 0.0, "traceback": "", "detail": {}}}
 
+    def _dedup_key(self, endpoint: str, request: dict) -> Optional[str]:
+        """Content address of one coalescible request, or None.
+
+        Only plain ``/restructure`` bodies coalesce: chaos directives
+        are per-request by design (each carries its own kill budget),
+        and other endpoints are cheap enough not to bother.  The key is
+        the engine cache's content address over the source, with every
+        result-shaping request field folded into the fingerprint — two
+        requests share a key only if their envelopes' results are
+        interchangeable by construction.
+        """
+        if endpoint != "restructure" or request.get("chaos"):
+            return None
+        from repro.engine.cache import content_key
+
+        fp = "|".join(str(request.get(k) or "") for k in
+                      ("path", "quick", "fault_scenario", "engine"))
+        return content_key("server-restructure", request["source"], fp)
+
     def handle(self, endpoint: str, request) -> dict:
         """Run one request end to end; always returns an envelope."""
         request_id = self._next_id()
@@ -232,17 +274,55 @@ class RestructurerService:
         if problem is not None:
             return self._envelope(request_id, endpoint, "invalid-input",
                                   reason=problem, t0=t0)
-        deadline_s = request.get("deadline_s")
-        try:
-            self.queue.acquire(
-                float(deadline_s) if deadline_s is not None else None)
-        except ShedRequest as shed:
+        key = self._dedup_key(endpoint, request)
+        cell: Optional[_InflightRequest] = None
+        leader = True
+        if key is not None:
+            with self._inflight_lock:
+                cell = self._inflight.get(key)
+                if cell is None:
+                    cell = self._inflight[key] = _InflightRequest()
+                else:
+                    leader = False
+        if not leader:
+            # follower: ride the in-flight computation instead of
+            # recomputing an identical body
+            self.registry.counter("repro_server_dedup_total",
+                                  endpoint=endpoint).inc()
+            _LOG.info("request_deduplicated", request_id=request_id,
+                      endpoint=endpoint)
+            timeout_s = float(request.get("timeout_s")
+                              or self.default_timeout_s)
+            budget = (timeout_s + _SUPERVISOR_SLACK_S) \
+                * max(1, self.retry.max_attempts)
+            if cell.done.wait(budget) and cell.envelope is not None:
+                return cell.envelope
             return self._envelope(request_id, endpoint, "shed",
-                                  reason=shed.reason, t0=t0)
+                                  reason="coalesced computation did not "
+                                         "finish in time — retry",
+                                  t0=t0)
+        envelope: Optional[dict] = None
         try:
-            return self._handle_admitted(request_id, endpoint, request, t0)
+            deadline_s = request.get("deadline_s")
+            try:
+                self.queue.acquire(
+                    float(deadline_s) if deadline_s is not None else None)
+            except ShedRequest as shed:
+                envelope = self._envelope(request_id, endpoint, "shed",
+                                          reason=shed.reason, t0=t0)
+                return envelope
+            try:
+                envelope = self._handle_admitted(request_id, endpoint,
+                                                 request, t0)
+                return envelope
+            finally:
+                self.queue.release()
         finally:
-            self.queue.release()
+            if cell is not None:
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+                cell.envelope = envelope
+                cell.done.set()
 
     def _handle_admitted(self, request_id: str, endpoint: str,
                          request: dict, t0: float) -> dict:

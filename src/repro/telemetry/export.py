@@ -152,9 +152,14 @@ def _summarize(spans: list[dict], metrics: dict) -> dict:
             slot["hits"] += c["value"]
         else:
             slot["misses"] += c["value"]
+    # the cache registers counters for every artifact kind up front;
+    # kinds the run never touched (e.g. jit-source under the closure
+    # engine) would report a meaningless 0/0 slot — drop them.
+    cache = {kind: slot for kind, slot in cache.items()
+             if slot["hits"] + slot["misses"] > 0}
     for slot in cache.values():
         total = slot["hits"] + slot["misses"]
-        slot["hit_rate"] = (slot["hits"] / total) if total else 0.0
+        slot["hit_rate"] = slot["hits"] / total
 
     return {
         "cells": len(cells),

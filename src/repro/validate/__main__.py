@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.engine.parallel import WorkerCrash, parallel_map
@@ -99,11 +100,6 @@ def main(argv: list[str] | None = None) -> int:
                     help="JSONL checkpoint of completed workloads; rerun "
                          "with the same file to resume an interrupted "
                          "sweep")
-    ap.add_argument("--engine", choices=("tree", "compiled"),
-                    default="compiled",
-                    help="interpreter engine for baselines and bisection "
-                         "(default: compiled; race-checked variant runs "
-                         "always use the instrumented tree-walk)")
     ap.add_argument("--json", action="store_true",
                     help="emit the repro-validate/1 JSON payload")
     ap.add_argument("-o", "--output", metavar="FILE",
@@ -111,6 +107,9 @@ def main(argv: list[str] | None = None) -> int:
     add_engine_args(ap)
     ns = ap.parse_args(argv)
     jobs = configure_engine(ns)
+    # baselines and bisection default to the closure tier; race-checked
+    # variant runs always use the instrumented tree-walk regardless
+    engine = ns.engine or os.environ.get("REPRO_ENGINE") or "compiled"
 
     cases = validation_cases()
     if ns.workloads:
@@ -151,11 +150,11 @@ def main(argv: list[str] | None = None) -> int:
             "seeds": ns.seeds, "processors": ns.processors,
             "atol": ns.atol, "rtol": ns.rtol,
             "bisect": not ns.no_bisect, "timeout": ns.timeout,
-            "engine": ns.engine,
+            "engine": engine,
         })
     if jobs_list and not ns.json:
         print(f"validating {len(jobs_list)} workload(s), "
-              f"jobs={jobs}, engine={ns.engine} ...", file=sys.stderr)
+              f"jobs={jobs}, engine={engine} ...", file=sys.stderr)
 
     from repro.obs.log import get_logger
 

@@ -235,7 +235,7 @@ class TestPerKindAccounting:
         c.restructure(SRC)
         st = c.stats()
         by = st["by_kind"]
-        assert set(by) == {"parse", "restructure"}
+        assert set(by) == {"parse", "restructure", "jit-source"}
         assert by["parse"]["hits"] >= 1 and by["parse"]["misses"] == 1
         assert by["restructure"]["misses"] == 1
         assert by["restructure"]["disk_writes"] >= 1
@@ -310,3 +310,97 @@ def test_cached_restructure_matches_uncached(opts):
     out_c = Interpreter(cached, processors=4).call("axpy", *args)
     out_f = Interpreter(fresh, processors=4).call("axpy", *args)
     assert np.array_equal(out_c["y"], out_f["y"])
+
+
+class TestJitSourceArtifacts:
+    """The jit-source artifact kind: emitted module text, content-keyed
+    on the statement dump + codegen fingerprint, digest-verified on
+    disk, quarantined and re-emitted when corrupt."""
+
+    DUMP = "Assign(target=x, value=1)"
+    FP = "jit1|unit|x:r"
+
+    def _emitter(self, calls, text="OUT = [lambda rt: None]\n"):
+        def emit():
+            calls.append(1)
+            return text
+        return emit
+
+    def test_memoized_per_dump_and_fingerprint(self):
+        c = CompilationCache()
+        calls = []
+        a = c.jit_source(self.DUMP, fingerprint=self.FP,
+                         emit=self._emitter(calls))
+        b = c.jit_source(self.DUMP, fingerprint=self.FP,
+                         emit=self._emitter(calls))
+        assert a == b and len(calls) == 1
+        assert c.stats()["by_kind"]["jit-source"]["hits"] == 1
+        # a different fingerprint (other symbol types) re-emits
+        c.jit_source(self.DUMP, fingerprint="jit1|unit|x:i",
+                     emit=self._emitter(calls))
+        assert len(calls) == 2
+
+    def test_disabled_cache_always_emits(self):
+        c = CompilationCache(enabled=False)
+        calls = []
+        c.jit_source(self.DUMP, fingerprint=self.FP,
+                     emit=self._emitter(calls))
+        c.jit_source(self.DUMP, fingerprint=self.FP,
+                     emit=self._emitter(calls))
+        assert len(calls) == 2
+
+    def test_disk_round_trip_skips_emitter(self, tmp_path):
+        calls = []
+        c1 = CompilationCache(cache_dir=tmp_path)
+        c1.jit_source(self.DUMP, fingerprint=self.FP,
+                      emit=self._emitter(calls))
+        assert c1.stats()["by_kind"]["jit-source"]["disk_writes"] == 1
+        c2 = CompilationCache(cache_dir=tmp_path)
+        text = c2.jit_source(self.DUMP, fingerprint=self.FP,
+                             emit=self._emitter(calls))
+        assert text == "OUT = [lambda rt: None]\n"
+        assert len(calls) == 1          # served from disk, not re-emitted
+        assert c2.stats()["by_kind"]["jit-source"]["disk_hits"] == 1
+
+    def test_corrupt_module_quarantined_then_recompiled(self, tmp_path):
+        """Bit rot in a stored JIT module must never be served: the
+        digest check quarantines the entry and the engine falls back to
+        recompilation (a fresh emit), republishing a valid artifact."""
+        calls = []
+        c1 = CompilationCache(cache_dir=tmp_path)
+        c1.jit_source(self.DUMP, fingerprint=self.FP,
+                      emit=self._emitter(calls))
+        [p] = list(tmp_path.rglob("*.pkl"))
+        data = bytearray(p.read_bytes())
+        data[-1] ^= 0xFF                     # flip a payload bit
+        p.write_bytes(bytes(data))
+        c2 = CompilationCache(cache_dir=tmp_path)
+        text = c2.jit_source(self.DUMP, fingerprint=self.FP,
+                             emit=self._emitter(calls))
+        assert text == "OUT = [lambda rt: None]\n"
+        assert len(calls) == 2               # recompiled, not served
+        st = c2.stats()["by_kind"]["jit-source"]
+        assert st["corrupt"] == 1 and st["misses"] == 1
+        assert p.with_suffix(".quarantine").exists()
+        # the re-emit republished a verifiable entry at the same path
+        c3 = CompilationCache(cache_dir=tmp_path)
+        c3.jit_source(self.DUMP, fingerprint=self.FP,
+                      emit=self._emitter(calls))
+        assert len(calls) == 2
+        assert c3.stats()["by_kind"]["jit-source"]["disk_hits"] == 1
+
+    def test_wrong_typed_payload_quarantined(self, tmp_path):
+        """A digest-valid entry of the wrong type (a stale pickle of a
+        non-string) is quarantined, not handed to compile()."""
+        c1 = CompilationCache(cache_dir=tmp_path)
+        key = content_key("jit-source", self.DUMP, self.FP)
+        c1._store(key, 12345, "jit-source")  # poisoned but digest-valid
+        calls = []
+        c2 = CompilationCache(cache_dir=tmp_path)
+        text = c2.jit_source(self.DUMP, fingerprint=self.FP,
+                             emit=self._emitter(calls))
+        assert text == "OUT = [lambda rt: None]\n"
+        assert len(calls) == 1
+        assert c2.stats()["by_kind"]["jit-source"]["corrupt"] == 1
+        [q] = list(tmp_path.rglob("*.quarantine"))
+        assert q.stem == f"{key}"

@@ -1,8 +1,9 @@
-"""Golden equivalence suite: the compiled closure engine must be
-*bit-identical* to the tree-walking interpreter — same dtypes, same
-bytes — on every workload, restructurer configuration, and processor
-count.  This is the contract that lets harnesses default to
-``engine="compiled"``.
+"""Golden equivalence suite: the compiled closure engine and the
+source-JIT engine must be *bit-identical* to the tree-walking
+interpreter — same dtypes, same bytes — on every workload,
+restructurer configuration, and processor count.  This is the contract
+that lets harnesses default to ``engine="compiled"`` and opt into
+``engine="source"``.
 """
 
 import numpy as np
@@ -16,6 +17,9 @@ from repro.validate.configs import PIPELINE_CONFIGS
 from repro.workloads import validation_cases
 
 CASES = validation_cases()
+
+#: the non-reference tiers, each proven against the tree walk
+FAST_ENGINES = ("compiled", "source")
 
 
 def assert_bit_identical(a: dict, b: dict, ctx: str) -> None:
@@ -37,40 +41,42 @@ def _outputs(program, case, seed: int, processors: int,
                        engine=engine).call(case.entry, *args)
 
 
+@pytest.mark.parametrize("engine", FAST_ENGINES)
 @pytest.mark.parametrize("wname", sorted(CASES))
-def test_sequential_originals_identical(wname):
+def test_sequential_originals_identical(wname, engine):
     case = CASES[wname]
     sf = cached_parse(case.source)
     tree = _outputs(sf, case, seed=3, processors=1, engine="tree")
-    comp = _outputs(sf, case, seed=3, processors=1, engine="compiled")
-    assert_bit_identical(tree, comp, f"{wname}@sequential")
+    fast = _outputs(sf, case, seed=3, processors=1, engine=engine)
+    assert_bit_identical(tree, fast, f"{wname}@sequential[{engine}]")
 
 
+@pytest.mark.parametrize("engine", FAST_ENGINES)
 @pytest.mark.parametrize("config", sorted(PIPELINE_CONFIGS))
 @pytest.mark.parametrize("wname", sorted(CASES))
-def test_restructured_programs_identical(wname, config):
+def test_restructured_programs_identical(wname, config, engine):
     case = CASES[wname]
     cedar, _ = cached_restructure(case.source,
                                   PIPELINE_CONFIGS[config]())
     for processors in (2, 8):
         tree = _outputs(cedar, case, seed=3, processors=processors,
                         engine="tree")
-        comp = _outputs(cedar, case, seed=3, processors=processors,
-                        engine="compiled")
-        assert_bit_identical(tree, comp,
-                             f"{wname}@{config}/P={processors}")
+        fast = _outputs(cedar, case, seed=3, processors=processors,
+                        engine=engine)
+        assert_bit_identical(
+            tree, fast, f"{wname}@{config}/P={processors}[{engine}]")
 
 
 def test_track_multisets_match_baseline():
-    """TRACK's outputs are order-sensitive (permutation_ok): both
-    engines must produce the *same multiset* as the sequential original,
+    """TRACK's outputs are order-sensitive (permutation_ok): every
+    engine must produce the *same multiset* as the sequential original,
     and the same bytes as each other."""
     case = CASES["TRACK"]
     assert case.permutation_ok
     sf = cached_parse(case.source)
     cedar, _ = cached_restructure(case.source)
     base = _outputs(sf, case, seed=3, processors=1, engine="tree")
-    for engine in ("tree", "compiled"):
+    for engine in ("tree",) + FAST_ENGINES:
         par = _outputs(cedar, case, seed=3, processors=8, engine=engine)
         assert set(par) == set(base)
         for k in base:
@@ -82,13 +88,14 @@ def test_track_multisets_match_baseline():
                     err_msg=f"TRACK[{engine}]/{k}: multiset diverged")
 
 
-def test_shadow_recorder_forces_tree_engine():
+@pytest.mark.parametrize("engine", FAST_ENGINES)
+def test_shadow_recorder_forces_tree_engine(engine):
     from repro.execmodel.shadow import ShadowRecorder
 
     case = CASES["tridag"]
     cedar, _ = cached_restructure(case.source)
     interp = Interpreter(cedar, processors=2, shadow=ShadowRecorder(),
-                         engine="compiled")
+                         engine=engine)
     assert interp.engine == "tree"
 
 
@@ -99,6 +106,24 @@ def test_unknown_engine_rejected():
     sf = cached_parse(case.source)
     with pytest.raises(InterpreterError):
         Interpreter(sf, engine="jit")
+
+
+def test_engine_defaults_from_environment(monkeypatch):
+    """An Interpreter built without an explicit engine resolves
+    ``$REPRO_ENGINE`` — how sweeps pin a tier across worker
+    processes."""
+    case = CASES["tridag"]
+    sf = cached_parse(case.source)
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert Interpreter(sf).engine == "tree"
+    for engine in ("tree",) + FAST_ENGINES:
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        assert Interpreter(sf).engine == engine
+    monkeypatch.setenv("REPRO_ENGINE", "bogus")
+    from repro.errors import InterpreterError
+
+    with pytest.raises(InterpreterError):
+        Interpreter(sf)
 
 
 # --- property test: equivalence holds across sampled inputs ----------------
@@ -115,7 +140,8 @@ def test_engines_identical_on_sampled_inputs(seed, wname, processors):
     cedar, _ = cached_restructure(case.source)
     tree = _outputs(cedar, case, seed=seed, processors=processors,
                     engine="tree")
-    comp = _outputs(cedar, case, seed=seed, processors=processors,
-                    engine="compiled")
-    assert_bit_identical(tree, comp,
-                         f"{wname}@seed={seed}/P={processors}")
+    for engine in FAST_ENGINES:
+        fast = _outputs(cedar, case, seed=seed, processors=processors,
+                        engine=engine)
+        assert_bit_identical(
+            tree, fast, f"{wname}@seed={seed}/P={processors}[{engine}]")

@@ -80,3 +80,79 @@ def test_tree_walk_throughput_floor():
     assert rate > 20_000, (
         f"tree-walk throughput collapsed: {rate:,.0f} stmt/s "
         f"({steps} steps in {t_tree:.4f}s)")
+
+
+# vectorizable kernel: elementwise nest + guard — the shape the
+# source-JIT tier lowers to whole-array NumPy instead of per-element
+# closures.  Statement-heavy enough (3 stmts x n^2 lanes) that the
+# closure tier's per-element dispatch dominates its runtime.
+VEC_KERNEL = """
+      subroutine smooth(n, a, b, c)
+      integer n, i, j
+      real a(n,n), b(n,n), c(n,n)
+      do 20 j = 1, n
+         do 10 i = 1, n
+            c(i,j) = a(i,j) * 0.25 + b(i,j) * 0.75
+            if (c(i,j) .lt. 0.0) then
+               c(i,j) = 0.0
+            endif
+            b(i,j) = c(i,j) + a(i,j)
+   10    continue
+   20 continue
+      return
+      end
+"""
+
+VN = 64
+
+
+def _run_warm(engine: str) -> tuple[float, dict, object]:
+    """Best-of-5 *warm* call time: compilation (and JIT module
+    emission) happens on a discarded warmup call, so this measures the
+    execute path alone — the quantity the engine tiers differ on."""
+    import os
+
+    sf = cached_parse(VEC_KERNEL)
+    rng = np.random.default_rng(7)
+    a = np.asarray(rng.standard_normal((VN, VN)), dtype=np.float64)
+    b = np.asarray(rng.standard_normal((VN, VN)), dtype=np.float64)
+    interp = Interpreter(sf, processors=1, engine=engine)
+    interp.call("smooth", VN, a, b.copy(), np.zeros((VN, VN)))
+    best = float("inf")
+    out = None
+    for _ in range(5):
+        t0 = time.perf_counter()
+        out = interp.call("smooth", VN, a, b.copy(),
+                          np.zeros((VN, VN)))
+        best = min(best, time.perf_counter() - t0)
+    return best, out, interp._compiler
+
+
+def test_source_jit_beats_closure_tier_on_vectorizable_kernel():
+    """The warm source-JIT floor: on a vectorizable nest the emitted
+    NumPy module must beat the closure tier's per-element dispatch.
+
+    Measured headroom is ~100-300x on development hosts; asserting 2x
+    (t < 0.5 * closure) leaves two orders of magnitude of margin for
+    noisy CI runners.  Set REPRO_SKIP_PERF_TESTS=1 to skip wall-clock
+    assertions entirely on hosts too loaded to time anything (shared
+    build boxes, heavily throttled containers)."""
+    import os
+
+    if os.environ.get("REPRO_SKIP_PERF_TESTS") == "1":
+        import pytest
+
+        pytest.skip("REPRO_SKIP_PERF_TESTS=1: host opted out of "
+                    "wall-clock assertions")
+    t_closure, out_closure, _ = _run_warm("compiled")
+    t_source, out_source, comp = _run_warm("source")
+    # numerics first — a fast wrong answer is not a win
+    for k in out_closure:
+        assert np.asarray(out_closure[k]).tobytes() \
+            == np.asarray(out_source[k]).tobytes(), k
+    # the fast path must actually have engaged, or the timing
+    # comparison is closure-vs-closure and proves nothing
+    assert comp.vectorized_loops >= 1
+    assert t_source < t_closure * 0.5, (
+        f"warm source-JIT not faster: {t_source * 1e3:.2f}ms vs "
+        f"closure {t_closure * 1e3:.2f}ms")

@@ -1,0 +1,256 @@
+"""The source-JIT engine tier (repro.execmodel.source_jit).
+
+Bit-identity across engines is the golden suite's job
+(test_engine_equivalence.py); this file pins the *mechanics*: which
+loop shapes vectorize (whole nests, guarded bodies, reductions), which
+are rejected (recurrences), that the restructurer's strip-mined
+PARALLEL DO output is recognized, that emitted modules round-trip
+through the jit-source cache, and that a poisoned module never breaks
+execution — the engine falls back to the closure tier per list.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import cached_parse, cached_restructure
+from repro.engine import cache as cache_mod
+from repro.execmodel.interp import Interpreter
+from repro.workloads import validation_cases
+
+CASES = validation_cases()
+
+ELEM = """
+      subroutine scale2(n, a, b)
+      integer n, i, j
+      real a(n,n), b(n,n)
+      do 20 j = 1, n
+         do 10 i = 1, n
+            a(i,j) = b(i,j) * 2.0 + 1.0
+   10    continue
+   20 continue
+      return
+      end
+"""
+
+GUARD = """
+      subroutine clip(n, a, b)
+      integer n, i
+      real a(n), b(n)
+      do 10 i = 1, n
+         if (b(i) .gt. 0.0) then
+            a(i) = b(i)
+         else
+            a(i) = 0.0
+         endif
+   10 continue
+      return
+      end
+"""
+
+RED = """
+      subroutine sums(n, x, s, lo)
+      integer n, i
+      real x(n), s, lo
+      s = 0.0
+      lo = x(1)
+      do 10 i = 1, n
+         s = s + x(i)
+   10 continue
+      do 20 i = 1, n
+         lo = min(lo, x(i))
+   20 continue
+      return
+      end
+"""
+
+RECUR = """
+      subroutine scan(n, x)
+      integer n, i
+      real x(n)
+      do 10 i = 2, n
+         x(i) = x(i-1) + x(i)
+   10 continue
+      return
+      end
+"""
+
+STENCIL = """
+      subroutine relax(n, u, v)
+      integer n, j
+      real u(n), v(n)
+      do 10 j = 2, n - 1
+         v(j) = 0.5 * (u(j-1) + u(j+1))
+   10 continue
+      return
+      end
+"""
+
+
+def _both(src, entry, *args, processors=1):
+    """Run tree and source engines; return (tree_out, out, compiler)."""
+    def fresh():
+        return [np.copy(a) if isinstance(a, np.ndarray) else a
+                for a in args]
+
+    sf = cached_parse(src)
+    tree = Interpreter(sf, processors=processors,
+                       engine="tree").call(entry, *fresh())
+    interp = Interpreter(sf, processors=processors, engine="source")
+    out = interp.call(entry, *fresh())
+    return tree, out, interp._compiler
+
+
+def _assert_bits(tree, out):
+    assert set(tree) == set(out)
+    for k in tree:
+        assert np.asarray(tree[k]).tobytes() \
+            == np.asarray(out[k]).tobytes(), k
+
+
+class TestVectorizedShapes:
+    def test_whole_nest_broadcasts(self):
+        b = np.arange(36.0).reshape(6, 6)
+        tree, out, comp = _both(ELEM, "scale2", 6, np.zeros((6, 6)), b)
+        _assert_bits(tree, out)
+        assert comp.vectorized_loops == 1
+        assert comp.source_stmts >= 1
+
+    def test_guarded_body_uses_masked_lanes(self):
+        b = np.linspace(-1.0, 1.0, 8)
+        tree, out, comp = _both(GUARD, "clip", 8, np.zeros(8), b)
+        _assert_bits(tree, out)
+        assert comp.vectorized_loops == 1
+
+    def test_sum_and_min_reductions(self):
+        x = np.arange(9.0) - 4.0
+        tree, out, comp = _both(RED, "sums", 9, x, 0.0, 0.0)
+        _assert_bits(tree, out)
+        assert comp.vectorized_loops == 2    # the + spine and the min
+
+    def test_affine_stencil_with_disjoint_reads(self):
+        """Reads at j-1/j+1 of an array *not* written in the loop are
+        loop-invariant inputs — the offset subscripts vectorize."""
+        u = np.arange(10.0)
+        tree, out, comp = _both(STENCIL, "relax", 10, u, np.zeros(10))
+        _assert_bits(tree, out)
+        assert comp.vectorized_loops == 1
+
+
+class TestRejectedShapes:
+    def test_recurrence_falls_back_not_wrong(self):
+        """x(i) = x(i-1) + x(i): the read mask differs from the write
+        mask, so the proof rejects the loop; the tree semantics are
+        replayed by the closure fallback."""
+        x = np.arange(7.0) + 1.0
+        tree, out, comp = _both(RECUR, "scan", 7, x)
+        _assert_bits(tree, out)
+        assert comp.vectorized_loops == 0
+        assert comp.fallback_stmts >= 1
+
+    def test_recurrent_workload_never_vectorizes(self):
+        """tridag's sweeps are genuine recurrences end to end — the
+        engine must not claim a single nest there."""
+        case = CASES["tridag"]
+        cedar, _ = cached_restructure(case.source)
+        args, _ = case.make_args(case.n, np.random.default_rng(3))
+        interp = Interpreter(cedar, processors=4, engine="source")
+        interp.call(case.entry, *args)
+        assert interp._compiler.vectorized_loops == 0
+
+
+class TestRestructuredPrograms:
+    """The generalized fast path must engage on the restructurer's own
+    output — strip-mined PARALLEL DO nests, guards, reductions — not
+    just on handwritten kernels.  These counts are the breadth
+    regression guard: a silent narrowing of eligibility flips one to
+    zero long before wall clocks move."""
+
+    # every workload here gets at least one vectorized nest today
+    EXPECTED_MIN = {"OCEAN": 2, "ARC2D": 2, "cg": 3, "sparse": 3,
+                    "TRFD": 1, "MDG": 1}
+
+    @pytest.mark.parametrize("wname", sorted(EXPECTED_MIN))
+    def test_vectorizes_stripmined_output(self, wname):
+        case = CASES[wname]
+        cedar, _ = cached_restructure(case.source)
+        args, _ = case.make_args(case.n, np.random.default_rng(3))
+        interp = Interpreter(cedar, processors=4, engine="source")
+        interp.call(case.entry, *args)
+        assert interp._compiler.vectorized_loops \
+            >= self.EXPECTED_MIN[wname], (
+                f"{wname}: fast-path coverage narrowed to "
+                f"{interp._compiler.vectorized_loops} nest(s)")
+
+
+class TestModuleCache:
+    @pytest.fixture
+    def fresh_cache(self, monkeypatch, tmp_path):
+        c = cache_mod.CompilationCache(cache_dir=tmp_path)
+        monkeypatch.setattr(cache_mod, "_DEFAULT", c)
+        return c
+
+    def test_modules_served_from_cache(self, fresh_cache):
+        sf = cached_parse(ELEM)
+        b = np.arange(36.0).reshape(6, 6)
+        Interpreter(sf, processors=1, engine="source").call(
+            "scale2", 6, np.zeros((6, 6)), b)
+        st = fresh_cache.stats()["by_kind"]["jit-source"]
+        assert st["misses"] >= 1 and st["disk_writes"] >= 1
+        # a second interpreter over the same program recompiles nothing
+        Interpreter(sf, processors=1, engine="source").call(
+            "scale2", 6, np.zeros((6, 6)), b)
+        st = fresh_cache.stats()["by_kind"]["jit-source"]
+        assert st["hits"] >= 1
+
+    def test_poisoned_module_text_falls_back(self, fresh_cache):
+        """A digest-valid but unparseable stored module (stale entry,
+        hand-edited store) must not take the engine down: compile()
+        fails, the list falls back to the closure tier, and results
+        stay bit-identical."""
+        fresh_cache.jit_source = \
+            lambda source, *, fingerprint, emit: "this is not python ("
+        case = CASES["cg"]
+        cedar, _ = cached_restructure(case.source)
+        args, _ = case.make_args(case.n, np.random.default_rng(3))
+        tree = Interpreter(cedar, processors=4,
+                           engine="tree").call(case.entry, *args)
+        args2, _ = case.make_args(case.n, np.random.default_rng(3))
+        interp = Interpreter(cedar, processors=4, engine="source")
+        out = interp.call(case.entry, *args2)
+        _assert_bits(tree, out)
+        assert interp._compiler.source_stmts == 0
+        assert interp._compiler.fallback_stmts >= 1
+
+    def test_emitted_module_is_deterministic(self, fresh_cache):
+        """Same statements + same symbol facts => byte-identical module
+        text (the content address would otherwise be meaningless)."""
+        sf = cached_parse(ELEM)
+        texts = []
+        orig = fresh_cache.jit_source
+
+        def spy(source, *, fingerprint, emit):
+            text = orig(source, fingerprint=fingerprint, emit=emit)
+            texts.append(text)
+            return text
+
+        fresh_cache.jit_source = spy
+        b = np.arange(36.0).reshape(6, 6)
+        for _ in range(2):
+            fresh_cache.clear()
+            Interpreter(sf, processors=1, engine="source").call(
+                "scale2", 6, np.zeros((6, 6)), b)
+        unit_texts = [t for t in texts if "scale2" in t or True]
+        assert len(unit_texts) >= 2
+        assert unit_texts[0] == unit_texts[-1]
+
+
+class TestEngineSelection:
+    def test_validate_differential_accepts_source(self):
+        from repro.validate.configs import PIPELINE_CONFIGS
+        from repro.validate.differential import validate_workload
+
+        case = CASES["cg"]
+        res = validate_workload(
+            case, {"automatic": PIPELINE_CONFIGS["automatic"]},
+            seeds=[3], processors=[2], bisect=False, engine="source")
+        assert all(c.status == "ok" for c in res.configs)

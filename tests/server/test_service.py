@@ -190,3 +190,88 @@ class TestLifecycle:
         h = service.healthz()
         assert h["breakers"] == {"store": "closed", "pool": "closed"}
         assert h["in_flight"] == 0
+
+
+class TestRequestDedup:
+    """Identical concurrent /restructure bodies coalesce onto one
+    in-flight computation (content-addressed by source + result-shaping
+    fields); followers ride the leader's envelope instead of
+    recomputing."""
+
+    BODY = {"source": SRC, "quick": True}
+
+    def test_identical_bodies_share_a_key(self, service):
+        k1 = service._dedup_key("restructure", dict(self.BODY))
+        k2 = service._dedup_key("restructure", dict(self.BODY))
+        assert k1 is not None and k1 == k2
+
+    def test_result_shaping_fields_split_the_key(self, service):
+        base = service._dedup_key("restructure", dict(self.BODY))
+        for extra in ({"quick": False}, {"engine": "source"},
+                      {"fault_scenario": "chaos"}, {"path": "x.f"}):
+            other = service._dedup_key("restructure",
+                                       {**self.BODY, **extra})
+            assert other is not None and other != base, extra
+
+    def test_chaos_and_lint_never_coalesce(self, service):
+        assert service._dedup_key(
+            "restructure", {**self.BODY, "chaos": {"stall_s": 1}}) is None
+        assert service._dedup_key("lint", dict(self.BODY)) is None
+
+    def test_follower_rides_leader_envelope(self, service):
+        import threading
+
+        from repro.server.service import _InflightRequest
+
+        key = service._dedup_key("restructure", dict(self.BODY))
+        cell = service._inflight[key] = _InflightRequest()
+        got = {}
+
+        def follower():
+            got["env"] = service.handle("restructure", dict(self.BODY))
+
+        t = threading.Thread(target=follower)
+        t.start()
+        # the follower is parked on the in-flight cell; publish the
+        # leader's envelope and it must return that object verbatim
+        leader_env = {"schema": SERVER_SCHEMA, "status": "ok",
+                      "request_id": "req-leader", "result": {"x": 1}}
+        cell.envelope = leader_env
+        cell.done.set()
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert got["env"] is leader_env
+        dedups = [c["value"]
+                  for c in service.registry.snapshot()["counters"]
+                  if c["name"] == "repro_server_dedup_total"]
+        assert dedups == [1]
+        del service._inflight[key]
+
+    def test_leader_clears_the_inflight_table(self, service):
+        env = service.handle("restructure", dict(self.BODY))
+        assert env["status"] == "ok"
+        assert service._inflight == {}
+
+    def test_concurrent_identical_requests_all_serve(self, service):
+        import threading
+
+        envs = []
+        lock = threading.Lock()
+
+        def call():
+            env = service.handle("restructure", dict(self.BODY))
+            with lock:
+                envs.append(env)
+
+        threads = [threading.Thread(target=call) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        assert len(envs) == 3
+        assert all(e["status"] == "ok" for e in envs)
+        # coalesced followers return the leader's envelope verbatim, so
+        # payloads agree whether or not the threads actually overlapped
+        results = [e["result"]["experiment"]["experiments"]["source"]
+                   for e in envs]
+        assert results[0] == results[1] == results[2]
